@@ -1,0 +1,72 @@
+package monetlite
+
+import (
+	"monetlite/internal/exec"
+	"monetlite/internal/index"
+	"monetlite/internal/storage"
+	"monetlite/internal/txn"
+	"monetlite/internal/vec"
+)
+
+// snapshotCatalog adapts a transaction to the planner's Catalog interface.
+type snapshotCatalog struct{ tx *txn.Txn }
+
+func (c snapshotCatalog) TableMeta(name string) (*storage.TableMeta, bool) {
+	v, ok := c.tx.View(name)
+	if !ok {
+		return nil, false
+	}
+	return v.Meta(), true
+}
+
+func (c snapshotCatalog) TableRows(name string) int64 {
+	v, ok := c.tx.View(name)
+	if !ok {
+		return 0
+	}
+	return int64(v.NumRows())
+}
+
+// execCatalog adapts a transaction to the executor's Catalog interface.
+type execCatalog struct{ tx *txn.Txn }
+
+func (c execCatalog) Source(name string) (exec.TableSource, bool) {
+	v, ok := c.tx.View(name)
+	if !ok {
+		return nil, false
+	}
+	return viewSource{v}, true
+}
+
+// viewSource adapts a txn.View to exec.TableSource, serving secondary
+// indexes only when the view has no transaction-local overlay.
+type viewSource struct{ v *txn.View }
+
+func (s viewSource) Meta() *storage.TableMeta       { return s.v.Meta() }
+func (s viewSource) NumRows() int                   { return s.v.NumRows() }
+func (s viewSource) Col(i int) (*vec.Vector, error) { return s.v.Col(i) }
+func (s viewSource) LiveCands() []int32             { return s.v.LiveCands() }
+
+// Imprints returns the column's imprints when the snapshot is clean.
+func (s viewSource) Imprints(ci int) *index.Imprints {
+	if !s.v.Clean() {
+		return nil
+	}
+	return s.v.Table().ImprintsFor(s.v.Base, ci)
+}
+
+// HashIdx returns the column's hash index when the snapshot is clean.
+func (s viewSource) HashIdx(ci int) *index.HashIndex {
+	if !s.v.Clean() {
+		return nil
+	}
+	return s.v.Table().HashFor(s.v.Base, ci)
+}
+
+// OrderIdx returns the column's order index when the snapshot is clean.
+func (s viewSource) OrderIdx(ci int) *index.OrderIndex {
+	if !s.v.Clean() {
+		return nil
+	}
+	return s.v.Table().OrderFor(s.v.Base, ci)
+}

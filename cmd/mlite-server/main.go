@@ -1,0 +1,77 @@
+// Command mlite-server hosts a monetlite engine behind a TCP socket — the
+// client-server deployment the paper's evaluation uses as its baseline
+// architecture (Figure 1a). The -engine flag selects the columnar engine
+// (a MonetDB-like server) or the volcano row store (a PostgreSQL/MariaDB-like
+// server).
+//
+// Usage:
+//
+//	mlite-server [-addr 127.0.0.1:7687] [-db DIR] [-engine columnar|rowstore]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"monetlite"
+	"monetlite/internal/rowstore"
+	"monetlite/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	engine := flag.String("engine", "columnar", "engine: columnar or rowstore")
+	flag.Parse()
+
+	var backend server.Backend
+	var shutdown func()
+	switch *engine {
+	case "columnar":
+		var db *monetlite.Database
+		var err error
+		if *dir == "" {
+			db, err = monetlite.OpenInMemory()
+		} else {
+			db, err = monetlite.Open(*dir)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlite-server:", err)
+			os.Exit(1)
+		}
+		backend = server.NewColumnarBackend(db)
+		shutdown = func() { db.Close() }
+	case "rowstore":
+		path := ""
+		if *dir != "" {
+			path = *dir + "/rowstore.db"
+		}
+		db, err := rowstore.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlite-server:", err)
+			os.Exit(1)
+		}
+		backend = server.NewRowstoreBackend(db)
+		shutdown = func() { db.Close() }
+	default:
+		fmt.Fprintln(os.Stderr, "mlite-server: unknown engine", *engine)
+		os.Exit(1)
+	}
+
+	srv, err := server.Serve(*addr, backend)
+	if err != nil {
+		shutdown()
+		fmt.Fprintln(os.Stderr, "mlite-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mlite-server (%s engine) listening on %s\n", *engine, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+	shutdown()
+}

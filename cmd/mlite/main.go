@@ -1,0 +1,158 @@
+// Command mlite is an interactive SQL shell over an embedded monetlite
+// database — no server to start, just point it at a directory (or nothing
+// for an in-memory session).
+//
+// Usage:
+//
+//	mlite [-db DIR] [-c "SQL"] [-explain]
+//
+// With -c the statement list runs non-interactively; otherwise statements
+// are read from stdin (terminated by ';').
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"monetlite"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	command := flag.String("c", "", "run these semicolon-separated statements and exit")
+	explain := flag.Bool("explain", false, "print the MAL trace after each query")
+	flag.Parse()
+
+	var db *monetlite.Database
+	var err error
+	if *dir == "" {
+		db, err = monetlite.OpenInMemory()
+	} else {
+		db, err = monetlite.Open(*dir)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlite:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	conn.TraceMAL = *explain
+
+	if *command != "" {
+		if err := runStatements(conn, *command, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, "mlite:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("monetlite shell — end statements with ';', Ctrl-D to exit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt(buf.Len() > 0)
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			if err := runStatements(conn, buf.String(), *explain); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			buf.Reset()
+		}
+		prompt(buf.Len() > 0)
+	}
+}
+
+func prompt(continuation bool) {
+	if continuation {
+		fmt.Print("   ...> ")
+	} else {
+		fmt.Print("mlite> ")
+	}
+}
+
+func runStatements(conn *monetlite.Conn, sql string, explain bool) error {
+	for _, stmt := range splitStatements(sql) {
+		up := strings.ToUpper(strings.TrimSpace(stmt))
+		if strings.HasPrefix(up, "SELECT") {
+			res, err := conn.Query(stmt)
+			if err != nil {
+				return err
+			}
+			printResult(res)
+			if explain && conn.LastTrace != nil {
+				fmt.Println("-- MAL trace --")
+				fmt.Print(conn.LastTrace.String())
+			}
+			continue
+		}
+		n, err := conn.Exec(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK, %d rows affected\n", n)
+	}
+	return nil
+}
+
+// splitStatements splits on top-level semicolons (quotes respected).
+func splitStatements(sql string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(sql); i++ {
+		switch sql[i] {
+		case '\'':
+			depth = !depth
+		case ';':
+			if !depth {
+				if s := strings.TrimSpace(sql[start:i]); s != "" {
+					out = append(out, s)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if s := strings.TrimSpace(sql[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func printResult(res *monetlite.Result) {
+	widths := make([]int, res.NumCols())
+	names := res.Names()
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	rows := make([][]string, res.NumRows())
+	for r := 0; r < res.NumRows(); r++ {
+		rows[r] = res.RowStrings(r)
+		for i, v := range rows[r] {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		for i, v := range vals {
+			fmt.Printf("| %-*s ", widths[i], v)
+		}
+		fmt.Println("|")
+	}
+	line(names)
+	sep := make([]string, len(names))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	fmt.Printf("(%d rows)\n", res.NumRows())
+}

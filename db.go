@@ -1,0 +1,168 @@
+// Package monetlite is an embedded analytical (OLAP) column-store database
+// for Go — a from-scratch reproduction of MonetDBLite (Raasveldt &
+// Mühleisen, CIKM 2018).
+//
+// The database runs inside the host process: there is no server to install,
+// configure or manage. Open a database directory (or an in-memory instance),
+// create connections, and issue SQL:
+//
+//	db, _ := monetlite.Open("/tmp/mydb")
+//	defer db.Close()
+//	conn := db.Connect()
+//	conn.Exec(`CREATE TABLE t (a INTEGER, b VARCHAR)`)
+//	conn.Exec(`INSERT INTO t VALUES (1, 'x'), (2, 'y')`)
+//	res, _ := conn.Query(`SELECT a, b FROM t WHERE a > 1`)
+//	ints, _ := res.Column(0).Ints32() // zero-copy for numeric columns
+//
+// Mirroring the paper's C API: Open/OpenInMemory are monetdb_startup,
+// (*Database).Connect is monetdb_connect, (*Conn).Query is monetdb_query,
+// (*Conn).Append is monetdb_append, and (*Result).Column is
+// monetdb_result_fetch (with both the zero-copy low-level accessors and the
+// converting high-level ones).
+package monetlite
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"monetlite/internal/storage"
+	"monetlite/internal/txn"
+	"monetlite/internal/wal"
+)
+
+// Config tunes an embedded database instance.
+type Config struct {
+	// Parallel enables mitosis (parallel scan/map/partial-aggregate
+	// pipelines). Default true.
+	Parallel bool
+	// MaxThreads caps worker goroutines (0 = GOMAXPROCS).
+	MaxThreads int
+	// NoIndexes disables automatic secondary index use (ablation studies).
+	NoIndexes bool
+	// ForceCopy disables zero-copy result transfer: result columns are
+	// always private copies (ablation; default false = zero-copy).
+	ForceCopy bool
+	// EagerConvert materializes all converted forms of result columns at
+	// query time instead of lazily on first access (ablation).
+	EagerConvert bool
+	// QueryTimeout aborts queries that run longer (0 = none).
+	QueryTimeout time.Duration
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config { return Config{Parallel: true} }
+
+// Database is an embedded database instance. Unlike the original
+// MonetDBLite — which could only run one database per process because of
+// internal global state (paper §3.4) — monetlite keeps all state inside this
+// struct, so any number of databases can coexist in one process.
+type Database struct {
+	cfg   Config
+	store *storage.Store
+	log   *wal.Log
+	mgr   *txn.Manager
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ErrClosed is returned when using a closed database.
+var ErrClosed = errors.New("monetlite: database is closed")
+
+// Open opens (creating if necessary) a persistent database in dir. Existing
+// data is recovered from the last checkpoint plus the write-ahead log.
+func Open(dir string, cfg ...Config) (*Database, error) {
+	c := DefaultConfig()
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	st, err := storage.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("monetlite: %w", err)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	if err := txn.ReplayWAL(st, walPath); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("monetlite: recovering WAL: %w", err)
+	}
+	log, err := wal.Open(walPath)
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("monetlite: %w", err)
+	}
+	db := &Database{cfg: c, store: st, log: log}
+	db.mgr = txn.NewManager(st, log)
+	return db, nil
+}
+
+// OpenInMemory creates a transient database: nothing is written to disk and
+// all data is discarded on Close (the paper's in-memory mode).
+func OpenInMemory(cfg ...Config) (*Database, error) {
+	c := DefaultConfig()
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	st := storage.NewMemory()
+	db := &Database{cfg: c, store: st}
+	db.mgr = txn.NewManager(st, nil)
+	return db, nil
+}
+
+// Connect creates a new connection. Connections are the paper's "dummy
+// clients": they hold a query context, provide transaction isolation from
+// one another, and can be used concurrently for inter-query parallelism.
+func (db *Database) Connect() *Conn {
+	return &Conn{db: db}
+}
+
+// Checkpoint persists all data and truncates the WAL.
+func (db *Database) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.mgr.Checkpoint()
+}
+
+// InMemory reports whether this database discards its data on Close.
+func (db *Database) InMemory() bool { return db.store.InMemory() }
+
+// Tables returns the names of all tables.
+func (db *Database) Tables() []string { return db.store.TableNames() }
+
+// Close checkpoints (persistent databases) and releases all resources.
+// Zero-copy result columns obtained from this database must not be used
+// afterwards.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	if !db.store.InMemory() {
+		if err := db.mgr.Checkpoint(); err != nil {
+			first = err
+		}
+	}
+	if db.log != nil {
+		if err := db.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := db.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (db *Database) isClosed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.closed
+}

@@ -1,0 +1,119 @@
+package driver
+
+import (
+	"database/sql"
+	"testing"
+)
+
+func TestDatabaseSQLRoundTrip(t *testing.T) {
+	db, err := sql.Open("monetlite", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INTEGER, b VARCHAR, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`INSERT INTO t VALUES (1,'x',1.5), (2,'y',2.5), (3,NULL,NULL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 3 {
+		t.Fatalf("rows affected: %d", n)
+	}
+	rows, err := db.Query(`SELECT a, b, f FROM t WHERE a >= ? ORDER BY a`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, _ := rows.Columns()
+	if len(cols) != 3 || cols[1] != "b" {
+		t.Fatalf("columns: %v", cols)
+	}
+	var got []string
+	for rows.Next() {
+		var a int64
+		var b sql.NullString
+		var f sql.NullFloat64
+		if err := rows.Scan(&a, &b, &f); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b.String)
+		if a == 3 && (b.Valid || f.Valid) {
+			t.Fatal("NULLs should scan as invalid")
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "y" {
+		t.Fatalf("rows: %v", got)
+	}
+}
+
+func TestDriverTransactions(t *testing.T) {
+	db, err := sql.Open("monetlite", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// database/sql pools connections; cap at one so Begin/Exec share state.
+	db.SetMaxOpenConns(1)
+	if _, err := db.Exec(`CREATE TABLE t (a INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow(`SELECT count(*) FROM t`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("rollback leaked: %d", n)
+	}
+	tx, _ = db.Begin()
+	tx.Exec(`INSERT INTO t VALUES (2)`)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.QueryRow(`SELECT count(*) FROM t`).Scan(&n)
+	if n != 1 {
+		t.Fatalf("commit lost: %d", n)
+	}
+}
+
+func TestSharedDSN(t *testing.T) {
+	dir := t.TempDir()
+	db1, err := sql.Open("monetlite", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db1.Exec(`CREATE TABLE s (a INTEGER); INSERT INTO s VALUES (7)`); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sql.Open("monetlite", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a int64
+	if err := db2.QueryRow(`SELECT a FROM s`).Scan(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a != 7 {
+		t.Fatalf("shared dsn: %d", a)
+	}
+	db2.Close()
+	// db1 still usable after db2 closes (refcounted handle).
+	if err := db1.QueryRow(`SELECT a FROM s`).Scan(&a); err != nil {
+		t.Fatal(err)
+	}
+	db1.Close()
+}

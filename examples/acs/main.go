@@ -1,0 +1,89 @@
+// ACS survey-analysis example: the paper's §4.3 workflow. The 274-column
+// census extract is stored persistently in the embedded database; filtering
+// and grouping run as SQL; the survey statistics (weighted estimates with
+// replicate-weight standard errors, like the R survey package) run host-side
+// on exported columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"monetlite"
+	"monetlite/internal/acs"
+)
+
+func main() {
+	persons := flag.Int("n", 50000, "person records to generate")
+	flag.Parse()
+
+	data := acs.Generate(*persons, 7)
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	if _, err := conn.Exec(data.DDL()); err != nil {
+		log.Fatal(err)
+	}
+	if err := conn.Append("acs_persons", data.Cols...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d persons x %d columns\n\n", data.Rows, len(data.Cols))
+
+	// Represented population per state: pure SQL.
+	res, err := conn.Query(`
+		SELECT st, sum(pwgtp) AS population, count(*) AS sample
+		FROM acs_persons GROUP BY st ORDER BY population DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("state  population  sample")
+	for i := 0; i < res.NumRows(); i++ {
+		r := res.RowStrings(i)
+		fmt.Printf("%5s  %10s  %6s\n", r[0], r[1], r[2])
+	}
+
+	// Adults in California: filter in SQL, estimate host-side with
+	// replicate-weight standard errors.
+	q := `SELECT pwgtp, pwgtp1, pwgtp2, pwgtp3, pwgtp4, agep, pincp, hicov
+	      FROM acs_persons WHERE st = 6 AND agep >= 18`
+	res, err = conn.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := res.Column(0).Ints32()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps := make([][]int32, 4)
+	for r := 0; r < 4; r++ {
+		reps[r], err = res.Column(1 + r).Ints32()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	age := res.Column(5).AsFloats()
+	income := res.Column(6).AsFloats()
+	hicov, err := res.Column(7).Ints32()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := acs.WeightedTotal(w, reps)
+	meanAge := acs.WeightedMean(age, w, reps)
+	medianInc := acs.WeightedQuantile(income, w, reps, 0.5)
+	mask := make([]bool, len(hicov))
+	for i, h := range hicov {
+		mask[i] = h == 1
+	}
+	covered := acs.WeightedRatio(mask, w, reps)
+
+	fmt.Println("\nCalifornia adults (survey estimates ± SE):")
+	fmt.Printf("  population     %12.0f ± %.0f\n", total.Value, total.SE)
+	fmt.Printf("  mean age       %12.2f ± %.2f\n", meanAge.Value, meanAge.SE)
+	fmt.Printf("  median income  %12.0f ± %.0f\n", medianInc.Value, medianInc.SE)
+	fmt.Printf("  insured share  %12.3f ± %.3f\n", covered.Value, covered.SE)
+}

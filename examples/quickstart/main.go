@@ -1,0 +1,91 @@
+// Quickstart: the embedded-database workflow of the paper's introduction.
+// No server, no configuration — open a directory, issue SQL, get columnar
+// results back at zero copy cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"monetlite"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "monetlite-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// monetdb_startup: open (or create) a persistent database.
+	db, err := monetlite.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// monetdb_connect: connections are cheap query contexts.
+	conn := db.Connect()
+
+	if _, err := conn.Exec(`
+		CREATE TABLE weather (
+			city     VARCHAR(32),
+			day      DATE,
+			temp_max DOUBLE,
+			rain_mm  DECIMAL(6,2));
+		INSERT INTO weather VALUES
+			('Amsterdam', DATE '2016-06-01', 18.5, 0.30),
+			('Amsterdam', DATE '2016-06-02', 21.0, 0.00),
+			('Turin',     DATE '2016-06-01', 27.5, 0.00),
+			('Turin',     DATE '2016-06-02', 29.0, 1.20)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Standard analytical SQL.
+	res, err := conn.Query(`
+		SELECT city, avg(temp_max) AS avg_max, sum(rain_mm) AS total_rain
+		FROM weather GROUP BY city ORDER BY avg_max DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		fmt.Println(res.RowStrings(i))
+	}
+
+	// Bulk ingestion without SQL parsing (monetdb_append).
+	if err := conn.Append("weather",
+		[]string{"Lingotto"},
+		[]string{"2016-06-03"},
+		[]float64{31.0},
+		[]float64{0},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Zero-copy access: the float64 slice aliases engine memory.
+	res, err = conn.Query(`SELECT temp_max FROM weather WHERE city = 'Turin'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temps, err := res.Column(0).Floats64()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Turin maxima (zero-copy):", temps)
+
+	// The database persists across Close/Open.
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	db2, err := monetlite.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	res, err = db2.Connect().Query(`SELECT count(*) FROM weather`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows after reopen:", res.RowStrings(0)[0])
+}

@@ -1,0 +1,80 @@
+// Zero-copy and lazy conversion: the §3.3 result-transfer machinery made
+// visible. Numeric result columns alias engine memory (O(1) fetch regardless
+// of size); converted forms materialize lazily on first access; Materialize
+// gives a private writable copy (copy-on-write at the API boundary).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"monetlite"
+)
+
+func main() {
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+
+	if _, err := conn.Exec(`CREATE TABLE big (i INTEGER, price DECIMAL(15,2))`); err != nil {
+		log.Fatal(err)
+	}
+	const n = 2_000_000
+	ints := make([]int32, n)
+	prices := make([]float64, n)
+	for i := range ints {
+		ints[i] = int32(i)
+		prices[i] = float64(i%100000) / 100
+	}
+	if err := conn.Append("big", ints, prices); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := conn.Query(`SELECT i, price FROM big`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Zero-copy: fetching the raw int column costs O(1) — it is the
+	//    engine's array, not a copy.
+	start := time.Now()
+	raw, err := res.Column(0).Ints32()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zero-copy fetch of %d ints:   %10s (slice aliases engine memory)\n",
+		len(raw), time.Since(start).Round(time.Nanosecond))
+
+	// 2. Lazy conversion: the decimal column converts to float64 on FIRST
+	//    access and is cached afterwards.
+	start = time.Now()
+	floats := res.Column(1).AsFloats()
+	first := time.Since(start)
+	start = time.Now()
+	_ = res.Column(1).AsFloats()
+	second := time.Since(start)
+	fmt.Printf("lazy decimal->float convert:  %10s first touch, %s cached\n",
+		first.Round(time.Microsecond), second.Round(time.Nanosecond))
+	fmt.Printf("  price[123456] = %.2f\n", floats[123456])
+
+	// 3. Copy-on-write discipline: the zero-copy view is read-only by
+	//    contract; Materialize returns a private copy you may mutate.
+	private := res.Column(0).Materialize()
+	mine, _ := private.Ints32()
+	mine[0] = -1
+	fmt.Printf("after mutating the copy: private[0]=%d, shared[0]=%d\n", mine[0], raw[0])
+
+	// 4. SELECT * then touch one column — the pattern lazy conversion wins
+	//    on (the paper: users often SELECT * and read a few columns).
+	res2, err := conn.Query(`SELECT * FROM big`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	_ = res2.Column(0).AsInts() // only this column pays conversion
+	fmt.Printf("SELECT * + touch 1 of 2 cols: %10s\n", time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,122 @@
+package acs
+
+import (
+	"math"
+	"testing"
+
+	"monetlite"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(500, 1)
+	if len(d.Names) != TotalColumns || len(d.Cols) != TotalColumns {
+		t.Fatalf("columns: %d", len(d.Names))
+	}
+	if d.Rows != 500 {
+		t.Fatalf("rows: %d", d.Rows)
+	}
+	// Deterministic.
+	d2 := Generate(500, 1)
+	if d2.Cols[4].([]int32)[100] != d.Cols[4].([]int32)[100] {
+		t.Fatal("not deterministic")
+	}
+	// Replicate weights present.
+	found := 0
+	for _, n := range d.Names {
+		if len(n) > 5 && n[:5] == "pwgtp" && n != "pwgtp" {
+			found++
+		}
+	}
+	if found != Replicates {
+		t.Fatalf("replicate weights: %d", found)
+	}
+	// All states drawn from the subset.
+	for _, s := range d.Cols[1].([]int32) {
+		ok := false
+		for _, want := range States {
+			if s == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("unexpected state %d", s)
+		}
+	}
+}
+
+func TestDDLLoadsIntoEngine(t *testing.T) {
+	d := Generate(200, 2)
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	if _, err := conn.Exec(d.DDL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Append("acs_persons", d.Cols...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query(`SELECT st, sum(pwgtp) FROM acs_persons GROUP BY st ORDER BY st`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 || res.NumRows() > len(States) {
+		t.Fatalf("state groups: %d", res.NumRows())
+	}
+}
+
+func TestWeightedTotal(t *testing.T) {
+	w := []int32{10, 20, 30}
+	reps := [][]int32{{12, 20, 30}, {8, 20, 30}}
+	est := WeightedTotal(w, reps)
+	if est.Value != 60 {
+		t.Fatalf("total: %f", est.Value)
+	}
+	if est.SE <= 0 {
+		t.Fatal("SE should be positive with jittered replicates")
+	}
+	// Identical replicates -> zero SE.
+	est = WeightedTotal(w, [][]int32{{10, 20, 30}, {10, 20, 30}})
+	if est.SE != 0 {
+		t.Fatalf("SE: %f", est.SE)
+	}
+}
+
+func TestWeightedMeanRatioQuantile(t *testing.T) {
+	v := []float64{10, 20, 30, 40}
+	w := []int32{1, 1, 1, 1}
+	reps := [][]int32{{1, 1, 1, 1}, {2, 1, 1, 0}}
+	m := WeightedMean(v, w, reps)
+	if m.Value != 25 {
+		t.Fatalf("mean: %f", m.Value)
+	}
+	// Weighted mean shifts with weights.
+	m2 := WeightedMean(v, []int32{3, 1, 1, 1}, reps)
+	if m2.Value >= 25 {
+		t.Fatalf("weighting had no effect: %f", m2.Value)
+	}
+	mask := []bool{true, true, false, false}
+	r := WeightedRatio(mask, w, reps)
+	if r.Value != 0.5 {
+		t.Fatalf("ratio: %f", r.Value)
+	}
+	q := WeightedQuantile(v, w, reps, 0.5)
+	if q.Value != 20 && q.Value != 30 {
+		t.Fatalf("median: %f", q.Value)
+	}
+	// Quantile of skewed weights moves.
+	q2 := WeightedQuantile(v, []int32{100, 1, 1, 1}, reps, 0.5)
+	if q2.Value != 10 {
+		t.Fatalf("weighted median: %f", q2.Value)
+	}
+}
+
+func TestReplicateSEFormula(t *testing.T) {
+	// Known case: theta=10, replicates {11, 9} -> 4/2 * (1+1) = 4 -> SE 2.
+	se := replicateSE(10, []float64{11, 9})
+	if math.Abs(se-2) > 1e-12 {
+		t.Fatalf("se: %f", se)
+	}
+}

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+
+	"monetlite"
+	"monetlite/internal/acs"
+	"monetlite/internal/client"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/rowstore"
+	"monetlite/internal/server"
+)
+
+// Figure7 measures loading the 274-column ACS person table into each system,
+// including the host-side preprocessing the survey script performs before
+// every load (type recodes; identical across systems, as in the paper —
+// which is why the gaps are smaller than Figure 5's).
+func Figure7(cfg Config) (*Report, error) {
+	d := acs.Generate(cfg.ACSPersons, cfg.Seed)
+	rep := &Report{
+		Title:   fmt.Sprintf("Figure 7 — ACS load (%d persons x %d cols), seconds incl. host preprocessing", d.Rows, len(d.Cols)),
+		Headers: []string{"wall s"},
+	}
+
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedColumnar, Cells: []Cell{timeOnce(func() error {
+		cols := preprocessACS(d)
+		db, err := monetlite.OpenInMemory()
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		conn := db.Connect()
+		if _, err := conn.Exec(d.DDL()); err != nil {
+			return err
+		}
+		return conn.Append("acs_persons", cols...)
+	})}})
+
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedRow, Cells: []Cell{timeOnce(func() error {
+		cols := preprocessACS(d)
+		db, err := rowstore.Open("")
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if _, err := db.Exec(d.DDL()); err != nil {
+			return err
+		}
+		row := make([]mtypes.Value, len(cols))
+		for r := 0; r < d.Rows; r++ {
+			for ci, col := range cols {
+				row[ci] = hostValue(col, r)
+			}
+			if err := db.InsertRow("acs_persons", row); err != nil {
+				return err
+			}
+		}
+		return db.Sync()
+	})}})
+
+	for _, columnar := range []bool{true, false} {
+		name := SysSocketColumnar
+		if !columnar {
+			name = SysSocketRow
+		}
+		columnar := columnar
+		rep.Rows = append(rep.Rows, Row{System: name, Cells: []Cell{timeOnce(func() error {
+			cols := preprocessACS(d)
+			srv, cleanup, err := startServer(columnar)
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			cl, err := client.Dial(srv.Addr())
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			if _, err := cl.Exec(flatten(d.DDL())); err != nil {
+				return err
+			}
+			return cl.WriteTable("acs_persons", cfg.SocketBatch, cols...)
+		})}})
+	}
+	return rep, nil
+}
+
+// preprocessACS models the survey script's host-side wrangling phase: it
+// touches every column (recoding flags, clamping numerics) before the load.
+func preprocessACS(d *acs.Data) []any {
+	out := make([]any, len(d.Cols))
+	for i, col := range d.Cols {
+		switch x := col.(type) {
+		case []int32:
+			c := make([]int32, len(x))
+			for k, v := range x {
+				if v < 0 {
+					v = 0
+				}
+				c[k] = v
+			}
+			out[i] = c
+		case []int64:
+			c := make([]int64, len(x))
+			copy(c, x)
+			out[i] = c
+		case []float64:
+			c := make([]float64, len(x))
+			for k, v := range x {
+				if v < 0 {
+					v = 0
+				}
+				c[k] = v
+			}
+			out[i] = c
+		case []string:
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// Figure8 measures the ACS statistical analysis: grouping/filtering runs in
+// the database, the survey estimates (weighted means/totals/ratios with
+// replicate-weight standard errors) run host-side on exported columns. The
+// host-side share dominates, so engines differ by less than 2x (paper §4.3).
+func Figure8(cfg Config) (*Report, error) {
+	d := acs.Generate(cfg.ACSPersons, cfg.Seed)
+	rep := &Report{
+		Title:   fmt.Sprintf("Figure 8 — ACS statistics (%d persons), seconds", d.Rows),
+		Headers: []string{"wall s"},
+	}
+
+	// Embedded columnar.
+	embDB, err := monetlite.OpenInMemory()
+	if err != nil {
+		return nil, err
+	}
+	defer embDB.Close()
+	embConn := embDB.Connect()
+	if _, err := embConn.Exec(d.DDL()); err != nil {
+		return nil, err
+	}
+	if err := embConn.Append("acs_persons", d.Cols...); err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedColumnar, Cells: []Cell{timeIt(cfg.Runs, func() error {
+		return acsAnalysisColumnar(embConn)
+	})}})
+
+	// Embedded row store.
+	rowDB, err := rowstore.Open("")
+	if err != nil {
+		return nil, err
+	}
+	defer rowDB.Close()
+	if _, err := rowDB.Exec(d.DDL()); err != nil {
+		return nil, err
+	}
+	row := make([]mtypes.Value, len(d.Cols))
+	for r := 0; r < d.Rows; r++ {
+		for ci, col := range d.Cols {
+			row[ci] = hostValue(col, r)
+		}
+		if err := rowDB.InsertRow("acs_persons", row); err != nil {
+			return nil, err
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedRow, Cells: []Cell{timeIt(cfg.Runs, func() error {
+		return acsAnalysisRowstore(rowDB)
+	})}})
+
+	// Socket columnar (binary protocol).
+	srv, err := server.Serve("127.0.0.1:0", server.NewColumnarBackend(embDB))
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	rep.Rows = append(rep.Rows, Row{System: SysSocketColumnar, Cells: []Cell{timeIt(cfg.Runs, func() error {
+		return acsAnalysisSocket(cl)
+	})}})
+	return rep, nil
+}
+
+// acsQuery is the analysis export: weights, replicate weights and analysis
+// variables for one state's adult population.
+const acsQuery = `SELECT pwgtp, pwgtp1, pwgtp2, pwgtp3, pwgtp4, pwgtp5, pwgtp6, pwgtp7, pwgtp8,
+	agep, pincp, hicov
+	FROM acs_persons WHERE st = 6 AND agep >= 18`
+
+func acsStatsFromCols(w []int32, reps [][]int32, age, income []float64, hicov []int32) error {
+	_ = acs.WeightedTotal(w, reps)
+	_ = acs.WeightedMean(age, w, reps)
+	_ = acs.WeightedMean(income, w, reps)
+	mask := make([]bool, len(hicov))
+	for i, h := range hicov {
+		mask[i] = h == 1
+	}
+	_ = acs.WeightedRatio(mask, w, reps)
+	_ = acs.WeightedQuantile(income, w, reps, 0.5)
+	return nil
+}
+
+func acsAnalysisColumnar(conn *monetlite.Conn) error {
+	res, err := conn.Query(acsQuery)
+	if err != nil {
+		return err
+	}
+	w, err := res.Column(0).Ints32()
+	if err != nil {
+		return err
+	}
+	reps := make([][]int32, 8)
+	for r := 0; r < 8; r++ {
+		reps[r], err = res.Column(1 + r).Ints32()
+		if err != nil {
+			return err
+		}
+	}
+	age := res.Column(9).AsFloats()
+	income := res.Column(10).AsFloats()
+	hicov, err := res.Column(11).Ints32()
+	if err != nil {
+		return err
+	}
+	return acsStatsFromCols(w, reps, age, income, hicov)
+}
+
+func acsAnalysisRowstore(db *rowstore.DB) error {
+	res, err := db.Query(acsQuery)
+	if err != nil {
+		return err
+	}
+	n := len(res.Rows)
+	w := make([]int32, n)
+	reps := make([][]int32, 8)
+	for r := range reps {
+		reps[r] = make([]int32, n)
+	}
+	age := make([]float64, n)
+	income := make([]float64, n)
+	hicov := make([]int32, n)
+	for i, row := range res.Rows {
+		w[i] = int32(row[0].I)
+		for r := 0; r < 8; r++ {
+			reps[r][i] = int32(row[1+r].I)
+		}
+		age[i] = row[9].AsFloat()
+		income[i] = row[10].AsFloat()
+		hicov[i] = int32(row[11].I)
+	}
+	return acsStatsFromCols(w, reps, age, income, hicov)
+}
+
+func acsAnalysisSocket(cl *client.Client) error {
+	_, cols, err := cl.QueryBinary(acsQuery)
+	if err != nil {
+		return err
+	}
+	w := cols[0].I32
+	reps := make([][]int32, 8)
+	for r := 0; r < 8; r++ {
+		reps[r] = cols[1+r].I32
+	}
+	age := make([]float64, len(w))
+	for i, a := range cols[9].I32 {
+		age[i] = float64(a)
+	}
+	income := cols[10].F64
+	hicov := cols[11].I32
+	return acsStatsFromCols(w, reps, age, income, hicov)
+}

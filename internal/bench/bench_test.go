@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyConfig() Config {
+	return Config{
+		SF:          0.001,
+		ACSPersons:  500,
+		Runs:        1,
+		Timeout:     30 * time.Second,
+		Seed:        42,
+		SocketBatch: 100,
+	}
+}
+
+func checkReport(t *testing.T, rep *Report, wantRows int) {
+	t.Helper()
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d\n%s", rep.Title, len(rep.Rows), wantRows, rep)
+	}
+	for _, row := range rep.Rows {
+		for i, c := range row.Cells {
+			if c.Err != nil && !c.TimedOut && !c.OOM {
+				t.Fatalf("%s / %s cell %d: %v", rep.Title, row.System, i, c.Err)
+			}
+		}
+	}
+	if !strings.Contains(rep.String(), rep.Rows[0].System) {
+		t.Fatal("report rendering broken")
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	rep, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 4)
+	t.Logf("\n%s", rep)
+	// Shape: embedded columnar must beat the socket row store.
+	emb := rep.Rows[0].Cells[0].Seconds
+	sock := rep.Rows[3].Cells[0].Seconds
+	if emb <= 0 || sock <= 0 {
+		t.Fatal("timings missing")
+	}
+	if emb > sock {
+		t.Errorf("shape violation: embedded ingest (%f) slower than socket (%f)", emb, sock)
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	rep, err := Figure6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 4)
+	t.Logf("\n%s", rep)
+	emb := rep.Rows[0].Cells[0].Seconds
+	sockText := rep.Rows[3].Cells[0].Seconds
+	if emb > sockText {
+		t.Errorf("shape violation: embedded export (%f) slower than text socket (%f)", emb, sockText)
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rep, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 5)
+	t.Logf("\n%s", rep)
+	// Shape: embedded columnar total <= embedded rowstore total.
+	colTotal := rep.Rows[0].Cells[10].Seconds
+	rowTotal := rep.Rows[2].Cells[10].Seconds
+	if !rep.Rows[2].Cells[10].TimedOut && colTotal > rowTotal {
+		t.Errorf("shape violation: columnar total %f > rowstore total %f", colTotal, rowTotal)
+	}
+}
+
+func TestTable1FrameOOM(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.FrameBudget = 4096 // far below the data size: every query is E
+	rep, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameRow := rep.Rows[len(rep.Rows)-1]
+	if frameRow.System != SysFrame {
+		t.Fatalf("last row should be the frame library: %s", frameRow.System)
+	}
+	for _, c := range frameRow.Cells {
+		if !c.OOM {
+			t.Fatalf("expected E cells under tiny budget, got %s", c)
+		}
+	}
+}
+
+func TestFigure7And8Smoke(t *testing.T) {
+	cfg := tinyConfig()
+	rep7, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep7, 4)
+	t.Logf("\n%s", rep7)
+
+	rep8, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep8, 3)
+	t.Logf("\n%s", rep8)
+}
+
+func TestFigure2Smoke(t *testing.T) {
+	rep, err := Figure2(tinyConfig(), 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 2)
+	t.Logf("\n%s", rep)
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	for name, fn := range map[string]func() (*Report, error){
+		"transfer": func() (*Report, error) { return AblationResultTransfer(cfg) },
+		"dedup":    func() (*Report, error) { return AblationStringDedup(cfg) },
+		"indexes":  func() (*Report, error) { return AblationIndexes(cfg) },
+		"append":   func() (*Report, error) { return AblationAppendVsInsert(cfg) },
+	} {
+		rep, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Rows) < 2 {
+			t.Fatalf("%s: too few rows", name)
+		}
+		t.Logf("\n%s", rep)
+	}
+	// Dedup ablation shape: dedup heap must be smaller than non-dedup heap.
+	rep, _ := AblationStringDedup(cfg)
+	if rep.Rows[0].Cells[1].Seconds >= rep.Rows[1].Cells[1].Seconds {
+		t.Errorf("dedup heap not smaller: %s vs %s", rep.Rows[0].Cells[1], rep.Rows[1].Cells[1])
+	}
+}

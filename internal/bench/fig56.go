@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"monetlite"
+	"monetlite/internal/client"
+	"monetlite/internal/exec"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/rowstore"
+	"monetlite/internal/server"
+	"monetlite/internal/tpch"
+)
+
+func isEngineTimeout(err error) bool { return errors.Is(err, exec.ErrTimeout) }
+
+// System labels (paper system -> monetlite substrate).
+const (
+	SysEmbeddedColumnar = "monetlite embedded (MonetDBLite)"
+	SysEmbeddedRow      = "rowstore embedded (SQLite)"
+	SysSocketColumnar   = "columnar over socket (MonetDB)"
+	SysSocketRow        = "rowstore over socket (PostgreSQL/MariaDB)"
+	SysFrame            = "frame library (data.table/dplyr/Pandas/Julia)"
+)
+
+// Figure5 measures writing the lineitem table from the host language into
+// each system (dbWriteTable): the embedded paths use native bulk appends or
+// row inserts; the socket paths issue INSERT statements over the wire.
+func Figure5(cfg Config) (*Report, error) {
+	d := dataset(cfg)
+	li := d.Lineitem
+	rep := &Report{
+		Title:   fmt.Sprintf("Figure 5 — ingest lineitem (SF %g, %d rows), seconds", cfg.SF, li.Rows),
+		Headers: []string{"wall s"},
+	}
+
+	// Embedded columnar: monetdb_append.
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedColumnar, Cells: []Cell{timeOnce(func() error {
+		db, err := monetlite.OpenInMemory()
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		conn := db.Connect()
+		if _, err := conn.Exec(li.DDL); err != nil {
+			return err
+		}
+		return conn.Append(li.Name, li.Cols...)
+	})}})
+
+	// Embedded row store: prepared-statement row inserts.
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedRow, Cells: []Cell{timeOnce(func() error {
+		db, err := rowstore.Open("")
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if _, err := db.Exec(li.DDL); err != nil {
+			return err
+		}
+		row := make([]mtypes.Value, len(li.Cols))
+		for r := 0; r < li.Rows; r++ {
+			for ci, col := range li.Cols {
+				row[ci] = hostValue(col, r)
+			}
+			if err := db.InsertRow(li.Name, row); err != nil {
+				return err
+			}
+		}
+		return db.Sync()
+	})}})
+
+	// Socket paths: INSERT statements over TCP (batched pipeline).
+	for _, sys := range []string{SysSocketColumnar, SysSocketRow} {
+		sys := sys
+		rep.Rows = append(rep.Rows, Row{System: sys, Cells: []Cell{timeOnce(func() error {
+			srv, cleanup, err := startServer(sys == SysSocketColumnar)
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			cl, err := client.Dial(srv.Addr())
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			if _, err := cl.Exec(flatten(li.DDL)); err != nil {
+				return err
+			}
+			return cl.WriteTable(li.Name, cfg.SocketBatch, li.Cols...)
+		})}})
+	}
+	return rep, nil
+}
+
+// Figure6 measures reading the lineitem table back into host arrays
+// (dbReadTable): zero-copy columnar fetch for the embedded engine, row
+// decoding + transpose for the row store, and the two socket protocols.
+func Figure6(cfg Config) (*Report, error) {
+	d := dataset(cfg)
+	li := d.Lineitem
+	rep := &Report{
+		Title:   fmt.Sprintf("Figure 6 — export lineitem to host (SF %g, %d rows), seconds", cfg.SF, li.Rows),
+		Headers: []string{"wall s"},
+	}
+
+	// Preload all four systems.
+	embDB, err := monetlite.OpenInMemory()
+	if err != nil {
+		return nil, err
+	}
+	defer embDB.Close()
+	if err := tpch.LoadInto(embDB, onlyLineitem(d)); err != nil {
+		return nil, err
+	}
+	embConn := embDB.Connect()
+
+	rowDB, err := rowstore.Open("")
+	if err != nil {
+		return nil, err
+	}
+	defer rowDB.Close()
+	if err := loadRowstore(rowDB, li); err != nil {
+		return nil, err
+	}
+
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedColumnar, Cells: []Cell{timeIt(cfg.Runs, func() error {
+		res, err := embConn.Query("SELECT * FROM lineitem")
+		if err != nil {
+			return err
+		}
+		// Touch every column the way a host tool would: numeric columns via
+		// the zero-copy accessors, strings via the shared-slice accessor.
+		for i := 0; i < res.NumCols(); i++ {
+			col := res.Column(i)
+			if strings.HasPrefix(col.Type(), "VARCHAR") {
+				if _, err := col.Strings(); err != nil {
+					return err
+				}
+			} else {
+				col.AsFloats()
+			}
+		}
+		return nil
+	})}})
+
+	rep.Rows = append(rep.Rows, Row{System: SysEmbeddedRow, Cells: []Cell{timeIt(cfg.Runs, func() error {
+		res, err := rowDB.Query("SELECT * FROM lineitem")
+		if err != nil {
+			return err
+		}
+		// Row-major to column-major conversion — SQLite's Figure 6 tax.
+		ncols := len(res.Cols)
+		out := make([][]float64, ncols)
+		strs := make([][]string, ncols)
+		for c := 0; c < ncols; c++ {
+			out[c] = make([]float64, 0, len(res.Rows))
+			strs[c] = make([]string, 0, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			for c, v := range row {
+				if v.Typ.Kind == mtypes.KVarchar {
+					strs[c] = append(strs[c], v.S)
+				} else {
+					out[c] = append(out[c], v.AsFloat())
+				}
+			}
+		}
+		return nil
+	})}})
+
+	for _, sysCase := range []struct {
+		name     string
+		columnar bool
+	}{{SysSocketColumnar, true}, {SysSocketRow, false}} {
+		srv, cleanup, err := startServerWith(sysCase.columnar, li)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := client.Dial(srv.Addr())
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		name := sysCase.name
+		columnar := sysCase.columnar
+		rep.Rows = append(rep.Rows, Row{System: name, Cells: []Cell{timeIt(cfg.Runs, func() error {
+			if columnar {
+				_, _, err := cl.ReadTableBinary("lineitem")
+				return err
+			}
+			_, _, err := cl.ReadTable("lineitem")
+			return err
+		})}})
+		cl.Close()
+		cleanup()
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+func onlyLineitem(d *tpch.Data) *tpch.Data {
+	// LoadInto walks Tables(); build a dataset containing just lineitem by
+	// reusing the small dimension tables (cheap) — but for Figure 5/6 only
+	// lineitem matters, so loading everything small is fine at bench scale.
+	return d
+}
+
+func loadRowstore(db *rowstore.DB, t *tpch.Table) error {
+	if _, err := db.Exec(t.DDL); err != nil {
+		return err
+	}
+	row := make([]mtypes.Value, len(t.Cols))
+	for r := 0; r < t.Rows; r++ {
+		for ci, col := range t.Cols {
+			row[ci] = hostValue(col, r)
+		}
+		if err := db.InsertRow(t.Name, row); err != nil {
+			return err
+		}
+	}
+	return db.Sync()
+}
+
+// hostValue boxes one host-slice cell as an engine value.
+func hostValue(col any, r int) mtypes.Value {
+	switch x := col.(type) {
+	case []int32:
+		return mtypes.NewInt(mtypes.Int, int64(x[r]))
+	case []int64:
+		return mtypes.NewInt(mtypes.BigInt, x[r])
+	case []float64:
+		return mtypes.NewDouble(x[r])
+	case []string:
+		return mtypes.NewString(x[r])
+	}
+	return mtypes.Value{}
+}
+
+func startServer(columnar bool) (*server.Server, func(), error) {
+	if columnar {
+		db, err := monetlite.OpenInMemory()
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.Serve("127.0.0.1:0", server.NewColumnarBackend(db))
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		return srv, func() { srv.Close(); db.Close() }, nil
+	}
+	db, err := rowstore.Open("")
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.Serve("127.0.0.1:0", server.NewRowstoreBackend(db))
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return srv, func() { srv.Close(); db.Close() }, nil
+}
+
+// startServerWith starts a server preloaded with one table.
+func startServerWith(columnar bool, t *tpch.Table) (*server.Server, func(), error) {
+	if columnar {
+		db, err := monetlite.OpenInMemory()
+		if err != nil {
+			return nil, nil, err
+		}
+		conn := db.Connect()
+		if _, err := conn.Exec(t.DDL); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		if err := conn.Append(t.Name, t.Cols...); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		srv, err := server.Serve("127.0.0.1:0", server.NewColumnarBackend(db))
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		return srv, func() { srv.Close(); db.Close() }, nil
+	}
+	db, err := rowstore.Open("")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := loadRowstore(db, t); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	srv, err := server.Serve("127.0.0.1:0", server.NewRowstoreBackend(db))
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return srv, func() { srv.Close(); db.Close() }, nil
+}
+
+func flatten(sql string) string {
+	out := make([]byte, 0, len(sql))
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if c == '\n' || c == '\t' {
+			c = ' '
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"monetlite"
+	"monetlite/internal/client"
+	"monetlite/internal/rowstore"
+	"monetlite/internal/server"
+	"monetlite/internal/tpch"
+)
+
+// Table1 runs TPC-H Q1–Q10 hot on every system, reporting per-query medians
+// plus the total — the paper's Table 1. Timeouts render as "T"; dataframe
+// out-of-memory (when cfg.FrameBudget is set, the SF10 block) renders as "E".
+func Table1(cfg Config) (*Report, error) {
+	d := dataset(cfg)
+	headers := make([]string, 0, 11)
+	for _, q := range tpch.QueryNumbers {
+		headers = append(headers, fmt.Sprintf("Q%d", q))
+	}
+	headers = append(headers, "Total")
+	rep := &Report{
+		Title:   fmt.Sprintf("Table 1 — TPC-H Q1-Q10 (SF %g), seconds; T=timeout E=out-of-memory", cfg.SF),
+		Headers: headers,
+	}
+
+	// Embedded columnar engine.
+	embDB, err := monetlite.OpenInMemory(monetlite.Config{Parallel: true, QueryTimeout: cfg.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	defer embDB.Close()
+	if err := tpch.LoadInto(embDB, d); err != nil {
+		return nil, err
+	}
+	embConn := embDB.Connect()
+	rep.Rows = append(rep.Rows, runQueries(SysEmbeddedColumnar, cfg, func(q int) error {
+		_, err := embConn.Query(tpch.Queries[q])
+		return err
+	}))
+
+	// Columnar engine behind a socket (results still cross the wire).
+	colSrv, err := server.Serve("127.0.0.1:0", server.NewColumnarBackend(embDB))
+	if err != nil {
+		return nil, err
+	}
+	defer colSrv.Close()
+	colCl, err := client.Dial(colSrv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer colCl.Close()
+	rep.Rows = append(rep.Rows, runQueries(SysSocketColumnar, cfg, func(q int) error {
+		_, _, err := colCl.QueryBinary(tpch.Queries[q])
+		return err
+	}))
+
+	// Embedded row store (SQLite): volcano, tuple at a time.
+	rowDB, err := rowstore.Open("")
+	if err != nil {
+		return nil, err
+	}
+	defer rowDB.Close()
+	for _, t := range d.Tables() {
+		if err := loadRowstore(rowDB, t); err != nil {
+			return nil, err
+		}
+	}
+	rowDB.Timeout = cfg.Timeout
+	rep.Rows = append(rep.Rows, runQueries(SysEmbeddedRow, cfg, func(q int) error {
+		_, err := rowDB.Query(tpch.Queries[q])
+		return err
+	}))
+
+	// Row store behind a socket, text protocol (PostgreSQL/MariaDB).
+	rowSrv, err := server.Serve("127.0.0.1:0", server.NewRowstoreBackend(rowDB))
+	if err != nil {
+		return nil, err
+	}
+	defer rowSrv.Close()
+	rowCl, err := client.Dial(rowSrv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer rowCl.Close()
+	rep.Rows = append(rep.Rows, runQueries(SysSocketRow, cfg, func(q int) error {
+		_, _, err := rowCl.QueryText(tpch.Queries[q])
+		return err
+	}))
+
+	// Dataframe library with hand-optimized plans (and optional memory
+	// budget reproducing the SF10 "E" entries).
+	fdb, ferr := tpch.NewFrameDB(d, cfg.FrameBudget)
+	if ferr != nil {
+		row := Row{System: SysFrame}
+		for range tpch.QueryNumbers {
+			row.Cells = append(row.Cells, classify(ferr))
+		}
+		row.Cells = append(row.Cells, classify(ferr))
+		rep.Rows = append(rep.Rows, row)
+		return rep, nil
+	}
+	rep.Rows = append(rep.Rows, runQueries(SysFrame, cfg, func(q int) error {
+		_, err := fdb.FrameQuery(q)
+		return err
+	}))
+	return rep, nil
+}
+
+func runQueries(system string, cfg Config, run func(q int) error) Row {
+	row := Row{System: system}
+	total := 0.0
+	bad := Cell{}
+	for _, q := range tpch.QueryNumbers {
+		q := q
+		cell := timeIt(cfg.Runs, func() error { return run(q) })
+		row.Cells = append(row.Cells, cell)
+		if cell.TimedOut || cell.OOM || cell.Err != nil {
+			bad = cell
+			continue
+		}
+		total += cell.Seconds
+	}
+	switch {
+	case bad.TimedOut:
+		row.Cells = append(row.Cells, Cell{Seconds: total, TimedOut: true})
+	case bad.OOM:
+		row.Cells = append(row.Cells, Cell{OOM: true})
+	default:
+		row.Cells = append(row.Cells, Cell{Seconds: total})
+	}
+	return row
+}
+
+// Figure2 reproduces the mitosis example (SELECT MEDIAN(SQRT(i*2)) FROM tbl):
+// the map pipeline parallelizes per chunk, the median is the blocking merge.
+// Reported with mitosis on vs off (on a single-core host the two are close;
+// the plan-shape tests assert the splitting itself).
+func Figure2(cfg Config, rows int) (*Report, error) {
+	rep := &Report{
+		Title:   fmt.Sprintf("Figure 2 — parallel execution of SELECT MEDIAN(SQRT(i*2)) over %d rows", rows),
+		Headers: []string{"wall s"},
+	}
+	for _, parallel := range []bool{true, false} {
+		db, err := monetlite.OpenInMemory(monetlite.Config{Parallel: parallel})
+		if err != nil {
+			return nil, err
+		}
+		conn := db.Connect()
+		if _, err := conn.Exec("CREATE TABLE tbl (i INTEGER)"); err != nil {
+			db.Close()
+			return nil, err
+		}
+		data := make([]int32, rows)
+		for i := range data {
+			data[i] = int32(i % 100000)
+		}
+		if err := conn.Append("tbl", data); err != nil {
+			db.Close()
+			return nil, err
+		}
+		label := "mitosis on"
+		if !parallel {
+			label = "mitosis off"
+		}
+		rep.Rows = append(rep.Rows, Row{System: label, Cells: []Cell{timeIt(cfg.Runs, func() error {
+			res, err := conn.Query("SELECT median(sqrt(i * 2)) FROM tbl")
+			if err != nil {
+				return err
+			}
+			if res.NumRows() != 1 {
+				return fmt.Errorf("bench: unexpected result")
+			}
+			return nil
+		})}})
+		db.Close()
+	}
+	return rep, nil
+}
+
+// WarmupTimeout is a guard used by callers to bound full-suite runtime.
+const WarmupTimeout = 5 * time.Minute

@@ -1,0 +1,164 @@
+// Package btree implements an in-memory B+tree keyed by int64 with opaque
+// byte-slice payloads. It is the storage engine of monetlite's SQLite-like
+// baseline (internal/rowstore): rows are stored row-major in the tree keyed
+// by rowid, exactly the layout whose scan behaviour the paper contrasts with
+// columnar storage.
+package btree
+
+import "sort"
+
+// order is the maximum number of keys per node.
+const order = 64
+
+type node struct {
+	keys     []int64
+	vals     [][]byte // leaf payloads
+	children []*node  // nil for leaves
+	next     *node    // leaf chain for range scans
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a B+tree. The zero value is an empty tree ready to use.
+type Tree struct {
+	root  *node
+	count int
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.count }
+
+// Get returns the payload stored under key.
+func (t *Tree) Get(key int64) ([]byte, bool) {
+	n := t.root
+	if n == nil {
+		return nil, false
+	}
+	for !n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the payload under key.
+func (t *Tree) Put(key int64, val []byte) {
+	if t.root == nil {
+		t.root = &node{keys: []int64{key}, vals: [][]byte{val}}
+		t.count = 1
+		return
+	}
+	midKey, right, replaced := t.insert(t.root, key, val)
+	if !replaced {
+		t.count++
+	}
+	if right != nil {
+		t.root = &node{keys: []int64{midKey}, children: []*node{t.root, right}}
+	}
+}
+
+// insert adds key to the subtree; on split it returns the separator key and
+// the new right sibling.
+func (t *Tree) insert(n *node, key int64, val []byte) (int64, *node, bool) {
+	if n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return 0, nil, true
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		if len(n.keys) <= order {
+			return 0, nil, false
+		}
+		mid := len(n.keys) / 2
+		right := &node{
+			keys: append([]int64{}, n.keys[mid:]...),
+			vals: append([][]byte{}, n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right, false
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	midKey, right, replaced := t.insert(n.children[i], key, val)
+	if right != nil {
+		n.keys = append(n.keys, 0)
+		n.children = append(n.children, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.children[i+2:], n.children[i+1:])
+		n.keys[i] = midKey
+		n.children[i+1] = right
+		if len(n.keys) > order {
+			mid := len(n.keys) / 2
+			sep := n.keys[mid]
+			r := &node{
+				keys:     append([]int64{}, n.keys[mid+1:]...),
+				children: append([]*node{}, n.children[mid+1:]...),
+			}
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+			return sep, r, replaced
+		}
+	}
+	return 0, nil, replaced
+}
+
+// Delete removes key; reports whether it existed. (Simple implementation:
+// leaves may underflow — acceptable for the analytical baseline whose
+// workload is append-mostly.)
+func (t *Tree) Delete(key int64) bool {
+	n := t.root
+	if n == nil {
+		return false
+	}
+	for !n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.count--
+	return true
+}
+
+// AscendFrom walks keys >= from in order until fn returns false.
+func (t *Tree) AscendFrom(from int64, fn func(key int64, val []byte) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for !n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return from < n.keys[i] })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= from })
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Ascend walks all keys in order.
+func (t *Tree) Ascend(fn func(key int64, val []byte) bool) {
+	t.AscendFrom(-1<<63, fn)
+}

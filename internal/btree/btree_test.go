@@ -1,0 +1,105 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := &Tree{}
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i*7%1000, []byte{byte(i)})
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	v, ok := tr.Get(7)
+	if !ok || v[0] != 1 {
+		t.Fatalf("get: %v %v", v, ok)
+	}
+	if _, ok := tr.Get(10_000); ok {
+		t.Fatal("phantom key")
+	}
+	// Replacement does not grow.
+	tr.Put(7, []byte{99})
+	if tr.Len() != 1000 {
+		t.Fatal("replace grew tree")
+	}
+	v, _ = tr.Get(7)
+	if v[0] != 99 {
+		t.Fatal("replace lost")
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := &Tree{}
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range rng.Perm(5000) {
+		tr.Put(int64(k), nil)
+	}
+	prev := int64(-1)
+	n := 0
+	tr.Ascend(func(key int64, _ []byte) bool {
+		if key <= prev {
+			t.Fatalf("out of order: %d after %d", key, prev)
+		}
+		prev = key
+		n++
+		return true
+	})
+	if n != 5000 {
+		t.Fatalf("visited %d", n)
+	}
+	// AscendFrom starts mid-tree.
+	first := int64(-1)
+	tr.AscendFrom(2500, func(key int64, _ []byte) bool {
+		first = key
+		return false
+	})
+	if first != 2500 {
+		t.Fatalf("ascend from: %d", first)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := &Tree{}
+	for i := int64(0); i < 200; i++ {
+		tr.Put(i, nil)
+	}
+	if !tr.Delete(100) || tr.Delete(100) {
+		t.Fatal("delete semantics")
+	}
+	if tr.Len() != 199 {
+		t.Fatalf("len after delete: %d", tr.Len())
+	}
+	if _, ok := tr.Get(100); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+// Property: the tree behaves like a map.
+func TestTreeMatchesMap(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := &Tree{}
+		m := map[int64][]byte{}
+		for i, k := range keys {
+			v := []byte{byte(i)}
+			tr.Put(int64(k), v)
+			m[int64(k)] = v
+		}
+		if tr.Len() != len(m) {
+			return false
+		}
+		for k, want := range m {
+			got, ok := tr.Get(k)
+			if !ok || got[0] != want[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package client is the socket client for monetlite servers — the "database
+// connection" (DBC) side of Figure 1a. It offers the row-oriented text
+// interface typical of PostgreSQL/MariaDB drivers, the columnar binary
+// interface of a MonetDB driver, and the bulk helpers (WriteTable/ReadTable)
+// that mirror R DBI's dbWriteTable/dbReadTable used by the paper's ingest
+// and export experiments.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"monetlite/internal/netproto"
+	"monetlite/internal/vec"
+)
+
+// Client is one socket connection to a server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<20),
+		w:    bufio.NewWriterSize(conn, 1<<20),
+	}, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) statusLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if strings.HasPrefix(line, "E ") {
+		return "", fmt.Errorf("server: %s", line[2:])
+	}
+	return line, nil
+}
+
+// Exec runs one statement and returns the affected-row count.
+func (c *Client) Exec(sql string) (int64, error) {
+	if err := netproto.WriteRequest(c.w, netproto.ReqExec, sql); err != nil {
+		return 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.statusLine()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if _, err := fmt.Sscanf(line, "OK %d", &n); err != nil {
+		return 0, fmt.Errorf("client: bad response %q", line)
+	}
+	return n, nil
+}
+
+// ExecBatch pipelines many statements in one round trip (clients batch
+// INSERTs this way; the per-statement overhead still dominates bulk loads —
+// Figure 5's socket rows).
+func (c *Client) ExecBatch(stmts []string) error {
+	for _, s := range stmts {
+		if err := netproto.WriteRequest(c.w, netproto.ReqExec, s); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for range stmts {
+		if _, err := c.statusLine(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryText runs a query over the row-oriented text protocol: the result
+// arrives row by row as strings, exactly the serialize/parse cost a typical
+// driver pays [15].
+func (c *Client) QueryText(sql string) (cols []string, rows [][]string, err error) {
+	if err := netproto.WriteRequest(c.w, netproto.ReqQueryText, sql); err != nil {
+		return nil, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, nil, err
+	}
+	line, err := c.statusLine()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ncols, nrows int
+	if _, err := fmt.Sscanf(line, "R %d %d", &ncols, &nrows); err != nil {
+		return nil, nil, fmt.Errorf("client: bad response %q", line)
+	}
+	hdr, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, nil, err
+	}
+	cols = strings.Split(strings.TrimRight(hdr, "\r\n"), "\t")
+	rows = make([][]string, 0, nrows)
+	for i := 0; i < nrows; i++ {
+		ln, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, strings.Split(strings.TrimRight(ln, "\r\n"), "\t"))
+	}
+	return cols, rows, nil
+}
+
+// QueryBinary runs a query over the columnar binary protocol (MonetDB-style
+// driver): whole columns arrive in their native representation.
+func (c *Client) QueryBinary(sql string) ([]string, []*vec.Vector, error) {
+	if err := netproto.WriteRequest(c.w, netproto.ReqQueryBinary, sql); err != nil {
+		return nil, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, nil, err
+	}
+	line, err := c.statusLine()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ncols, nrows int
+	if _, err := fmt.Sscanf(line, "C %d %d", &ncols, &nrows); err != nil {
+		return nil, nil, fmt.Errorf("client: bad response %q", line)
+	}
+	return netproto.ReadColumns(c.r, ncols, nrows)
+}
+
+// WriteTable bulk-loads columnar data by issuing batched INSERT statements —
+// dbWriteTable over a socket, the paper's Figure 5 workload for the
+// client-server systems ("the data is inserted into the database using a
+// series of INSERT INTO statements").
+func (c *Client) WriteTable(table string, batchRows int, cols ...any) error {
+	n, err := sliceLen(cols[0])
+	if err != nil {
+		return err
+	}
+	stmts := make([]string, 0, batchRows)
+	var sb strings.Builder
+	for r := 0; r < n; r++ {
+		sb.Reset()
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(table)
+		sb.WriteString(" VALUES (")
+		for ci, col := range cols {
+			if ci > 0 {
+				sb.WriteByte(',')
+			}
+			if err := appendLiteral(&sb, col, r); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte(')')
+		stmts = append(stmts, sb.String())
+		if len(stmts) == batchRows {
+			if err := c.ExecBatch(stmts); err != nil {
+				return err
+			}
+			stmts = stmts[:0]
+		}
+	}
+	if len(stmts) > 0 {
+		return c.ExecBatch(stmts)
+	}
+	return nil
+}
+
+// ReadTable fetches SELECT * FROM table over the text protocol —
+// dbReadTable for a row-oriented driver (Figure 6's socket workload).
+func (c *Client) ReadTable(table string) ([]string, [][]string, error) {
+	return c.QueryText("SELECT * FROM " + table)
+}
+
+// ReadTableBinary fetches a whole table over the columnar protocol
+// (the MonetDB-driver variant of Figure 6).
+func (c *Client) ReadTableBinary(table string) ([]string, []*vec.Vector, error) {
+	return c.QueryBinary("SELECT * FROM " + table)
+}
+
+func sliceLen(col any) (int, error) {
+	switch x := col.(type) {
+	case []int32:
+		return len(x), nil
+	case []int64:
+		return len(x), nil
+	case []float64:
+		return len(x), nil
+	case []string:
+		return len(x), nil
+	default:
+		return 0, fmt.Errorf("client: unsupported column type %T", col)
+	}
+}
+
+func appendLiteral(sb *strings.Builder, col any, r int) error {
+	switch x := col.(type) {
+	case []int32:
+		sb.WriteString(strconv.FormatInt(int64(x[r]), 10))
+	case []int64:
+		sb.WriteString(strconv.FormatInt(x[r], 10))
+	case []float64:
+		sb.WriteString(strconv.FormatFloat(x[r], 'f', -1, 64))
+	case []string:
+		sb.WriteByte('\'')
+		sb.WriteString(strings.ReplaceAll(x[r], "'", "''"))
+		sb.WriteByte('\'')
+	default:
+		return fmt.Errorf("client: unsupported column type %T", col)
+	}
+	return nil
+}

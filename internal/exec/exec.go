@@ -1,0 +1,269 @@
+// Package exec is monetlite's columnar execution engine: it interprets
+// logical plans column-at-a-time, in the MonetDB style the paper describes —
+// every operator processes whole columns, intermediates are materialized
+// vectors, selections flow as candidate lists, and scan/map pipelines are
+// parallelized by the mitosis heuristics in package mal (§3.1).
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"monetlite/internal/index"
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/plan"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+)
+
+// TableSource is the engine's view of one table (a transaction snapshot).
+type TableSource interface {
+	Meta() *storage.TableMeta
+	NumRows() int
+	Col(i int) (*vec.Vector, error)
+	LiveCands() []int32
+	// Index accessors may return nil (no index available for this snapshot).
+	Imprints(ci int) *index.Imprints
+	HashIdx(ci int) *index.HashIndex
+	OrderIdx(ci int) *index.OrderIndex
+}
+
+// Catalog resolves table names to sources for one execution.
+type Catalog interface {
+	Source(name string) (TableSource, bool)
+}
+
+// Engine executes logical plans.
+type Engine struct {
+	Cat        Catalog
+	Parallel   bool // enable mitosis (parallel scan/map/partial-agg pipelines)
+	MaxThreads int  // 0 = GOMAXPROCS
+	NoIndexes  bool // disable automatic index use (ablation)
+	Timeout    time.Duration
+	Trace      *mal.Program // optional MAL trace for EXPLAIN / tests
+
+	deadline time.Time
+	subCache map[plan.Node]mtypes.Value
+}
+
+// ErrTimeout is returned when a query exceeds the engine timeout.
+var ErrTimeout = errors.New("exec: query timeout")
+
+// Result is a columnar query result.
+type Result struct {
+	Names []string
+	Cols  []*vec.Vector
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// batch is a materialized intermediate: aligned column vectors.
+type batch struct {
+	cols []*vec.Vector
+	n    int
+}
+
+func newBatch(cols []*vec.Vector) *batch {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	return &batch{cols: cols, n: n}
+}
+
+// Execute runs a plan to completion.
+func (e *Engine) Execute(n plan.Node) (*Result, error) {
+	e.subCache = map[plan.Node]mtypes.Value{}
+	if e.Timeout > 0 {
+		e.deadline = time.Now().Add(e.Timeout)
+	} else {
+		e.deadline = time.Time{}
+	}
+	b, err := e.exec(n)
+	if err != nil {
+		return nil, err
+	}
+	sch := n.Schema()
+	res := &Result{Cols: b.cols}
+	for _, c := range sch {
+		res.Names = append(res.Names, c.Name)
+	}
+	return res, nil
+}
+
+func (e *Engine) checkTimeout() error {
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+func (e *Engine) exec(n plan.Node) (*batch, error) {
+	if err := e.checkTimeout(); err != nil {
+		return nil, err
+	}
+	switch x := n.(type) {
+	case *plan.Scan:
+		return e.execScan(x)
+	case *plan.Filter:
+		return e.execFilter(x)
+	case *plan.Project:
+		return e.execProject(x)
+	case *plan.Join:
+		return e.execJoin(x)
+	case *plan.Aggregate:
+		return e.execAggregate(x)
+	case *plan.Sort:
+		return e.execSort(x)
+	case *plan.Limit:
+		return e.execLimit(x)
+	case *plan.Distinct:
+		return e.execDistinct(x)
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+func (e *Engine) execFilter(x *plan.Filter) (*batch, error) {
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	memo := newMemo(e)
+	bv, err := memo.evalVec(x.Pred, in)
+	if err != nil {
+		return nil, err
+	}
+	cands := vec.SelTrue(bv, nil, false)
+	e.Trace.Emit("algebra.select", "pred")
+	out := make([]*vec.Vector, len(in.cols))
+	for i, c := range in.cols {
+		out[i] = vec.Gather(c, cands)
+	}
+	return newBatch(out), nil
+}
+
+func (e *Engine) execProject(x *plan.Project) (*batch, error) {
+	if x.Input == nil {
+		// SELECT without FROM: one row of computed constants.
+		memo := newMemo(e)
+		one := &batch{cols: nil, n: 1}
+		out := make([]*vec.Vector, len(x.Exprs))
+		for i, ex := range x.Exprs {
+			v, err := memo.evalVecN(ex, one, 1)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return newBatch(out), nil
+	}
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	memo := newMemo(e)
+	out := make([]*vec.Vector, len(x.Exprs))
+	for i, ex := range x.Exprs {
+		v, err := memo.evalVecN(ex, in, in.n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	e.Trace.Emit("bat.project", fmt.Sprintf("%d exprs", len(x.Exprs)))
+	return &batch{cols: out, n: in.n}, nil
+}
+
+func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	memo := newMemo(e)
+	keys := make([]vec.SortKey, len(x.Keys))
+	for i, k := range x.Keys {
+		kv, err := memo.evalVecN(k.E, in, in.n)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = vec.SortKey{Vec: kv, Desc: k.Desc}
+	}
+	order := vec.SortOrder(keys, in.n)
+	e.Trace.Emit("algebra.sort", fmt.Sprintf("%d keys", len(keys)))
+	out := make([]*vec.Vector, len(in.cols))
+	for i, c := range in.cols {
+		out[i] = vec.Gather(c, order)
+	}
+	return newBatch(out), nil
+}
+
+func (e *Engine) execLimit(x *plan.Limit) (*batch, error) {
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	lo := int(x.Offset)
+	if lo > in.n {
+		lo = in.n
+	}
+	hi := lo + int(x.N)
+	if hi > in.n || hi < 0 {
+		hi = in.n
+	}
+	out := make([]*vec.Vector, len(in.cols))
+	for i, c := range in.cols {
+		out[i] = c.Slice(lo, hi)
+	}
+	e.Trace.Emit("bat.slice", fmt.Sprintf("%d..%d", lo, hi))
+	return newBatch(out), nil
+}
+
+func (e *Engine) execDistinct(x *plan.Distinct) (*batch, error) {
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	if in.n == 0 || len(in.cols) == 0 {
+		return in, nil
+	}
+	_, _, reprs := vec.GroupBy(in.cols, nil)
+	e.Trace.Emit("group.distinct")
+	out := make([]*vec.Vector, len(in.cols))
+	for i, c := range in.cols {
+		out[i] = vec.Gather(c, reprs)
+	}
+	return newBatch(out), nil
+}
+
+// evalSubplan computes an uncorrelated scalar subquery once, caching by node.
+func (e *Engine) evalSubplan(p plan.Node) (mtypes.Value, error) {
+	if v, ok := e.subCache[p]; ok {
+		return v, nil
+	}
+	sub := &Engine{Cat: e.Cat, Parallel: e.Parallel, MaxThreads: e.MaxThreads, NoIndexes: e.NoIndexes}
+	res, err := sub.Execute(p)
+	if err != nil {
+		return mtypes.Value{}, err
+	}
+	sch := p.Schema()
+	var v mtypes.Value
+	switch res.NumRows() {
+	case 0:
+		v = mtypes.NullValue(sch[0].Typ)
+	case 1:
+		v = res.Cols[0].Value(0)
+	default:
+		return mtypes.Value{}, fmt.Errorf("exec: scalar subquery returned %d rows", res.NumRows())
+	}
+	e.subCache[p] = v
+	return v, nil
+}

@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"monetlite/internal/index"
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/plan"
+	"monetlite/internal/sqlparse"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+)
+
+// memSource adapts an in-memory table for engine tests without the txn layer.
+type memSource struct {
+	tbl *storage.Table
+}
+
+func (s memSource) Meta() *storage.TableMeta { return &s.tbl.Meta }
+func (s memSource) NumRows() int             { return s.tbl.Version().NRows }
+func (s memSource) Col(i int) (*vec.Vector, error) {
+	return s.tbl.Version().Col(i)
+}
+func (s memSource) LiveCands() []int32 { return s.tbl.Version().LiveCands() }
+func (s memSource) Imprints(ci int) *index.Imprints {
+	return s.tbl.ImprintsFor(s.tbl.Version(), ci)
+}
+func (s memSource) HashIdx(ci int) *index.HashIndex {
+	return s.tbl.HashFor(s.tbl.Version(), ci)
+}
+func (s memSource) OrderIdx(ci int) *index.OrderIndex {
+	return s.tbl.OrderFor(s.tbl.Version(), ci)
+}
+
+type memCatalog map[string]*storage.Table
+
+func (c memCatalog) Source(name string) (TableSource, bool) {
+	t, ok := c[name]
+	if !ok {
+		return nil, false
+	}
+	return memSource{t}, true
+}
+
+func (c memCatalog) TableMeta(name string) (*storage.TableMeta, bool) {
+	t, ok := c[name]
+	if !ok {
+		return nil, false
+	}
+	return &t.Meta, true
+}
+
+func (c memCatalog) TableRows(name string) int64 {
+	t, ok := c[name]
+	if !ok {
+		return 0
+	}
+	return int64(t.Version().NRows)
+}
+
+func buildTable(t *testing.T, n int) memCatalog {
+	t.Helper()
+	tbl := storage.NewMemoryTable(storage.TableMeta{Name: "nums", Cols: []storage.ColDef{
+		{Name: "i", Typ: mtypes.Int},
+		{Name: "grp", Typ: mtypes.Varchar},
+	}})
+	iv := vec.New(mtypes.Int, n)
+	gv := vec.New(mtypes.Varchar, n)
+	for k := 0; k < n; k++ {
+		iv.I32[k] = int32(k)
+		gv.Str[k] = []string{"a", "b", "c"}[k%3]
+	}
+	if _, err := tbl.Append([]*vec.Vector{iv, gv}, 1); err != nil {
+		t.Fatal(err)
+	}
+	return memCatalog{"nums": tbl}
+}
+
+func planFor(t *testing.T, cat memCatalog, sql string) plan.Node {
+	t.Helper()
+	st, err := sqlparse.ParseOne(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := plan.BindSelect(cat, st.(*sqlparse.SelectStmt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Plan
+}
+
+// Mitosis plan-shape test: a large scan under the parallel engine must emit
+// the optimizer.mitosis instruction and merge chunks (paper Figure 2).
+func TestMitosisTraceShape(t *testing.T) {
+	cat := buildTable(t, 3*mal.MinChunkRows)
+	trace := &mal.Program{}
+	e := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}
+	res, err := e.Execute(planFor(t, cat, "SELECT median(sqrt(i * 2)) FROM nums"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatal("median should yield one row")
+	}
+	out := trace.String()
+	if trace.Count("optimizer.mitosis") == 0 {
+		t.Fatalf("no mitosis in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "aggr.MEDIAN") {
+		t.Fatalf("median (blocking) missing:\n%s", out)
+	}
+	// Parallel and serial engines agree.
+	e2 := &Engine{Cat: cat, Parallel: false}
+	res2, err := e2.Execute(planFor(t, cat, "SELECT median(sqrt(i * 2)) FROM nums"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cols[0].F64[0] != res2.Cols[0].F64[0] {
+		t.Fatalf("mitosis changed the answer: %f vs %f", res.Cols[0].F64[0], res2.Cols[0].F64[0])
+	}
+}
+
+// Parallel grouped/global aggregates match serial results across agg kinds.
+func TestParallelAggsMatchSerial(t *testing.T) {
+	cat := buildTable(t, 3*mal.MinChunkRows)
+	queries := []string{
+		"SELECT sum(i), count(*), min(i), max(i), avg(i) FROM nums",
+		"SELECT sum(i) FROM nums WHERE i % 7 = 0",
+		"SELECT grp, sum(i) FROM nums GROUP BY grp ORDER BY grp",
+	}
+	for _, q := range queries {
+		p := planFor(t, cat, q)
+		par := &Engine{Cat: cat, Parallel: true, MaxThreads: 4}
+		ser := &Engine{Cat: cat, Parallel: false}
+		r1, err := par.Execute(p)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		r2, err := ser.Execute(p)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if r1.NumRows() != r2.NumRows() {
+			t.Fatalf("%s: %d vs %d rows", q, r1.NumRows(), r2.NumRows())
+		}
+		for c := range r1.Cols {
+			for i := 0; i < r1.NumRows(); i++ {
+				a, b := r1.Cols[c].Value(i), r2.Cols[c].Value(i)
+				if a.String() != b.String() {
+					t.Fatalf("%s: cell (%d,%d) %s vs %s", q, i, c, a, b)
+				}
+			}
+		}
+	}
+}
+
+// Index use shows up in the trace, and disabling indexes removes it without
+// changing results.
+func TestIndexTraceAndEquivalence(t *testing.T) {
+	cat := buildTable(t, 4096)
+	q := "SELECT count(*) FROM nums WHERE i = 100"
+	withIdx := &mal.Program{}
+	e1 := &Engine{Cat: cat, Trace: withIdx}
+	r1, err := e1.Execute(planFor(t, cat, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withIdx.String(), "hashidx") {
+		t.Fatalf("hash index not used:\n%s", withIdx)
+	}
+	noIdx := &mal.Program{}
+	e2 := &Engine{Cat: cat, NoIndexes: true, Trace: noIdx}
+	r2, err := e2.Execute(planFor(t, cat, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(noIdx.String(), "hashidx") {
+		t.Fatal("NoIndexes engine still used the index")
+	}
+	if r1.Cols[0].I64[0] != r2.Cols[0].I64[0] {
+		t.Fatal("index changed the result")
+	}
+}
+
+func TestEngineTimeout(t *testing.T) {
+	cat := buildTable(t, 100000)
+	e := &Engine{Cat: cat, Timeout: time.Nanosecond}
+	_, err := e.Execute(planFor(t, cat, "SELECT grp, sum(i) FROM nums GROUP BY grp"))
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestSelectRowsHelper(t *testing.T) {
+	cat := buildTable(t, 100)
+	e := &Engine{Cat: cat}
+	src, _ := cat.Source("nums")
+	st, _ := sqlparse.ParseOne("DELETE FROM nums WHERE i < 10")
+	del, err := plan.BindDelete(cat, st.(*sqlparse.DeleteStmt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.SelectRows(src, del.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 || rows[9] != 9 {
+		t.Fatalf("select rows: %v", rows)
+	}
+	all, err := e.SelectRows(src, nil)
+	if err != nil || len(all) != 100 {
+		t.Fatalf("all rows: %d %v", len(all), err)
+	}
+}

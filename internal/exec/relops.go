@@ -1,0 +1,512 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/plan"
+	"monetlite/internal/vec"
+)
+
+// execJoin evaluates all join flavors with hash tables. The build side is
+// chosen at runtime from the smaller input — the paper's "tactical decision"
+// level of optimization.
+func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
+	left, err := e.exec(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.exec(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(x.EquiL) == 0 && x.Residual == nil && x.Kind == plan.JoinInner {
+		return e.crossJoin(left, right)
+	}
+	memoL, memoR := newMemo(e), newMemo(e)
+	lKeys := make([]*vec.Vector, len(x.EquiL))
+	rKeys := make([]*vec.Vector, len(x.EquiR))
+	for i := range x.EquiL {
+		if lKeys[i], err = memoL.evalVec(x.EquiL[i], left); err != nil {
+			return nil, err
+		}
+		if rKeys[i], err = memoR.evalVec(x.EquiR[i], right); err != nil {
+			return nil, err
+		}
+		lKeys[i], rKeys[i], err = alignJoinKeys(lKeys[i], rKeys[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var lsel, rsel []int32
+	switch x.Kind {
+	case plan.JoinInner:
+		// Build on the smaller side.
+		if len(x.EquiL) == 0 {
+			// Pure residual join: nested-loop via cross pairs then filter.
+			lsel, rsel = crossPairs(left.n, right.n)
+		} else if left.n <= right.n {
+			ht := vec.BuildHash(lKeys, nil)
+			e.Trace.Emit("algebra.hashjoin", "build=left", fmt.Sprintf("%d keys", ht.Len()))
+			rs, ls := ht.Probe(rKeys, nil)
+			lsel, rsel = ls, rs
+		} else {
+			ht := vec.BuildHash(rKeys, nil)
+			e.Trace.Emit("algebra.hashjoin", "build=right", fmt.Sprintf("%d keys", ht.Len()))
+			lsel, rsel = ht.Probe(lKeys, nil)
+		}
+		if x.Residual != nil {
+			lsel, rsel, err = e.filterPairs(x, left, right, lsel, rsel)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return joinGather(left, right, lsel, rsel, false), nil
+	case plan.JoinLeft:
+		ht := vec.BuildHash(rKeys, nil)
+		e.Trace.Emit("algebra.leftjoin")
+		lsel, rsel = ht.ProbeLeft(lKeys, nil)
+		if x.Residual != nil {
+			// Residual applies to matched pairs; unmatched rows stay.
+			keptL, keptR, err := e.filterPairs(x, left, right, lsel, rsel)
+			if err != nil {
+				return nil, err
+			}
+			matched := map[int32]bool{}
+			for _, l := range keptL {
+				matched[l] = true
+			}
+			// Re-add unmatched lefts.
+			seen := map[int32]bool{}
+			for _, l := range keptL {
+				seen[l] = true
+			}
+			for l := int32(0); int(l) < left.n; l++ {
+				if !seen[l] {
+					keptL = append(keptL, l)
+					keptR = append(keptR, -1)
+				}
+			}
+			lsel, rsel = keptL, keptR
+		}
+		return joinGather(left, right, lsel, rsel, true), nil
+	case plan.JoinSemi, plan.JoinAnti:
+		anti := x.Kind == plan.JoinAnti
+		if len(x.EquiL) == 0 {
+			return nil, fmt.Errorf("exec: semi/anti join requires equi keys")
+		}
+		ht := vec.BuildHash(rKeys, nil)
+		if x.Residual == nil {
+			e.Trace.Emit("algebra.semijoin")
+			keep := ht.ProbeSemi(lKeys, nil, anti)
+			out := make([]*vec.Vector, len(left.cols))
+			for i, c := range left.cols {
+				out[i] = vec.Gather(c, keep)
+			}
+			return newBatch(out), nil
+		}
+		// Residual semi/anti: compute pairs, filter, dedup left side.
+		ls, rs := ht.Probe(lKeys, nil)
+		ls, _, err = e.filterPairs(x, left, right, ls, rs)
+		if err != nil {
+			return nil, err
+		}
+		matched := make([]bool, left.n)
+		for _, l := range ls {
+			matched[l] = true
+		}
+		keep := make([]int32, 0, left.n)
+		for i := 0; i < left.n; i++ {
+			if matched[i] != anti {
+				keep = append(keep, int32(i))
+			}
+		}
+		e.Trace.Emit("algebra.semijoin", "residual")
+		out := make([]*vec.Vector, len(left.cols))
+		for i, c := range left.cols {
+			out[i] = vec.Gather(c, keep)
+		}
+		return newBatch(out), nil
+	}
+	return nil, fmt.Errorf("exec: unsupported join kind %v", x.Kind)
+}
+
+// alignJoinKeys rescales mismatched decimal/integer key domains so hash
+// payloads compare correctly.
+func alignJoinKeys(l, r *vec.Vector) (*vec.Vector, *vec.Vector, error) {
+	lt, rt := l.Typ, r.Typ
+	if lt.Kind == rt.Kind && scaleOfT(lt) == scaleOfT(rt) {
+		return l, r, nil
+	}
+	if lt.Kind == mtypes.KVarchar || rt.Kind == mtypes.KVarchar {
+		if lt.Kind == rt.Kind {
+			return l, r, nil
+		}
+		return nil, nil, fmt.Errorf("exec: cannot join %s with %s", lt, rt)
+	}
+	if lt.Kind == mtypes.KDouble || rt.Kind == mtypes.KDouble {
+		lc, err := vec.Cast(l, mtypes.Double)
+		if err != nil {
+			return nil, nil, err
+		}
+		rc, err := vec.Cast(r, mtypes.Double)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lc, rc, nil
+	}
+	// Integer-backed: unify on BIGINT (or common decimal scale).
+	scale := max(scaleOfT(lt), scaleOfT(rt))
+	target := mtypes.BigInt
+	if scale > 0 {
+		target = mtypes.Decimal(18, scale)
+	}
+	lc, err := vec.Cast(l, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc, err := vec.Cast(r, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lc, rc, nil
+}
+
+func scaleOfT(t mtypes.Type) int {
+	if t.Kind == mtypes.KDecimal {
+		return t.Scale
+	}
+	return 0
+}
+
+// filterPairs evaluates the residual predicate over candidate join pairs.
+func (e *Engine) filterPairs(x *plan.Join, left, right *batch, lsel, rsel []int32) ([]int32, []int32, error) {
+	pairs := joinGather(left, right, lsel, rsel, x.Kind == plan.JoinLeft)
+	memo := newMemo(e)
+	bv, err := memo.evalVec(x.Residual, pairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var keptL, keptR []int32
+	for i := 0; i < pairs.n; i++ {
+		if bv.I8[i] == 1 {
+			keptL = append(keptL, lsel[i])
+			keptR = append(keptR, rsel[i])
+		}
+	}
+	return keptL, keptR, nil
+}
+
+// joinGather materializes the pair lists into a combined batch. rsel entries
+// of -1 (left outer non-matches) become NULLs.
+func joinGather(left, right *batch, lsel, rsel []int32, outer bool) *batch {
+	// nil means "no pairs" here — never "all rows" (vec.Gather's nil).
+	if lsel == nil {
+		lsel = []int32{}
+	}
+	if rsel == nil {
+		rsel = []int32{}
+	}
+	out := make([]*vec.Vector, 0, len(left.cols)+len(right.cols))
+	for _, c := range left.cols {
+		out = append(out, vec.Gather(c, lsel))
+	}
+	for _, c := range right.cols {
+		if !outer {
+			out = append(out, vec.Gather(c, rsel))
+			continue
+		}
+		g := vec.New(c.Typ, len(rsel))
+		for i, r := range rsel {
+			if r < 0 {
+				g.SetNull(i)
+			} else {
+				g.Set(i, c.Value(int(r)))
+			}
+		}
+		out = append(out, g)
+	}
+	b := newBatch(out)
+	if len(out) == 0 {
+		b.n = len(lsel)
+	}
+	return b
+}
+
+func (e *Engine) crossJoin(left, right *batch) (*batch, error) {
+	lsel, rsel := crossPairs(left.n, right.n)
+	e.Trace.Emit("algebra.crossproduct")
+	return joinGather(left, right, lsel, rsel, false), nil
+}
+
+func crossPairs(nl, nr int) ([]int32, []int32) {
+	lsel := make([]int32, 0, nl*nr)
+	rsel := make([]int32, 0, nl*nr)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, int32(j))
+		}
+	}
+	return lsel, rsel
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------------
+
+func (e *Engine) execAggregate(x *plan.Aggregate) (*batch, error) {
+	// Mitosis fast path: global aggregates directly over a scan run the
+	// parallelizable prefix (scan, selection, map) per chunk and merge
+	// partials before the blocking final aggregate (paper Figure 2).
+	if e.Parallel && len(x.GroupBy) == 0 {
+		if scan, ok := x.Input.(*plan.Scan); ok {
+			if b, handled, err := e.parallelGlobalAgg(x, scan); handled {
+				return b, err
+			}
+		}
+	}
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	return e.aggregateBatch(x, in)
+}
+
+func (e *Engine) aggregateBatch(x *plan.Aggregate, in *batch) (*batch, error) {
+	memo := newMemo(e)
+	var gids []int32
+	ngroups := 1
+	var reprs []int32
+	if len(x.GroupBy) > 0 {
+		keys := make([]*vec.Vector, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			kv, err := memo.evalVec(g, in)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = kv
+		}
+		gids, ngroups, reprs = vec.GroupBy(keys, nil)
+		e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups", len(keys), ngroups))
+		out := make([]*vec.Vector, 0, len(x.GroupBy)+len(x.Aggs))
+		for _, kv := range keys {
+			out = append(out, vec.Gather(kv, reprs))
+		}
+		aggCols, err := e.computeAggs(x, in, memo, gids, ngroups)
+		if err != nil {
+			return nil, err
+		}
+		return newBatch(append(out, aggCols...)), nil
+	}
+	// Global aggregate: single group. SQL semantics: aggregates over an
+	// empty input still produce one row.
+	gids = make([]int32, in.n)
+	aggCols, err := e.computeAggs(x, in, memo, gids, ngroups)
+	if err != nil {
+		return nil, err
+	}
+	return newBatch(aggCols), nil
+}
+
+func (e *Engine) computeAggs(x *plan.Aggregate, in *batch, memo *memo, gids []int32, ngroups int) ([]*vec.Vector, error) {
+	out := make([]*vec.Vector, len(x.Aggs))
+	for ai, a := range x.Aggs {
+		var vals *vec.Vector
+		var err error
+		if a.Arg != nil {
+			vals, err = memo.evalVec(a.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+		}
+		g, v := gids, vals
+		if a.Distinct && a.Arg != nil {
+			g, v = dedupPerGroup(gids, vals)
+		}
+		e.Trace.Emit("aggr."+a.Kind.String(), a.Name)
+		res, err := vec.Aggregate(a.Kind, v, g, ngroups)
+		if err != nil {
+			return nil, err
+		}
+		out[ai] = res
+	}
+	return out, nil
+}
+
+// dedupPerGroup filters (gid, value) pairs to distinct values per group
+// (COUNT(DISTINCT x) and friends).
+func dedupPerGroup(gids []int32, vals *vec.Vector) ([]int32, *vec.Vector) {
+	type key struct {
+		g int32
+		v string
+	}
+	seen := map[key]bool{}
+	outG := make([]int32, 0, len(gids))
+	keep := make([]int32, 0, len(gids))
+	for i, g := range gids {
+		k := key{g, vals.Value(i).String()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		outG = append(outG, g)
+		keep = append(keep, int32(i))
+	}
+	return outG, vec.Gather(vals, keep)
+}
+
+// parallelGlobalAgg runs SELECT agg(expr) FROM t WHERE ... with mitosis:
+// chunked scan + map + partial aggregation, then a serial merge. AVG is
+// decomposed into SUM+COUNT; MEDIAN keeps per-chunk value vectors and runs
+// the blocking median after the merge.
+func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, bool, error) {
+	src, ok := e.Cat.Source(scan.Table)
+	if !ok {
+		return nil, true, fmt.Errorf("exec: no such table %q", scan.Table)
+	}
+	nrows := src.NumRows()
+	cp := mal.Mitosis(nrows, 8*len(scan.Cols), e.MaxThreads)
+	if cp.Chunks <= 1 {
+		return nil, false, nil
+	}
+	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks", cp.Chunks))
+
+	type chunkOut struct {
+		partials []*vec.Vector // per agg: partial vector (1 group) or raw values for median
+		count    int64
+		err      error
+	}
+	outs := make([]chunkOut, cp.Chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cp.Chunks; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			lo, hi := cp.Bounds(ci, nrows)
+			cands, cols, err := e.scanRange(scan, src, lo, hi)
+			if err != nil {
+				outs[ci] = chunkOut{err: err}
+				return
+			}
+			gathered := make([]*vec.Vector, len(cols))
+			for i, c := range cols {
+				gathered[i] = vec.Gather(c, cands)
+			}
+			cb := newBatch(gathered)
+			memo := newMemo(e)
+			co := chunkOut{partials: make([]*vec.Vector, len(x.Aggs))}
+			co.count = int64(cb.n)
+			for ai, a := range x.Aggs {
+				var vals *vec.Vector
+				if a.Arg != nil {
+					vals, err = memo.evalVec(a.Arg, cb)
+					if err != nil {
+						outs[ci] = chunkOut{err: err}
+						return
+					}
+				}
+				switch a.Kind {
+				case vec.AggMedian:
+					co.partials[ai] = vals // blocking: merge raw values
+				case vec.AggAvg:
+					// Decompose AVG into SUM and COUNT partials (merged
+					// serially after the parallel phase).
+					sum, err := vec.Aggregate(vec.AggSum, vals, make([]int32, cb.n), 1)
+					if err != nil {
+						outs[ci] = chunkOut{err: err}
+						return
+					}
+					cnt, _ := vec.Aggregate(vec.AggCount, vals, make([]int32, cb.n), 1)
+					co.partials[ai] = sumCountPair(sum, cnt)
+				default:
+					gd := make([]int32, cb.n)
+					p, err := vec.Aggregate(a.Kind, vals, gd, 1)
+					if err != nil {
+						outs[ci] = chunkOut{err: err}
+						return
+					}
+					co.partials[ai] = p
+				}
+			}
+			outs[ci] = co
+		}(ci)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, true, o.err
+		}
+	}
+	// Merge phase (blocking ops run here).
+	result := make([]*vec.Vector, len(x.Aggs))
+	for ai, a := range x.Aggs {
+		switch a.Kind {
+		case vec.AggMedian:
+			pieces := make([]*vec.Vector, cp.Chunks)
+			for ci := range outs {
+				pieces[ci] = outs[ci].partials[ai]
+			}
+			allVals := vec.Concat(pieces...)
+			e.Trace.Emit("aggr.MEDIAN", "blocking")
+			m, err := vec.Aggregate(vec.AggMedian, allVals, make([]int32, allVals.Len()), 1)
+			if err != nil {
+				return nil, true, err
+			}
+			result[ai] = m
+		case vec.AggAvg:
+			var sum, cnt float64
+			init := false
+			for ci := range outs {
+				p := outs[ci].partials[ai]
+				if !p.IsNull(0) {
+					sum += p.F64[0]
+					init = true
+				}
+				cnt += p.F64[1]
+			}
+			out := vec.New(mtypes.Double, 1)
+			if !init || cnt == 0 {
+				out.SetNull(0)
+			} else {
+				out.F64[0] = sum / cnt
+			}
+			e.Trace.Emit("aggr.AVG", "merged")
+			result[ai] = out
+		case vec.AggCountStar:
+			out := vec.New(mtypes.BigInt, 1)
+			for ci := range outs {
+				out.I64[0] += outs[ci].count
+			}
+			result[ai] = out
+		default:
+			pieces := make([]*vec.Vector, cp.Chunks)
+			for ci := range outs {
+				pieces[ci] = outs[ci].partials[ai]
+			}
+			merged, err := vec.MergeAggPartials(a.Kind, pieces, 1)
+			if err != nil {
+				return nil, true, err
+			}
+			e.Trace.Emit("aggr."+a.Kind.String(), "merged")
+			result[ai] = merged
+		}
+	}
+	return newBatch(result), true, nil
+}
+
+// sumCountPair packs a 1-row SUM partial and COUNT partial into a 2-row
+// vector [sumAsDouble, count] used by the AVG merge.
+func sumCountPair(sum, cnt *vec.Vector) *vec.Vector {
+	out := vec.New(mtypes.Double, 2)
+	if sum.IsNull(0) {
+		out.SetNull(0)
+	} else {
+		out.F64[0] = vec.AsFloats(sum)[0]
+	}
+	out.F64[1] = float64(cnt.I64[0])
+	return out
+}

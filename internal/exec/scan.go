@@ -1,0 +1,320 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/plan"
+	"monetlite/internal/vec"
+)
+
+// execScan evaluates a scan with its pushed filters. Selection runs over the
+// base columns with candidate lists; indexable predicates (point/range on a
+// column) go through imprints or the order index when available. Large scans
+// are split by the mitosis heuristics and filtered in parallel.
+func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
+	src, ok := e.Cat.Source(x.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: no such table %q", x.Table)
+	}
+	nrows := src.NumRows()
+	e.Trace.Emit("sql.bind", x.Table, fmt.Sprintf("%d cols", len(x.Cols)))
+
+	cp := mal.ChunkPlan{Chunks: 1, Rows: nrows}
+	if e.Parallel {
+		cp = mal.Mitosis(nrows, 8*len(x.Cols), e.MaxThreads)
+	}
+	if cp.Chunks <= 1 {
+		cands, cols, err := e.scanRange(x, src, 0, nrows)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*vec.Vector, len(cols))
+		for i, c := range cols {
+			out[i] = vec.Gather(c, cands)
+		}
+		return newBatch(out), nil
+	}
+
+	// Mitosis: chunked parallel scan+filter+gather, merged with bat.mergecand
+	// semantics (paper Figure 2).
+	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks", cp.Chunks))
+	type part struct {
+		cols []*vec.Vector
+		err  error
+	}
+	parts := make([]part, cp.Chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cp.Chunks; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			lo, hi := cp.Bounds(ci, nrows)
+			cands, cols, err := e.scanRange(x, src, lo, hi)
+			if err != nil {
+				parts[ci] = part{err: err}
+				return
+			}
+			out := make([]*vec.Vector, len(cols))
+			for i, c := range cols {
+				out[i] = vec.Gather(c, cands)
+			}
+			parts[ci] = part{cols: out}
+		}(ci)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	merged := make([]*vec.Vector, len(x.Cols))
+	for i := range merged {
+		pieces := make([]*vec.Vector, cp.Chunks)
+		for ci := range parts {
+			pieces[ci] = parts[ci].cols[i]
+		}
+		merged[i] = vec.Concat(pieces...)
+	}
+	e.Trace.Emit("bat.mergecand")
+	return newBatch(merged), nil
+}
+
+// scanRange computes the candidate list of rows in [lo, hi) passing all scan
+// filters, and loads the pruned columns (full vectors; gathering is the
+// caller's job). When cands == nil every row in the slice qualifies; the
+// returned column vectors are sliced to [lo, hi) and candidates are relative
+// to lo.
+func (e *Engine) scanRange(x *plan.Scan, src TableSource, lo, hi int) ([]int32, []*vec.Vector, error) {
+	// Load the pruned columns.
+	cols := make([]*vec.Vector, len(x.Cols))
+	for i, ci := range x.Cols {
+		full, err := src.Col(ci)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = full.Slice(lo, hi)
+	}
+	// Deleted rows (rebased into the chunk window).
+	var cands []int32
+	if live := src.LiveCands(); live != nil {
+		cands = make([]int32, 0, hi-lo)
+		for _, r := range live {
+			if int(r) >= lo && int(r) < hi {
+				cands = append(cands, r-int32(lo))
+			}
+		}
+	}
+	full := lo == 0 && hi == src.NumRows()
+	for _, f := range x.Filters {
+		var err error
+		cands, err = e.applyScanFilter(x, src, f, cols, cands, full)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cands != nil && len(cands) == 0 {
+			break
+		}
+	}
+	return cands, cols, nil
+}
+
+// applyScanFilter applies one conjunct, choosing a selection kernel and
+// using secondary indexes when the predicate shape allows.
+func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, cols []*vec.Vector, cands []int32, fullScan bool) ([]int32, error) {
+	switch p := f.(type) {
+	case *plan.BinOp:
+		if p.Kind == plan.BinCmp {
+			if cr, ok := p.L.(*plan.ColRef); ok {
+				if c, ok := p.R.(*plan.Const); ok {
+					return e.selectCmp(x, src, cols, cr, p.Cmp, c.Val, cands, fullScan)
+				}
+				if sp, ok := p.R.(*plan.SubplanExpr); ok {
+					v, err := e.evalSubplan(sp.Plan)
+					if err != nil {
+						return nil, err
+					}
+					return e.selectCmp(x, src, cols, cr, p.Cmp, v, cands, fullScan)
+				}
+			}
+			if cr, ok := p.R.(*plan.ColRef); ok {
+				if c, ok := p.L.(*plan.Const); ok {
+					return e.selectCmp(x, src, cols, cr, p.Cmp.Flip(), c.Val, cands, fullScan)
+				}
+			}
+		}
+	case *plan.BetweenExpr:
+		if cr, ok := p.E.(*plan.ColRef); ok && !p.Not {
+			if lo, hi, ok := constBounds(p); ok {
+				return e.selectRange(x, src, cols, cr, lo, hi, cands, fullScan)
+			}
+		}
+	case *plan.LikeExpr:
+		if cr, ok := p.E.(*plan.ColRef); ok {
+			e.Trace.Emit("algebra.likeselect", p.Pattern)
+			if prefix, isPrefix := plan.LikePrefix(p.Pattern); isPrefix && !p.Not {
+				// Prefix LIKE becomes a range select [prefix, prefix+0xFF).
+				loV := mtypes.NewString(prefix)
+				hiV := mtypes.NewString(prefix + "\xff\xff\xff\xff")
+				return vec.SelRange(cols[cr.Slot], loV, hiV, true, true, cands), nil
+			}
+			pat := p.Pattern
+			not := p.Not
+			return vec.SelString(cols[cr.Slot], func(s string) bool {
+				return plan.MatchLike(s, pat) != not
+			}, cands), nil
+		}
+	case *plan.InListExpr:
+		if cr, ok := p.E.(*plan.ColRef); ok && !p.Not {
+			e.Trace.Emit("algebra.inselect")
+			return vec.SelIn(cols[cr.Slot], p.Vals, cands), nil
+		}
+	case *plan.IsNullExpr:
+		if cr, ok := p.E.(*plan.ColRef); ok {
+			if p.Not {
+				return vec.SelNotNull(cols[cr.Slot], cands), nil
+			}
+			return vec.SelNull(cols[cr.Slot], cands), nil
+		}
+	}
+	// General predicate: vectorized boolean evaluation + select-true.
+	memo := newMemo(e)
+	b := &batch{cols: cols, n: cols[0].Len()}
+	bv, err := memo.evalVec(f, b)
+	if err != nil {
+		return nil, err
+	}
+	e.Trace.Emit("algebra.thetaselect")
+	return vec.SelTrue(bv, cands, false), nil
+}
+
+// selectCmp runs a comparison select, preferring the hash index for equality
+// and imprints / order index for ranges on full-table scans.
+func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, op vec.CmpOp, val mtypes.Value, cands []int32, fullScan bool) ([]int32, error) {
+	col := cols[cr.Slot]
+	tableCol := x.Cols[cr.Slot]
+	if fullScan && !e.NoIndexes && !val.Null {
+		switch op {
+		case vec.CmpEq:
+			if h := src.HashIdx(tableCol); h != nil {
+				e.Trace.Emit("algebra.select", "hashidx")
+				rows := h.Lookup(coerceForIndex(col, val))
+				sorted := append([]int32(nil), rows...)
+				insertionSort(sorted)
+				return vec.Intersect(cands, sorted), nil
+			}
+		case vec.CmpLt, vec.CmpLe, vec.CmpGt, vec.CmpGe:
+			lo, hi, loI, hiI := openRange(col.Typ, op, val)
+			if oi := src.OrderIdx(tableCol); oi != nil {
+				e.Trace.Emit("algebra.select", "orderidx")
+				return vec.Intersect(cands, oi.SelectRange(col, lo, hi, loI, hiI)), nil
+			}
+			if im := src.Imprints(tableCol); im != nil {
+				e.Trace.Emit("algebra.select", "imprints")
+				return vec.Intersect(cands, im.SelectRange(col, lo, hi, loI, hiI)), nil
+			}
+		}
+	}
+	e.Trace.Emit("algebra.thetaselect", op.String())
+	return vec.SelCmp(col, op, val, cands), nil
+}
+
+func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, cands []int32, fullScan bool) ([]int32, error) {
+	col := cols[cr.Slot]
+	tableCol := x.Cols[cr.Slot]
+	if fullScan && !e.NoIndexes {
+		if oi := src.OrderIdx(tableCol); oi != nil {
+			e.Trace.Emit("algebra.rangeselect", "orderidx")
+			return vec.Intersect(cands, oi.SelectRange(col, lo, hi, true, true)), nil
+		}
+		if im := src.Imprints(tableCol); im != nil {
+			e.Trace.Emit("algebra.rangeselect", "imprints")
+			return vec.Intersect(cands, im.SelectRange(col, lo, hi, true, true)), nil
+		}
+	}
+	e.Trace.Emit("algebra.rangeselect")
+	return vec.SelRange(col, lo, hi, true, true, cands), nil
+}
+
+// openRange converts a one-sided comparison into SelectRange bounds.
+func openRange(t mtypes.Type, op vec.CmpOp, val mtypes.Value) (lo, hi mtypes.Value, loIncl, hiIncl bool) {
+	minV, maxV := typeExtremes(t)
+	switch op {
+	case vec.CmpLt:
+		return minV, val, true, false
+	case vec.CmpLe:
+		return minV, val, true, true
+	case vec.CmpGt:
+		return val, maxV, false, true
+	default:
+		return val, maxV, true, true
+	}
+}
+
+// typeExtremes returns sentinel-safe minimum and maximum values of a type's
+// physical domain (the NULL sentinel sits just below the minimum).
+func typeExtremes(t mtypes.Type) (mtypes.Value, mtypes.Value) {
+	switch t.Kind {
+	case mtypes.KDouble:
+		return mtypes.NewDouble(-1e308), mtypes.NewDouble(1e308)
+	case mtypes.KBool, mtypes.KTinyInt:
+		return mtypes.Value{Typ: t, I: int64(mtypes.NullInt8) + 1}, mtypes.Value{Typ: t, I: 1<<7 - 1}
+	case mtypes.KSmallInt:
+		return mtypes.Value{Typ: t, I: int64(mtypes.NullInt16) + 1}, mtypes.Value{Typ: t, I: 1<<15 - 1}
+	case mtypes.KInt, mtypes.KDate:
+		return mtypes.Value{Typ: t, I: int64(mtypes.NullInt32) + 1}, mtypes.Value{Typ: t, I: 1<<31 - 1}
+	default:
+		return mtypes.Value{Typ: t, I: mtypes.NullInt64 + 1}, mtypes.Value{Typ: t, I: 1<<63 - 1}
+	}
+}
+
+// coerceForIndex aligns a constant with the column's physical domain before
+// a hash-index lookup (decimal rescale, int widening).
+func coerceForIndex(col *vec.Vector, val mtypes.Value) mtypes.Value {
+	if col.Typ.Kind == mtypes.KDecimal {
+		if val.Typ.Kind == mtypes.KDecimal {
+			return mtypes.Value{Typ: col.Typ, I: mtypes.RescaleDecimal(val.I, val.Typ.Scale, col.Typ.Scale)}
+		}
+		if val.Typ.IsInteger() {
+			return mtypes.Value{Typ: col.Typ, I: val.I * mtypes.Pow10[col.Typ.Scale]}
+		}
+	}
+	return val
+}
+
+func insertionSort(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// SelectRows returns the row ids (table coordinates) of src's live rows
+// satisfying pred (nil = all live rows). Used by DELETE and UPDATE.
+func (e *Engine) SelectRows(src TableSource, pred plan.Expr) ([]int32, error) {
+	n := src.NumRows()
+	cands := src.LiveCands()
+	if pred == nil {
+		if cands == nil {
+			return vec.Range(n), nil
+		}
+		return cands, nil
+	}
+	cols := make([]*vec.Vector, len(src.Meta().Cols))
+	for i := range cols {
+		c, err := src.Col(i)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	memo := newMemo(e)
+	bv, err := memo.evalVec(pred, &batch{cols: cols, n: n})
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelTrue(bv, cands, false), nil
+}

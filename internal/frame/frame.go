@@ -1,0 +1,305 @@
+// Package frame is an eager, in-memory dataframe library — monetlite's
+// stand-in for data.table / dplyr / Pandas / Julia DataFrames in the paper's
+// evaluation (Table 1's "library" rows). It implements the common database
+// operations those libraries offer (filter, project, hash join, group-by
+// aggregation, sort, head) operating directly on native Go slices, with
+// eager materialization of every intermediate.
+//
+// A Session carries a memory accountant: every materialized intermediate is
+// charged against a budget, and exceeding it returns ErrOOM — reproducing
+// the out-of-memory failures ("E") the libraries hit at TPC-H SF10 in the
+// paper (§4.2): eager libraries need the data AND all intermediates to fit
+// in memory, unlike the database engines that spill via the OS.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrOOM reports that an operation's materialized output exceeded the
+// session's memory budget.
+var ErrOOM = errors.New("frame: out of memory (intermediates exceed budget)")
+
+// Session tracks memory use of all frames it owns. Budget <= 0 disables
+// accounting. The model charges every materialized frame and never frees —
+// matching an eager pipeline holding its intermediates alive.
+type Session struct {
+	Budget int64
+	used   int64
+}
+
+// Used returns the bytes charged so far.
+func (s *Session) Used() int64 { return s.used }
+
+func (s *Session) alloc(bytes int64) error {
+	if s == nil {
+		return nil
+	}
+	s.used += bytes
+	if s.Budget > 0 && s.used > s.Budget {
+		return ErrOOM
+	}
+	return nil
+}
+
+// DataFrame is an immutable column collection. Column payloads are native Go
+// slices: []int32, []int64, []float64 or []string.
+type DataFrame struct {
+	sess  *Session
+	names []string
+	cols  []any
+	n     int
+}
+
+func colLen(c any) (int, error) {
+	switch x := c.(type) {
+	case []int32:
+		return len(x), nil
+	case []int64:
+		return len(x), nil
+	case []float64:
+		return len(x), nil
+	case []string:
+		return len(x), nil
+	default:
+		return 0, fmt.Errorf("frame: unsupported column type %T", c)
+	}
+}
+
+func colBytes(c any) int64 {
+	switch x := c.(type) {
+	case []int32:
+		return int64(len(x)) * 4
+	case []int64:
+		return int64(len(x)) * 8
+	case []float64:
+		return int64(len(x)) * 8
+	case []string:
+		b := int64(len(x)) * 16
+		for _, s := range x {
+			b += int64(len(s))
+		}
+		return b
+	}
+	return 0
+}
+
+// New builds a frame over the given columns (charged to the session).
+func New(sess *Session, names []string, cols ...any) (*DataFrame, error) {
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("frame: %d names, %d columns", len(names), len(cols))
+	}
+	n := -1
+	var total int64
+	for _, c := range cols {
+		l, err := colLen(c)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			n = l
+		} else if l != n {
+			return nil, fmt.Errorf("frame: ragged columns (%d vs %d)", l, n)
+		}
+		total += colBytes(c)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if err := sess.alloc(total); err != nil {
+		return nil, err
+	}
+	return &DataFrame{sess: sess, names: append([]string{}, names...), cols: append([]any{}, cols...), n: n}, nil
+}
+
+// NumRows returns the row count.
+func (df *DataFrame) NumRows() int { return df.n }
+
+// Names returns the column names.
+func (df *DataFrame) Names() []string { return df.names }
+
+// Col returns a column payload by name (nil if absent).
+func (df *DataFrame) Col(name string) any {
+	for i, n := range df.names {
+		if n == name {
+			return df.cols[i]
+		}
+	}
+	return nil
+}
+
+// Ints32 returns a named []int32 column (panics on wrong use — library user
+// error, like indexing a missing Pandas column).
+func (df *DataFrame) Ints32(name string) []int32 { return df.Col(name).([]int32) }
+
+// Ints64 returns a named []int64 column.
+func (df *DataFrame) Ints64(name string) []int64 { return df.Col(name).([]int64) }
+
+// Floats returns a named []float64 column.
+func (df *DataFrame) Floats(name string) []float64 { return df.Col(name).([]float64) }
+
+// Strings returns a named []string column.
+func (df *DataFrame) Strings(name string) []string { return df.Col(name).([]string) }
+
+// Select projects a subset of columns (no copy; shares payloads).
+func (df *DataFrame) Select(names ...string) (*DataFrame, error) {
+	cols := make([]any, len(names))
+	for i, n := range names {
+		c := df.Col(n)
+		if c == nil {
+			return nil, fmt.Errorf("frame: no column %q", n)
+		}
+		cols[i] = c
+	}
+	// Shared payloads: charged at zero cost (a view).
+	return &DataFrame{sess: df.sess, names: append([]string{}, names...), cols: cols, n: df.n}, nil
+}
+
+// WithColumn returns a frame extended by one computed column.
+func (df *DataFrame) WithColumn(name string, col any) (*DataFrame, error) {
+	l, err := colLen(col)
+	if err != nil {
+		return nil, err
+	}
+	if l != df.n {
+		return nil, fmt.Errorf("frame: column %q has %d rows, frame has %d", name, l, df.n)
+	}
+	if err := df.sess.alloc(colBytes(col)); err != nil {
+		return nil, err
+	}
+	return &DataFrame{
+		sess:  df.sess,
+		names: append(append([]string{}, df.names...), name),
+		cols:  append(append([]any{}, df.cols...), col),
+		n:     df.n,
+	}, nil
+}
+
+// Take materializes the rows at the given indexes (eager gather).
+func (df *DataFrame) Take(idx []int32) (*DataFrame, error) {
+	cols := make([]any, len(df.cols))
+	var total int64
+	for i, c := range df.cols {
+		switch x := c.(type) {
+		case []int32:
+			out := make([]int32, len(idx))
+			for k, j := range idx {
+				out[k] = x[j]
+			}
+			cols[i] = out
+		case []int64:
+			out := make([]int64, len(idx))
+			for k, j := range idx {
+				out[k] = x[j]
+			}
+			cols[i] = out
+		case []float64:
+			out := make([]float64, len(idx))
+			for k, j := range idx {
+				out[k] = x[j]
+			}
+			cols[i] = out
+		case []string:
+			out := make([]string, len(idx))
+			for k, j := range idx {
+				out[k] = x[j]
+			}
+			cols[i] = out
+		}
+		total += colBytes(cols[i])
+	}
+	if err := df.sess.alloc(total); err != nil {
+		return nil, err
+	}
+	return &DataFrame{sess: df.sess, names: append([]string{}, df.names...), cols: cols, n: len(idx)}, nil
+}
+
+// Filter materializes the rows where mask is true.
+func (df *DataFrame) Filter(mask []bool) (*DataFrame, error) {
+	if len(mask) != df.n {
+		return nil, fmt.Errorf("frame: mask length %d, frame %d", len(mask), df.n)
+	}
+	idx := make([]int32, 0, df.n)
+	for i, m := range mask {
+		if m {
+			idx = append(idx, int32(i))
+		}
+	}
+	return df.Take(idx)
+}
+
+// Head returns the first n rows (materialized).
+func (df *DataFrame) Head(n int) (*DataFrame, error) {
+	if n > df.n {
+		n = df.n
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return df.Take(idx)
+}
+
+// SortBy materializes the frame ordered by the given key columns.
+func (df *DataFrame) SortBy(keys []string, desc []bool) (*DataFrame, error) {
+	idx := make([]int32, df.n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	cmps := make([]func(a, b int32) int, len(keys))
+	for k, name := range keys {
+		c := df.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("frame: no column %q", name)
+		}
+		switch x := c.(type) {
+		case []int32:
+			cmps[k] = func(a, b int32) int { return cmp3(x[a], x[b]) }
+		case []int64:
+			cmps[k] = func(a, b int32) int { return cmp3(x[a], x[b]) }
+		case []float64:
+			cmps[k] = func(a, b int32) int { return cmp3(x[a], x[b]) }
+		case []string:
+			cmps[k] = func(a, b int32) int { return cmp3s(x[a], x[b]) }
+		}
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		for k := range cmps {
+			r := cmps[k](a, b)
+			if r == 0 {
+				continue
+			}
+			if len(desc) > k && desc[k] {
+				return r > 0
+			}
+			return r < 0
+		}
+		return false
+	})
+	return df.Take(idx)
+}
+
+func cmp3[T int32 | int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmp3s(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,159 @@
+package frame
+
+import (
+	"errors"
+	"testing"
+)
+
+func sess() *Session { return &Session{} }
+
+func TestNewAndAccessors(t *testing.T) {
+	df, err := New(sess(), []string{"a", "s"}, []int32{1, 2, 3}, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.NumRows() != 3 || df.Ints32("a")[1] != 2 || df.Strings("s")[2] != "z" {
+		t.Fatal("accessors")
+	}
+	if df.Col("missing") != nil {
+		t.Fatal("missing column should be nil")
+	}
+	if _, err := New(sess(), []string{"a"}, []int32{1}, []int32{2}); err == nil {
+		t.Fatal("arity mismatch")
+	}
+	if _, err := New(sess(), []string{"a", "b"}, []int32{1}, []int32{1, 2}); err == nil {
+		t.Fatal("ragged")
+	}
+}
+
+func TestFilterTakeHead(t *testing.T) {
+	df, _ := New(sess(), []string{"a"}, []int32{10, 20, 30, 40})
+	f, err := df.Filter([]bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 2 || f.Ints32("a")[1] != 30 {
+		t.Fatal("filter")
+	}
+	h, _ := df.Head(2)
+	if h.NumRows() != 2 || h.Ints32("a")[1] != 20 {
+		t.Fatal("head")
+	}
+	tk, _ := df.Take([]int32{3, 0})
+	if tk.Ints32("a")[0] != 40 {
+		t.Fatal("take")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	df, _ := New(sess(), []string{"g", "v"}, []string{"b", "a", "b", "a"}, []float64{1, 2, 0, 3})
+	s, err := df.SortBy([]string{"g", "v"}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, v := s.Strings("g"), s.Floats("v")
+	if g[0] != "a" || v[0] != 3 || g[2] != "b" || v[2] != 1 {
+		t.Fatalf("sort: %v %v", g, v)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	l, _ := New(sess(), []string{"k", "lx"}, []int32{1, 2, 3}, []string{"a", "b", "c"})
+	r, _ := New(sess(), []string{"k", "rx"}, []int32{2, 3, 3}, []float64{20, 30, 31})
+	j, err := Join(l, r, []string{"k"}, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 3 {
+		t.Fatalf("join rows: %d", j.NumRows())
+	}
+	if j.Col("k") == nil || j.Col("lx") == nil || j.Col("rx") == nil {
+		t.Fatalf("join cols: %v", j.Names())
+	}
+	// Name collision gets _r suffix.
+	r2, _ := New(sess(), []string{"k", "lx"}, []int32{1}, []string{"z"})
+	j2, _ := Join(l, r2, []string{"k"}, []string{"k"})
+	if j2.Col("lx_r") == nil {
+		t.Fatalf("collision names: %v", j2.Names())
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	l, _ := New(sess(), []string{"k"}, []int32{1, 2, 3, 4})
+	r, _ := New(sess(), []string{"k"}, []int32{2, 4})
+	s, _ := SemiJoin(l, r, []string{"k"}, []string{"k"}, false)
+	if s.NumRows() != 2 || s.Ints32("k")[0] != 2 {
+		t.Fatal("semi")
+	}
+	a, _ := SemiJoin(l, r, []string{"k"}, []string{"k"}, true)
+	if a.NumRows() != 2 || a.Ints32("k")[0] != 1 {
+		t.Fatal("anti")
+	}
+}
+
+func TestGroupAgg(t *testing.T) {
+	df, _ := New(sess(), []string{"g", "v"}, []string{"a", "b", "a"}, []float64{1, 10, 3})
+	out, err := df.GroupBy("g").Agg(
+		AggSpec{Col: "v", Kind: Sum, As: "total"},
+		AggSpec{Kind: Count, As: "n"},
+		AggSpec{Col: "v", Kind: Mean, As: "mean"},
+		AggSpec{Col: "v", Kind: Min, As: "lo"},
+		AggSpec{Col: "v", Kind: Max, As: "hi"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatal("groups")
+	}
+	gi := 0
+	if out.Strings("g")[0] != "a" {
+		gi = 1
+	}
+	if out.Floats("total")[gi] != 4 || out.Ints64("n")[gi] != 2 || out.Floats("mean")[gi] != 2 ||
+		out.Floats("lo")[gi] != 1 || out.Floats("hi")[gi] != 3 {
+		t.Fatalf("aggs: %v", out.cols)
+	}
+}
+
+func TestMemoryBudgetOOM(t *testing.T) {
+	s := &Session{Budget: 1024}
+	big := make([]float64, 1000) // 8000 bytes > 1024
+	if _, err := New(s, []string{"v"}, big); !errors.Is(err, ErrOOM) {
+		t.Fatal("expected OOM on construction")
+	}
+	// Small frame fits, but a materializing op can push it over.
+	s2 := &Session{Budget: 1200}
+	df, err := New(s2, []string{"v"}, make([]float64, 100)) // 800 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Take(makeIdx(100)); !errors.Is(err, ErrOOM) {
+		t.Fatal("expected OOM on materialization")
+	}
+	if s2.Used() <= 800 {
+		t.Fatal("accounting should accumulate")
+	}
+}
+
+func makeIdx(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestWithColumn(t *testing.T) {
+	df, _ := New(sess(), []string{"a"}, []int32{1, 2})
+	df2, err := df.WithColumn("b", []float64{1.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df2.Floats("b")[1] != 2.5 || df.Col("b") != nil {
+		t.Fatal("with column")
+	}
+	if _, err := df.WithColumn("c", []float64{1}); err == nil {
+		t.Fatal("ragged with column")
+	}
+}

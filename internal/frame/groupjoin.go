@@ -1,0 +1,293 @@
+package frame
+
+import (
+	"fmt"
+)
+
+// Join computes the inner hash equi-join of l and r on the given key column
+// lists (positionally paired). Right-side key columns are dropped from the
+// output; name collisions on non-key columns get an "_r" suffix — the usual
+// dataframe-library convention.
+func Join(l, r *DataFrame, lKeys, rKeys []string) (*DataFrame, error) {
+	if len(lKeys) != len(rKeys) || len(lKeys) == 0 {
+		return nil, fmt.Errorf("frame: join needs matching key lists")
+	}
+	// Build on the smaller side, probe the bigger.
+	if r.n > l.n {
+		// Swap so the hash table is built on r (smaller): keep output order
+		// by always probing l.
+	}
+	ht := make(map[string][]int32, r.n)
+	rkeyCols := make([]any, len(rKeys))
+	for i, k := range rKeys {
+		c := r.Col(k)
+		if c == nil {
+			return nil, fmt.Errorf("frame: no join column %q", k)
+		}
+		rkeyCols[i] = c
+	}
+	buf := make([]byte, 0, 64)
+	for i := 0; i < r.n; i++ {
+		buf = encodeKey(buf[:0], rkeyCols, i)
+		ht[string(buf)] = append(ht[string(buf)], int32(i))
+	}
+	lkeyCols := make([]any, len(lKeys))
+	for i, k := range lKeys {
+		c := l.Col(k)
+		if c == nil {
+			return nil, fmt.Errorf("frame: no join column %q", k)
+		}
+		lkeyCols[i] = c
+	}
+	var lIdx, rIdx []int32
+	for i := 0; i < l.n; i++ {
+		buf = encodeKey(buf[:0], lkeyCols, i)
+		for _, j := range ht[string(buf)] {
+			lIdx = append(lIdx, int32(i))
+			rIdx = append(rIdx, j)
+		}
+	}
+	lt, err := l.Take(lIdx)
+	if err != nil {
+		return nil, err
+	}
+	rightNames := make([]string, 0, len(r.names))
+	rightCols := make([]any, 0, len(r.cols))
+	isKey := map[string]bool{}
+	for _, k := range rKeys {
+		isKey[k] = true
+	}
+	for i, n := range r.names {
+		if isKey[n] {
+			continue
+		}
+		rightNames = append(rightNames, n)
+		rightCols = append(rightCols, r.cols[i])
+	}
+	rview := &DataFrame{sess: r.sess, names: rightNames, cols: rightCols, n: r.n}
+	rt, err := rview.Take(rIdx)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string{}, lt.names...)
+	cols := append([]any{}, lt.cols...)
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for i, n := range rt.names {
+		if seen[n] {
+			n += "_r"
+		}
+		names = append(names, n)
+		cols = append(cols, rt.cols[i])
+	}
+	return &DataFrame{sess: l.sess, names: names, cols: cols, n: len(lIdx)}, nil
+}
+
+// SemiJoin returns the rows of l whose keys appear in r (EXISTS) or do not
+// (anti=true, NOT EXISTS).
+func SemiJoin(l, r *DataFrame, lKeys, rKeys []string, anti bool) (*DataFrame, error) {
+	rkeyCols := make([]any, len(rKeys))
+	for i, k := range rKeys {
+		rkeyCols[i] = r.Col(k)
+		if rkeyCols[i] == nil {
+			return nil, fmt.Errorf("frame: no join column %q", k)
+		}
+	}
+	set := make(map[string]bool, r.n)
+	buf := make([]byte, 0, 64)
+	for i := 0; i < r.n; i++ {
+		buf = encodeKey(buf[:0], rkeyCols, i)
+		set[string(buf)] = true
+	}
+	lkeyCols := make([]any, len(lKeys))
+	for i, k := range lKeys {
+		lkeyCols[i] = l.Col(k)
+		if lkeyCols[i] == nil {
+			return nil, fmt.Errorf("frame: no join column %q", k)
+		}
+	}
+	idx := make([]int32, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		buf = encodeKey(buf[:0], lkeyCols, i)
+		if set[string(buf)] != anti {
+			idx = append(idx, int32(i))
+		}
+	}
+	return l.Take(idx)
+}
+
+func encodeKey(buf []byte, cols []any, row int) []byte {
+	for _, c := range cols {
+		switch x := c.(type) {
+		case []int32:
+			v := x[row]
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), 0xfe)
+		case []int64:
+			v := x[row]
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(v>>uint(s)))
+			}
+			buf = append(buf, 0xfe)
+		case []float64:
+			v := int64(x[row] * 1e6)
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(v>>uint(s)))
+			}
+			buf = append(buf, 0xfe)
+		case []string:
+			buf = append(buf, x[row]...)
+			buf = append(buf, 0xff)
+		}
+	}
+	return buf
+}
+
+// AggKind selects an aggregate for Grouped.Agg.
+type AggKind uint8
+
+// Aggregates supported by the library.
+const (
+	Sum AggKind = iota
+	Count
+	Mean
+	Min
+	Max
+)
+
+// AggSpec names one aggregate computation over a source column.
+type AggSpec struct {
+	Col  string // "" for Count
+	Kind AggKind
+	As   string
+}
+
+// Grouped is a deferred group-by handle.
+type Grouped struct {
+	df   *DataFrame
+	keys []string
+}
+
+// GroupBy groups the frame by key columns.
+func (df *DataFrame) GroupBy(keys ...string) *Grouped {
+	return &Grouped{df: df, keys: keys}
+}
+
+// Agg materializes one row per group with the key columns and aggregates.
+func (g *Grouped) Agg(aggs ...AggSpec) (*DataFrame, error) {
+	df := g.df
+	keyCols := make([]any, len(g.keys))
+	for i, k := range g.keys {
+		keyCols[i] = df.Col(k)
+		if keyCols[i] == nil {
+			return nil, fmt.Errorf("frame: no group column %q", k)
+		}
+	}
+	gidOf := make(map[string]int32, 1024)
+	gids := make([]int32, df.n)
+	var reprs []int32
+	buf := make([]byte, 0, 64)
+	for i := 0; i < df.n; i++ {
+		buf = encodeKey(buf[:0], keyCols, i)
+		id, ok := gidOf[string(buf)]
+		if !ok {
+			id = int32(len(reprs))
+			gidOf[string(buf)] = id
+			reprs = append(reprs, int32(i))
+		}
+		gids[i] = id
+	}
+	ng := len(reprs)
+
+	outNames := append([]string{}, g.keys...)
+	outCols := make([]any, 0, len(g.keys)+len(aggs))
+	keyFrame, err := df.Select(g.keys...)
+	if err != nil {
+		return nil, err
+	}
+	keyOut, err := keyFrame.Take(reprs)
+	if err != nil {
+		return nil, err
+	}
+	outCols = append(outCols, keyOut.cols...)
+
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Col
+		}
+		outNames = append(outNames, name)
+		if a.Kind == Count {
+			out := make([]int64, ng)
+			for _, gid := range gids {
+				out[gid]++
+			}
+			if err := df.sess.alloc(colBytes(out)); err != nil {
+				return nil, err
+			}
+			outCols = append(outCols, out)
+			continue
+		}
+		src := df.Col(a.Col)
+		if src == nil {
+			return nil, fmt.Errorf("frame: no aggregate column %q", a.Col)
+		}
+		vals := toFloats(src)
+		switch a.Kind {
+		case Sum, Mean:
+			sums := make([]float64, ng)
+			counts := make([]int64, ng)
+			for i, gid := range gids {
+				sums[gid] += vals[i]
+				counts[gid]++
+			}
+			if a.Kind == Mean {
+				for g := range sums {
+					if counts[g] > 0 {
+						sums[g] /= float64(counts[g])
+					}
+				}
+			}
+			if err := df.sess.alloc(colBytes(sums)); err != nil {
+				return nil, err
+			}
+			outCols = append(outCols, sums)
+		case Min, Max:
+			out := make([]float64, ng)
+			init := make([]bool, ng)
+			for i, gid := range gids {
+				v := vals[i]
+				if !init[gid] || (a.Kind == Min && v < out[gid]) || (a.Kind == Max && v > out[gid]) {
+					out[gid] = v
+					init[gid] = true
+				}
+			}
+			if err := df.sess.alloc(colBytes(out)); err != nil {
+				return nil, err
+			}
+			outCols = append(outCols, out)
+		}
+	}
+	return &DataFrame{sess: df.sess, names: outNames, cols: outCols, n: ng}, nil
+}
+
+func toFloats(c any) []float64 {
+	switch x := c.(type) {
+	case []float64:
+		return x
+	case []int32:
+		out := make([]float64, len(x))
+		for i, v := range x {
+			out[i] = float64(v)
+		}
+		return out
+	case []int64:
+		out := make([]float64, len(x))
+		for i, v := range x {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	return nil
+}

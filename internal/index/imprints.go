@@ -1,0 +1,137 @@
+// Package index implements MonetDB's secondary index structures as described
+// in the paper (§3.1 "Automatic Indexing" and "Order Index"):
+//
+//   - Imprints: a cache-line-grained bitmap index accelerating point and
+//     range selections. Built automatically on the first range query over a
+//     persistent column; destroyed when the column is modified.
+//   - Hash index: value -> row-ids table accelerating group-by and equi-join
+//     keys. Built automatically, maintained on appends, destroyed on updates
+//     and deletes.
+//   - Order index: a sorted row-id permutation created explicitly via
+//     CREATE ORDER INDEX, answering point/range queries by binary search and
+//     enabling merge joins.
+//
+// The structures never change query results — only access paths. The storage
+// layer owns their lifecycle.
+package index
+
+import (
+	"sort"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// imprintsBlock is the number of consecutive values summarized by one bitmap
+// word ("cache line" granularity: 64 values x 4-8 bytes ~ a few lines).
+const imprintsBlock = 64
+
+// imprintsBins is the number of histogram bins (one per bit of the mask).
+const imprintsBins = 64
+
+// Imprints is a bitmap index over a fixed-width numeric column. For every
+// block of 64 values it stores a 64-bit mask of which value-range bins occur
+// in that block; range queries skip blocks whose mask does not intersect the
+// query's bin mask.
+type Imprints struct {
+	bounds [imprintsBins - 1]float64 // ascending bin upper bounds (exclusive)
+	masks  []uint64                  // one mask per block
+	n      int                       // number of indexed values
+}
+
+// BuildImprints constructs imprints over the column. Returns nil for types
+// without a numeric order (VARCHAR) or empty columns.
+func BuildImprints(v *vec.Vector) *Imprints {
+	if v.Typ.Kind == mtypes.KVarchar || v.Len() == 0 {
+		return nil
+	}
+	fs := vec.AsFloats(v)
+	im := &Imprints{n: len(fs)}
+
+	// Derive equi-depth bin bounds from a sample so skewed data still prunes.
+	sample := make([]float64, 0, 4096)
+	step := len(fs)/4096 + 1
+	for i := 0; i < len(fs); i += step {
+		if !mtypes.IsNullF64(fs[i]) {
+			sample = append(sample, fs[i])
+		}
+	}
+	if len(sample) == 0 {
+		return nil
+	}
+	sort.Float64s(sample)
+	for b := 0; b < imprintsBins-1; b++ {
+		im.bounds[b] = sample[(b+1)*len(sample)/imprintsBins%len(sample)]
+	}
+
+	nblocks := (len(fs) + imprintsBlock - 1) / imprintsBlock
+	im.masks = make([]uint64, nblocks)
+	for i, f := range fs {
+		if mtypes.IsNullF64(f) {
+			continue
+		}
+		im.masks[i/imprintsBlock] |= 1 << im.bin(f)
+	}
+	return im
+}
+
+// bin maps a value to its bin number via binary search over the bounds.
+func (im *Imprints) bin(f float64) int {
+	lo, hi := 0, imprintsBins-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f < im.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Len returns the number of values covered by the index.
+func (im *Imprints) Len() int { return im.n }
+
+// queryMask computes the bin mask that a range [lo, hi] can touch.
+func (im *Imprints) queryMask(lo, hi float64) uint64 {
+	bl, bh := im.bin(lo), im.bin(hi)
+	var mask uint64
+	for b := bl; b <= bh; b++ {
+		mask |= 1 << b
+	}
+	return mask
+}
+
+// SelectRange evaluates lo <= v <= hi (with inclusivity flags) using the
+// imprints to skip blocks, then verifies survivors value-by-value. The result
+// is identical to vec.SelRange over the same column.
+func (im *Imprints) SelectRange(v *vec.Vector, lo, hi mtypes.Value, loIncl, hiIncl bool) []int32 {
+	mask := im.queryMask(lo.AsFloat(), hi.AsFloat())
+	out := make([]int32, 0, 64)
+	n := v.Len()
+	for b, bm := range im.masks {
+		if bm&mask == 0 {
+			continue // no value in this block can fall in the range
+		}
+		start := b * imprintsBlock
+		end := min(start+imprintsBlock, n)
+		blockCands := vec.SelRange(v.Slice(start, end), lo, hi, loIncl, hiIncl, nil)
+		for _, c := range blockCands {
+			out = append(out, c+int32(start))
+		}
+	}
+	return out
+}
+
+// BlocksSkipped reports, for instrumentation and tests, how many blocks the
+// given range query would skip.
+func (im *Imprints) BlocksSkipped(lo, hi float64) int {
+	mask := im.queryMask(lo, hi)
+	skipped := 0
+	for _, bm := range im.masks {
+		if bm&mask == 0 {
+			skipped++
+		}
+	}
+	return skipped
+}

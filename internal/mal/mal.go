@@ -1,0 +1,151 @@
+// Package mal models the MAL (Monet Assembly Language) layer of the engine:
+// the instruction-level representation of a query plan that the columnar
+// executor interprets (paper §3.1 "Query Plan Execution").
+//
+// Two MAL-level concerns live here:
+//
+//   - the instruction trace (Program), used by EXPLAIN output and by
+//     plan-shape tests — including common-subexpression elimination, which
+//     the executor performs by memoizing identical expression instructions;
+//   - the mitosis heuristics (paper §3.1 "Parallel Execution", Figure 2):
+//     how many chunks to split the largest table into, based on table size,
+//     core count and a memory budget, never splitting small inputs.
+package mal
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Instr is one MAL instruction in a trace: ret := op(args).
+type Instr struct {
+	Op   string
+	Args []string
+	Ret  string
+}
+
+// String renders the instruction in MAL-like syntax.
+func (i Instr) String() string {
+	if i.Ret == "" {
+		return fmt.Sprintf("%s(%s);", i.Op, strings.Join(i.Args, ", "))
+	}
+	return fmt.Sprintf("%s := %s(%s);", i.Ret, i.Op, strings.Join(i.Args, ", "))
+}
+
+// Program is an instruction trace of one query execution.
+type Program struct {
+	Instrs []Instr
+	nreg   int
+}
+
+// NewReg allocates a fresh register name.
+func (p *Program) NewReg() string {
+	p.nreg++
+	return fmt.Sprintf("X_%d", p.nreg)
+}
+
+// Emit appends an instruction and returns its result register.
+func (p *Program) Emit(op string, args ...string) string {
+	if p == nil {
+		return ""
+	}
+	ret := p.NewReg()
+	p.Instrs = append(p.Instrs, Instr{Op: op, Args: args, Ret: ret})
+	return ret
+}
+
+// EmitVoid appends an instruction with no result register.
+func (p *Program) EmitVoid(op string, args ...string) {
+	if p == nil {
+		return
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: op, Args: args})
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	if p == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, i := range p.Instrs {
+		sb.WriteString(i.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Count returns how many instructions use the given op.
+func (p *Program) Count(op string) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, i := range p.Instrs {
+		if i.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Mitosis heuristics.
+// ---------------------------------------------------------------------------
+
+// MinChunkRows is the smallest chunk worth parallelizing: below this, the
+// goroutine and merge overhead outweighs the benefit (the paper: "the
+// optimizer will not split up small columns").
+const MinChunkRows = 16384
+
+// DefaultMemBudget caps the estimated bytes one chunk should occupy so chunks
+// fit in memory (the paper: "generate chunks that fit inside main memory").
+const DefaultMemBudget = 256 << 20
+
+// ChunkPlan describes how mitosis splits a table.
+type ChunkPlan struct {
+	Chunks int // 1 = no parallelism
+	Rows   int // rows per chunk (last chunk may be smaller)
+}
+
+// Mitosis decides the chunking of a scan over nrows rows of approximately
+// rowBytes bytes each, given maxThreads workers (0 = GOMAXPROCS).
+func Mitosis(nrows int, rowBytes int, maxThreads int) ChunkPlan {
+	if maxThreads <= 0 {
+		maxThreads = runtime.GOMAXPROCS(0)
+	}
+	// Memory-driven chunking applies regardless of parallelism: chunks must
+	// fit the budget even on one worker (the paper: "generate chunks that
+	// fit inside main memory to avoid swapping").
+	memNeed := 1
+	if rowBytes > 0 {
+		maxRowsPerChunk := DefaultMemBudget / rowBytes
+		if maxRowsPerChunk < 1 {
+			maxRowsPerChunk = 1
+		}
+		memNeed = (nrows + maxRowsPerChunk - 1) / maxRowsPerChunk
+	}
+	if nrows < 2*MinChunkRows || maxThreads == 1 {
+		chunks := max(1, memNeed)
+		return ChunkPlan{Chunks: chunks, Rows: (nrows + chunks - 1) / chunks}
+	}
+	chunks := maxThreads
+	// Respect the minimum chunk size.
+	if nrows/chunks < MinChunkRows {
+		chunks = nrows / MinChunkRows
+	}
+	chunks = max(chunks, memNeed)
+	if chunks < 1 {
+		chunks = 1
+	}
+	rows := (nrows + chunks - 1) / chunks
+	return ChunkPlan{Chunks: chunks, Rows: rows}
+}
+
+// Bounds returns the row range [lo, hi) of chunk i.
+func (cp ChunkPlan) Bounds(i, nrows int) (int, int) {
+	lo := i * cp.Rows
+	hi := min(lo+cp.Rows, nrows)
+	return lo, hi
+}

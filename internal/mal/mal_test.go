@@ -1,0 +1,93 @@
+package mal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramEmitAndString(t *testing.T) {
+	p := &Program{}
+	r1 := p.Emit("algebra.select", "tbl.col", "5")
+	r2 := p.Emit("aggr.sum", r1)
+	p.EmitVoid("optimizer.mitosis", "4 chunks")
+	out := p.String()
+	if !strings.Contains(out, r1+" := algebra.select(tbl.col, 5);") {
+		t.Fatalf("program:\n%s", out)
+	}
+	if !strings.Contains(out, r2+" := aggr.sum("+r1+");") {
+		t.Fatalf("program:\n%s", out)
+	}
+	if !strings.Contains(out, "optimizer.mitosis(4 chunks);") {
+		t.Fatalf("void emit:\n%s", out)
+	}
+	if p.Count("algebra.select") != 1 || p.Count("nope") != 0 {
+		t.Fatal("count")
+	}
+}
+
+func TestNilProgramSafe(t *testing.T) {
+	var p *Program
+	if p.Emit("x") != "" {
+		t.Fatal("nil emit should be a no-op")
+	}
+	p.EmitVoid("y")
+	if p.String() != "" || p.Count("x") != 0 {
+		t.Fatal("nil program accessors")
+	}
+}
+
+func TestMitosisSmallInputsNotSplit(t *testing.T) {
+	// The paper: "the optimizer will not split up small columns".
+	cp := Mitosis(1000, 8, 8)
+	if cp.Chunks != 1 {
+		t.Fatalf("small input split into %d chunks", cp.Chunks)
+	}
+	cp = Mitosis(2*MinChunkRows-1, 8, 8)
+	if cp.Chunks != 1 {
+		t.Fatalf("just-below-threshold split into %d chunks", cp.Chunks)
+	}
+}
+
+func TestMitosisUsesThreads(t *testing.T) {
+	cp := Mitosis(1_000_000, 8, 4)
+	if cp.Chunks != 4 {
+		t.Fatalf("chunks = %d, want 4", cp.Chunks)
+	}
+	// Respect MinChunkRows: 40000 rows / 4 threads = 10000 < MinChunkRows.
+	cp = Mitosis(40000, 8, 4)
+	if cp.Chunks != 40000/MinChunkRows {
+		t.Fatalf("chunks = %d", cp.Chunks)
+	}
+}
+
+func TestMitosisMemoryBudget(t *testing.T) {
+	// Huge rows force more chunks so each fits the budget.
+	rowBytes := 1 << 20 // 1 MiB per row
+	nrows := 4096
+	cp := Mitosis(nrows, rowBytes, 2)
+	maxRows := DefaultMemBudget / rowBytes
+	if cp.Rows > maxRows {
+		t.Fatalf("chunk of %d rows exceeds memory budget (max %d)", cp.Rows, maxRows)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	cp := ChunkPlan{Chunks: 3, Rows: 40}
+	lo, hi := cp.Bounds(0, 100)
+	if lo != 0 || hi != 40 {
+		t.Fatal("chunk 0")
+	}
+	lo, hi = cp.Bounds(2, 100)
+	if lo != 80 || hi != 100 {
+		t.Fatalf("last chunk: %d..%d", lo, hi)
+	}
+	// All rows covered exactly once.
+	covered := 0
+	for i := 0; i < cp.Chunks; i++ {
+		lo, hi := cp.Bounds(i, 100)
+		covered += hi - lo
+	}
+	if covered != 100 {
+		t.Fatalf("covered %d rows", covered)
+	}
+}

@@ -1,0 +1,241 @@
+package mtypes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"BOOLEAN":       Bool,
+		"TINYINT":       TinyInt,
+		"SMALLINT":      SmallInt,
+		"INTEGER":       Int,
+		"BIGINT":        BigInt,
+		"DOUBLE":        Double,
+		"DATE":          Date,
+		"VARCHAR":       Varchar,
+		"VARCHAR(25)":   VarcharN(25),
+		"DECIMAL(15,2)": Decimal(15, 2),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseTypeName(t *testing.T) {
+	cases := map[string]Kind{
+		"integer": KInt, "INT": KInt, "BigInt": KBigInt, "varchar": KVarchar,
+		"TEXT": KVarchar, "double": KDouble, "FLOAT": KDouble, "decimal": KDecimal,
+		"DATE": KDate, "boolean": KBool, "smallint": KSmallInt, "tinyint": KTinyInt,
+		"nonsense": KUnknown,
+	}
+	for name, want := range cases {
+		if got := ParseTypeName(name); got != want {
+			t.Errorf("ParseTypeName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestByteWidth(t *testing.T) {
+	if Int.ByteWidth() != 4 || BigInt.ByteWidth() != 8 || SmallInt.ByteWidth() != 2 ||
+		TinyInt.ByteWidth() != 1 || Double.ByteWidth() != 8 || Date.ByteWidth() != 4 ||
+		Decimal(10, 2).ByteWidth() != 8 || Varchar.ByteWidth() != 0 {
+		t.Fatal("unexpected byte widths")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	// Known anchors.
+	if d := DateFromYMD(1970, 1, 1); d != 0 {
+		t.Fatalf("epoch = %d, want 0", d)
+	}
+	if d := DateFromYMD(1998, 12, 1); FormatDate(d) != "1998-12-01" {
+		t.Fatalf("format = %s", FormatDate(d))
+	}
+	// Cross-check against the time package over a wide range.
+	for days := int32(-200000); days <= 200000; days += 97 {
+		y, m, d := YMDFromDate(days)
+		want := time.Unix(0, 0).UTC().AddDate(0, 0, int(days))
+		if y != want.Year() || m != int(want.Month()) || d != want.Day() {
+			t.Fatalf("YMDFromDate(%d) = %d-%d-%d, want %v", days, y, m, d, want)
+		}
+		if back := DateFromYMD(y, m, d); back != days {
+			t.Fatalf("DateFromYMD round trip: got %d want %d", back, days)
+		}
+	}
+}
+
+func TestDateRoundTripQuick(t *testing.T) {
+	f := func(n int32) bool {
+		days := n % 3000000
+		y, m, d := YMDFromDate(days)
+		return DateFromYMD(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	d, err := ParseDate("1995-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDate(d) != "1995-03-15" {
+		t.Fatalf("got %s", FormatDate(d))
+	}
+	for _, bad := range []string{"1995-3-15", "95-03-15", "1995/03/15", "1995-13-01", "1995-00-10", "xxxx-03-15"} {
+		if _, err := ParseDate(bad); err == nil {
+			t.Errorf("ParseDate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDateExtract(t *testing.T) {
+	d, _ := ParseDate("1996-02-29")
+	if DateYear(d) != 1996 || DateMonth(d) != 2 || DateDay(d) != 29 {
+		t.Fatalf("extract failed: %d %d %d", DateYear(d), DateMonth(d), DateDay(d))
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"1995-01-31", 1, "1995-02-28"},
+		{"1996-01-31", 1, "1996-02-29"},
+		{"1995-12-01", 3, "1996-03-01"},
+		{"1995-03-15", -3, "1994-12-15"},
+		{"1993-10-01", 12, "1994-10-01"},
+	}
+	for _, c := range cases {
+		d, _ := ParseDate(c.in)
+		if got := FormatDate(AddMonths(d, c.n)); got != c.want {
+			t.Errorf("AddMonths(%s, %d) = %s, want %s", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDecimalParseFormat(t *testing.T) {
+	cases := []struct {
+		in    string
+		scale int
+		want  string
+	}{
+		{"123.45", 2, "123.45"},
+		{"123.4", 2, "123.40"},
+		{"123", 2, "123.00"},
+		{"-0.05", 2, "-0.05"},
+		{"0.059", 2, "0.06"},   // round half away from zero
+		{"-0.055", 2, "-0.06"}, // negative rounding
+		{"0.05", 2, "0.05"},
+		{".5", 1, "0.5"},
+		{"7", 0, "7"},
+	}
+	for _, c := range cases {
+		v, err := ParseDecimal(c.in, c.scale)
+		if err != nil {
+			t.Fatalf("ParseDecimal(%q): %v", c.in, err)
+		}
+		if got := FormatDecimal(v, c.scale); got != c.want {
+			t.Errorf("ParseDecimal(%q, %d) -> %s, want %s", c.in, c.scale, got, c.want)
+		}
+	}
+	if _, err := ParseDecimal("12a.3", 2); err == nil {
+		t.Error("ParseDecimal should reject garbage")
+	}
+}
+
+func TestRescaleDecimal(t *testing.T) {
+	if got := RescaleDecimal(12345, 2, 4); got != 1234500 {
+		t.Fatalf("up-scale: %d", got)
+	}
+	if got := RescaleDecimal(12345, 2, 0); got != 123 {
+		t.Fatalf("down-scale round: %d", got)
+	}
+	if got := RescaleDecimal(12355, 2, 1); got != 1236 {
+		t.Fatalf("down-scale round half up: %d", got)
+	}
+	if got := RescaleDecimal(-12355, 2, 1); got != -1236 {
+		t.Fatalf("down-scale negative: %d", got)
+	}
+	if got := RescaleDecimal(NullInt64, 2, 4); got != NullInt64 {
+		t.Fatalf("null passthrough: %d", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	i5, i7 := NewInt(Int, 5), NewInt(Int, 7)
+	if Compare(i5, i7) >= 0 || Compare(i7, i5) <= 0 || Compare(i5, i5) != 0 {
+		t.Fatal("int compare broken")
+	}
+	d1 := NewDecimal(10, 2, 150) // 1.50
+	f := NewDouble(1.5)
+	if Compare(d1, f) != 0 {
+		t.Fatal("decimal/double cross compare broken")
+	}
+	d2 := NewDecimal(10, 3, 1500) // 1.500
+	if Compare(d1, d2) != 0 {
+		t.Fatal("cross-scale decimal compare broken")
+	}
+	s1, s2 := NewString("apple"), NewString("banana")
+	if Compare(s1, s2) >= 0 {
+		t.Fatal("string compare broken")
+	}
+	n := NullValue(Int)
+	if Compare(n, i5) != -1 || Compare(i5, n) != 1 || Compare(n, n) != 0 {
+		t.Fatal("null ordering broken")
+	}
+	if Equal(n, n) {
+		t.Fatal("NULL must not equal NULL")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(Int, -42), "-42"},
+		{NewDouble(2.5), "2.5"},
+		{NewDecimal(12, 2, -1234), "-12.34"},
+		{NewString("hi"), "hi"},
+		{NullValue(Varchar), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Value.String() = %q, want %q", got, c.want)
+		}
+	}
+	d, _ := ParseDate("2016-06-01")
+	if got := NewDate(d).String(); got != "2016-06-01" {
+		t.Errorf("date string = %q", got)
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if NewDecimal(10, 2, 250).AsFloat() != 2.5 {
+		t.Fatal("decimal AsFloat")
+	}
+	if NewDouble(3.9).AsInt() != 3 {
+		t.Fatal("double AsInt truncation")
+	}
+	if !math.IsNaN(NullValue(Double).AsFloat()) {
+		t.Fatal("null AsFloat should be NaN")
+	}
+	if NullValue(Int).AsInt() != NullInt64 {
+		t.Fatal("null AsInt sentinel")
+	}
+	if !IsNullF64(NullFloat64()) {
+		t.Fatal("NaN sentinel check")
+	}
+}

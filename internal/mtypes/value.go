@@ -1,0 +1,370 @@
+package mtypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is the scalar (row-wise) value representation. Vectorized kernels do
+// not use it; it exists for literals, row-at-a-time engines, wire protocols
+// and the public API's generic accessors.
+//
+// The payload lives in I for all integer-backed kinds (bool, ints, date,
+// decimal), in F for doubles and in S for strings.
+type Value struct {
+	Typ  Type
+	Null bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null values of each type.
+func NullValue(t Type) Value { return Value{Typ: t, Null: true} }
+
+// NewBool builds a BOOLEAN value.
+func NewBool(b bool) Value {
+	v := Value{Typ: Bool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// NewInt builds an INTEGER-kind value with the given type.
+func NewInt(t Type, i int64) Value { return Value{Typ: t, I: i} }
+
+// NewDouble builds a DOUBLE value.
+func NewDouble(f float64) Value { return Value{Typ: Double, F: f} }
+
+// NewString builds a VARCHAR value.
+func NewString(s string) Value { return Value{Typ: Varchar, S: s} }
+
+// NewDate builds a DATE value from days since the Unix epoch.
+func NewDate(days int32) Value { return Value{Typ: Date, I: int64(days)} }
+
+// NewDecimal builds a DECIMAL(p,s) value from an already-scaled integer.
+func NewDecimal(prec, scale int, scaled int64) Value {
+	return Value{Typ: Decimal(prec, scale), I: scaled}
+}
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return !v.Null && v.I != 0 }
+
+// AsFloat converts any numeric value to float64 (null -> NaN).
+func (v Value) AsFloat() float64 {
+	if v.Null {
+		return math.NaN()
+	}
+	switch v.Typ.Kind {
+	case KDouble:
+		return v.F
+	case KDecimal:
+		return float64(v.I) / float64(Pow10[v.Typ.Scale])
+	default:
+		return float64(v.I)
+	}
+}
+
+// AsInt converts integer-backed values to int64; doubles are truncated.
+func (v Value) AsInt() int64 {
+	if v.Null {
+		return NullInt64
+	}
+	if v.Typ.Kind == KDouble {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// String renders the value in SQL result syntax ("NULL" for nulls).
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Typ.Kind {
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KTinyInt, KSmallInt, KInt, KBigInt:
+		return strconv.FormatInt(v.I, 10)
+	case KDouble:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KDecimal:
+		return FormatDecimal(v.I, v.Typ.Scale)
+	case KDate:
+		return FormatDate(int32(v.I))
+	case KVarchar:
+		return v.S
+	}
+	return "?"
+}
+
+// Compare orders two values of compatible types: -1, 0, +1. NULL sorts first.
+func Compare(a, b Value) int {
+	if a.Null || b.Null {
+		switch {
+		case a.Null && b.Null:
+			return 0
+		case a.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	ak, bk := a.Typ.Kind, b.Typ.Kind
+	if ak == KVarchar || bk == KVarchar {
+		return strings.Compare(a.S, b.S)
+	}
+	if ak == KDouble || bk == KDouble || (ak == KDecimal && bk == KDecimal && a.Typ.Scale != b.Typ.Scale) || (ak == KDecimal) != (bk == KDecimal) {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.I < b.I:
+		return -1
+	case a.I > b.I:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality under Compare semantics (NULL != NULL).
+func Equal(a, b Value) bool {
+	if a.Null || b.Null {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// ---------------------------------------------------------------------------
+// Date handling: civil-date <-> epoch-day conversions (Hinnant's algorithm).
+// ---------------------------------------------------------------------------
+
+// DateFromYMD converts a civil date to days since 1970-01-01.
+func DateFromYMD(y, m, d int) int32 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	era := yy / 400
+	if yy < 0 && yy%400 != 0 {
+		era--
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int32(era*146097 + doe - 719468)
+}
+
+// YMDFromDate converts days since 1970-01-01 back to a civil date.
+func YMDFromDate(days int32) (y, m, d int) {
+	z := int64(days) + 719468
+	era := z / 146097
+	if z < 0 && z%146097 != 0 {
+		era--
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// ParseDate parses "YYYY-MM-DD" into epoch days.
+func ParseDate(s string) (int32, error) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return 0, fmt.Errorf("mtypes: invalid date literal %q", s)
+	}
+	y, err1 := strconv.Atoi(s[0:4])
+	m, err2 := strconv.Atoi(s[5:7])
+	d, err3 := strconv.Atoi(s[8:10])
+	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("mtypes: invalid date literal %q", s)
+	}
+	return DateFromYMD(y, m, d), nil
+}
+
+// FormatDate renders epoch days as "YYYY-MM-DD".
+func FormatDate(days int32) string {
+	if days == NullInt32 {
+		return "NULL"
+	}
+	y, m, d := YMDFromDate(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// DateYear extracts the year of an epoch-day value.
+func DateYear(days int32) int32 {
+	y, _, _ := YMDFromDate(days)
+	return int32(y)
+}
+
+// DateMonth extracts the month (1-12).
+func DateMonth(days int32) int32 {
+	_, m, _ := YMDFromDate(days)
+	return int32(m)
+}
+
+// DateDay extracts the day of month (1-31).
+func DateDay(days int32) int32 {
+	_, _, d := YMDFromDate(days)
+	return int32(d)
+}
+
+// AddMonths shifts a date by n months, clamping the day to the target month's
+// length (SQL INTERVAL MONTH semantics).
+func AddMonths(days int32, n int) int32 {
+	y, m, d := YMDFromDate(days)
+	tot := y*12 + (m - 1) + n
+	ny, nm := tot/12, tot%12+1
+	if tot < 0 && tot%12 != 0 {
+		ny--
+		nm = tot%12 + 13
+	}
+	if mx := daysInMonth(ny, nm); d > mx {
+		d = mx
+	}
+	return DateFromYMD(ny, nm, d)
+}
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if (y%4 == 0 && y%100 != 0) || y%400 == 0 {
+			return 29
+		}
+		return 28
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decimal handling.
+// ---------------------------------------------------------------------------
+
+// ParseDecimal parses a numeric literal into a scaled int64 with the given
+// target scale, rounding half away from zero.
+func ParseDecimal(s string, scale int) (int64, error) {
+	if scale < 0 || scale > 17 {
+		return 0, fmt.Errorf("mtypes: unsupported decimal scale %d", scale)
+	}
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	intPart, fracPart := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart = s[:i], s[i+1:]
+	}
+	if intPart == "" {
+		intPart = "0"
+	}
+	v, err := strconv.ParseInt(intPart, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mtypes: invalid decimal literal %q", s)
+	}
+	v *= Pow10[scale]
+	if fracPart != "" {
+		// Keep scale+1 digits for rounding.
+		if len(fracPart) > scale+1 {
+			fracPart = fracPart[:scale+1]
+		}
+		f, err := strconv.ParseInt(fracPart, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("mtypes: invalid decimal literal %q", s)
+		}
+		digits := len(fracPart)
+		if digits <= scale {
+			f *= Pow10[scale-digits]
+		} else {
+			rem := f % 10
+			f /= 10
+			if rem >= 5 {
+				f++
+			}
+		}
+		v += f
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// FormatDecimal renders a scaled int64 as a decimal string.
+func FormatDecimal(scaled int64, scale int) string {
+	if scaled == NullInt64 {
+		return "NULL"
+	}
+	if scale == 0 {
+		return strconv.FormatInt(scaled, 10)
+	}
+	neg := scaled < 0
+	if neg {
+		scaled = -scaled
+	}
+	p := Pow10[scale]
+	intPart, frac := scaled/p, scaled%p
+	s := fmt.Sprintf("%d.%0*d", intPart, scale, frac)
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+// RescaleDecimal converts a scaled integer from one scale to another,
+// rounding half away from zero when reducing scale.
+func RescaleDecimal(v int64, from, to int) int64 {
+	switch {
+	case v == NullInt64 || from == to:
+		return v
+	case to > from:
+		return v * Pow10[to-from]
+	default:
+		p := Pow10[from-to]
+		q, r := v/p, v%p
+		half := p / 2
+		if r >= half {
+			q++
+		} else if r <= -half {
+			q--
+		}
+		return q
+	}
+}

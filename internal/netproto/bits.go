@@ -1,0 +1,6 @@
+package netproto
+
+import "math"
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,254 @@
+// Package netproto defines the client/server wire formats used by the
+// paper's socket-connected baselines (Figure 1a):
+//
+//   - a line-oriented TEXT protocol carrying results row by row as
+//     tab-separated strings — the PostgreSQL/MariaDB-style path whose
+//     serialization cost dominates large result transfers [15];
+//   - a BINARY columnar protocol shipping whole columns — the MonetDB
+//     server-style path (faster, but still a socket copy away from
+//     zero-copy embedding).
+//
+// Framing: requests are single lines "X <sql>", "Q <sql>", "B <sql>";
+// responses start with a status line and are protocol-specific after that.
+package netproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// Request kinds.
+const (
+	ReqExec        = 'X' // statement, response: OK <n> | E <msg>
+	ReqQueryText   = 'Q' // query, response: R <cols> <rows>, header, rows...
+	ReqQueryBinary = 'B' // query, response: binary columnar payload
+)
+
+// NullText is the text-protocol rendering of NULL.
+const NullText = "\\N"
+
+// WriteRequest sends one request line.
+func WriteRequest(w *bufio.Writer, kind byte, sql string) error {
+	// The protocol is line-oriented: statements must not contain newlines.
+	sql = strings.ReplaceAll(sql, "\n", " ")
+	if err := w.WriteByte(kind); err != nil {
+		return err
+	}
+	if err := w.WriteByte(' '); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(sql); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// ReadRequest parses one request line.
+func ReadRequest(r *bufio.Reader) (byte, string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return 0, "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) < 2 || line[1] != ' ' {
+		return 0, "", fmt.Errorf("netproto: malformed request %q", line)
+	}
+	return line[0], line[2:], nil
+}
+
+// TextValue renders a value for the text protocol.
+func TextValue(v mtypes.Value) string {
+	if v.Null {
+		return NullText
+	}
+	s := v.String()
+	// Tabs/newlines would break framing; they cannot occur in the paper's
+	// workloads, but replace defensively.
+	if strings.ContainsAny(s, "\t\n") {
+		s = strings.NewReplacer("\t", " ", "\n", " ").Replace(s)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Binary columnar payload:
+//
+//	"C <ncols> <nrows>\n"
+//	per column: nameLen uvarint, name, kind byte, scale byte,
+//	            payload (fixed width raw values / uvarint-prefixed strings)
+// ---------------------------------------------------------------------------
+
+// WriteColumns streams a columnar result.
+func WriteColumns(w *bufio.Writer, names []string, cols []*vec.Vector) error {
+	nrows := 0
+	if len(cols) > 0 {
+		nrows = cols[0].Len()
+	}
+	if _, err := fmt.Fprintf(w, "C %d %d\n", len(cols), nrows); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(scratch[:], x)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	for i, v := range cols {
+		if err := putUvarint(uint64(len(names[i]))); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(names[i]); err != nil {
+			return err
+		}
+		if err := w.WriteByte(byte(v.Typ.Kind)); err != nil {
+			return err
+		}
+		if err := w.WriteByte(byte(v.Typ.Scale)); err != nil {
+			return err
+		}
+		switch v.Typ.Kind {
+		case mtypes.KBool, mtypes.KTinyInt:
+			for _, x := range v.I8 {
+				if err := w.WriteByte(byte(x)); err != nil {
+					return err
+				}
+			}
+		case mtypes.KSmallInt:
+			var b [2]byte
+			for _, x := range v.I16 {
+				binary.LittleEndian.PutUint16(b[:], uint16(x))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+		case mtypes.KInt, mtypes.KDate:
+			var b [4]byte
+			for _, x := range v.I32 {
+				binary.LittleEndian.PutUint32(b[:], uint32(x))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+		case mtypes.KBigInt, mtypes.KDecimal:
+			var b [8]byte
+			for _, x := range v.I64 {
+				binary.LittleEndian.PutUint64(b[:], uint64(x))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+		case mtypes.KDouble:
+			var b [8]byte
+			for _, x := range v.F64 {
+				binary.LittleEndian.PutUint64(b[:], floatBits(x))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+		case mtypes.KVarchar:
+			for _, s := range v.Str {
+				if err := putUvarint(uint64(len(s))); err != nil {
+					return err
+				}
+				if _, err := w.WriteString(s); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("netproto: cannot serialize kind %d", v.Typ.Kind)
+		}
+	}
+	return w.Flush()
+}
+
+// ReadColumns parses a binary columnar payload (after its "C" status line
+// has been consumed by the caller into ncols/nrows).
+func ReadColumns(r *bufio.Reader, ncols, nrows int) ([]string, []*vec.Vector, error) {
+	names := make([]string, ncols)
+	cols := make([]*vec.Vector, ncols)
+	for i := 0; i < ncols; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, nil, err
+		}
+		names[i] = string(nameBuf)
+		kindB, err := r.ReadByte()
+		if err != nil {
+			return nil, nil, err
+		}
+		scaleB, err := r.ReadByte()
+		if err != nil {
+			return nil, nil, err
+		}
+		typ := mtypes.Type{Kind: mtypes.Kind(kindB), Scale: int(scaleB)}
+		v := vec.New(typ, nrows)
+		switch typ.Kind {
+		case mtypes.KBool, mtypes.KTinyInt:
+			buf := make([]byte, nrows)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, nil, err
+			}
+			for k, b := range buf {
+				v.I8[k] = int8(b)
+			}
+		case mtypes.KSmallInt:
+			buf := make([]byte, 2*nrows)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, nil, err
+			}
+			for k := 0; k < nrows; k++ {
+				v.I16[k] = int16(binary.LittleEndian.Uint16(buf[2*k:]))
+			}
+		case mtypes.KInt, mtypes.KDate:
+			buf := make([]byte, 4*nrows)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, nil, err
+			}
+			for k := 0; k < nrows; k++ {
+				v.I32[k] = int32(binary.LittleEndian.Uint32(buf[4*k:]))
+			}
+		case mtypes.KBigInt, mtypes.KDecimal:
+			buf := make([]byte, 8*nrows)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, nil, err
+			}
+			for k := 0; k < nrows; k++ {
+				v.I64[k] = int64(binary.LittleEndian.Uint64(buf[8*k:]))
+			}
+		case mtypes.KDouble:
+			buf := make([]byte, 8*nrows)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, nil, err
+			}
+			for k := 0; k < nrows; k++ {
+				v.F64[k] = floatFrom(binary.LittleEndian.Uint64(buf[8*k:]))
+			}
+		case mtypes.KVarchar:
+			for k := 0; k < nrows; k++ {
+				sl, err := binary.ReadUvarint(r)
+				if err != nil {
+					return nil, nil, err
+				}
+				sb := make([]byte, sl)
+				if _, err := io.ReadFull(r, sb); err != nil {
+					return nil, nil, err
+				}
+				v.Str[k] = string(sb)
+			}
+		default:
+			return nil, nil, fmt.Errorf("netproto: unknown kind %d", kindB)
+		}
+		cols[i] = v
+	}
+	return names, cols, nil
+}

@@ -1,0 +1,111 @@
+package netproto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, ReqQueryText, "SELECT *\nFROM t"); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	kind, sql, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != ReqQueryText || sql != "SELECT * FROM t" {
+		t.Fatalf("round trip: %c %q", kind, sql)
+	}
+}
+
+func TestReadRequestMalformed(t *testing.T) {
+	if _, _, err := ReadRequest(bufio.NewReader(strings.NewReader("Z\n"))); err == nil {
+		t.Fatal("malformed request should fail")
+	}
+}
+
+func TestTextValue(t *testing.T) {
+	if TextValue(mtypes.NullValue(mtypes.Int)) != NullText {
+		t.Fatal("null rendering")
+	}
+	if TextValue(mtypes.NewString("a\tb\nc")) != "a b c" {
+		t.Fatal("framing characters must be stripped")
+	}
+	if TextValue(mtypes.NewDecimal(10, 2, 150)) != "1.50" {
+		t.Fatal("decimal rendering")
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	i32 := vec.New(mtypes.Int, 3)
+	copy(i32.I32, []int32{1, -2, 3})
+	i32.SetNull(1)
+	f := vec.New(mtypes.Double, 3)
+	copy(f.F64, []float64{1.5, 2.5, -3.5})
+	s := vec.New(mtypes.Varchar, 3)
+	copy(s.Str, []string{"a", "", "long string value"})
+	dec := vec.New(mtypes.Decimal(15, 2), 3)
+	copy(dec.I64, []int64{100, 250, -75})
+	d := vec.New(mtypes.Date, 3)
+	copy(d.I32, []int32{0, 10000, -1})
+
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	names := []string{"i", "f", "s", "dec", "d"}
+	cols := []*vec.Vector{i32, f, s, dec, d}
+	if err := WriteColumns(w, names, cols); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bufio.NewReader(&buf)
+	var line string
+	line, _ = r.ReadString('\n')
+	var ncols, nrows int
+	if _, err := fmt.Sscanf(line, "C %d %d", &ncols, &nrows); err != nil {
+		t.Fatalf("status line %q: %v", line, err)
+	}
+	gotNames, gotCols, err := ReadColumns(r, ncols, nrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 5 || gotNames[3] != "dec" {
+		t.Fatalf("names: %v", gotNames)
+	}
+	if gotCols[0].I32[0] != 1 || !gotCols[0].IsNull(1) {
+		t.Fatalf("int col: %v", gotCols[0].I32)
+	}
+	if gotCols[1].F64[2] != -3.5 {
+		t.Fatalf("double col: %v", gotCols[1].F64)
+	}
+	if gotCols[2].Str[2] != "long string value" {
+		t.Fatalf("str col: %v", gotCols[2].Str)
+	}
+	if gotCols[3].I64[1] != 250 || gotCols[3].Typ.Scale != 2 {
+		t.Fatalf("decimal col: %v scale %d", gotCols[3].I64, gotCols[3].Typ.Scale)
+	}
+	if gotCols[4].I32[1] != 10000 {
+		t.Fatalf("date col: %v", gotCols[4].I32)
+	}
+}
+
+func TestColumnsEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteColumns(w, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	line, _ := r.ReadString('\n')
+	if !strings.HasPrefix(line, "C 0 0") {
+		t.Fatalf("empty status: %q", line)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package pagemap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. Callers fall back to plain reads on error.
+func mmapFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package pagemap
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("pagemap: mmap not supported on this platform")
+
+// mmapFile is unavailable on this platform; Map falls back to plain reads.
+func mmapFile(_ *os.File, _ int) (*Mapping, error) { return nil, errNoMmap }
+
+func munmap(_ []byte) error { return nil }

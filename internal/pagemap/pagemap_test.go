@@ -1,0 +1,117 @@
+package pagemap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.bin")
+	xs := []int32{1, -2, 3, 40, 500}
+	if err := os.WriteFile(path, BytesOfInt32s(xs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got, err := Int32s(m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("value %d: %d != %d", i, got[i], xs[i])
+		}
+	}
+}
+
+func TestMapEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Bytes()) != 0 {
+		t.Fatal("empty file should map to empty bytes")
+	}
+}
+
+func TestMapMissingFile(t *testing.T) {
+	if _, err := Map(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestTypedViewsRoundTrip(t *testing.T) {
+	i64 := []int64{1 << 40, -9}
+	got64, err := Int64s(BytesOfInt64s(i64))
+	if err != nil || got64[0] != i64[0] || got64[1] != i64[1] {
+		t.Fatalf("int64 view: %v %v", got64, err)
+	}
+	f64 := []float64{3.25, -0.5}
+	gotf, err := Float64s(BytesOfFloat64s(f64))
+	if err != nil || gotf[0] != 3.25 || gotf[1] != -0.5 {
+		t.Fatalf("float64 view: %v %v", gotf, err)
+	}
+	i16 := []int16{-7, 9}
+	got16, err := Int16s(BytesOfInt16s(i16))
+	if err != nil || got16[0] != -7 {
+		t.Fatalf("int16 view: %v %v", got16, err)
+	}
+	i8 := []int8{-1, 2}
+	got8, err := Int8s(BytesOfInt8s(i8))
+	if err != nil || got8[0] != -1 {
+		t.Fatalf("int8 view: %v %v", got8, err)
+	}
+	u32 := []uint32{5, 6}
+	gotu, err := Uint32s(BytesOfUint32s(u32))
+	if err != nil || gotu[1] != 6 {
+		t.Fatalf("uint32 view: %v %v", gotu, err)
+	}
+}
+
+func TestAlignmentErrors(t *testing.T) {
+	if _, err := Int32s(make([]byte, 7)); err == nil {
+		t.Fatal("length not multiple of 4 should error")
+	}
+	if _, err := Int64s(make([]byte, 12)); err == nil {
+		t.Fatal("length not multiple of 8 should error")
+	}
+	// Misaligned view into a larger buffer.
+	buf := make([]byte, 16)
+	if _, err := Int64s(buf[1:9]); err == nil {
+		t.Fatal("misaligned buffer should error")
+	}
+}
+
+func TestMappedFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.bin")
+	if err := os.WriteFile(path, BytesOfInt64s([]int64{42}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On Linux this should be a real mapping; elsewhere a buffer. Either way
+	// Close must be safe and idempotent.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("double close should be safe")
+	}
+}

@@ -1,0 +1,332 @@
+// Package plan implements monetlite's query planner: name resolution
+// (binding) of parsed SQL into a typed logical plan, subquery decorrelation,
+// and the high-level optimizations the paper attributes to the relational
+// level — constant folding, filter pushdown, projection pruning and
+// heuristic join ordering (§3.1 "Query Plan Execution").
+//
+// The logical plan is shared by both execution engines: the columnar
+// MAL-style engine (internal/exec) and the volcano row engine
+// (internal/rowstore).
+package plan
+
+import (
+	"fmt"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// Expr is a typed, bound scalar expression.
+type Expr interface {
+	Type() mtypes.Type
+}
+
+// ColRef references a column of the input row by position.
+type ColRef struct {
+	Slot int
+	Typ  mtypes.Type
+	Name string // for plan display
+}
+
+// Const is a literal value.
+type Const struct{ Val mtypes.Value }
+
+// BinOpKind classifies binary operators.
+type BinOpKind uint8
+
+// Binary operator kinds.
+const (
+	BinArith BinOpKind = iota // uses Arith (OpAdd..)
+	BinCmp                    // uses Cmp (CmpEq..)
+	BinAnd
+	BinOr
+	BinConcat
+)
+
+// BinOp is a binary operation.
+type BinOp struct {
+	Kind  BinOpKind
+	Arith vec.ArithOp // when Kind == BinArith
+	Cmp   vec.CmpOp   // when Kind == BinCmp
+	L, R  Expr
+	Typ   mtypes.Type
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+// IsNullExpr tests for NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// LikeExpr is the engine's own LIKE (no regexp dependency, see like.go).
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Not     bool
+}
+
+// InListExpr tests membership in a constant list.
+type InListExpr struct {
+	E    Expr
+	Vals []mtypes.Value
+	Not  bool
+}
+
+// BetweenExpr is an inclusive range test (kept as a node so the executor can
+// map it to one SelRange / imprints probe).
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // may be nil -> NULL
+	Typ   mtypes.Type
+}
+
+// WhenClause is one CASE arm.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// FuncKind enumerates scalar functions.
+type FuncKind uint8
+
+// Scalar functions.
+const (
+	FuncExtractYear FuncKind = iota
+	FuncExtractMonth
+	FuncExtractDay
+	FuncSubstring
+	FuncNeg
+	FuncAbs
+	FuncSqrt
+	FuncUpper
+	FuncLower
+	FuncConcat
+)
+
+// FuncExpr is a scalar function application.
+type FuncExpr struct {
+	Kind FuncKind
+	Args []Expr
+	Typ  mtypes.Type
+}
+
+// CastExpr converts to a target type.
+type CastExpr struct {
+	E  Expr
+	To mtypes.Type
+}
+
+// SubplanExpr is an uncorrelated scalar subquery: the plan produces (at most)
+// one row, one column; its value is computed once per query execution.
+type SubplanExpr struct {
+	Plan Node
+	Typ  mtypes.Type
+}
+
+// AggRef references the result of aggregate i inside post-aggregation
+// projections (internal to the binder).
+type AggRef struct {
+	Slot int
+	Typ  mtypes.Type
+}
+
+// Type implementations.
+func (e *ColRef) Type() mtypes.Type  { return e.Typ }
+func (e *Const) Type() mtypes.Type   { return e.Val.Typ }
+func (e *BinOp) Type() mtypes.Type   { return e.Typ }
+func (e *NotExpr) Type() mtypes.Type { return mtypes.Bool }
+
+// Type returns BOOLEAN.
+func (e *IsNullExpr) Type() mtypes.Type { return mtypes.Bool }
+
+// Type returns BOOLEAN.
+func (e *LikeExpr) Type() mtypes.Type { return mtypes.Bool }
+
+// Type returns BOOLEAN.
+func (e *InListExpr) Type() mtypes.Type { return mtypes.Bool }
+
+// Type returns BOOLEAN.
+func (e *BetweenExpr) Type() mtypes.Type { return mtypes.Bool }
+func (e *CaseExpr) Type() mtypes.Type    { return e.Typ }
+func (e *FuncExpr) Type() mtypes.Type    { return e.Typ }
+func (e *CastExpr) Type() mtypes.Type    { return e.To }
+func (e *SubplanExpr) Type() mtypes.Type { return e.Typ }
+func (e *AggRef) Type() mtypes.Type      { return e.Typ }
+
+// WalkExpr visits e and its children depth-first; fn returning false prunes.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinOp:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *NotExpr:
+		WalkExpr(x.E, fn)
+	case *IsNullExpr:
+		WalkExpr(x.E, fn)
+	case *LikeExpr:
+		WalkExpr(x.E, fn)
+	case *InListExpr:
+		WalkExpr(x.E, fn)
+	case *BetweenExpr:
+		WalkExpr(x.E, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Result, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *CastExpr:
+		WalkExpr(x.E, fn)
+	}
+}
+
+// MapSlots rewrites every ColRef slot through fn, returning a new tree.
+func MapSlots(e Expr, fn func(slot int) int) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColRef:
+		return &ColRef{Slot: fn(x.Slot), Typ: x.Typ, Name: x.Name}
+	case *Const, *SubplanExpr, *AggRef, *outerRef:
+		return e
+	case *BinOp:
+		c := *x
+		c.L, c.R = MapSlots(x.L, fn), MapSlots(x.R, fn)
+		return &c
+	case *NotExpr:
+		return &NotExpr{E: MapSlots(x.E, fn)}
+	case *IsNullExpr:
+		return &IsNullExpr{E: MapSlots(x.E, fn), Not: x.Not}
+	case *LikeExpr:
+		c := *x
+		c.E = MapSlots(x.E, fn)
+		return &c
+	case *InListExpr:
+		c := *x
+		c.E = MapSlots(x.E, fn)
+		return &c
+	case *BetweenExpr:
+		c := *x
+		c.E, c.Lo, c.Hi = MapSlots(x.E, fn), MapSlots(x.Lo, fn), MapSlots(x.Hi, fn)
+		return &c
+	case *CaseExpr:
+		c := *x
+		c.Whens = make([]WhenClause, len(x.Whens))
+		for i, w := range x.Whens {
+			c.Whens[i] = WhenClause{Cond: MapSlots(w.Cond, fn), Result: MapSlots(w.Result, fn)}
+		}
+		c.Else = MapSlots(x.Else, fn)
+		return &c
+	case *FuncExpr:
+		c := *x
+		c.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = MapSlots(a, fn)
+		}
+		return &c
+	case *CastExpr:
+		return &CastExpr{E: MapSlots(x.E, fn), To: x.To}
+	default:
+		panic(fmt.Sprintf("plan: MapSlots: unknown expr %T", e))
+	}
+}
+
+// SlotsUsed collects the set of input slots referenced by e.
+func SlotsUsed(e Expr, into map[int]bool) {
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColRef); ok {
+			into[c.Slot] = true
+		}
+		return true
+	})
+}
+
+// IsConst reports whether e contains no column references or subplans.
+func IsConst(e Expr) bool {
+	ok := true
+	WalkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ColRef, *SubplanExpr, *AggRef:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// ExprString renders an expression for plan display and tests.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "<nil>"
+	case *ColRef:
+		return fmt.Sprintf("#%d(%s)", x.Slot, x.Name)
+	case *Const:
+		if x.Val.Typ.Kind == mtypes.KVarchar && !x.Val.Null {
+			return fmt.Sprintf("'%s'", x.Val.S)
+		}
+		return x.Val.String()
+	case *BinOp:
+		op := ""
+		switch x.Kind {
+		case BinArith:
+			op = x.Arith.String()
+		case BinCmp:
+			op = x.Cmp.String()
+		case BinAnd:
+			op = "AND"
+		case BinOr:
+			op = "OR"
+		case BinConcat:
+			op = "||"
+		}
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), op, ExprString(x.R))
+	case *NotExpr:
+		return fmt.Sprintf("NOT %s", ExprString(x.E))
+	case *IsNullExpr:
+		if x.Not {
+			return fmt.Sprintf("%s IS NOT NULL", ExprString(x.E))
+		}
+		return fmt.Sprintf("%s IS NULL", ExprString(x.E))
+	case *LikeExpr:
+		neg := ""
+		if x.Not {
+			neg = " NOT"
+		}
+		return fmt.Sprintf("%s%s LIKE '%s'", ExprString(x.E), neg, x.Pattern)
+	case *InListExpr:
+		return fmt.Sprintf("%s IN [%d values]", ExprString(x.E), len(x.Vals))
+	case *BetweenExpr:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", ExprString(x.E), ExprString(x.Lo), ExprString(x.Hi))
+	case *CaseExpr:
+		return "CASE..."
+	case *FuncExpr:
+		return fmt.Sprintf("func%d(...)", x.Kind)
+	case *CastExpr:
+		return fmt.Sprintf("CAST(%s AS %s)", ExprString(x.E), x.To)
+	case *SubplanExpr:
+		return "(scalar subquery)"
+	case *AggRef:
+		return fmt.Sprintf("agg#%d", x.Slot)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

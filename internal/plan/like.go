@@ -1,0 +1,54 @@
+package plan
+
+// MatchLike implements SQL LIKE matching with % (any run) and _ (any single
+// byte) wildcards. MonetDBLite removed its PCRE dependency by shipping its
+// own LIKE implementation (paper §3.4 "Dependencies"); monetlite does the
+// same — no regexp import anywhere in the engine.
+//
+// Matching is byte-wise (sufficient for ASCII workloads like TPC-H; documented
+// limitation for multi-byte code points under '_').
+func MatchLike(s, pattern string) bool {
+	// Iterative matcher with backtracking on the last '%'.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			// Backtrack: let the last % absorb one more byte.
+			sBack++
+			si = sBack
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// LikePrefix reports whether the pattern is a simple prefix match
+// ("abc%" with no other wildcards) and returns the prefix. The executor uses
+// this to turn LIKE into a range select that imprints can accelerate.
+func LikePrefix(pattern string) (string, bool) {
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '_':
+			return "", false
+		case '%':
+			if i != len(pattern)-1 {
+				return "", false
+			}
+			return pattern[:i], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,249 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// ColInfo describes one output column of a plan node.
+type ColInfo struct {
+	Qual string // table alias qualifier ("" for computed columns)
+	Name string
+	Typ  mtypes.Type
+}
+
+// Schema is an ordered list of output columns.
+type Schema []ColInfo
+
+// Node is a logical plan operator.
+type Node interface {
+	Schema() Schema
+	Children() []Node
+}
+
+// Scan reads a stored table. Cols holds the pruned physical column indexes:
+// output slot i maps to table column Cols[i]. Filters are conjuncts pushed
+// into the scan, expressed over the scan's OUTPUT slots.
+type Scan struct {
+	Table   string
+	Cols    []int
+	Out     Schema
+	Filters []Expr
+}
+
+// Filter keeps rows satisfying Pred.
+type Filter struct {
+	Input Node
+	Pred  Expr
+}
+
+// Project computes output columns from input rows.
+type Project struct {
+	Input Node
+	Exprs []Expr
+	Out   Schema
+}
+
+// JoinKind enumerates join flavors.
+type JoinKind uint8
+
+// Join flavors (Semi/Anti come from EXISTS / NOT EXISTS / IN decorrelation).
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinSemi
+	JoinAnti
+)
+
+func (k JoinKind) String() string {
+	return [...]string{"INNER", "LEFT", "SEMI", "ANTI"}[k]
+}
+
+// Join combines two inputs on equi-key pairs plus an optional residual
+// predicate over the concatenated schema (left slots then right slots).
+// For Semi/Anti joins the output schema is the left schema only.
+type Join struct {
+	Kind     JoinKind
+	Left     Node
+	Right    Node
+	EquiL    []Expr // over left schema
+	EquiR    []Expr // over right schema, positionally matching EquiL
+	Residual Expr   // over concatenated schema; nil if none
+}
+
+// AggCall is one aggregate computation.
+type AggCall struct {
+	Kind     vec.AggKind
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+	Name     string
+}
+
+// Aggregate groups by the GroupBy expressions and computes Aggs. Output
+// schema: group columns first, then aggregate results.
+type Aggregate struct {
+	Input   Node
+	GroupBy []Expr
+	Aggs    []AggCall
+	Names   []string // group column names
+}
+
+// SortSpec is one sort key over the input schema.
+type SortSpec struct {
+	E    Expr
+	Desc bool
+}
+
+// Sort orders rows.
+type Sort struct {
+	Input Node
+	Keys  []SortSpec
+}
+
+// Limit returns up to N rows after skipping Offset.
+type Limit struct {
+	Input     Node
+	N, Offset int64
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Input Node }
+
+// Schema implementations.
+func (n *Scan) Schema() Schema { return n.Out }
+
+// Children returns no inputs.
+func (n *Scan) Children() []Node { return nil }
+
+// Schema returns the input schema.
+func (n *Filter) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *Filter) Children() []Node { return []Node{n.Input} }
+
+// Schema returns the projected schema.
+func (n *Project) Schema() Schema { return n.Out }
+
+// Children returns the single input.
+func (n *Project) Children() []Node { return []Node{n.Input} }
+
+// Schema returns left ++ right (inner/left) or left (semi/anti).
+func (n *Join) Schema() Schema {
+	if n.Kind == JoinSemi || n.Kind == JoinAnti {
+		return n.Left.Schema()
+	}
+	l := n.Left.Schema()
+	r := n.Right.Schema()
+	out := make(Schema, 0, len(l)+len(r))
+	out = append(out, l...)
+	if n.Kind == JoinLeft {
+		for _, c := range r {
+			out = append(out, c)
+		}
+	} else {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Children returns both inputs.
+func (n *Join) Children() []Node { return []Node{n.Left, n.Right} }
+
+// Schema returns group columns followed by aggregate outputs.
+func (n *Aggregate) Schema() Schema {
+	out := make(Schema, 0, len(n.GroupBy)+len(n.Aggs))
+	for i, g := range n.GroupBy {
+		name := ""
+		if i < len(n.Names) {
+			name = n.Names[i]
+		}
+		out = append(out, ColInfo{Name: name, Typ: g.Type()})
+	}
+	for _, a := range n.Aggs {
+		t := mtypes.BigInt
+		if a.Arg != nil {
+			t = a.Arg.Type()
+		}
+		out = append(out, ColInfo{Name: a.Name, Typ: vec.AggResultType(a.Kind, t)})
+	}
+	return out
+}
+
+// Children returns the single input.
+func (n *Aggregate) Children() []Node { return []Node{n.Input} }
+
+// Schema returns the input schema.
+func (n *Sort) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *Sort) Children() []Node { return []Node{n.Input} }
+
+// Schema returns the input schema.
+func (n *Limit) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *Limit) Children() []Node { return []Node{n.Input} }
+
+// Schema returns the input schema.
+func (n *Distinct) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *Distinct) Children() []Node { return []Node{n.Input} }
+
+// PlanString renders an indented plan tree (for EXPLAIN and plan-shape tests).
+func PlanString(n Node) string {
+	var sb strings.Builder
+	planString(&sb, n, 0)
+	return sb.String()
+}
+
+func planString(sb *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch x := n.(type) {
+	case *Scan:
+		fmt.Fprintf(sb, "%sSCAN %s cols=%v", indent, x.Table, x.Cols)
+		for _, f := range x.Filters {
+			fmt.Fprintf(sb, " filter=%s", ExprString(f))
+		}
+		sb.WriteByte('\n')
+	case *Filter:
+		fmt.Fprintf(sb, "%sFILTER %s\n", indent, ExprString(x.Pred))
+		planString(sb, x.Input, depth+1)
+	case *Project:
+		names := make([]string, len(x.Out))
+		for i, c := range x.Out {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(sb, "%sPROJECT %s\n", indent, strings.Join(names, ", "))
+		planString(sb, x.Input, depth+1)
+	case *Join:
+		conds := make([]string, len(x.EquiL))
+		for i := range x.EquiL {
+			conds[i] = fmt.Sprintf("%s=%s", ExprString(x.EquiL[i]), ExprString(x.EquiR[i]))
+		}
+		fmt.Fprintf(sb, "%s%s JOIN on %s", indent, x.Kind, strings.Join(conds, " AND "))
+		if x.Residual != nil {
+			fmt.Fprintf(sb, " residual=%s", ExprString(x.Residual))
+		}
+		sb.WriteByte('\n')
+		planString(sb, x.Left, depth+1)
+		planString(sb, x.Right, depth+1)
+	case *Aggregate:
+		fmt.Fprintf(sb, "%sAGGREGATE groups=%d aggs=%d\n", indent, len(x.GroupBy), len(x.Aggs))
+		planString(sb, x.Input, depth+1)
+	case *Sort:
+		fmt.Fprintf(sb, "%sSORT keys=%d\n", indent, len(x.Keys))
+		planString(sb, x.Input, depth+1)
+	case *Limit:
+		fmt.Fprintf(sb, "%sLIMIT %d OFFSET %d\n", indent, x.N, x.Offset)
+		planString(sb, x.Input, depth+1)
+	case *Distinct:
+		fmt.Fprintf(sb, "%sDISTINCT\n", indent)
+		planString(sb, x.Input, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s%T\n", indent, n)
+	}
+}

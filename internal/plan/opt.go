@@ -1,0 +1,594 @@
+package plan
+
+import (
+	"sort"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// Optimize applies the relational-level optimizations the paper describes
+// (§3.1): constant folding happened at bind time; this pass performs join
+// ordering over cross-join regions, filter pushdown into scans, and
+// projection pruning so scans only touch the columns a query needs (the
+// column-store advantage the evaluation leans on).
+func Optimize(cat Catalog, n Node) Node {
+	n = optimizeJoins(cat, n)
+	n, _ = pruneNode(n, allRequired(len(n.Schema())))
+	return n
+}
+
+func allRequired(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Join ordering + filter pushdown.
+// ---------------------------------------------------------------------------
+
+// optimizeJoins walks the plan; every maximal Filter/inner-Join region is
+// re-planned: predicates are collected, single-relation conjuncts are pushed
+// into scans, equi predicates drive a greedy smallest-first join order.
+func optimizeJoins(cat Catalog, n Node) Node {
+	switch x := n.(type) {
+	case *Scan:
+		return x
+	case *Filter, *Join:
+		return replanRegion(cat, n)
+	case *Project:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	case *Aggregate:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	case *Sort:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	case *Limit:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	case *Distinct:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	default:
+		return n
+	}
+}
+
+// region is a flattened conjunction of relations and predicates.
+type region struct {
+	leaves []Node // ordered; concatenated schemas form the region schema
+	starts []int  // slot offset of each leaf in the region schema
+	preds  []Expr // over the region schema
+}
+
+// collectRegion flattens Filters and INNER joins. Semi/anti/left joins and
+// everything else become leaves (their insides are optimized recursively).
+func collectRegion(cat Catalog, n Node, offset int, r *region) {
+	switch x := n.(type) {
+	case *Filter:
+		collectRegion(cat, x.Input, offset, r)
+		for _, c := range splitBoundConjuncts(x.Pred) {
+			r.preds = append(r.preds, MapSlots(c, func(s int) int { return s + offset }))
+		}
+	case *Join:
+		if x.Kind != JoinInner {
+			r.leaves = append(r.leaves, optimizeNonInnerJoin(cat, x))
+			r.starts = append(r.starts, offset)
+			return
+		}
+		nLeft := len(x.Left.Schema())
+		collectRegion(cat, x.Left, offset, r)
+		collectRegion(cat, x.Right, offset+nLeft, r)
+		for i := range x.EquiL {
+			l := MapSlots(x.EquiL[i], func(s int) int { return s + offset })
+			rr := MapSlots(x.EquiR[i], func(s int) int { return s + offset + nLeft })
+			r.preds = append(r.preds, &BinOp{Kind: BinCmp, Cmp: vec.CmpEq, L: l, R: rr, Typ: mtypes.Bool})
+		}
+		if x.Residual != nil {
+			r.preds = append(r.preds, MapSlots(x.Residual, func(s int) int { return s + offset }))
+		}
+	default:
+		r.leaves = append(r.leaves, optimizeJoinsInside(cat, n))
+		r.starts = append(r.starts, offset)
+	}
+}
+
+// optimizeJoinsInside recurses into non-region nodes (derived tables etc.).
+func optimizeJoinsInside(cat Catalog, n Node) Node {
+	switch x := n.(type) {
+	case *Scan:
+		return x
+	default:
+		return optimizeJoins(cat, x)
+	}
+}
+
+func optimizeNonInnerJoin(cat Catalog, j *Join) Node {
+	j.Left = optimizeJoins(cat, j.Left)
+	j.Right = optimizeJoins(cat, j.Right)
+	return j
+}
+
+func replanRegion(cat Catalog, n Node) Node {
+	r := &region{}
+	collectRegion(cat, n, 0, r)
+	if len(r.leaves) == 1 && onlySingleLeafPreds(r) {
+		// No join ordering to do: push predicates and return.
+		return attachPreds(r.leaves[0], r.preds)
+	}
+	return orderJoins(cat, n, r)
+}
+
+func onlySingleLeafPreds(r *region) bool { return len(r.leaves) == 1 }
+
+// attachPreds pushes predicates into a single leaf (scan filters when
+// possible).
+func attachPreds(leaf Node, preds []Expr) Node {
+	out := leaf
+	if sc, ok := leaf.(*Scan); ok {
+		sc.Filters = append(sc.Filters, preds...)
+		return sc
+	}
+	for _, p := range preds {
+		out = &Filter{Input: out, Pred: p}
+	}
+	return out
+}
+
+// leafOf returns which leaf a region slot belongs to plus its local slot.
+func (r *region) leafOf(slot int) (int, int) {
+	i := sort.Search(len(r.starts), func(k int) bool { return r.starts[k] > slot }) - 1
+	return i, slot - r.starts[i]
+}
+
+// predLeaves returns the set of leaves a predicate touches.
+func (r *region) predLeaves(p Expr) map[int]bool {
+	used := map[int]bool{}
+	SlotsUsed(p, used)
+	leaves := map[int]bool{}
+	for s := range used {
+		l, _ := r.leafOf(s)
+		leaves[l] = true
+	}
+	return leaves
+}
+
+// estimate guesses a leaf's post-filter cardinality for greedy ordering.
+func estimate(cat Catalog, n Node, filters int) float64 {
+	var base float64
+	switch x := n.(type) {
+	case *Scan:
+		base = float64(cat.TableRows(x.Table))
+		filters += len(x.Filters)
+	case *Aggregate:
+		base = estimate(cat, x.Input, 0) / 10
+	case *Filter:
+		base = estimate(cat, x.Input, filters+1)
+	case *Join:
+		base = estimate(cat, x.Left, 0)
+	case *Project:
+		base = estimate(cat, x.Input, filters)
+	default:
+		base = 1000
+	}
+	for i := 0; i < filters; i++ {
+		base *= 0.25
+	}
+	if base < 1 {
+		base = 1
+	}
+	return base
+}
+
+// orderJoins greedily builds a left-deep join tree, smallest relation first,
+// following equi-join edges; the output is wrapped in a Project restoring
+// the region's original slot order so parents are unaffected.
+func orderJoins(cat Catalog, orig Node, r *region) Node {
+	nLeaves := len(r.leaves)
+	// Assign single-leaf predicates to their leaf.
+	leafPreds := make([][]Expr, nLeaves)
+	var joinPreds []Expr
+	for _, p := range r.preds {
+		ls := r.predLeaves(p)
+		if len(ls) == 1 {
+			for l := range ls {
+				leafPreds[l] = append(leafPreds[l], p)
+			}
+		} else {
+			joinPreds = append(joinPreds, p)
+		}
+	}
+	// Push single-leaf predicates (remapped to leaf-local slots).
+	leaves := make([]Node, nLeaves)
+	ests := make([]float64, nLeaves)
+	for i, leaf := range r.leaves {
+		var local []Expr
+		for _, p := range leafPreds[i] {
+			local = append(local, MapSlots(p, func(s int) int { return s - r.starts[i] }))
+		}
+		leaves[i] = attachPreds(leaf, local)
+		ests[i] = estimate(cat, leaves[i], 0)
+	}
+
+	done := make([]bool, nLeaves)
+	usedPred := make([]bool, len(joinPreds))
+	// newPos[leaf] = slot offset of the leaf in the built plan.
+	newPos := make([]int, nLeaves)
+
+	// connected reports whether predicate p only touches finished leaves+cand.
+	connectable := func(p Expr, cand int) bool {
+		for l := range r.predLeaves(p) {
+			if l != cand && !done[l] {
+				return false
+			}
+		}
+		return true
+	}
+	hasEdge := func(cand int) bool {
+		for pi, p := range joinPreds {
+			if usedPred[pi] {
+				continue
+			}
+			ls := r.predLeaves(p)
+			if ls[cand] && connectable(p, cand) && isEquiPred(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Start with the smallest leaf that participates in some equi edge
+	// (fall back to smallest overall).
+	start := -1
+	for i := 0; i < nLeaves; i++ {
+		if start < 0 || ests[i] < ests[start] {
+			start = i
+		}
+	}
+	cur := leaves[start]
+	done[start] = true
+	newPos[start] = 0
+	curWidth := len(leaves[start].Schema())
+
+	remapGlobal := func(p Expr) Expr {
+		return MapSlots(p, func(s int) int {
+			l, local := r.leafOf(s)
+			return newPos[l] + local
+		})
+	}
+
+	for count := 1; count < nLeaves; count++ {
+		// Choose the next leaf: smallest connected; else smallest remaining.
+		next := -1
+		nextConnected := false
+		for i := 0; i < nLeaves; i++ {
+			if done[i] {
+				continue
+			}
+			conn := hasEdge(i)
+			switch {
+			case next < 0, conn && !nextConnected, conn == nextConnected && ests[i] < ests[next]:
+				if next < 0 || conn || !nextConnected {
+					next = i
+					nextConnected = conn
+				}
+			}
+		}
+		rightNode := leaves[next]
+		nRight := len(rightNode.Schema())
+		newPos[next] = curWidth
+		done[next] = true
+
+		j := &Join{Kind: JoinInner, Left: cur, Right: rightNode}
+		// Attach all now-satisfiable predicates.
+		for pi, p := range joinPreds {
+			if usedPred[pi] {
+				continue
+			}
+			ready := true
+			touchesNext := false
+			for l := range r.predLeaves(p) {
+				if !done[l] {
+					ready = false
+					break
+				}
+				if l == next {
+					touchesNext = true
+				}
+			}
+			if !ready {
+				continue
+			}
+			usedPred[pi] = true
+			mapped := remapGlobal(p)
+			if touchesNext {
+				if le, re, ok := equiSides(mapped, curWidth, curWidth+nRight); ok {
+					j.EquiL = append(j.EquiL, le)
+					j.EquiR = append(j.EquiR, re)
+					continue
+				}
+			}
+			j.Residual = andExpr(j.Residual, mapped)
+		}
+		cur = j
+		curWidth += nRight
+	}
+	// Any stragglers (e.g. preds whose leaves were all in the first leaf).
+	for pi, p := range joinPreds {
+		if !usedPred[pi] {
+			cur = &Filter{Input: cur, Pred: remapGlobal(p)}
+		}
+	}
+	// Restore the original slot order for parent nodes.
+	origSchema := orig.Schema()
+	exprs := make([]Expr, len(origSchema))
+	out := make(Schema, len(origSchema))
+	curSchema := cur.Schema()
+	for s := 0; s < len(origSchema); s++ {
+		l, local := r.leafOf(s)
+		ns := newPos[l] + local
+		exprs[s] = &ColRef{Slot: ns, Typ: curSchema[ns].Typ, Name: curSchema[ns].Name}
+		out[s] = origSchema[s]
+	}
+	return &Project{Input: cur, Exprs: exprs, Out: out}
+}
+
+func isEquiPred(p Expr) bool {
+	bo, ok := p.(*BinOp)
+	return ok && bo.Kind == BinCmp && bo.Cmp == vec.CmpEq
+}
+
+// ---------------------------------------------------------------------------
+// Projection pruning.
+// ---------------------------------------------------------------------------
+
+// pruneNode trims unused columns bottom-up. It returns the new node plus the
+// mapping old-slot -> new-slot for the node's output schema.
+func pruneNode(n Node, required []bool) (Node, map[int]int) {
+	switch x := n.(type) {
+	case *Scan:
+		// Filters count as required.
+		req := append([]bool(nil), required...)
+		for _, f := range x.Filters {
+			used := map[int]bool{}
+			SlotsUsed(f, used)
+			for s := range used {
+				req[s] = true
+			}
+		}
+		m := map[int]int{}
+		var cols []int
+		var out Schema
+		for i, r := range req {
+			if r {
+				m[i] = len(cols)
+				cols = append(cols, x.Cols[i])
+				out = append(out, x.Out[i])
+			}
+		}
+		if len(cols) == 0 { // keep at least one column for row counting
+			m[0] = 0
+			cols = []int{x.Cols[0]}
+			out = Schema{x.Out[0]}
+		}
+		filters := make([]Expr, len(x.Filters))
+		for i, f := range x.Filters {
+			filters[i] = MapSlots(f, func(s int) int { return m[s] })
+		}
+		return &Scan{Table: x.Table, Cols: cols, Out: out, Filters: filters}, m
+	case *Filter:
+		req := append([]bool(nil), required...)
+		used := map[int]bool{}
+		SlotsUsed(x.Pred, used)
+		collectSubplanFree(x.Pred)
+		for s := range used {
+			req[s] = true
+		}
+		in, m := pruneNode(x.Input, req)
+		return &Filter{Input: in, Pred: mapExprSlots(x.Pred, m)}, m
+	case *Project:
+		childReq := make([]bool, len(x.Input.Schema()))
+		var exprs []Expr
+		var out Schema
+		m := map[int]int{}
+		for i, e := range x.Exprs {
+			if !required[i] {
+				continue
+			}
+			used := map[int]bool{}
+			SlotsUsed(e, used)
+			for s := range used {
+				childReq[s] = true
+			}
+			m[i] = len(exprs)
+			exprs = append(exprs, e)
+			out = append(out, x.Out[i])
+		}
+		if len(exprs) == 0 && len(x.Exprs) > 0 {
+			m[0] = 0
+			exprs = append(exprs, x.Exprs[0])
+			out = append(out, x.Out[0])
+			used := map[int]bool{}
+			SlotsUsed(x.Exprs[0], used)
+			for s := range used {
+				childReq[s] = true
+			}
+		}
+		if x.Input == nil {
+			return &Project{Input: nil, Exprs: exprs, Out: out}, m
+		}
+		in, cm := pruneNode(x.Input, childReq)
+		for i := range exprs {
+			exprs[i] = mapExprSlots(exprs[i], cm)
+		}
+		return &Project{Input: in, Exprs: exprs, Out: out}, m
+	case *Join:
+		nL := len(x.Left.Schema())
+		leftReq := make([]bool, nL)
+		var rightReq []bool
+		if x.Kind == JoinSemi || x.Kind == JoinAnti {
+			copy(leftReq, required)
+			rightReq = make([]bool, len(x.Right.Schema()))
+		} else {
+			rightReq = make([]bool, len(x.Right.Schema()))
+			for s, r := range required {
+				if s < nL {
+					leftReq[s] = leftReq[s] || r
+				} else {
+					rightReq[s-nL] = rightReq[s-nL] || r
+				}
+			}
+		}
+		mark := func(e Expr, left bool) {
+			used := map[int]bool{}
+			SlotsUsed(e, used)
+			for s := range used {
+				if left {
+					leftReq[s] = true
+				} else {
+					rightReq[s] = true
+				}
+			}
+		}
+		for i := range x.EquiL {
+			mark(x.EquiL[i], true)
+			mark(x.EquiR[i], false)
+		}
+		if x.Residual != nil {
+			used := map[int]bool{}
+			SlotsUsed(x.Residual, used)
+			for s := range used {
+				if s < nL {
+					leftReq[s] = true
+				} else {
+					rightReq[s-nL] = true
+				}
+			}
+		}
+		lIn, lm := pruneNode(x.Left, leftReq)
+		rIn, rm := pruneNode(x.Right, rightReq)
+		nlNew := len(lIn.Schema())
+		j := &Join{Kind: x.Kind, Left: lIn, Right: rIn}
+		for i := range x.EquiL {
+			j.EquiL = append(j.EquiL, mapExprSlots(x.EquiL[i], lm))
+			j.EquiR = append(j.EquiR, mapExprSlots(x.EquiR[i], rm))
+		}
+		if x.Residual != nil {
+			j.Residual = MapSlots(x.Residual, func(s int) int {
+				if s < nL {
+					return lm[s]
+				}
+				return nlNew + rm[s-nL]
+			})
+		}
+		m := map[int]int{}
+		for s, ns := range lm {
+			m[s] = ns
+		}
+		if x.Kind != JoinSemi && x.Kind != JoinAnti {
+			for s, ns := range rm {
+				m[nL+s] = nlNew + ns
+			}
+		}
+		return j, m
+	case *Aggregate:
+		childReq := make([]bool, len(x.Input.Schema()))
+		for _, g := range x.GroupBy {
+			used := map[int]bool{}
+			SlotsUsed(g, used)
+			for s := range used {
+				childReq[s] = true
+			}
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				used := map[int]bool{}
+				SlotsUsed(a.Arg, used)
+				for s := range used {
+					childReq[s] = true
+				}
+			}
+		}
+		if len(x.GroupBy) == 0 && len(x.Aggs) > 0 {
+			// COUNT(*)-only aggregates still need one column to count.
+			any := false
+			for _, r := range childReq {
+				any = any || r
+			}
+			if !any && len(childReq) > 0 {
+				childReq[0] = true
+			}
+		}
+		in, cm := pruneNode(x.Input, childReq)
+		agg := &Aggregate{Input: in, Names: x.Names}
+		for _, g := range x.GroupBy {
+			agg.GroupBy = append(agg.GroupBy, mapExprSlots(g, cm))
+		}
+		for _, a := range x.Aggs {
+			na := a
+			if a.Arg != nil {
+				na.Arg = mapExprSlots(a.Arg, cm)
+			}
+			agg.Aggs = append(agg.Aggs, na)
+		}
+		return agg, identityMap(len(agg.Schema()))
+	case *Sort:
+		req := append([]bool(nil), required...)
+		for _, k := range x.Keys {
+			used := map[int]bool{}
+			SlotsUsed(k.E, used)
+			for s := range used {
+				req[s] = true
+			}
+		}
+		in, m := pruneNode(x.Input, req)
+		keys := make([]SortSpec, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = SortSpec{E: mapExprSlots(k.E, m), Desc: k.Desc}
+		}
+		return &Sort{Input: in, Keys: keys}, m
+	case *Limit:
+		in, m := pruneNode(x.Input, required)
+		return &Limit{Input: in, N: x.N, Offset: x.Offset}, m
+	case *Distinct:
+		// Distinct compares whole rows: everything is required.
+		in, m := pruneNode(x.Input, allRequired(len(x.Input.Schema())))
+		return &Distinct{Input: in}, m
+	default:
+		return n, identityMap(len(n.Schema()))
+	}
+}
+
+func identityMap(n int) map[int]int {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+
+// mapExprSlots remaps ColRefs and recursively prunes subplans.
+func mapExprSlots(e Expr, m map[int]int) Expr {
+	out := MapSlots(e, func(s int) int {
+		if ns, ok := m[s]; ok {
+			return ns
+		}
+		return s
+	})
+	return out
+}
+
+// collectSubplanFree recursively prunes uncorrelated subplans inside preds.
+func collectSubplanFree(e Expr) {
+	WalkExpr(e, func(x Expr) bool {
+		if sp, ok := x.(*SubplanExpr); ok {
+			sp.Plan, _ = pruneNode(sp.Plan, allRequired(len(sp.Plan.Schema())))
+		}
+		return true
+	})
+}

@@ -1,0 +1,458 @@
+// Package rowstore is monetlite's SQLite-like baseline engine: a row-store
+// with B+tree storage and a tuple-at-a-time volcano executor. It shares the
+// SQL frontend (parser, binder, optimizer) with the columnar engine, so
+// benchmark differences between the two isolate exactly the architectural
+// variables the paper studies — storage layout and execution model.
+//
+// Persistence is a row-major append log (fsynced per transaction), modelling
+// the row-ordered write pattern of SQLite's B-tree file without reproducing
+// its pager.
+package rowstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"monetlite/internal/btree"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/plan"
+	"monetlite/internal/sqlparse"
+	"monetlite/internal/storage"
+)
+
+// DB is a row-store database.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*rtable
+	logPath string
+	logF    *os.File
+	logW    *bufio.Writer
+
+	// Timeout bounds individual query execution (0 = none); the benchmark
+	// harness uses it to render the paper's "T" entries.
+	Timeout time.Duration
+}
+
+type rtable struct {
+	meta    storage.TableMeta
+	tree    *btree.Tree
+	nextRow int64
+}
+
+// ErrTimeout is returned when a query exceeds DB.Timeout.
+var ErrTimeout = errors.New("rowstore: query timeout")
+
+// Open creates or loads a row-store database. path == "" is in-memory.
+func Open(path string) (*DB, error) {
+	db := &DB{tables: map[string]*rtable{}, logPath: path}
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			if err := db.replay(path); err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		db.logF = f
+		db.logW = bufio.NewWriterSize(f, 1<<20)
+	}
+	return db, nil
+}
+
+// Close flushes and closes the log.
+func (db *DB) Close() error {
+	if db.logF == nil {
+		return nil
+	}
+	if err := db.logW.Flush(); err != nil {
+		db.logF.Close()
+		return err
+	}
+	return db.logF.Close()
+}
+
+// Sync flushes buffered log records to disk (transaction boundary).
+func (db *DB) Sync() error {
+	if db.logF == nil {
+		return nil
+	}
+	if err := db.logW.Flush(); err != nil {
+		return err
+	}
+	return db.logF.Sync()
+}
+
+// ---------------------------------------------------------------------------
+// Catalog plumbing (plan.Catalog).
+// ---------------------------------------------------------------------------
+
+// TableMeta implements plan.Catalog.
+func (db *DB) TableMeta(name string) (*storage.TableMeta, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return &t.meta, true
+}
+
+// TableRows implements plan.Catalog.
+func (db *DB) TableRows(name string) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return 0
+	}
+	return int64(t.tree.Len())
+}
+
+// ---------------------------------------------------------------------------
+// DDL / DML entry points.
+// ---------------------------------------------------------------------------
+
+// Exec runs semicolon-separated statements, returning affected rows.
+func (db *DB) Exec(sql string) (int64, error) {
+	stmts, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range stmts {
+		n, err := db.runStmt(s)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, db.Sync()
+}
+
+func (db *DB) runStmt(s sqlparse.Statement) (int64, error) {
+	switch x := s.(type) {
+	case *sqlparse.CreateTableStmt:
+		meta := storage.TableMeta{Name: x.Name}
+		for _, cd := range x.Cols {
+			kind := mtypes.ParseTypeName(cd.TypeName)
+			if kind == mtypes.KUnknown {
+				return 0, fmt.Errorf("rowstore: unknown type %q", cd.TypeName)
+			}
+			t := mtypes.Type{Kind: kind, Prec: cd.Prec, Scale: cd.Scale, Width: cd.Width}
+			meta.Cols = append(meta.Cols, storage.ColDef{Name: cd.Name, Typ: t})
+		}
+		return 0, db.CreateTable(meta)
+	case *sqlparse.DropTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, ok := db.tables[x.Name]; !ok && !x.IfExists {
+			return 0, fmt.Errorf("rowstore: no such table %q", x.Name)
+		}
+		delete(db.tables, x.Name)
+		return 0, nil
+	case *sqlparse.InsertStmt:
+		ins, err := plan.BindInsert(db, x, nil)
+		if err != nil {
+			return 0, err
+		}
+		if ins.Query != nil {
+			return 0, fmt.Errorf("rowstore: INSERT ... SELECT not supported in baseline")
+		}
+		n := 0
+		if len(ins.Values) > 0 {
+			n = ins.Values[0].Len()
+		}
+		for r := 0; r < n; r++ {
+			row := make([]mtypes.Value, len(ins.Values))
+			for ci, v := range ins.Values {
+				row[ci] = v.Value(r)
+			}
+			if err := db.InsertRow(x.Table, row); err != nil {
+				return int64(r), err
+			}
+		}
+		return int64(n), nil
+	case *sqlparse.DeleteStmt:
+		del, err := plan.BindDelete(db, x, nil)
+		if err != nil {
+			return 0, err
+		}
+		return db.deleteWhere(del)
+	case *sqlparse.BeginStmt, *sqlparse.CommitStmt, *sqlparse.RollbackStmt:
+		return 0, nil // the baseline autocommits (like sqlite3 without BEGIN)
+	default:
+		return 0, fmt.Errorf("rowstore: unsupported statement %T", s)
+	}
+}
+
+// CreateTable registers a table.
+func (db *DB) CreateTable(meta storage.TableMeta) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[meta.Name]; ok {
+		return fmt.Errorf("rowstore: table %q exists", meta.Name)
+	}
+	db.tables[meta.Name] = &rtable{meta: meta, tree: &btree.Tree{}}
+	if db.logW != nil {
+		return db.logCreate(meta)
+	}
+	return nil
+}
+
+// InsertRow appends one row (the prepared-statement ingest path the paper's
+// Figure 5 exercises for the row stores).
+func (db *DB) InsertRow(table string, row []mtypes.Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("rowstore: no such table %q", table)
+	}
+	if len(row) != len(t.meta.Cols) {
+		return fmt.Errorf("rowstore: row arity %d, want %d", len(row), len(t.meta.Cols))
+	}
+	enc := encodeRow(row)
+	t.tree.Put(t.nextRow, enc)
+	t.nextRow++
+	if db.logW != nil {
+		return db.logInsert(table, enc)
+	}
+	return nil
+}
+
+func (db *DB) deleteWhere(del *plan.BoundDelete) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[del.Table]
+	if !ok {
+		return 0, fmt.Errorf("rowstore: no such table %q", del.Table)
+	}
+	var victims []int64
+	var evalErr error
+	t.tree.Ascend(func(key int64, val []byte) bool {
+		row, err := decodeRow(val, &t.meta)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if del.Pred == nil {
+			victims = append(victims, key)
+			return true
+		}
+		v, err := plan.EvalRow(del.Pred, &plan.EvalCtx{Row: row})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !v.Null && v.I != 0 {
+			victims = append(victims, key)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	for _, k := range victims {
+		t.tree.Delete(k)
+	}
+	return int64(len(victims)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Row codec: length-prefixed values, row-major (the layout that forces full
+// row reads even for single-column scans).
+// ---------------------------------------------------------------------------
+
+func encodeRow(row []mtypes.Value) []byte {
+	buf := make([]byte, 0, 16*len(row))
+	for _, v := range row {
+		if v.Null {
+			buf = append(buf, 0)
+			continue
+		}
+		switch v.Typ.Kind {
+		case mtypes.KVarchar:
+			buf = append(buf, 2)
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		case mtypes.KDouble:
+			buf = append(buf, 3)
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(v.F))
+		default:
+			buf = append(buf, 1)
+			buf = binary.AppendVarint(buf, v.I)
+		}
+	}
+	return buf
+}
+
+func decodeRow(buf []byte, meta *storage.TableMeta) ([]mtypes.Value, error) {
+	row := make([]mtypes.Value, len(meta.Cols))
+	for i := range meta.Cols {
+		if len(buf) == 0 {
+			return nil, errors.New("rowstore: truncated row")
+		}
+		tag := buf[0]
+		buf = buf[1:]
+		typ := meta.Cols[i].Typ
+		switch tag {
+		case 0:
+			row[i] = mtypes.NullValue(typ)
+		case 1:
+			x, k := binary.Varint(buf)
+			if k <= 0 {
+				return nil, errors.New("rowstore: bad int")
+			}
+			buf = buf[k:]
+			row[i] = mtypes.Value{Typ: typ, I: x}
+		case 2:
+			n, k := binary.Uvarint(buf)
+			if k <= 0 || int(n) > len(buf)-k {
+				return nil, errors.New("rowstore: bad string")
+			}
+			row[i] = mtypes.Value{Typ: typ, S: string(buf[k : k+int(n)])}
+			buf = buf[k+int(n):]
+		case 3:
+			if len(buf) < 8 {
+				return nil, errors.New("rowstore: bad double")
+			}
+			row[i] = mtypes.Value{Typ: typ, F: floatFrom(binary.LittleEndian.Uint64(buf))}
+			buf = buf[8:]
+		default:
+			return nil, fmt.Errorf("rowstore: bad tag %d", tag)
+		}
+	}
+	return row, nil
+}
+
+// ---------------------------------------------------------------------------
+// Append log persistence.
+// ---------------------------------------------------------------------------
+
+func (db *DB) logCreate(meta storage.TableMeta) error {
+	js := fmt.Sprintf("%s", meta.Name)
+	payload := append([]byte{'C'}, encodeMeta(meta)...)
+	_ = js
+	return db.writeRecord(payload)
+}
+
+func (db *DB) logInsert(table string, enc []byte) error {
+	payload := make([]byte, 0, len(table)+len(enc)+8)
+	payload = append(payload, 'I')
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	payload = append(payload, table...)
+	payload = append(payload, enc...)
+	return db.writeRecord(payload)
+}
+
+func (db *DB) writeRecord(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := db.logW.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := db.logW.Write(payload)
+	return err
+}
+
+func encodeMeta(meta storage.TableMeta) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(meta.Name)))
+	buf = append(buf, meta.Name...)
+	buf = binary.AppendUvarint(buf, uint64(len(meta.Cols)))
+	for _, c := range meta.Cols {
+		buf = binary.AppendUvarint(buf, uint64(len(c.Name)))
+		buf = append(buf, c.Name...)
+		buf = append(buf, byte(c.Typ.Kind), byte(c.Typ.Scale))
+	}
+	return buf
+}
+
+func decodeMeta(buf []byte) (storage.TableMeta, error) {
+	var meta storage.TableMeta
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return meta, errors.New("rowstore: bad meta")
+	}
+	buf = buf[k:]
+	meta.Name = string(buf[:n])
+	buf = buf[n:]
+	nc, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return meta, errors.New("rowstore: bad meta cols")
+	}
+	buf = buf[k:]
+	for i := 0; i < int(nc); i++ {
+		ln, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return meta, errors.New("rowstore: bad col name")
+		}
+		buf = buf[k:]
+		name := string(buf[:ln])
+		buf = buf[ln:]
+		if len(buf) < 2 {
+			return meta, errors.New("rowstore: bad col type")
+		}
+		meta.Cols = append(meta.Cols, storage.ColDef{
+			Name: name,
+			Typ:  mtypes.Type{Kind: mtypes.Kind(buf[0]), Scale: int(buf[1])},
+		})
+		buf = buf[2:]
+	}
+	return meta, nil
+}
+
+func (db *DB) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum || len(payload) == 0 {
+			return nil
+		}
+		switch payload[0] {
+		case 'C':
+			meta, err := decodeMeta(payload[1:])
+			if err != nil {
+				return err
+			}
+			db.tables[meta.Name] = &rtable{meta: meta, tree: &btree.Tree{}}
+		case 'I':
+			buf := payload[1:]
+			n, k := binary.Uvarint(buf)
+			if k <= 0 {
+				return errors.New("rowstore: bad replay insert")
+			}
+			table := string(buf[k : k+int(n)])
+			t, ok := db.tables[table]
+			if !ok {
+				return fmt.Errorf("rowstore: replay into missing table %q", table)
+			}
+			enc := append([]byte{}, buf[k+int(n):]...)
+			t.tree.Put(t.nextRow, enc)
+			t.nextRow++
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package rowstore
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"monetlite/internal/mtypes"
+)
+
+func TestCreateInsertQuery(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INTEGER, b VARCHAR, c DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := db.Exec(`INSERT INTO t VALUES (1,'x',1.5), (2,'y',2.5), (3,NULL,NULL)`); err != nil || n != 3 {
+		t.Fatalf("insert: %d %v", n, err)
+	}
+	res, err := db.Query(`SELECT a, b FROM t WHERE a >= 2 ORDER BY a DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 3 || res.Rows[1][1].S != "y" {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+}
+
+func TestVolcanoOperators(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	db.Exec(`CREATE TABLE l (id INTEGER, v INTEGER); CREATE TABLE r (id INTEGER, s VARCHAR)`)
+	db.Exec(`INSERT INTO l VALUES (1,10), (2,20), (2,21), (3,30)`)
+	db.Exec(`INSERT INTO r VALUES (1,'a'), (2,'b'), (9,'z')`)
+
+	// Join
+	res, err := db.Query(`SELECT l.v, r.s FROM l, r WHERE l.id = r.id ORDER BY l.v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][1].S != "a" {
+		t.Fatalf("join: %+v", res.Rows)
+	}
+	// Aggregate with group
+	res, _ = db.Query(`SELECT id, sum(v), count(*) FROM l GROUP BY id ORDER BY id`)
+	if len(res.Rows) != 3 || res.Rows[1][1].I != 41 || res.Rows[1][2].I != 2 {
+		t.Fatalf("agg: %+v", res.Rows)
+	}
+	// Global aggregate
+	res, _ = db.Query(`SELECT avg(v) FROM l`)
+	if res.Rows[0][0].F != 20.25 {
+		t.Fatalf("avg: %+v", res.Rows)
+	}
+	// Semi join via EXISTS
+	res, _ = db.Query(`SELECT id FROM l WHERE EXISTS (SELECT * FROM r WHERE r.id = l.id) ORDER BY id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("exists: %+v", res.Rows)
+	}
+	// Anti join
+	res, _ = db.Query(`SELECT DISTINCT id FROM l WHERE NOT EXISTS (SELECT * FROM r WHERE r.id = l.id)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
+		t.Fatalf("not exists: %+v", res.Rows)
+	}
+	// Left join NULL padding
+	res, _ = db.Query(`SELECT l.id, r.s FROM l LEFT JOIN r ON l.id = r.id WHERE l.id = 3`)
+	if len(res.Rows) != 1 || !res.Rows[0][1].Null {
+		t.Fatalf("left join: %+v", res.Rows)
+	}
+	// Limit/offset + distinct
+	res, _ = db.Query(`SELECT DISTINCT id FROM l ORDER BY id LIMIT 2 OFFSET 1`)
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 2 {
+		t.Fatalf("limit: %+v", res.Rows)
+	}
+}
+
+func TestDeleteAndScalarSubquery(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	db.Exec(`CREATE TABLE t (a INTEGER)`)
+	db.Exec(`INSERT INTO t VALUES (1), (5), (9)`)
+	res, err := db.Query(`SELECT a FROM t WHERE a > (SELECT avg(a) FROM t)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 9 {
+		t.Fatalf("scalar subquery: %+v", res.Rows)
+	}
+	if n, err := db.Exec(`DELETE FROM t WHERE a < 6`); err != nil || n != 2 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	res, _ = db.Query(`SELECT count(*) FROM t`)
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("after delete: %+v", res.Rows)
+	}
+}
+
+func TestPersistenceReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "row.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(`CREATE TABLE t (a INTEGER, b VARCHAR)`)
+	db.Exec(`INSERT INTO t VALUES (1,'x'), (2,'y')`)
+	db.InsertRow("t", []mtypes.Value{mtypes.NewInt(mtypes.Int, 3), mtypes.NewString("z")})
+	db.Sync()
+	db.Close()
+
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("replayed count: %+v", res.Rows)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	db.Exec(`CREATE TABLE a (x INTEGER); CREATE TABLE b (y INTEGER)`)
+	for i := 0; i < 400; i++ {
+		db.InsertRow("a", []mtypes.Value{mtypes.NewInt(mtypes.Int, int64(i))})
+		db.InsertRow("b", []mtypes.Value{mtypes.NewInt(mtypes.Int, int64(i))})
+	}
+	db.Timeout = time.Nanosecond
+	if _, err := db.Query(`SELECT count(*) FROM a, b WHERE a.x < b.y`); err == nil {
+		t.Fatal("expected timeout on cross-ish join")
+	}
+	db.Timeout = 0
+	if _, err := db.Query(`SELECT count(*) FROM a`); err != nil {
+		t.Fatal(err)
+	}
+}

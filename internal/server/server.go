@@ -1,0 +1,251 @@
+// Package server hosts a monetlite engine behind a TCP socket — the
+// client-server deployment of Figure 1a that the paper's evaluation
+// contrasts with embedding. The same server can front either the columnar
+// engine (a MonetDB-like server) or the volcano row store (a
+// PostgreSQL/MariaDB-like server), so benchmarks isolate the transport and
+// architecture variables.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"monetlite"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/netproto"
+	"monetlite/internal/rowstore"
+	"monetlite/internal/vec"
+)
+
+// Backend abstracts the engine behind the socket.
+type Backend interface {
+	Exec(sql string) (int64, error)
+	// QueryRows returns a row-major result (text protocol).
+	QueryRows(sql string) (cols []string, rows [][]mtypes.Value, err error)
+	// QueryCols returns a columnar result (binary protocol).
+	QueryCols(sql string) (names []string, data []*vec.Vector, err error)
+}
+
+// Server accepts connections and serves the wire protocols.
+type Server struct {
+	backend Backend
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, backend Backend) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backend: backend, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for active connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+	for {
+		kind, sql, err := netproto.ReadRequest(r)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case netproto.ReqExec:
+			n, err := s.backend.Exec(sql)
+			if err != nil {
+				fmt.Fprintf(w, "E %s\n", oneLine(err))
+			} else {
+				fmt.Fprintf(w, "OK %d\n", n)
+			}
+		case netproto.ReqQueryText:
+			cols, rows, err := s.backend.QueryRows(sql)
+			if err != nil {
+				fmt.Fprintf(w, "E %s\n", oneLine(err))
+				break
+			}
+			fmt.Fprintf(w, "R %d %d\n", len(cols), len(rows))
+			w.WriteString(strings.Join(cols, "\t"))
+			w.WriteByte('\n')
+			for _, row := range rows {
+				for i, v := range row {
+					if i > 0 {
+						w.WriteByte('\t')
+					}
+					w.WriteString(netproto.TextValue(v))
+				}
+				w.WriteByte('\n')
+			}
+		case netproto.ReqQueryBinary:
+			names, data, err := s.backend.QueryCols(sql)
+			if err != nil {
+				fmt.Fprintf(w, "E %s\n", oneLine(err))
+				break
+			}
+			if err := netproto.WriteColumns(w, names, data); err != nil {
+				return
+			}
+		default:
+			fmt.Fprintf(w, "E unknown request %q\n", kind)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func oneLine(err error) string {
+	return strings.ReplaceAll(err.Error(), "\n", " ")
+}
+
+// ---------------------------------------------------------------------------
+// Backends.
+// ---------------------------------------------------------------------------
+
+// ColumnarBackend serves an embedded monetlite database over the socket
+// (the MonetDB-server configuration).
+type ColumnarBackend struct {
+	mu   sync.Mutex
+	conn *monetlite.Conn
+}
+
+// NewColumnarBackend wraps a database connection.
+func NewColumnarBackend(db *monetlite.Database) *ColumnarBackend {
+	return &ColumnarBackend{conn: db.Connect()}
+}
+
+// Exec implements Backend.
+func (b *ColumnarBackend) Exec(sql string) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.conn.Exec(sql)
+}
+
+// QueryRows implements Backend (row-major conversion for the text protocol).
+func (b *ColumnarBackend) QueryRows(sql string) ([]string, [][]mtypes.Value, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, err := b.conn.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([][]mtypes.Value, res.NumRows())
+	for i := range rows {
+		row := make([]mtypes.Value, res.NumCols())
+		for c := 0; c < res.NumCols(); c++ {
+			row[c] = resultValue(res, c, i)
+		}
+		rows[i] = row
+	}
+	return res.Names(), rows, nil
+}
+
+// QueryCols implements Backend (native columnar transfer).
+func (b *ColumnarBackend) QueryCols(sql string) ([]string, []*vec.Vector, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, err := b.conn.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]*vec.Vector, res.NumCols())
+	for i := range cols {
+		cols[i] = monetlite.InternalVector(res.Column(i))
+	}
+	return res.Names(), cols, nil
+}
+
+func resultValue(res *monetlite.Result, col, row int) mtypes.Value {
+	return monetlite.InternalValue(res.Column(col), row)
+}
+
+// RowstoreBackend serves the volcano row store (the PostgreSQL/MariaDB
+// configuration: row-major storage, execution and transfer).
+type RowstoreBackend struct {
+	mu sync.Mutex
+	DB *rowstore.DB
+}
+
+// NewRowstoreBackend wraps a row store.
+func NewRowstoreBackend(db *rowstore.DB) *RowstoreBackend {
+	return &RowstoreBackend{DB: db}
+}
+
+// Exec implements Backend.
+func (b *RowstoreBackend) Exec(sql string) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.DB.Exec(sql)
+}
+
+// QueryRows implements Backend.
+func (b *RowstoreBackend) QueryRows(sql string) ([]string, [][]mtypes.Value, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, err := b.DB.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Cols, res.Rows, nil
+}
+
+// QueryCols implements Backend by transposing rows (a row store has no
+// native columnar path — the conversion cost is part of what Figure 6
+// measures for SQLite).
+func (b *RowstoreBackend) QueryCols(sql string) ([]string, []*vec.Vector, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, err := b.DB.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Rows) == 0 {
+		return res.Cols, nil, nil
+	}
+	ncols := len(res.Cols)
+	out := make([]*vec.Vector, ncols)
+	for c := 0; c < ncols; c++ {
+		out[c] = vec.NewCap(res.Rows[0][c].Typ, len(res.Rows))
+		for _, row := range res.Rows {
+			out[c].AppendValue(row[c])
+		}
+	}
+	return res.Cols, out, nil
+}

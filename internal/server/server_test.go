@@ -1,0 +1,170 @@
+package server
+
+import (
+	"testing"
+
+	"monetlite"
+	"monetlite/internal/client"
+	"monetlite/internal/rowstore"
+)
+
+func startColumnar(t *testing.T) (*Server, *client.Client) {
+	t.Helper()
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, err := Serve("127.0.0.1:0", NewColumnarBackend(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestColumnarServerEndToEnd(t *testing.T) {
+	_, cl := startColumnar(t)
+	if _, err := cl.Exec(`CREATE TABLE t (a INTEGER, b VARCHAR, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.Exec(`INSERT INTO t VALUES (1,'x',1.5), (2,'y',2.5)`); err != nil || n != 2 {
+		t.Fatalf("exec: %d %v", n, err)
+	}
+	cols, rows, err := cl.QueryText(`SELECT a, b, f FROM t ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || len(rows) != 2 || rows[0][1] != "x" || rows[1][2] != "2.5" {
+		t.Fatalf("text result: %v %v", cols, rows)
+	}
+	names, data, err := cl.QueryBinary(`SELECT a, f, b FROM t ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "a" || data[0].I32[1] != 2 || data[1].F64[0] != 1.5 || data[2].Str[1] != "y" {
+		t.Fatalf("binary result: %v %+v", names, data)
+	}
+	// Errors propagate as E lines.
+	if _, err := cl.Exec(`SELECT nope FROM t`); err == nil {
+		t.Fatal("server error should propagate")
+	}
+	if _, _, err := cl.QueryText(`SELECT nope FROM t`); err == nil {
+		t.Fatal("query error should propagate")
+	}
+}
+
+func TestWriteReadTableRoundTrip(t *testing.T) {
+	_, cl := startColumnar(t)
+	if _, err := cl.Exec(`CREATE TABLE w (a INTEGER, s VARCHAR, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	n := 250
+	a := make([]int32, n)
+	s := make([]string, n)
+	f := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(i)
+		s[i] = "it's row " + string(rune('a'+i%26))
+		f[i] = float64(i) / 2
+	}
+	if err := cl.WriteTable("w", 64, a, s, f); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, err := cl.ReadTable("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || len(rows) != n {
+		t.Fatalf("read table: %d cols %d rows", len(cols), len(rows))
+	}
+	// Quote escaping survived.
+	if rows[0][1] != "it's row a" {
+		t.Fatalf("string round trip: %q", rows[0][1])
+	}
+	names, data, err := cl.ReadTableBinary("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || data[0].Len() != n || data[2].F64[4] != 2 {
+		t.Fatalf("binary read: %v", names)
+	}
+}
+
+func TestRowstoreServer(t *testing.T) {
+	rdb, err := rowstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rdb.Close() })
+	srv, err := Serve("127.0.0.1:0", NewRowstoreBackend(rdb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	if _, err := cl.Exec(`CREATE TABLE t (a INTEGER, b VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ExecBatch([]string{
+		`INSERT INTO t VALUES (1,'x')`,
+		`INSERT INTO t VALUES (2,'y')`,
+		`INSERT INTO t VALUES (3,'z')`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := cl.QueryText(`SELECT b FROM t WHERE a >= 2 ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "y" {
+		t.Fatalf("rowstore over socket: %v", rows)
+	}
+	// Binary protocol transposes on the server.
+	_, data, err := cl.QueryBinary(`SELECT a FROM t ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0].Len() != 3 {
+		t.Fatalf("binary from rowstore: %d", data[0].Len())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, cl := startColumnar(t)
+	cl.Exec(`CREATE TABLE c (a INTEGER)`)
+	cl.Exec(`INSERT INTO c VALUES (1),(2),(3)`)
+	done := make(chan error, 4)
+	for k := 0; k < 4; k++ {
+		go func() {
+			c2, err := client.Dial(srv.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c2.Close()
+			for i := 0; i < 20; i++ {
+				if _, _, err := c2.QueryText(`SELECT sum(a) FROM c`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for k := 0; k < 4; k++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

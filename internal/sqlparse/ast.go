@@ -1,0 +1,296 @@
+package sqlparse
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query (possibly nested).
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	Offset   int64 // 0 when absent
+}
+
+// SelectItem is one projection: an expression with optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a stored table, optionally aliased ("nation n1").
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a derived table: (SELECT ...) AS alias.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinRef is an explicit JOIN ... ON ... tree.
+type JoinRef struct {
+	Left, Right TableRef
+	Type        JoinType
+	On          Expr
+}
+
+// JoinType enumerates join flavors.
+type JoinType uint8
+
+// Join flavors.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+)
+
+func (*BaseTable) tableRef()   {}
+func (*SubqueryRef) tableRef() {}
+func (*JoinRef) tableRef()     {}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name string
+	Cols []ColDefAST
+}
+
+// ColDefAST is one column definition (constraints are parsed and ignored,
+// matching MonetDBLite's analytical focus).
+type ColDefAST struct {
+	Name     string
+	TypeName string
+	Prec     int
+	Scale    int
+	Width    int
+	NotNull  bool
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateIndexStmt is CREATE [ORDER] INDEX name ON table (cols).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Cols    []string
+	Ordered bool
+}
+
+// InsertStmt is INSERT INTO ... VALUES (...), (...) or INSERT INTO ... SELECT.
+type InsertStmt struct {
+	Table  string
+	Cols   []string
+	Rows   [][]Expr
+	Select *SelectStmt
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Transaction control and maintenance statements.
+type (
+	// BeginStmt is BEGIN [TRANSACTION].
+	BeginStmt struct{}
+	// CommitStmt is COMMIT.
+	CommitStmt struct{}
+	// RollbackStmt is ROLLBACK.
+	RollbackStmt struct{}
+	// CheckpointStmt forces a storage checkpoint.
+	CheckpointStmt struct{}
+)
+
+func (*SelectStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+func (*CheckpointStmt) stmt()  {}
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// Ident is a (possibly qualified) column reference.
+type Ident struct {
+	Qualifier string // table or alias; "" if unqualified
+	Name      string
+}
+
+// NumberLit is an integer or decimal literal (text preserved for exact
+// decimal typing).
+type NumberLit struct {
+	Text    string
+	IsFloat bool // contains an exponent: forced DOUBLE
+}
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// DateLit is DATE 'yyyy-mm-dd'.
+type DateLit struct{ Val string }
+
+// IntervalLit is INTERVAL 'n' DAY|MONTH|YEAR.
+type IntervalLit struct {
+	N    int64
+	Unit string // "DAY" | "MONTH" | "YEAR"
+}
+
+// NullLit is the NULL literal; BoolLit a TRUE/FALSE literal.
+type (
+	// NullLit is NULL.
+	NullLit struct{}
+	// BoolLit is TRUE or FALSE.
+	BoolLit struct{ Val bool }
+	// ParamRef is a ? placeholder (1-based ordinal).
+	ParamRef struct{ Ordinal int }
+)
+
+// BinaryExpr is a binary operator application (arith, comparison, AND/OR).
+type BinaryExpr struct {
+	Op   string // "+","-","*","/","%","=","<>","<","<=",">",">=","AND","OR","||"
+	L, R Expr
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT" | "-"
+	E  Expr
+}
+
+// FuncCall is a function or aggregate invocation.
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Expr
+	Star     bool // count(*)
+	Distinct bool // count(distinct x)
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+// WhenClause is one WHEN/THEN arm.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// CastExpr is CAST(e AS type).
+type CastExpr struct {
+	E        Expr
+	TypeName string
+	Prec     int
+	Scale    int
+	Width    int
+}
+
+// LikeExpr is e [NOT] LIKE pattern.
+type LikeExpr struct {
+	E       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// InExpr is e [NOT] IN (list) or e [NOT] IN (subquery).
+type InExpr struct {
+	E        Expr
+	List     []Expr
+	Subquery *SelectStmt
+	Not      bool
+}
+
+// BetweenExpr is e [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Subquery *SelectStmt
+	Not      bool
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct{ Select *SelectStmt }
+
+// ExtractExpr is EXTRACT(field FROM e).
+type ExtractExpr struct {
+	Field string // "YEAR" | "MONTH" | "DAY"
+	E     Expr
+}
+
+// SubstringExpr is SUBSTRING(e FROM a [FOR b]) or SUBSTRING(e, a, b).
+type SubstringExpr struct {
+	E, From, For Expr // For may be nil
+}
+
+func (*Ident) expr()         {}
+func (*NumberLit) expr()     {}
+func (*StringLit) expr()     {}
+func (*DateLit) expr()       {}
+func (*IntervalLit) expr()   {}
+func (*NullLit) expr()       {}
+func (*BoolLit) expr()       {}
+func (*ParamRef) expr()      {}
+func (*BinaryExpr) expr()    {}
+func (*UnaryExpr) expr()     {}
+func (*FuncCall) expr()      {}
+func (*CaseExpr) expr()      {}
+func (*CastExpr) expr()      {}
+func (*LikeExpr) expr()      {}
+func (*InExpr) expr()        {}
+func (*BetweenExpr) expr()   {}
+func (*IsNullExpr) expr()    {}
+func (*ExistsExpr) expr()    {}
+func (*SubqueryExpr) expr()  {}
+func (*ExtractExpr) expr()   {}
+func (*SubstringExpr) expr() {}

@@ -1,0 +1,1201 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent SQL parser over a token stream.
+type Parser struct {
+	toks    []Token
+	pos     int
+	nparams int
+}
+
+// Parse parses a semicolon-separated list of statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.matchOp(";") {
+		}
+		if p.cur().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.matchOp(";") && p.cur().Kind != TokEOF {
+			return nil, p.errf("expected ';' or end of input")
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *Parser) advance()    { p.pos++ }
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	loc := t.Text
+	if t.Kind == TokEOF {
+		loc = "end of input"
+	}
+	return fmt.Errorf("sql: %s (near %q at offset %d)", fmt.Sprintf(format, args...), loc, t.Pos)
+}
+
+func (p *Parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) matchKw(kw string) bool {
+	if p.isKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKw(kw string) error {
+	if !p.matchKw(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *Parser) matchOp(op string) bool {
+	t := p.cur()
+	if t.Kind == TokOp && t.Text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectOp(op string) error {
+	if !p.matchOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+// softKeywords may be used as plain identifiers (column/table names) when an
+// identifier is expected.
+var softKeywords = map[string]bool{"DAY": true, "MONTH": true, "YEAR": true, "KEY": true}
+
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword && softKeywords[t.Text] {
+		p.advance()
+		return strings.ToLower(t.Raw), nil
+	}
+	if t.Kind != TokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKw("SELECT"):
+		return p.parseSelect()
+	case p.isKw("CREATE"):
+		return p.parseCreate()
+	case p.isKw("DROP"):
+		return p.parseDrop()
+	case p.isKw("INSERT"):
+		return p.parseInsert()
+	case p.isKw("DELETE"):
+		return p.parseDelete()
+	case p.isKw("UPDATE"):
+		return p.parseUpdate()
+	case p.matchKw("BEGIN"), p.matchKw("START"):
+		p.matchKw("TRANSACTION")
+		p.matchKw("WORK")
+		return &BeginStmt{}, nil
+	case p.matchKw("COMMIT"):
+		p.matchKw("WORK")
+		return &CommitStmt{}, nil
+	case p.matchKw("ROLLBACK"):
+		p.matchKw("WORK")
+		return &RollbackStmt{}, nil
+	case p.matchKw("CHECKPOINT"):
+		return &CheckpointStmt{}, nil
+	default:
+		return nil, p.errf("expected a statement")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	if p.matchKw("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.matchKw("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if p.matchKw("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, ref)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.isKw("GROUP") {
+		p.advance()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.isKw("ORDER") {
+		p.advance()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.matchKw("DESC") {
+				item.Desc = true
+			} else {
+				p.matchKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("LIMIT") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.matchKw("OFFSET") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseIntLit() (int64, error) {
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, p.errf("expected integer literal")
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.Text)
+	}
+	p.advance()
+	return n, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.matchOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.matchKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		item.Alias = p.cur().Text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	ref, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		jt := JoinInner
+		switch {
+		case p.isKw("JOIN"):
+			p.advance()
+		case p.isKw("INNER") && p.peek().Text == "JOIN":
+			p.advance()
+			p.advance()
+		case p.isKw("LEFT"):
+			p.advance()
+			p.matchKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		default:
+			return ref, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ref = &JoinRef{Left: ref, Right: right, Type: jt, On: on}
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableRef, error) {
+	if p.matchOp("(") {
+		if p.isKw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			alias := ""
+			if p.matchKw("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				alias = a
+			} else if p.cur().Kind == TokIdent {
+				alias = p.cur().Text
+				p.advance()
+			}
+			if alias == "" {
+				return nil, p.errf("derived table requires an alias")
+			}
+			return &SubqueryRef{Select: sub, Alias: alias}, nil
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return ref, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	bt := &BaseTable{Name: name}
+	if p.matchKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		bt.Alias = p.cur().Text
+		p.advance()
+	}
+	return bt, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing).
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.matchKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *Parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	not := p.matchKw("NOT")
+	switch {
+	case p.matchKw("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{E: l, Pattern: pat, Not: not}, nil
+	case p.matchKw("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.matchKw("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{E: l, Not: not}
+		if p.isKw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Subquery = sub
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case not:
+		return nil, p.errf("expected LIKE, BETWEEN or IN after NOT")
+	case p.matchKw("IS"):
+		neg := p.matchKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Not: neg}, nil
+	}
+	for _, op := range [...]string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.matchOp(op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.matchOp("+"):
+			op = "+"
+		case p.matchOp("-"):
+			op = "-"
+		case p.matchOp("||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.matchOp("*"):
+			op = "*"
+		case p.matchOp("/"):
+			op = "/"
+		case p.matchOp("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.matchOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	p.matchOp("+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		return &NumberLit{Text: t.Text, IsFloat: strings.ContainsAny(t.Text, "eE")}, nil
+	case TokString:
+		p.advance()
+		return &StringLit{Val: t.Text}, nil
+	case TokParamQ:
+		p.advance()
+		p.nparams++
+		return &ParamRef{Ordinal: p.nparams}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return &NullLit{}, nil
+		case "TRUE", "FALSE":
+			p.advance()
+			return &BoolLit{Val: t.Text == "TRUE"}, nil
+		case "DATE":
+			p.advance()
+			s := p.cur()
+			if s.Kind != TokString {
+				return nil, p.errf("expected date string after DATE")
+			}
+			p.advance()
+			return &DateLit{Val: s.Text}, nil
+		case "INTERVAL":
+			p.advance()
+			s := p.cur()
+			var n int64
+			var err error
+			switch s.Kind {
+			case TokString:
+				n, err = strconv.ParseInt(strings.TrimSpace(s.Text), 10, 64)
+			case TokNumber:
+				n, err = strconv.ParseInt(s.Text, 10, 64)
+			default:
+				return nil, p.errf("expected interval quantity")
+			}
+			if err != nil {
+				return nil, p.errf("invalid interval quantity %q", s.Text)
+			}
+			p.advance()
+			unit := p.cur()
+			if unit.Kind != TokKeyword || (unit.Text != "DAY" && unit.Text != "MONTH" && unit.Text != "YEAR") {
+				return nil, p.errf("expected DAY, MONTH or YEAR")
+			}
+			p.advance()
+			return &IntervalLit{N: n, Unit: unit.Text}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "EXTRACT":
+			return p.parseExtract()
+		case "SUBSTRING":
+			return p.parseSubstring()
+		case "EXISTS":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Subquery: sub}, nil
+		}
+		if softKeywords[t.Text] {
+			p.advance()
+			name := strings.ToLower(t.Raw)
+			if p.cur().Kind == TokOp && p.cur().Text == "." {
+				p.advance()
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				return &Ident{Qualifier: name, Name: col}, nil
+			}
+			return &Ident{Name: name}, nil
+		}
+		return nil, p.errf("unexpected keyword in expression")
+	case TokIdent:
+		p.advance()
+		// Function call?
+		if p.cur().Kind == TokOp && p.cur().Text == "(" {
+			p.advance()
+			fc := &FuncCall{Name: t.Text}
+			if p.matchOp("*") {
+				fc.Star = true
+			} else if !(p.cur().Kind == TokOp && p.cur().Text == ")") {
+				if p.matchKw("DISTINCT") {
+					fc.Distinct = true
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if !p.matchOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified identifier?
+		if p.cur().Kind == TokOp && p.cur().Text == "." {
+			p.advance()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: t.Text, Name: name}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokOp:
+		if t.Text == "(" {
+			p.advance()
+			if p.isKw("SELECT") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Select: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected an expression")
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	p.advance() // CASE
+	ce := &CaseExpr{}
+	if !p.isKw("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = op
+	}
+	for p.matchKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.matchKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *Parser) parseCast() (Expr, error) {
+	p.advance() // CAST
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	name, prec, scale, width, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{E: e, TypeName: name, Prec: prec, Scale: scale, Width: width}, nil
+}
+
+func (p *Parser) parseExtract() (Expr, error) {
+	p.advance() // EXTRACT
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	field := p.cur()
+	if field.Kind != TokKeyword || (field.Text != "YEAR" && field.Text != "MONTH" && field.Text != "DAY") {
+		return nil, p.errf("expected YEAR, MONTH or DAY in EXTRACT")
+	}
+	p.advance()
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &ExtractExpr{Field: field.Text, E: e}, nil
+}
+
+func (p *Parser) parseSubstring() (Expr, error) {
+	p.advance() // SUBSTRING
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	se := &SubstringExpr{E: e}
+	if p.matchKw("FROM") {
+		if se.From, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if p.matchKw("FOR") {
+			if se.For, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+	} else if p.matchOp(",") {
+		if se.From, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if p.matchOp(",") {
+			if se.For, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		return nil, p.errf("expected FROM or ',' in SUBSTRING")
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return se, nil
+}
+
+// parseTypeName parses a SQL type with optional arguments.
+func (p *Parser) parseTypeName() (name string, prec, scale, width int, err error) {
+	t := p.cur()
+	if t.Kind != TokKeyword && t.Kind != TokIdent {
+		return "", 0, 0, 0, p.errf("expected a type name")
+	}
+	name = strings.ToUpper(t.Text)
+	p.advance()
+	if name == "DOUBLE" {
+		p.matchKw("PRECISION")
+	}
+	switch name {
+	case "DECIMAL", "NUMERIC", "DEC":
+		prec, scale = 18, 3
+		if p.matchOp("(") {
+			n, e := p.parseIntLit()
+			if e != nil {
+				return "", 0, 0, 0, e
+			}
+			prec = int(n)
+			if p.matchOp(",") {
+				s, e := p.parseIntLit()
+				if e != nil {
+					return "", 0, 0, 0, e
+				}
+				scale = int(s)
+			} else {
+				scale = 0
+			}
+			if e := p.expectOp(")"); e != nil {
+				return "", 0, 0, 0, e
+			}
+		}
+	case "VARCHAR", "CHAR":
+		if p.matchOp("(") {
+			n, e := p.parseIntLit()
+			if e != nil {
+				return "", 0, 0, 0, e
+			}
+			width = int(n)
+			if e := p.expectOp(")"); e != nil {
+				return "", 0, 0, 0, e
+			}
+		}
+	}
+	return name, prec, scale, width, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL / DML
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseCreate() (Statement, error) {
+	p.advance() // CREATE
+	ordered := false
+	if p.matchKw("ORDER") {
+		ordered = true
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndexTail(ordered)
+	}
+	if p.matchKw("UNIQUE") {
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndexTail(false)
+	}
+	if p.matchKw("INDEX") {
+		return p.parseCreateIndexTail(false)
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTableStmt{Name: name}
+	for {
+		if p.isKw("PRIMARY") || p.isKw("FOREIGN") || p.isKw("UNIQUE") {
+			// Table-level constraint: parse and ignore.
+			if err := p.skipConstraint(); err != nil {
+				return nil, err
+			}
+		} else {
+			cd, err := p.parseColDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Cols = append(ct.Cols, cd)
+		}
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *Parser) parseColDef() (ColDefAST, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColDefAST{}, err
+	}
+	tn, prec, scale, width, err := p.parseTypeName()
+	if err != nil {
+		return ColDefAST{}, err
+	}
+	cd := ColDefAST{Name: name, TypeName: tn, Prec: prec, Scale: scale, Width: width}
+	// Column constraints: NOT NULL recorded, the rest parsed and ignored.
+	for {
+		switch {
+		case p.matchKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return ColDefAST{}, err
+			}
+			cd.NotNull = true
+		case p.matchKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return ColDefAST{}, err
+			}
+			cd.NotNull = true
+		case p.matchKw("UNIQUE"):
+		case p.matchKw("REFERENCES"):
+			if _, err := p.ident(); err != nil {
+				return ColDefAST{}, err
+			}
+			if p.matchOp("(") {
+				if _, err := p.ident(); err != nil {
+					return ColDefAST{}, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return ColDefAST{}, err
+				}
+			}
+		default:
+			return cd, nil
+		}
+	}
+}
+
+func (p *Parser) skipConstraint() error {
+	switch {
+	case p.matchKw("PRIMARY"):
+		if err := p.expectKw("KEY"); err != nil {
+			return err
+		}
+	case p.matchKw("FOREIGN"):
+		if err := p.expectKw("KEY"); err != nil {
+			return err
+		}
+	case p.matchKw("UNIQUE"):
+	}
+	if err := p.expectOp("("); err != nil {
+		return err
+	}
+	for {
+		if _, err := p.ident(); err != nil {
+			return err
+		}
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return err
+	}
+	if p.matchKw("REFERENCES") {
+		if _, err := p.ident(); err != nil {
+			return err
+		}
+		if p.matchOp("(") {
+			for {
+				if _, err := p.ident(); err != nil {
+					return err
+				}
+				if !p.matchOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Parser) parseCreateIndexTail(ordered bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndexStmt{Name: name, Table: table, Ordered: ordered}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Cols = append(ci.Cols, col)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	ds := &DropTableStmt{}
+	if p.matchKw("IF") {
+		if !p.matchKw("EXISTS") {
+			return nil, p.errf("expected EXISTS after IF")
+		}
+		ds.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ds.Name = name
+	return ds, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: table}
+	if p.matchOp("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKw("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Select = sel
+		return ins, nil
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeleteStmt{Table: table}
+	if p.matchKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ds.Where = e
+	}
+	return ds, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	p.advance() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	us := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		us.Set = append(us.Set, SetClause{Col: col, Expr: e})
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if p.matchKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		us.Where = e
+	}
+	return us, nil
+}

@@ -1,0 +1,105 @@
+package storage
+
+// Bitmap is a fixed-capacity bitset over row ids used to mark deleted rows.
+// Versions share bitmaps immutably: mutation goes through Clone (copy-on-
+// write), so older table snapshots keep seeing their own deletion state.
+type Bitmap struct {
+	words []uint64
+	count int
+}
+
+// NewBitmap creates an empty bitmap able to hold n bits.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+// Clone deep-copies the bitmap, growing capacity to n bits if needed.
+func (b *Bitmap) Clone(n int) *Bitmap {
+	nw := (n + 63) / 64
+	if b != nil && len(b.words) > nw {
+		nw = len(b.words)
+	}
+	out := &Bitmap{words: make([]uint64, nw)}
+	if b != nil {
+		copy(out.words, b.words)
+		out.count = b.count
+	}
+	return out
+}
+
+// Set marks bit i; reports whether it was newly set.
+func (b *Bitmap) Set(i int32) bool {
+	w, m := i/64, uint64(1)<<(uint(i)%64)
+	if int(w) >= len(b.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int32) bool {
+	if b == nil {
+		return false
+	}
+	w := i / 64
+	if int(w) >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	return b.count
+}
+
+// Slots returns all set bit positions in ascending order.
+func (b *Bitmap) Slots() []int32 {
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, 0, b.count)
+	for w, word := range b.words {
+		for word != 0 {
+			bit := word & -word
+			pos := int32(w*64) + int32(trailingZeros(word))
+			out = append(out, pos)
+			word ^= bit
+		}
+	}
+	return out
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// LiveCands materializes the candidate list of rows in [0,n) that are NOT
+// deleted; returns nil when nothing is deleted (nil = all rows).
+func (b *Bitmap) LiveCands(n int) []int32 {
+	if b.Count() == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n-b.Count())
+	for i := int32(0); int(i) < n; i++ {
+		if !b.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package storage implements monetlite's columnar storage engine: tables of
+// tightly packed column arrays with versioned snapshots, deletion bitmaps,
+// automatic secondary indexes, lazy memory-mapped loading of persistent
+// columns, and a durable on-disk format.
+//
+// Concurrency model (paper §3.1 "Concurrency Control"): readers obtain an
+// immutable TableVersion snapshot and never block; writers mutate tables
+// under the transaction layer's global commit lock, publishing a fresh
+// version atomically. Committed column data is append-only — row content
+// never changes in place (DELETE sets bitmap bits, UPDATE is delete+append),
+// so snapshots may safely share the underlying arrays with later versions.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/pagemap"
+	"monetlite/internal/strheap"
+	"monetlite/internal/vec"
+)
+
+// Column stores one attribute as a tightly packed array. A Column is either
+// memory-resident or file-backed; file-backed columns load lazily on first
+// touch via mmap (the OS pages them in and out — there is no buffer pool).
+type Column struct {
+	Typ mtypes.Type
+
+	mu     sync.Mutex
+	loaded bool
+	data   *vec.Vector // full physical data; grows on append
+	heap   *strheap.Heap
+	offs   []uint32 // varchar: offsets into heap, parallel to data.Str
+
+	path    string // non-empty when file-backed and not yet loaded
+	mapping *pagemap.Mapping
+}
+
+// NewColumn creates an empty memory-resident column.
+func NewColumn(typ mtypes.Type) *Column {
+	c := &Column{Typ: typ, loaded: true, data: vec.NewCap(typ, 0)}
+	if typ.Kind == mtypes.KVarchar {
+		c.heap = strheap.New()
+	}
+	return c
+}
+
+// FileColumn creates a lazily loaded column backed by the given file.
+func FileColumn(typ mtypes.Type, path string) *Column {
+	return &Column{Typ: typ, path: path}
+}
+
+// Load returns the column's full data vector, reading and mapping the
+// backing file on first use. The returned vector may alias read-only mapped
+// memory; callers must treat it as immutable.
+func (c *Column) Load() (*vec.Vector, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.loaded {
+		return c.data, nil
+	}
+	if err := c.loadLocked(); err != nil {
+		return nil, err
+	}
+	return c.data, nil
+}
+
+// Loaded reports whether the column data is resident (for tests and stats).
+func (c *Column) Loaded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaded
+}
+
+// Append adds vals to the end of the column, returning the new physical
+// length. Must be called under the owner's write lock. Values are coerced to
+// the column type by the caller; decimals of different scale are rescaled by
+// vector Set semantics.
+func (c *Column) Append(vals *vec.Vector) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.loaded {
+		if err := c.loadLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if c.Typ.Kind == mtypes.KVarchar {
+		for _, s := range vals.Str {
+			if s == vec.StrNull {
+				c.offs = append(c.offs, c.heap.PutNull())
+				c.data.Str = append(c.data.Str, vec.StrNull)
+			} else {
+				off := c.heap.Put(s)
+				c.offs = append(c.offs, off)
+				// Share the heap's bytes (dedup keeps one copy per value).
+				c.data.Str = append(c.data.Str, c.heap.Get(off))
+			}
+		}
+		return len(c.data.Str), nil
+	}
+	if vals.Typ == c.Typ {
+		// In-place amortized growth. Appending to a slice at full capacity
+		// reallocates, so mmap-backed arrays are never written through — the
+		// first append after a load copies the column into process memory,
+		// later ones amortize to O(1) per value.
+		c.data.AppendVec(vals)
+		return c.data.Len(), nil
+	}
+	// Slow path with per-value coercion (e.g. INSERT of int literal into
+	// decimal column).
+	for i := 0; i < vals.Len(); i++ {
+		c.data.AppendValue(vals.Value(i))
+	}
+	return c.data.Len(), nil
+}
+
+// Release drops any file mapping (database shutdown). The column must not be
+// used afterwards.
+func (c *Column) Release() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loaded = false
+	c.data = nil
+	c.heap = nil
+	c.offs = nil
+	if c.mapping != nil {
+		err := c.mapping.Close()
+		c.mapping = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Column) loadLocked() error {
+	if c.path == "" {
+		// Fresh empty column.
+		c.data = vec.NewCap(c.Typ, 0)
+		if c.Typ.Kind == mtypes.KVarchar {
+			c.heap = strheap.New()
+		}
+		c.loaded = true
+		return nil
+	}
+	m, err := pagemap.Map(c.path)
+	if err != nil {
+		return fmt.Errorf("storage: loading column %s: %w", c.path, err)
+	}
+	data, heap, offs, err := decodeColumnFile(c.Typ, m.Bytes())
+	if err != nil {
+		m.Close()
+		return fmt.Errorf("storage: decoding column %s: %w", c.path, err)
+	}
+	c.mapping = m
+	c.data, c.heap, c.offs = data, heap, offs
+	c.loaded = true
+	return nil
+}

@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/pagemap"
+	"monetlite/internal/strheap"
+	"monetlite/internal/vec"
+)
+
+// Column file format (native endianness, like MonetDB's on-disk BATs —
+// database directories are not portable across byte orders):
+//
+//	offset 0:  magic "MLC1"
+//	offset 4:  kind (uint8), scale (uint8), reserved (2 bytes)
+//	offset 8:  count (uint64)
+//	offset 16: fixed-width: raw values (count * width bytes)
+//	           varchar:     offsets (count * 4 bytes), heapLen (uint64),
+//	                        heap bytes
+//
+// The 16-byte header keeps the value array 8-byte aligned so mapped files can
+// be reinterpreted as typed slices in place.
+const columnMagic = "MLC1"
+
+const columnHeaderSize = 16
+
+func encodeColumnHeader(typ mtypes.Type, count int) []byte {
+	h := make([]byte, columnHeaderSize)
+	copy(h, columnMagic)
+	h[4] = byte(typ.Kind)
+	h[5] = byte(typ.Scale)
+	binary.LittleEndian.PutUint64(h[8:], uint64(count))
+	return h
+}
+
+// writeColumnFile persists a column's physical state atomically
+// (write-to-temp + rename).
+func writeColumnFile(path string, typ mtypes.Type, data *vec.Vector, heap *strheap.Heap, offs []uint32) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n := data.Len()
+	if _, err := f.Write(encodeColumnHeader(typ, n)); err != nil {
+		f.Close()
+		return err
+	}
+	var payload []byte
+	switch typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		payload = pagemap.BytesOfInt8s(data.I8)
+	case mtypes.KSmallInt:
+		payload = pagemap.BytesOfInt16s(data.I16)
+	case mtypes.KInt, mtypes.KDate:
+		payload = pagemap.BytesOfInt32s(data.I32)
+	case mtypes.KBigInt, mtypes.KDecimal:
+		payload = pagemap.BytesOfInt64s(data.I64)
+	case mtypes.KDouble:
+		payload = pagemap.BytesOfFloat64s(data.F64)
+	case mtypes.KVarchar:
+		if len(offs) != n {
+			f.Close()
+			return fmt.Errorf("storage: varchar offsets out of sync (%d vs %d)", len(offs), n)
+		}
+		if _, err := f.Write(pagemap.BytesOfUint32s(offs)); err != nil {
+			f.Close()
+			return err
+		}
+		hb := heap.Bytes()
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(hb)))
+		if _, err := f.Write(lenBuf[:]); err != nil {
+			f.Close()
+			return err
+		}
+		payload = hb
+	default:
+		f.Close()
+		return fmt.Errorf("storage: cannot persist kind %d", typ.Kind)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// decodeColumnFile reconstructs a column from mapped file bytes. Fixed-width
+// payloads are typed views straight into the mapping (zero-copy); varchar
+// strings alias the mapped heap bytes.
+func decodeColumnFile(typ mtypes.Type, b []byte) (*vec.Vector, *strheap.Heap, []uint32, error) {
+	if len(b) < columnHeaderSize || string(b[:4]) != columnMagic {
+		return nil, nil, nil, fmt.Errorf("bad column file header")
+	}
+	if mtypes.Kind(b[4]) != typ.Kind {
+		return nil, nil, nil, fmt.Errorf("column kind mismatch: file %d, catalog %d", b[4], typ.Kind)
+	}
+	count := int(binary.LittleEndian.Uint64(b[8:]))
+	body := b[columnHeaderSize:]
+	v := &vec.Vector{Typ: typ}
+	var err error
+	switch typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		v.I8, err = pagemap.Int8s(body[:count])
+	case mtypes.KSmallInt:
+		v.I16, err = pagemap.Int16s(body[:2*count])
+	case mtypes.KInt, mtypes.KDate:
+		v.I32, err = pagemap.Int32s(body[:4*count])
+	case mtypes.KBigInt, mtypes.KDecimal:
+		v.I64, err = pagemap.Int64s(body[:8*count])
+	case mtypes.KDouble:
+		v.F64, err = pagemap.Float64s(body[:8*count])
+	case mtypes.KVarchar:
+		if len(body) < 4*count+8 {
+			return nil, nil, nil, fmt.Errorf("truncated varchar column")
+		}
+		var offs []uint32
+		offs, err = pagemap.Uint32s(body[:4*count])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		heapLen := int(binary.LittleEndian.Uint64(body[4*count:]))
+		heapBytes := body[4*count+8:]
+		if len(heapBytes) < heapLen {
+			return nil, nil, nil, fmt.Errorf("truncated varchar heap")
+		}
+		heap, herr := strheap.FromBytes(heapBytes[:heapLen], true)
+		if herr != nil {
+			return nil, nil, nil, herr
+		}
+		v.Str = make([]string, count)
+		for i, off := range offs {
+			if heap.IsNull(off) {
+				v.Str[i] = vec.StrNull
+			} else {
+				v.Str[i] = heap.Get(off)
+			}
+		}
+		// offs must be mutable for future appends: copy out of the mapping.
+		ownOffs := make([]uint32, count)
+		copy(ownOffs, offs)
+		return v, heap, ownOffs, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unsupported kind %d", typ.Kind)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return v, nil, nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Catalog file.
+// ---------------------------------------------------------------------------
+
+type catalogJSON struct {
+	Version uint64        `json:"version"`
+	Tables  []tableJSON   `json:"tables"`
+	Orders  []orderedIdxJ `json:"order_indexes,omitempty"`
+}
+
+type tableJSON struct {
+	Name  string    `json:"name"`
+	Cols  []colJSON `json:"cols"`
+	NRows int       `json:"nrows"`
+	Dels  []int32   `json:"dels,omitempty"`
+}
+
+type colJSON struct {
+	Name  string `json:"name"`
+	Kind  uint8  `json:"kind"`
+	Prec  int    `json:"prec,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+	Width int    `json:"width,omitempty"`
+}
+
+type orderedIdxJ struct {
+	Table string `json:"table"`
+	Col   string `json:"col"`
+}
+
+const catalogName = "catalog.json"
+
+func (s *Store) columnPath(table, col string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.%s.col", table, col))
+}
+
+// saveCatalogLocked writes catalog.json atomically. Caller holds s.mu.
+func (s *Store) saveCatalogLocked() error {
+	cat := catalogJSON{Version: s.version}
+	for _, name := range s.tableNamesLocked() {
+		t := s.tables[name]
+		tv := t.Version()
+		tj := tableJSON{Name: t.Meta.Name, NRows: tv.NRows, Dels: tv.Dels.Slots()}
+		for _, cd := range t.Meta.Cols {
+			tj.Cols = append(tj.Cols, colJSON{
+				Name: cd.Name, Kind: uint8(cd.Typ.Kind),
+				Prec: cd.Typ.Prec, Scale: cd.Typ.Scale, Width: cd.Typ.Width,
+			})
+		}
+		cat.Tables = append(cat.Tables, tj)
+		for ci, ix := range t.idx {
+			if ix.order != nil {
+				cat.Orders = append(cat.Orders, orderedIdxJ{Table: t.Meta.Name, Col: t.Meta.Cols[ci].Name})
+			}
+		}
+	}
+	data, err := json.MarshalIndent(&cat, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, catalogName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, catalogName))
+}
+
+// loadCatalog reads catalog.json and wires up lazily loaded tables.
+func (s *Store) loadCatalog() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, catalogName))
+	if err != nil {
+		return err
+	}
+	var cat catalogJSON
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return fmt.Errorf("storage: corrupt catalog: %w", err)
+	}
+	s.version = cat.Version
+	for _, tj := range cat.Tables {
+		meta := TableMeta{Name: tj.Name}
+		for _, cj := range tj.Cols {
+			meta.Cols = append(meta.Cols, ColDef{
+				Name: cj.Name,
+				Typ:  mtypes.Type{Kind: mtypes.Kind(cj.Kind), Prec: cj.Prec, Scale: cj.Scale, Width: cj.Width},
+			})
+		}
+		t := newTable(meta)
+		for i, cd := range meta.Cols {
+			t.cols[i] = FileColumn(cd.Typ, s.columnPath(tj.Name, cd.Name))
+		}
+		var dels *Bitmap
+		if len(tj.Dels) > 0 {
+			dels = NewBitmap(tj.NRows)
+			for _, r := range tj.Dels {
+				dels.Set(r)
+			}
+		}
+		t.publish(&TableVersion{Version: cat.Version, NRows: tj.NRows, Dels: dels, table: t})
+		s.tables[tj.Name] = t
+	}
+	// Rebuild persisted order indexes lazily: mark them requested so the
+	// first access rebuilds (cheap bookkeeping, avoids loading columns now).
+	for _, oj := range cat.Orders {
+		if t, ok := s.tables[oj.Table]; ok {
+			if ci := t.Meta.ColIndex(oj.Col); ci >= 0 {
+				t.idx[ci].orderWanted = true
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint persists all table data and the catalog. After a successful
+// checkpoint the WAL can be truncated by the caller.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return nil // in-memory databases persist nothing
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.tableNamesLocked() {
+		t := s.tables[name]
+		tv := t.Version()
+		for i, cd := range t.Meta.Cols {
+			c := t.cols[i]
+			c.mu.Lock()
+			if !c.loaded {
+				// Never touched since load: on-disk state is already current.
+				c.mu.Unlock()
+				continue
+			}
+			data, heap, offs := c.data.Slice(0, tv.NRows), c.heap, c.offs
+			if c.Typ.Kind == mtypes.KVarchar {
+				offs = offs[:tv.NRows]
+			}
+			err := writeColumnFile(s.columnPath(name, cd.Name), cd.Typ, data, heap, offs)
+			c.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return s.saveCatalogLocked()
+}

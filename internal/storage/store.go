@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store is a storage-level database: a catalog of tables plus the directory
+// (if any) that persists them. A Store with an empty directory is a pure
+// in-memory database — the paper's in-memory mode, where shutdown discards
+// everything.
+type Store struct {
+	mu      sync.RWMutex
+	dir     string
+	tables  map[string]*Table
+	version uint64
+}
+
+// NewMemory creates an in-memory store.
+func NewMemory() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Open opens (or initializes) a persistent store in dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, tables: make(map[string]*Table)}
+	if _, err := os.Stat(s.dir + "/" + catalogName); err == nil {
+		if err := s.loadCatalog(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the persistence directory ("" for in-memory stores).
+func (s *Store) Dir() string { return s.dir }
+
+// InMemory reports whether the store discards data on close.
+func (s *Store) InMemory() bool { return s.dir == "" }
+
+// Version returns the current global commit version.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// BumpVersion increments and returns the global commit version. Called by
+// the transaction layer under its commit lock.
+func (s *Store) BumpVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	return s.version
+}
+
+// CreateTable adds a new empty table to the catalog.
+func (s *Store) CreateTable(meta TableMeta) (*Table, error) {
+	if len(meta.Cols) == 0 {
+		return nil, fmt.Errorf("storage: table %q needs at least one column", meta.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range meta.Cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("storage: duplicate column %q in table %q", c.Name, meta.Name)
+		}
+		seen[c.Name] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[meta.Name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", meta.Name)
+	}
+	t := NewMemoryTable(meta)
+	s.tables[meta.Name] = t
+	return t, nil
+}
+
+// DropTable removes a table and its column files.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("storage: no such table %q", name)
+	}
+	delete(s.tables, name)
+	for i := range t.cols {
+		t.cols[i].Release()
+		if s.dir != "" {
+			os.Remove(s.columnPath(name, t.Meta.Cols[i].Name))
+		}
+	}
+	return nil
+}
+
+// Get looks up a table by name.
+func (s *Store) Get(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// TableNames returns the sorted table names.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tableNamesLocked()
+}
+
+func (s *Store) tableNamesLocked() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures the current version of every table — the read view of a
+// new transaction.
+func (s *Store) Snapshot() map[string]*TableVersion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := make(map[string]*TableVersion, len(s.tables))
+	for name, t := range s.tables {
+		snap[name] = t.Version()
+	}
+	return snap
+}
+
+// Close releases all column mappings. For persistent stores the caller is
+// expected to Checkpoint first; in-memory stores simply discard their data
+// (the paper's in-memory shutdown semantics).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, t := range s.tables {
+		for _, c := range t.cols {
+			if err := c.Release(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.tables = map[string]*Table{}
+	return first
+}

@@ -1,0 +1,270 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"monetlite/internal/index"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// ColDef describes one column of a table.
+type ColDef struct {
+	Name string
+	Typ  mtypes.Type
+}
+
+// TableMeta is a table's schema.
+type TableMeta struct {
+	Name string
+	Cols []ColDef
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (m *TableMeta) ColIndex(name string) int {
+	for i, c := range m.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TableVersion is an immutable snapshot of a table's visible state: a row
+// count and a deletion bitmap over append-only column arrays. Reading a
+// version never blocks writers and vice versa.
+type TableVersion struct {
+	Version uint64 // global commit version that produced this snapshot
+	NRows   int    // visible physical rows (including deleted ones)
+	Dels    *Bitmap
+	table   *Table
+}
+
+// Meta returns the table schema.
+func (tv *TableVersion) Meta() *TableMeta { return &tv.table.Meta }
+
+// Table returns the owning table (for index access).
+func (tv *TableVersion) Table() *Table { return tv.table }
+
+// Col loads column i and returns it truncated to this version's row count.
+func (tv *TableVersion) Col(i int) (*vec.Vector, error) {
+	data, err := tv.table.cols[i].Load()
+	if err != nil {
+		return nil, err
+	}
+	return data.Slice(0, tv.NRows), nil
+}
+
+// LiveCands returns the candidate list of non-deleted rows (nil = all).
+func (tv *TableVersion) LiveCands() []int32 { return tv.Dels.LiveCands(tv.NRows) }
+
+// LiveRows returns the number of visible rows.
+func (tv *TableVersion) LiveRows() int { return tv.NRows - tv.Dels.Count() }
+
+// colIndexes tracks the secondary indexes of one column together with the
+// metadata needed to decide their validity for a given snapshot.
+type colIndexes struct {
+	imprints     *index.Imprints
+	imprintsRows int
+	hash         *index.HashIndex
+	order        *index.OrderIndex
+	orderRows    int
+	orderWanted  bool // CREATE ORDER INDEX was issued; rebuild lazily
+}
+
+// Table is a mutable table: current version pointer, physical columns and
+// index bookkeeping. Mutations run under the transaction layer's commit lock
+// plus t.mu; readers use the atomic version pointer.
+type Table struct {
+	Meta TableMeta
+
+	mu   sync.Mutex
+	cols []*Column
+	cur  atomic.Pointer[TableVersion]
+	idx  []colIndexes
+}
+
+func newTable(meta TableMeta) *Table {
+	t := &Table{Meta: meta, cols: make([]*Column, len(meta.Cols)), idx: make([]colIndexes, len(meta.Cols))}
+	return t
+}
+
+// NewMemoryTable creates an empty in-memory table (used by tests and the
+// in-memory database mode).
+func NewMemoryTable(meta TableMeta) *Table {
+	t := newTable(meta)
+	for i, cd := range meta.Cols {
+		t.cols[i] = NewColumn(cd.Typ)
+	}
+	t.publish(&TableVersion{Version: 0, NRows: 0, table: t})
+	return t
+}
+
+func (t *Table) publish(tv *TableVersion) { t.cur.Store(tv) }
+
+// Version returns the current snapshot.
+func (t *Table) Version() *TableVersion { return t.cur.Load() }
+
+// Append adds a batch of rows (one vector per column, equal lengths) and
+// publishes a new version stamped with commitVersion. Index maintenance
+// follows the paper: imprints are destroyed (column modified), hash indexes
+// are extended, order indexes are dropped (they do not survive appends).
+func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion, error) {
+	if len(cols) != len(t.cols) {
+		return nil, fmt.Errorf("storage: append to %s: %d columns, want %d", t.Meta.Name, len(cols), len(t.cols))
+	}
+	n := cols[0].Len()
+	for i, v := range cols {
+		if v.Len() != n {
+			return nil, fmt.Errorf("storage: append to %s: ragged batch (col %d has %d rows, want %d)", t.Meta.Name, i, v.Len(), n)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.Version()
+	for i, v := range cols {
+		newLen, err := t.cols[i].Append(v)
+		if err != nil {
+			return nil, err
+		}
+		if newLen != old.NRows+n {
+			return nil, fmt.Errorf("storage: append to %s: column %d length %d, want %d", t.Meta.Name, i, newLen, old.NRows+n)
+		}
+	}
+	for i := range t.idx {
+		t.idx[i].imprints = nil
+		t.idx[i].order = nil
+		if h := t.idx[i].hash; h != nil {
+			data, err := t.cols[i].Load()
+			if err == nil && h.Rows() == old.NRows {
+				h.Extend(data, old.NRows)
+			} else {
+				t.idx[i].hash = nil
+			}
+		}
+	}
+	tv := &TableVersion{Version: commitVersion, NRows: old.NRows + n, Dels: old.Dels, table: t}
+	t.publish(tv)
+	return tv, nil
+}
+
+// Delete marks rows deleted and publishes a new version. Hash indexes,
+// imprints and order indexes are destroyed (paper: indexes do not survive
+// deletes/updates).
+func (t *Table) Delete(rowids []int32, commitVersion uint64) (*TableVersion, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.Version()
+	dels := old.Dels.Clone(old.NRows)
+	n := 0
+	for _, r := range rowids {
+		if r < 0 || int(r) >= old.NRows {
+			return nil, 0, fmt.Errorf("storage: delete from %s: row %d out of range", t.Meta.Name, r)
+		}
+		if dels.Set(r) {
+			n++
+		}
+	}
+	for i := range t.idx {
+		t.idx[i].imprints = nil
+		t.idx[i].hash = nil
+		t.idx[i].order = nil
+	}
+	tv := &TableVersion{Version: commitVersion, NRows: old.NRows, Dels: dels, table: t}
+	t.publish(tv)
+	return tv, n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Automatic index access (paper §3.1 "Automatic Indexing").
+// ---------------------------------------------------------------------------
+
+// ImprintsFor returns (building on demand) the imprints of column ci, valid
+// for snapshot tv; nil when the snapshot is stale or the type is unsupported.
+func (t *Table) ImprintsFor(tv *TableVersion, ci int) *index.Imprints {
+	if tv != t.Version() || tv.Dels.Count() > 0 {
+		return nil // only current, delete-free versions use imprints
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ix := &t.idx[ci]
+	if ix.imprints != nil && ix.imprintsRows == tv.NRows {
+		return ix.imprints
+	}
+	data, err := t.cols[ci].Load()
+	if err != nil {
+		return nil
+	}
+	ix.imprints = index.BuildImprints(data.Slice(0, tv.NRows))
+	ix.imprintsRows = tv.NRows
+	return ix.imprints
+}
+
+// HashFor returns (building on demand) the hash index of column ci for
+// snapshot tv; nil when stale.
+func (t *Table) HashFor(tv *TableVersion, ci int) *index.HashIndex {
+	if tv != t.Version() || tv.Dels.Count() > 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ix := &t.idx[ci]
+	if ix.hash != nil && ix.hash.Rows() == tv.NRows {
+		return ix.hash
+	}
+	data, err := t.cols[ci].Load()
+	if err != nil {
+		return nil
+	}
+	ix.hash = index.BuildHashIndex(data.Slice(0, tv.NRows))
+	return ix.hash
+}
+
+// OrderFor returns the order index of column ci if one was created with
+// CREATE ORDER INDEX and is still valid for tv.
+func (t *Table) OrderFor(tv *TableVersion, ci int) *index.OrderIndex {
+	if tv != t.Version() || tv.Dels.Count() > 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ix := &t.idx[ci]
+	if ix.order != nil && ix.orderRows == tv.NRows {
+		return ix.order
+	}
+	if !ix.orderWanted {
+		return nil
+	}
+	data, err := t.cols[ci].Load()
+	if err != nil {
+		return nil
+	}
+	ix.order = index.BuildOrderIndex(data.Slice(0, tv.NRows))
+	ix.orderRows = tv.NRows
+	return ix.order
+}
+
+// CreateOrderIndex marks column ci as order-indexed and builds the index
+// eagerly (CREATE ORDER INDEX statement).
+func (t *Table) CreateOrderIndex(ci int) error {
+	tv := t.Version()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	data, err := t.cols[ci].Load()
+	if err != nil {
+		return err
+	}
+	t.idx[ci].orderWanted = true
+	t.idx[ci].order = index.BuildOrderIndex(data.Slice(0, tv.NRows))
+	t.idx[ci].orderRows = tv.NRows
+	return nil
+}
+
+// HasOrderIndex reports whether CREATE ORDER INDEX was issued for column ci.
+func (t *Table) HasOrderIndex(ci int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.idx[ci].orderWanted
+}

@@ -1,0 +1,150 @@
+// Package strheap implements MonetDB-style variable-sized string heaps.
+//
+// A VARCHAR column is stored as a tightly packed array of offsets into a
+// heap. The heap performs duplicate elimination while the number of distinct
+// values stays below a threshold: if two fields share the same value it is
+// stored once and both offsets point at the same heap entry (paper §3.1,
+// "Data Storage").
+//
+// Heap layout: entries are [uvarint length][bytes]. Offset 0 is reserved for
+// the NULL entry, which is written at construction time.
+package strheap
+
+import (
+	"encoding/binary"
+	"errors"
+	"unsafe"
+)
+
+// DefaultDedupThreshold is the distinct-value count up to which the heap
+// deduplicates entries (beyond it, new values are always appended).
+const DefaultDedupThreshold = 1 << 16
+
+// NullOffset is the offset of the reserved NULL entry.
+const NullOffset = 0
+
+// nullMarker is the reserved heap entry for NULL (MonetDB uses "\200").
+const nullMarker = "\x80"
+
+// Heap is a duplicate-eliminating string heap. The zero value is not usable;
+// call New.
+type Heap struct {
+	buf       []byte
+	dedup     map[string]uint32 // value -> offset, while dedup is active
+	threshold int
+}
+
+// New creates an empty heap with the default dedup threshold.
+func New() *Heap { return NewWithThreshold(DefaultDedupThreshold) }
+
+// NewWithThreshold creates an empty heap that deduplicates until the number
+// of distinct values exceeds threshold. threshold <= 0 disables dedup.
+func NewWithThreshold(threshold int) *Heap {
+	h := &Heap{threshold: threshold}
+	if threshold > 0 {
+		h.dedup = make(map[string]uint32)
+	}
+	// Reserve offset 0 for NULL.
+	h.appendEntry(nullMarker)
+	return h
+}
+
+func (h *Heap) appendEntry(s string) uint32 {
+	off := uint32(len(h.buf))
+	h.buf = binary.AppendUvarint(h.buf, uint64(len(s)))
+	h.buf = append(h.buf, s...)
+	return off
+}
+
+// Put stores s and returns its offset. Equal values may share one entry.
+func (h *Heap) Put(s string) uint32 {
+	if s == nullMarker {
+		return NullOffset
+	}
+	if h.dedup != nil {
+		if off, ok := h.dedup[s]; ok {
+			return off
+		}
+	}
+	off := h.appendEntry(s)
+	if h.dedup != nil {
+		if len(h.dedup) < h.threshold {
+			h.dedup[s] = off
+		} else {
+			// Distinct count exceeded the threshold: stop deduplicating
+			// (MonetDB behaviour). Existing entries keep deduplicating.
+			h.dedup = nil
+		}
+	}
+	return off
+}
+
+// PutNull returns the reserved NULL offset.
+func (h *Heap) PutNull() uint32 { return NullOffset }
+
+// Get returns the string at offset off. The returned string aliases the heap
+// buffer (zero-copy); it stays valid for the life of the heap because heap
+// entries are immutable and reallocation keeps old arrays reachable through
+// previously returned strings.
+func (h *Heap) Get(off uint32) string {
+	n, k := binary.Uvarint(h.buf[off:])
+	if k <= 0 {
+		return ""
+	}
+	start := int(off) + k
+	if n == 0 {
+		return ""
+	}
+	// Zero-copy view: heap bytes are append-only and never mutated in place.
+	return unsafe.String(&h.buf[start], int(n))
+}
+
+// IsNull reports whether off designates the NULL entry.
+func (h *Heap) IsNull(off uint32) bool { return off == NullOffset }
+
+// Size returns the heap size in bytes.
+func (h *Heap) Size() int { return len(h.buf) }
+
+// Distinct returns the number of deduplicated distinct values, and whether
+// dedup is still active.
+func (h *Heap) Distinct() (int, bool) {
+	if h.dedup == nil {
+		return 0, false
+	}
+	return len(h.dedup), true
+}
+
+// Bytes exposes the raw heap buffer for serialization.
+func (h *Heap) Bytes() []byte { return h.buf }
+
+// FromBytes reconstructs a heap from a serialized buffer. The heap resumes
+// in non-deduplicating mode unless rebuild is true, in which case the dedup
+// map is rebuilt by scanning the entries (used after load when appends are
+// expected).
+func FromBytes(buf []byte, rebuild bool) (*Heap, error) {
+	if len(buf) < len(nullMarker)+1 {
+		return nil, errors.New("strheap: buffer too short")
+	}
+	h := &Heap{buf: buf, threshold: DefaultDedupThreshold}
+	if rebuild {
+		h.dedup = make(map[string]uint32)
+		off := 0
+		for off < len(buf) {
+			n, k := binary.Uvarint(buf[off:])
+			if k <= 0 || off+k+int(n) > len(buf) {
+				return nil, errors.New("strheap: corrupt heap entry")
+			}
+			s := string(buf[off+k : off+k+int(n)])
+			if off != NullOffset && len(h.dedup) < h.threshold {
+				if _, ok := h.dedup[s]; !ok {
+					h.dedup[s] = uint32(off)
+				}
+			}
+			off += k + int(n)
+		}
+		if len(h.dedup) >= h.threshold {
+			h.dedup = nil
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,136 @@
+package strheap
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	h := New()
+	vals := []string{"hello", "", "world", "hello", "a much longer string value for variety", "world"}
+	offs := make([]uint32, len(vals))
+	for i, s := range vals {
+		offs[i] = h.Put(s)
+	}
+	for i, s := range vals {
+		if got := h.Get(offs[i]); got != s {
+			t.Errorf("Get(Put(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	h := New()
+	a := h.Put("dup")
+	b := h.Put("dup")
+	c := h.Put("other")
+	if a != b {
+		t.Fatal("equal values should share one heap entry")
+	}
+	if a == c {
+		t.Fatal("distinct values must not share entries")
+	}
+	n, active := h.Distinct()
+	if !active || n != 2 {
+		t.Fatalf("distinct = %d active=%v", n, active)
+	}
+}
+
+func TestDedupThresholdDisables(t *testing.T) {
+	h := NewWithThreshold(4)
+	for i := 0; i < 10; i++ {
+		h.Put(fmt.Sprintf("v%d", i))
+	}
+	if _, active := h.Distinct(); active {
+		t.Fatal("dedup should deactivate past the threshold")
+	}
+	// Values remain retrievable.
+	off := h.Put("v3") // appended fresh now (no dedup)
+	if h.Get(off) != "v3" {
+		t.Fatal("post-threshold put broken")
+	}
+	sizeBefore := h.Size()
+	h.Put("v3")
+	if h.Size() == sizeBefore {
+		t.Fatal("post-threshold puts should append (no dedup)")
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	h := New()
+	if h.PutNull() != NullOffset {
+		t.Fatal("PutNull should return the reserved offset")
+	}
+	if !h.IsNull(NullOffset) {
+		t.Fatal("IsNull(NullOffset)")
+	}
+	off := h.Put("x")
+	if h.IsNull(off) {
+		t.Fatal("non-null offset reported null")
+	}
+	// The null marker string itself maps to the NULL offset.
+	if h.Put("\x80") != NullOffset {
+		t.Fatal("null marker should map to NullOffset")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	h := New()
+	vals := []string{"alpha", "beta", "alpha", "gamma", ""}
+	offs := make([]uint32, len(vals))
+	for i, s := range vals {
+		offs[i] = h.Put(s)
+	}
+	nullOff := h.PutNull()
+
+	for _, rebuild := range []bool{false, true} {
+		h2, err := FromBytes(h.Bytes(), rebuild)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range vals {
+			if got := h2.Get(offs[i]); got != s {
+				t.Errorf("rebuild=%v: Get = %q want %q", rebuild, got, s)
+			}
+		}
+		if !h2.IsNull(nullOff) {
+			t.Error("null offset lost in round trip")
+		}
+	}
+	// Rebuilt heap continues deduplicating against old entries.
+	h3, _ := FromBytes(h.Bytes(), true)
+	if h3.Put("alpha") != offs[0] {
+		t.Error("rebuilt heap should dedup against existing entries")
+	}
+}
+
+func TestFromBytesCorrupt(t *testing.T) {
+	if _, err := FromBytes(nil, false); err == nil {
+		t.Fatal("empty buffer should fail")
+	}
+	if _, err := FromBytes([]byte{0xFF, 0xFF, 0xFF}, true); err == nil {
+		t.Fatal("corrupt buffer should fail on rebuild")
+	}
+}
+
+// Property: decode(encode(x)) == x for arbitrary strings, and dedup never
+// changes what Get returns.
+func TestHeapQuick(t *testing.T) {
+	h := New()
+	seen := map[uint32]string{}
+	f := func(s string) bool {
+		if s == "\x80" {
+			return true // reserved marker
+		}
+		off := h.Put(s)
+		if prev, ok := seen[off]; ok && prev != s {
+			return false // dedup collision would be a correctness bug
+		}
+		seen[off] = s
+		return h.Get(off) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+)
+
+// The frame implementations are written independently of the SQL engine, so
+// agreement between the two is strong evidence both are correct (the paper's
+// reproducibility methodology applied to ourselves).
+func TestFrameMatchesEngine(t *testing.T) {
+	db, d, err := NewDatabase(0.004, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	fdb, err := NewFrameDB(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	approx := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		diff := math.Abs(a - b)
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return diff <= 1e-6*scale+0.02
+	}
+
+	for _, q := range QueryNumbers {
+		sqlRes, err := conn.Query(Queries[q])
+		if err != nil {
+			t.Fatalf("engine Q%d: %v", q, err)
+		}
+		fr, err := fdb.FrameQuery(q)
+		if err != nil {
+			t.Fatalf("frame Q%d: %v", q, err)
+		}
+		if sqlRes.NumRows() != fr.NumRows() {
+			t.Errorf("Q%d: engine %d rows, frame %d rows", q, sqlRes.NumRows(), fr.NumRows())
+			continue
+		}
+		t.Logf("Q%d: %d rows agree", q, fr.NumRows())
+	}
+
+	// Cell-level checks on the fully deterministic queries.
+	// Q1: every aggregate cell.
+	sqlQ1, _ := conn.Query(Queries[1])
+	frQ1, _ := fdb.FrameQuery(1)
+	for i := 0; i < sqlQ1.NumRows(); i++ {
+		sFlag, _ := sqlQ1.Column(0).Strings()
+		fFlag := frQ1.Strings("l_returnflag")
+		if sFlag[i] != fFlag[i] {
+			t.Fatalf("Q1 row %d flag: %s vs %s", i, sFlag[i], fFlag[i])
+		}
+		for col, fname := range map[int]string{2: "sum_qty", 3: "sum_base_price", 4: "sum_disc_price", 5: "sum_charge", 6: "avg_qty"} {
+			sv := sqlQ1.Column(col).AsFloats()[i]
+			fv := frQ1.Floats(fname)[i]
+			if !approx(sv, fv) {
+				t.Fatalf("Q1 row %d %s: engine %f frame %f", i, fname, sv, fv)
+			}
+		}
+		sn := sqlQ1.Column(9).AsInts()[i]
+		fn := frQ1.Ints64("count_order")[i]
+		if sn != fn {
+			t.Fatalf("Q1 row %d count: %d vs %d", i, sn, fn)
+		}
+	}
+
+	// Q4: exact counts per priority.
+	sqlQ4, _ := conn.Query(Queries[4])
+	frQ4, _ := fdb.FrameQuery(4)
+	for i := 0; i < sqlQ4.NumRows(); i++ {
+		sp, _ := sqlQ4.Column(0).Strings()
+		if sp[i] != frQ4.Strings("o_orderpriority")[i] {
+			t.Fatalf("Q4 priority order differs at %d", i)
+		}
+		if sqlQ4.Column(1).AsInts()[i] != frQ4.Ints64("order_count")[i] {
+			t.Fatalf("Q4 count differs at %d: %d vs %d", i, sqlQ4.Column(1).AsInts()[i], frQ4.Ints64("order_count")[i])
+		}
+	}
+
+	// Q6: the single revenue value.
+	sqlQ6, _ := conn.Query(Queries[6])
+	frQ6, _ := fdb.FrameQuery(6)
+	if !approx(sqlQ6.Column(0).AsFloats()[0], frQ6.Floats("revenue")[0]) {
+		t.Fatalf("Q6: %f vs %f", sqlQ6.Column(0).AsFloats()[0], frQ6.Floats("revenue")[0])
+	}
+
+	// Q5: revenue per nation (ordering + values).
+	sqlQ5, _ := conn.Query(Queries[5])
+	frQ5, _ := fdb.FrameQuery(5)
+	for i := 0; i < sqlQ5.NumRows(); i++ {
+		sn, _ := sqlQ5.Column(0).Strings()
+		if sn[i] != frQ5.Strings("n_name")[i] {
+			t.Fatalf("Q5 nation order: %v vs %v", sn[i], frQ5.Strings("n_name")[i])
+		}
+		if !approx(sqlQ5.Column(1).AsFloats()[i], frQ5.Floats("revenue")[i]) {
+			t.Fatalf("Q5 revenue row %d", i)
+		}
+	}
+
+	// Q10: top revenue value agrees.
+	sqlQ10, _ := conn.Query(Queries[10])
+	frQ10, _ := fdb.FrameQuery(10)
+	if sqlQ10.NumRows() > 0 {
+		if !approx(sqlQ10.Column(2).AsFloats()[0], frQ10.Floats("revenue")[0]) {
+			t.Fatalf("Q10 top revenue: %f vs %f",
+				sqlQ10.Column(2).AsFloats()[0], frQ10.Floats("revenue")[0])
+		}
+	}
+}
+
+func TestFrameOOMAtScale(t *testing.T) {
+	d := Generate(0.002, 3)
+	// A budget below the base data size must fail immediately; a budget that
+	// fits the base data but not the Q1 intermediates must fail inside the
+	// query — the paper's SF10 "E" behaviour.
+	if _, err := NewFrameDB(d, 1024); err == nil {
+		t.Fatal("tiny budget should OOM on load")
+	}
+	fdb, err := NewFrameDB(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fdb.Sess.Used()
+	fdb2, err := NewFrameDB(d, base+base/20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fdb2.FrameQuery(1); err == nil {
+		t.Fatal("Q1 intermediates should exceed a tight budget")
+	}
+}

@@ -1,0 +1,686 @@
+package tpch
+
+import (
+	"strings"
+
+	"monetlite/internal/frame"
+	"monetlite/internal/mtypes"
+)
+
+// FrameDB holds the TPC-H tables as dataframes — the analytical-library side
+// of the paper's Table 1 comparison. The query implementations below follow
+// the paper's methodology: the high-level optimizations an RDBMS would apply
+// (projection pushdown, filter pushdown, join ordering from VectorWise-style
+// plans) are performed BY HAND, making these a best-case for the library.
+type FrameDB struct {
+	Sess                    *frame.Session
+	L, O, C, P, PS, S, N, R *frame.DataFrame
+}
+
+// NewFrameDB wraps generated data in dataframes under a memory budget
+// (budget <= 0 disables the accountant).
+func NewFrameDB(d *Data, budget int64) (*FrameDB, error) {
+	s := &frame.Session{Budget: budget}
+	fdb := &FrameDB{Sess: s}
+	var err error
+	mk := func(t *Table, names []string) *frame.DataFrame {
+		if err != nil {
+			return nil
+		}
+		var df *frame.DataFrame
+		df, err = frame.New(s, names, t.Cols...)
+		return df
+	}
+	fdb.R = mk(d.Region, []string{"r_regionkey", "r_name", "r_comment"})
+	fdb.N = mk(d.Nation, []string{"n_nationkey", "n_name", "n_regionkey", "n_comment"})
+	fdb.S = mk(d.Supplier, []string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"})
+	fdb.C = mk(d.Customer, []string{"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"})
+	fdb.P = mk(d.Part, []string{"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"})
+	fdb.PS = mk(d.PartSupp, []string{"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"})
+	fdb.O = mk(d.Orders, []string{"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"})
+	fdb.L = mk(d.Lineitem, []string{"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"})
+	if err != nil {
+		return nil, err
+	}
+	return fdb, nil
+}
+
+// FrameQuery runs the frame implementation of query q.
+func (f *FrameDB) FrameQuery(q int) (*frame.DataFrame, error) {
+	switch q {
+	case 1:
+		return f.Q1()
+	case 2:
+		return f.Q2()
+	case 3:
+		return f.Q3()
+	case 4:
+		return f.Q4()
+	case 5:
+		return f.Q5()
+	case 6:
+		return f.Q6()
+	case 7:
+		return f.Q7()
+	case 8:
+		return f.Q8()
+	case 9:
+		return f.Q9()
+	case 10:
+		return f.Q10()
+	}
+	return nil, nil
+}
+
+func date(s string) int32 { d, _ := mtypes.ParseDate(s); return d }
+
+// Q1: pricing summary report.
+func (f *FrameDB) Q1() (*frame.DataFrame, error) {
+	cutoff := date("1998-12-01") - 90
+	// Projection pushdown by hand: touch only the 7 needed columns.
+	li, err := f.L.Select("l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate")
+	if err != nil {
+		return nil, err
+	}
+	ship := li.Ints32("l_shipdate")
+	mask := make([]bool, li.NumRows())
+	for i, d := range ship {
+		mask[i] = d <= cutoff
+	}
+	sel, err := li.Filter(mask)
+	if err != nil {
+		return nil, err
+	}
+	ext, disc, tax := sel.Floats("l_extendedprice"), sel.Floats("l_discount"), sel.Floats("l_tax")
+	discPrice := make([]float64, sel.NumRows())
+	charge := make([]float64, sel.NumRows())
+	for i := range ext {
+		discPrice[i] = ext[i] * (1 - disc[i])
+		charge[i] = discPrice[i] * (1 + tax[i])
+	}
+	sel, err = sel.WithColumn("disc_price", discPrice)
+	if err != nil {
+		return nil, err
+	}
+	sel, err = sel.WithColumn("charge", charge)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := sel.GroupBy("l_returnflag", "l_linestatus").Agg(
+		frame.AggSpec{Col: "l_quantity", Kind: frame.Sum, As: "sum_qty"},
+		frame.AggSpec{Col: "l_extendedprice", Kind: frame.Sum, As: "sum_base_price"},
+		frame.AggSpec{Col: "disc_price", Kind: frame.Sum, As: "sum_disc_price"},
+		frame.AggSpec{Col: "charge", Kind: frame.Sum, As: "sum_charge"},
+		frame.AggSpec{Col: "l_quantity", Kind: frame.Mean, As: "avg_qty"},
+		frame.AggSpec{Col: "l_extendedprice", Kind: frame.Mean, As: "avg_price"},
+		frame.AggSpec{Col: "l_discount", Kind: frame.Mean, As: "avg_disc"},
+		frame.AggSpec{Kind: frame.Count, As: "count_order"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return agg.SortBy([]string{"l_returnflag", "l_linestatus"}, nil)
+}
+
+// euroSuppliers joins supplier -> nation -> region(EUROPE) with pushdown.
+func (f *FrameDB) euroSuppliers() (*frame.DataFrame, error) {
+	rn := f.R.Strings("r_name")
+	mask := make([]bool, f.R.NumRows())
+	for i, n := range rn {
+		mask[i] = n == "EUROPE"
+	}
+	eur, err := f.R.Filter(mask)
+	if err != nil {
+		return nil, err
+	}
+	nat, err := frame.Join(f.N, eur, []string{"n_regionkey"}, []string{"r_regionkey"})
+	if err != nil {
+		return nil, err
+	}
+	return frame.Join(f.S, nat, []string{"s_nationkey"}, []string{"n_nationkey"})
+}
+
+// Q2: minimum cost supplier.
+func (f *FrameDB) Q2() (*frame.DataFrame, error) {
+	pt := f.P.Strings("p_type")
+	ps := f.P.Ints32("p_size")
+	mask := make([]bool, f.P.NumRows())
+	for i := range pt {
+		mask[i] = ps[i] == 15 && strings.HasSuffix(pt[i], "BRASS")
+	}
+	parts, err := f.P.Filter(mask)
+	if err != nil {
+		return nil, err
+	}
+	parts, err = parts.Select("p_partkey", "p_mfgr")
+	if err != nil {
+		return nil, err
+	}
+	supp, err := f.euroSuppliers()
+	if err != nil {
+		return nil, err
+	}
+	// partsupp restricted to interesting parts, then to European suppliers.
+	cand, err := frame.Join(f.PS, parts, []string{"ps_partkey"}, []string{"p_partkey"})
+	if err != nil {
+		return nil, err
+	}
+	cand, err = frame.Join(cand, supp, []string{"ps_suppkey"}, []string{"s_suppkey"})
+	if err != nil {
+		return nil, err
+	}
+	// Per-part minimum cost among the candidates.
+	mins, err := cand.GroupBy("ps_partkey").Agg(frame.AggSpec{Col: "ps_supplycost", Kind: frame.Min, As: "min_cost"})
+	if err != nil {
+		return nil, err
+	}
+	joined, err := frame.Join(cand, mins, []string{"ps_partkey"}, []string{"ps_partkey"})
+	if err != nil {
+		return nil, err
+	}
+	cost := joined.Floats("ps_supplycost")
+	minc := joined.Floats("min_cost")
+	m2 := make([]bool, joined.NumRows())
+	for i := range cost {
+		m2[i] = cost[i] == minc[i]
+	}
+	hit, err := joined.Filter(m2)
+	if err != nil {
+		return nil, err
+	}
+	out, err := hit.Select("s_acctbal", "s_name", "n_name", "ps_partkey", "p_mfgr", "s_address", "s_phone", "s_comment")
+	if err != nil {
+		return nil, err
+	}
+	out, err = out.SortBy([]string{"s_acctbal", "n_name", "s_name", "ps_partkey"}, []bool{true, false, false, false})
+	if err != nil {
+		return nil, err
+	}
+	return out.Head(100)
+}
+
+// Q3: shipping priority.
+func (f *FrameDB) Q3() (*frame.DataFrame, error) {
+	seg := f.C.Strings("c_mktsegment")
+	cm := make([]bool, f.C.NumRows())
+	for i, s := range seg {
+		cm[i] = s == "BUILDING"
+	}
+	cust, err := f.C.Filter(cm)
+	if err != nil {
+		return nil, err
+	}
+	cust, _ = cust.Select("c_custkey")
+	od := f.O.Ints32("o_orderdate")
+	om := make([]bool, f.O.NumRows())
+	pivot := date("1995-03-15")
+	for i, d := range od {
+		om[i] = d < pivot
+	}
+	orders, err := f.O.Filter(om)
+	if err != nil {
+		return nil, err
+	}
+	orders, _ = orders.Select("o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
+	orders, err = frame.Join(orders, cust, []string{"o_custkey"}, []string{"c_custkey"})
+	if err != nil {
+		return nil, err
+	}
+	ld := f.L.Ints32("l_shipdate")
+	lm := make([]bool, f.L.NumRows())
+	for i, d := range ld {
+		lm[i] = d > pivot
+	}
+	li, err := f.L.Filter(lm)
+	if err != nil {
+		return nil, err
+	}
+	li, _ = li.Select("l_orderkey", "l_extendedprice", "l_discount")
+	j, err := frame.Join(li, orders, []string{"l_orderkey"}, []string{"o_orderkey"})
+	if err != nil {
+		return nil, err
+	}
+	rev := revenueCol(j)
+	j, err = j.WithColumn("rev", rev)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := j.GroupBy("l_orderkey", "o_orderdate", "o_shippriority").Agg(
+		frame.AggSpec{Col: "rev", Kind: frame.Sum, As: "revenue"})
+	if err != nil {
+		return nil, err
+	}
+	agg, err = agg.SortBy([]string{"revenue", "o_orderdate"}, []bool{true, false})
+	if err != nil {
+		return nil, err
+	}
+	return agg.Head(10)
+}
+
+func revenueCol(df *frame.DataFrame) []float64 {
+	ext, disc := df.Floats("l_extendedprice"), df.Floats("l_discount")
+	out := make([]float64, df.NumRows())
+	for i := range ext {
+		out[i] = ext[i] * (1 - disc[i])
+	}
+	return out
+}
+
+// Q4: order priority checking.
+func (f *FrameDB) Q4() (*frame.DataFrame, error) {
+	od := f.O.Ints32("o_orderdate")
+	lo, hi := date("1993-07-01"), date("1993-10-01")
+	om := make([]bool, f.O.NumRows())
+	for i, d := range od {
+		om[i] = d >= lo && d < hi
+	}
+	orders, err := f.O.Filter(om)
+	if err != nil {
+		return nil, err
+	}
+	orders, _ = orders.Select("o_orderkey", "o_orderpriority")
+	cd, rd := f.L.Ints32("l_commitdate"), f.L.Ints32("l_receiptdate")
+	lm := make([]bool, f.L.NumRows())
+	for i := range cd {
+		lm[i] = cd[i] < rd[i]
+	}
+	late, err := f.L.Filter(lm)
+	if err != nil {
+		return nil, err
+	}
+	late, _ = late.Select("l_orderkey")
+	sel, err := frame.SemiJoin(orders, late, []string{"o_orderkey"}, []string{"l_orderkey"}, false)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := sel.GroupBy("o_orderpriority").Agg(frame.AggSpec{Kind: frame.Count, As: "order_count"})
+	if err != nil {
+		return nil, err
+	}
+	return agg.SortBy([]string{"o_orderpriority"}, nil)
+}
+
+// Q5: local supplier volume.
+func (f *FrameDB) Q5() (*frame.DataFrame, error) {
+	rn := f.R.Strings("r_name")
+	rm := make([]bool, f.R.NumRows())
+	for i, n := range rn {
+		rm[i] = n == "ASIA"
+	}
+	asia, err := f.R.Filter(rm)
+	if err != nil {
+		return nil, err
+	}
+	nat, err := frame.Join(f.N, asia, []string{"n_regionkey"}, []string{"r_regionkey"})
+	if err != nil {
+		return nil, err
+	}
+	nat, _ = nat.Select("n_nationkey", "n_name")
+	od := f.O.Ints32("o_orderdate")
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	om := make([]bool, f.O.NumRows())
+	for i, d := range od {
+		om[i] = d >= lo && d < hi
+	}
+	orders, err := f.O.Filter(om)
+	if err != nil {
+		return nil, err
+	}
+	orders, _ = orders.Select("o_orderkey", "o_custkey")
+	cust, _ := f.C.Select("c_custkey", "c_nationkey")
+	oc, err := frame.Join(orders, cust, []string{"o_custkey"}, []string{"c_custkey"})
+	if err != nil {
+		return nil, err
+	}
+	li, _ := f.L.Select("l_orderkey", "l_suppkey", "l_extendedprice", "l_discount")
+	j, err := frame.Join(li, oc, []string{"l_orderkey"}, []string{"o_orderkey"})
+	if err != nil {
+		return nil, err
+	}
+	supp, _ := f.S.Select("s_suppkey", "s_nationkey")
+	// Join on both supplier key and matching nation (local suppliers).
+	j, err = frame.Join(j, supp, []string{"l_suppkey", "c_nationkey"}, []string{"s_suppkey", "s_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	j, err = frame.Join(j, nat, []string{"c_nationkey"}, []string{"n_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	j, err = j.WithColumn("rev", revenueCol(j))
+	if err != nil {
+		return nil, err
+	}
+	agg, err := j.GroupBy("n_name").Agg(frame.AggSpec{Col: "rev", Kind: frame.Sum, As: "revenue"})
+	if err != nil {
+		return nil, err
+	}
+	return agg.SortBy([]string{"revenue"}, []bool{true})
+}
+
+// Q6: forecasting revenue change.
+func (f *FrameDB) Q6() (*frame.DataFrame, error) {
+	ship := f.L.Ints32("l_shipdate")
+	disc := f.L.Floats("l_discount")
+	qty := f.L.Floats("l_quantity")
+	ext := f.L.Floats("l_extendedprice")
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	rev := 0.0
+	for i := range ship {
+		if ship[i] >= lo && ship[i] < hi && disc[i] >= 0.05-1e-9 && disc[i] <= 0.07+1e-9 && qty[i] < 24 {
+			rev += ext[i] * disc[i]
+		}
+	}
+	return frame.New(f.Sess, []string{"revenue"}, []float64{rev})
+}
+
+// frNations returns nation frames filtered to one name, projected to key+name.
+func (f *FrameDB) nationNamed(names ...string) (*frame.DataFrame, error) {
+	nn := f.N.Strings("n_name")
+	mask := make([]bool, f.N.NumRows())
+	for i, n := range nn {
+		for _, want := range names {
+			if n == want {
+				mask[i] = true
+			}
+		}
+	}
+	sel, err := f.N.Filter(mask)
+	if err != nil {
+		return nil, err
+	}
+	return sel.Select("n_nationkey", "n_name")
+}
+
+// Q7: volume shipping between FRANCE and GERMANY.
+func (f *FrameDB) Q7() (*frame.DataFrame, error) {
+	nat, err := f.nationNamed("FRANCE", "GERMANY")
+	if err != nil {
+		return nil, err
+	}
+	supp, _ := f.S.Select("s_suppkey", "s_nationkey")
+	supp, err = frame.Join(supp, nat, []string{"s_nationkey"}, []string{"n_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	cust, _ := f.C.Select("c_custkey", "c_nationkey")
+	cust, err = frame.Join(cust, nat, []string{"c_nationkey"}, []string{"n_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	ship := f.L.Ints32("l_shipdate")
+	lo, hi := date("1995-01-01"), date("1996-12-31")
+	lm := make([]bool, f.L.NumRows())
+	for i, d := range ship {
+		lm[i] = d >= lo && d <= hi
+	}
+	li, err := f.L.Filter(lm)
+	if err != nil {
+		return nil, err
+	}
+	li, _ = li.Select("l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate")
+	j, err := frame.Join(li, supp, []string{"l_suppkey"}, []string{"s_suppkey"})
+	if err != nil {
+		return nil, err
+	}
+	ord, _ := f.O.Select("o_orderkey", "o_custkey")
+	j, err = frame.Join(j, ord, []string{"l_orderkey"}, []string{"o_orderkey"})
+	if err != nil {
+		return nil, err
+	}
+	j, err = frame.Join(j, cust, []string{"o_custkey"}, []string{"c_custkey"})
+	if err != nil {
+		return nil, err
+	}
+	// supp nation name arrived as n_name, cust nation as n_name_r.
+	sn, cn := j.Strings("n_name"), j.Strings("n_name_r")
+	keep := make([]bool, j.NumRows())
+	for i := range sn {
+		keep[i] = (sn[i] == "FRANCE" && cn[i] == "GERMANY") || (sn[i] == "GERMANY" && cn[i] == "FRANCE")
+	}
+	j, err = j.Filter(keep)
+	if err != nil {
+		return nil, err
+	}
+	years := make([]int64, j.NumRows())
+	for i, d := range j.Ints32("l_shipdate") {
+		years[i] = int64(mtypes.DateYear(d))
+	}
+	j, err = j.WithColumn("l_year", years)
+	if err != nil {
+		return nil, err
+	}
+	j, err = j.WithColumn("volume", revenueCol(j))
+	if err != nil {
+		return nil, err
+	}
+	agg, err := j.GroupBy("n_name", "n_name_r", "l_year").Agg(frame.AggSpec{Col: "volume", Kind: frame.Sum, As: "revenue"})
+	if err != nil {
+		return nil, err
+	}
+	return agg.SortBy([]string{"n_name", "n_name_r", "l_year"}, nil)
+}
+
+// Q8: national market share.
+func (f *FrameDB) Q8() (*frame.DataFrame, error) {
+	pt := f.P.Strings("p_type")
+	pm := make([]bool, f.P.NumRows())
+	for i, t := range pt {
+		pm[i] = t == "ECONOMY ANODIZED STEEL"
+	}
+	parts, err := f.P.Filter(pm)
+	if err != nil {
+		return nil, err
+	}
+	parts, _ = parts.Select("p_partkey")
+	od := f.O.Ints32("o_orderdate")
+	lo, hi := date("1995-01-01"), date("1996-12-31")
+	om := make([]bool, f.O.NumRows())
+	for i, d := range od {
+		om[i] = d >= lo && d <= hi
+	}
+	orders, err := f.O.Filter(om)
+	if err != nil {
+		return nil, err
+	}
+	orders, _ = orders.Select("o_orderkey", "o_custkey", "o_orderdate")
+	// American customers.
+	rn := f.R.Strings("r_name")
+	rm := make([]bool, f.R.NumRows())
+	for i, n := range rn {
+		rm[i] = n == "AMERICA"
+	}
+	amer, err := f.R.Filter(rm)
+	if err != nil {
+		return nil, err
+	}
+	natAm, err := frame.Join(f.N, amer, []string{"n_regionkey"}, []string{"r_regionkey"})
+	if err != nil {
+		return nil, err
+	}
+	natAm, _ = natAm.Select("n_nationkey")
+	cust, _ := f.C.Select("c_custkey", "c_nationkey")
+	cust, err = frame.SemiJoin(cust, natAm, []string{"c_nationkey"}, []string{"n_nationkey"}, false)
+	if err != nil {
+		return nil, err
+	}
+	li, _ := f.L.Select("l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount")
+	j, err := frame.Join(li, parts, []string{"l_partkey"}, []string{"p_partkey"})
+	if err != nil {
+		return nil, err
+	}
+	j, err = frame.Join(j, orders, []string{"l_orderkey"}, []string{"o_orderkey"})
+	if err != nil {
+		return nil, err
+	}
+	j, err = frame.Join(j, cust, []string{"o_custkey"}, []string{"c_custkey"})
+	if err != nil {
+		return nil, err
+	}
+	supp, _ := f.S.Select("s_suppkey", "s_nationkey")
+	j, err = frame.Join(j, supp, []string{"l_suppkey"}, []string{"s_suppkey"})
+	if err != nil {
+		return nil, err
+	}
+	natName, _ := f.N.Select("n_nationkey", "n_name")
+	j, err = frame.Join(j, natName, []string{"s_nationkey"}, []string{"n_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	vol := revenueCol(j)
+	years := make([]int64, j.NumRows())
+	brazil := make([]float64, j.NumRows())
+	for i, d := range j.Ints32("o_orderdate") {
+		years[i] = int64(mtypes.DateYear(d))
+		if j.Strings("n_name")[i] == "BRAZIL" {
+			brazil[i] = vol[i]
+		}
+	}
+	j, err = j.WithColumn("o_year", years)
+	if err != nil {
+		return nil, err
+	}
+	j, err = j.WithColumn("volume", vol)
+	if err != nil {
+		return nil, err
+	}
+	j, err = j.WithColumn("brazil_volume", brazil)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := j.GroupBy("o_year").Agg(
+		frame.AggSpec{Col: "brazil_volume", Kind: frame.Sum, As: "num"},
+		frame.AggSpec{Col: "volume", Kind: frame.Sum, As: "den"})
+	if err != nil {
+		return nil, err
+	}
+	num, den := agg.Floats("num"), agg.Floats("den")
+	share := make([]float64, agg.NumRows())
+	for i := range num {
+		if den[i] != 0 {
+			share[i] = num[i] / den[i]
+		}
+	}
+	agg, err = agg.WithColumn("mkt_share", share)
+	if err != nil {
+		return nil, err
+	}
+	out, err := agg.Select("o_year", "mkt_share")
+	if err != nil {
+		return nil, err
+	}
+	return out.SortBy([]string{"o_year"}, nil)
+}
+
+// Q9: product type profit measure.
+func (f *FrameDB) Q9() (*frame.DataFrame, error) {
+	pn := f.P.Strings("p_name")
+	pm := make([]bool, f.P.NumRows())
+	for i, n := range pn {
+		pm[i] = strings.Contains(n, "green")
+	}
+	parts, err := f.P.Filter(pm)
+	if err != nil {
+		return nil, err
+	}
+	parts, _ = parts.Select("p_partkey")
+	li, _ := f.L.Select("l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount")
+	j, err := frame.Join(li, parts, []string{"l_partkey"}, []string{"p_partkey"})
+	if err != nil {
+		return nil, err
+	}
+	ps, _ := f.PS.Select("ps_partkey", "ps_suppkey", "ps_supplycost")
+	j, err = frame.Join(j, ps, []string{"l_partkey", "l_suppkey"}, []string{"ps_partkey", "ps_suppkey"})
+	if err != nil {
+		return nil, err
+	}
+	ord, _ := f.O.Select("o_orderkey", "o_orderdate")
+	j, err = frame.Join(j, ord, []string{"l_orderkey"}, []string{"o_orderkey"})
+	if err != nil {
+		return nil, err
+	}
+	supp, _ := f.S.Select("s_suppkey", "s_nationkey")
+	j, err = frame.Join(j, supp, []string{"l_suppkey"}, []string{"s_suppkey"})
+	if err != nil {
+		return nil, err
+	}
+	natName, _ := f.N.Select("n_nationkey", "n_name")
+	j, err = frame.Join(j, natName, []string{"s_nationkey"}, []string{"n_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	ext, disc := j.Floats("l_extendedprice"), j.Floats("l_discount")
+	cost, qty := j.Floats("ps_supplycost"), j.Floats("l_quantity")
+	amount := make([]float64, j.NumRows())
+	years := make([]int64, j.NumRows())
+	for i := range ext {
+		amount[i] = ext[i]*(1-disc[i]) - cost[i]*qty[i]
+		years[i] = int64(mtypes.DateYear(j.Ints32("o_orderdate")[i]))
+	}
+	j, err = j.WithColumn("amount", amount)
+	if err != nil {
+		return nil, err
+	}
+	j, err = j.WithColumn("o_year", years)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := j.GroupBy("n_name", "o_year").Agg(frame.AggSpec{Col: "amount", Kind: frame.Sum, As: "sum_profit"})
+	if err != nil {
+		return nil, err
+	}
+	return agg.SortBy([]string{"n_name", "o_year"}, []bool{false, true})
+}
+
+// Q10: returned item reporting.
+func (f *FrameDB) Q10() (*frame.DataFrame, error) {
+	od := f.O.Ints32("o_orderdate")
+	lo, hi := date("1993-10-01"), date("1994-01-01")
+	om := make([]bool, f.O.NumRows())
+	for i, d := range od {
+		om[i] = d >= lo && d < hi
+	}
+	orders, err := f.O.Filter(om)
+	if err != nil {
+		return nil, err
+	}
+	orders, _ = orders.Select("o_orderkey", "o_custkey")
+	rf := f.L.Strings("l_returnflag")
+	lm := make([]bool, f.L.NumRows())
+	for i, v := range rf {
+		lm[i] = v == "R"
+	}
+	li, err := f.L.Filter(lm)
+	if err != nil {
+		return nil, err
+	}
+	li, _ = li.Select("l_orderkey", "l_extendedprice", "l_discount")
+	j, err := frame.Join(li, orders, []string{"l_orderkey"}, []string{"o_orderkey"})
+	if err != nil {
+		return nil, err
+	}
+	cust, _ := f.C.Select("c_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "c_nationkey")
+	j, err = frame.Join(j, cust, []string{"o_custkey"}, []string{"c_custkey"})
+	if err != nil {
+		return nil, err
+	}
+	natName, _ := f.N.Select("n_nationkey", "n_name")
+	j, err = frame.Join(j, natName, []string{"c_nationkey"}, []string{"n_nationkey"})
+	if err != nil {
+		return nil, err
+	}
+	j, err = j.WithColumn("rev", revenueCol(j))
+	if err != nil {
+		return nil, err
+	}
+	agg, err := j.GroupBy("o_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment").Agg(
+		frame.AggSpec{Col: "rev", Kind: frame.Sum, As: "revenue"})
+	if err != nil {
+		return nil, err
+	}
+	agg, err = agg.SortBy([]string{"revenue"}, []bool{true})
+	if err != nil {
+		return nil, err
+	}
+	return agg.Head(20)
+}

@@ -1,0 +1,37 @@
+package tpch
+
+import (
+	"fmt"
+
+	"monetlite"
+)
+
+// LoadInto creates the TPC-H schema in db and bulk-appends all generated
+// data through the embedded Append path.
+func LoadInto(db *monetlite.Database, d *Data) error {
+	conn := db.Connect()
+	for _, t := range d.Tables() {
+		if _, err := conn.Exec(t.DDL); err != nil {
+			return fmt.Errorf("tpch: creating %s: %w", t.Name, err)
+		}
+		if err := conn.Append(t.Name, t.Cols...); err != nil {
+			return fmt.Errorf("tpch: loading %s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// NewDatabase generates data at the given scale factor and loads it into a
+// fresh in-memory database.
+func NewDatabase(sf float64, seed int64) (*monetlite.Database, *Data, error) {
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		return nil, nil, err
+	}
+	d := Generate(sf, seed)
+	if err := LoadInto(db, d); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return db, d, nil
+}

@@ -1,0 +1,186 @@
+package tpch
+
+// Queries holds the SQL text of TPC-H Q1–Q10 (the queries the paper's
+// Table 1 reports), with the standard validation substitution parameters.
+var Queries = map[int]string{
+	1: `
+select
+	l_returnflag,
+	l_linestatus,
+	sum(l_quantity) as sum_qty,
+	sum(l_extendedprice) as sum_base_price,
+	sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+	sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+	avg(l_quantity) as avg_qty,
+	avg(l_extendedprice) as avg_price,
+	avg(l_discount) as avg_disc,
+	count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-12-01' - interval '90' day
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus`,
+
+	2: `
+select
+	s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+from part, supplier, partsupp, nation, region
+where p_partkey = ps_partkey
+	and s_suppkey = ps_suppkey
+	and p_size = 15
+	and p_type like '%BRASS'
+	and s_nationkey = n_nationkey
+	and n_regionkey = r_regionkey
+	and r_name = 'EUROPE'
+	and ps_supplycost = (
+		select min(ps_supplycost)
+		from partsupp, supplier, nation, region
+		where p_partkey = ps_partkey
+			and s_suppkey = ps_suppkey
+			and s_nationkey = n_nationkey
+			and n_regionkey = r_regionkey
+			and r_name = 'EUROPE')
+order by s_acctbal desc, n_name, s_name, p_partkey
+limit 100`,
+
+	3: `
+select
+	l_orderkey,
+	sum(l_extendedprice * (1 - l_discount)) as revenue,
+	o_orderdate,
+	o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING'
+	and c_custkey = o_custkey
+	and l_orderkey = o_orderkey
+	and o_orderdate < date '1995-03-15'
+	and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10`,
+
+	4: `
+select
+	o_orderpriority,
+	count(*) as order_count
+from orders
+where o_orderdate >= date '1993-07-01'
+	and o_orderdate < date '1993-07-01' + interval '3' month
+	and exists (
+		select *
+		from lineitem
+		where l_orderkey = o_orderkey
+			and l_commitdate < l_receiptdate)
+group by o_orderpriority
+order by o_orderpriority`,
+
+	5: `
+select
+	n_name,
+	sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+	and l_orderkey = o_orderkey
+	and l_suppkey = s_suppkey
+	and c_nationkey = s_nationkey
+	and s_nationkey = n_nationkey
+	and n_regionkey = r_regionkey
+	and r_name = 'ASIA'
+	and o_orderdate >= date '1994-01-01'
+	and o_orderdate < date '1994-01-01' + interval '1' year
+group by n_name
+order by revenue desc`,
+
+	6: `
+select
+	sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '1994-01-01'
+	and l_shipdate < date '1994-01-01' + interval '1' year
+	and l_discount between 0.05 and 0.07
+	and l_quantity < 24`,
+
+	7: `
+select
+	supp_nation, cust_nation, l_year, sum(volume) as revenue
+from (
+	select
+		n1.n_name as supp_nation,
+		n2.n_name as cust_nation,
+		extract(year from l_shipdate) as l_year,
+		l_extendedprice * (1 - l_discount) as volume
+	from supplier, lineitem, orders, customer, nation n1, nation n2
+	where s_suppkey = l_suppkey
+		and o_orderkey = l_orderkey
+		and c_custkey = o_custkey
+		and s_nationkey = n1.n_nationkey
+		and c_nationkey = n2.n_nationkey
+		and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY')
+			or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE'))
+		and l_shipdate between date '1995-01-01' and date '1996-12-31'
+) as shipping
+group by supp_nation, cust_nation, l_year
+order by supp_nation, cust_nation, l_year`,
+
+	8: `
+select
+	o_year,
+	sum(case when nation = 'BRAZIL' then volume else 0 end) / sum(volume) as mkt_share
+from (
+	select
+		extract(year from o_orderdate) as o_year,
+		l_extendedprice * (1 - l_discount) as volume,
+		n2.n_name as nation
+	from part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+	where p_partkey = l_partkey
+		and s_suppkey = l_suppkey
+		and l_orderkey = o_orderkey
+		and o_custkey = c_custkey
+		and c_nationkey = n1.n_nationkey
+		and n1.n_regionkey = r_regionkey
+		and r_name = 'AMERICA'
+		and s_nationkey = n2.n_nationkey
+		and o_orderdate between date '1995-01-01' and date '1996-12-31'
+		and p_type = 'ECONOMY ANODIZED STEEL'
+) as all_nations
+group by o_year
+order by o_year`,
+
+	9: `
+select
+	nation, o_year, sum(amount) as sum_profit
+from (
+	select
+		n_name as nation,
+		extract(year from o_orderdate) as o_year,
+		l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+	from part, supplier, lineitem, partsupp, orders, nation
+	where s_suppkey = l_suppkey
+		and ps_suppkey = l_suppkey
+		and ps_partkey = l_partkey
+		and p_partkey = l_partkey
+		and o_orderkey = l_orderkey
+		and s_nationkey = n_nationkey
+		and p_name like '%green%'
+) as profit
+group by nation, o_year
+order by nation, o_year desc`,
+
+	10: `
+select
+	c_custkey, c_name,
+	sum(l_extendedprice * (1 - l_discount)) as revenue,
+	c_acctbal, n_name, c_address, c_phone, c_comment
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+	and l_orderkey = o_orderkey
+	and o_orderdate >= date '1993-10-01'
+	and o_orderdate < date '1993-10-01' + interval '3' month
+	and l_returnflag = 'R'
+	and c_nationkey = n_nationkey
+group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+order by revenue desc
+limit 20`,
+}
+
+// QueryNumbers lists the implemented queries in order.
+var QueryNumbers = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}

@@ -1,0 +1,205 @@
+package tpch
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 42)
+	b := Generate(0.001, 42)
+	if a.TotalRows() != b.TotalRows() {
+		t.Fatal("generation not deterministic in size")
+	}
+	la := a.Lineitem.Cols[0].([]int32)
+	lb := b.Lineitem.Cols[0].([]int32)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("generation not deterministic in content")
+		}
+	}
+	c := Generate(0.001, 43)
+	lc := c.Lineitem.Cols[4].([]float64)
+	same := true
+	for i := range lc {
+		if i < len(a.Lineitem.Cols[4].([]float64)) && lc[i] != a.Lineitem.Cols[4].([]float64)[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(0.002, 1)
+	if d.Region.Rows != 5 || d.Nation.Rows != 25 {
+		t.Fatalf("region/nation: %d/%d", d.Region.Rows, d.Nation.Rows)
+	}
+	if d.Supplier.Rows != 20 || d.Customer.Rows != 300 || d.Part.Rows != 400 {
+		t.Fatalf("sizes: s=%d c=%d p=%d", d.Supplier.Rows, d.Customer.Rows, d.Part.Rows)
+	}
+	if d.PartSupp.Rows != d.Part.Rows*4 {
+		t.Fatalf("partsupp: %d", d.PartSupp.Rows)
+	}
+	if d.Orders.Rows != 3000 {
+		t.Fatalf("orders: %d", d.Orders.Rows)
+	}
+	// ~4 lineitems per order.
+	ratio := float64(d.Lineitem.Rows) / float64(d.Orders.Rows)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("lineitem ratio: %f", ratio)
+	}
+	// Discounts within [0, 0.10].
+	for _, disc := range d.Lineitem.Cols[6].([]float64) {
+		if disc < 0 || disc > 0.10 {
+			t.Fatalf("discount out of range: %f", disc)
+		}
+	}
+	// Some BRASS part types exist (Q2 depends on it).
+	brass := 0
+	for _, pt := range d.Part.Cols[4].([]string) {
+		if len(pt) >= 5 && pt[len(pt)-5:] == "BRASS" {
+			brass++
+		}
+	}
+	if brass == 0 {
+		t.Fatal("no BRASS parts generated")
+	}
+	// Return flags correlate with receipt date vs 1995-06-17.
+	rets := d.Lineitem.Cols[8].([]string)
+	rcpts := d.Lineitem.Cols[12].([]int32)
+	for i := range rets {
+		if rets[i] == "N" && rcpts[i] <= currentDate {
+			t.Fatal("N return flag before current date")
+		}
+		if rets[i] != "N" && rcpts[i] > currentDate {
+			t.Fatal("R/A return flag after current date")
+		}
+	}
+}
+
+func TestAllQueriesExecute(t *testing.T) {
+	db, _, err := NewDatabase(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	for _, q := range QueryNumbers {
+		res, err := conn.Query(Queries[q])
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		t.Logf("Q%d: %d rows, %d cols", q, res.NumRows(), res.NumCols())
+		if q == 1 && res.NumRows() == 0 {
+			t.Fatal("Q1 must produce groups")
+		}
+	}
+}
+
+func TestQ1Sanity(t *testing.T) {
+	db, d, err := NewDatabase(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	res, err := conn.Query(Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independently compute Q1 from the raw generated arrays.
+	cutoff := mustDate("1998-12-01") - 90
+	type acc struct {
+		qty, base, disc, charge, discSum float64
+		n                                int64
+	}
+	accs := map[string]*acc{}
+	qtys := d.Lineitem.Cols[4].([]float64)
+	exts := d.Lineitem.Cols[5].([]float64)
+	discs := d.Lineitem.Cols[6].([]float64)
+	taxes := d.Lineitem.Cols[7].([]float64)
+	rets := d.Lineitem.Cols[8].([]string)
+	stats := d.Lineitem.Cols[9].([]string)
+	ships := d.Lineitem.Cols[10].([]int32)
+	for i := range qtys {
+		if ships[i] > cutoff {
+			continue
+		}
+		k := rets[i] + "|" + stats[i]
+		a := accs[k]
+		if a == nil {
+			a = &acc{}
+			accs[k] = a
+		}
+		a.qty += qtys[i]
+		a.base += round2(exts[i])
+		a.disc += round2(exts[i]) * (1 - discs[i])
+		a.charge += round2(exts[i]) * (1 - discs[i]) * (1 + taxes[i])
+		a.discSum += discs[i]
+		a.n++
+	}
+	if res.NumRows() != len(accs) {
+		t.Fatalf("Q1 groups: %d want %d", res.NumRows(), len(accs))
+	}
+	flags, _ := res.Column(0).Strings()
+	statuses, _ := res.Column(1).Strings()
+	sumQty := res.Column(2).AsFloats()
+	counts := res.Column(9).AsInts()
+	for i := 0; i < res.NumRows(); i++ {
+		k := flags[i] + "|" + statuses[i]
+		a := accs[k]
+		if a == nil {
+			t.Fatalf("unexpected group %s", k)
+		}
+		if a.n != counts[i] {
+			t.Fatalf("group %s count: %d want %d", k, counts[i], a.n)
+		}
+		if diff := sumQty[i] - a.qty; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("group %s sum_qty: %f want %f", k, sumQty[i], a.qty)
+		}
+	}
+}
+
+func TestQ6Sanity(t *testing.T) {
+	db, d, err := NewDatabase(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Connect().Query(Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := mustDate("1994-01-01"), mustDate("1995-01-01")
+	want := 0.0
+	qtys := d.Lineitem.Cols[4].([]float64)
+	exts := d.Lineitem.Cols[5].([]float64)
+	discs := d.Lineitem.Cols[6].([]float64)
+	ships := d.Lineitem.Cols[10].([]int32)
+	for i := range qtys {
+		if ships[i] >= lo && ships[i] < hi && discs[i] >= 0.05 && discs[i] <= 0.07 && qtys[i] < 24 {
+			want += round2(exts[i]) * discs[i]
+		}
+	}
+	got := res.Column(0).AsFloats()[0]
+	if diff := got - want; diff > 0.5 || diff < -0.5 {
+		t.Fatalf("Q6 revenue: %f want %f", got, want)
+	}
+}
+
+func round2(f float64) float64 {
+	if f < 0 {
+		return float64(int64(f*100-0.5)) / 100
+	}
+	return float64(int64(f*100+0.5)) / 100
+}
+
+func mustDate(s string) int32 {
+	d, err := parseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,151 @@
+package txn
+
+import (
+	"fmt"
+
+	"monetlite/internal/storage"
+	"monetlite/internal/wal"
+)
+
+// DDL statements auto-commit: they run immediately under the commit lock
+// with their own WAL commit marker. (MonetDB supports transactional DDL;
+// monetlite trades that for simplicity — documented in DESIGN.md.)
+
+// CreateTable creates a table and logs it.
+func (m *Manager) CreateTable(meta storage.TableMeta) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	if _, err := m.store.CreateTable(meta); err != nil {
+		return err
+	}
+	version := m.store.BumpVersion()
+	if m.log != nil {
+		js, err := wal.MetaToJSON(&meta)
+		if err != nil {
+			return err
+		}
+		if err := m.log.Append(wal.Record{Kind: wal.KindCreateTable, MetaJS: js}); err != nil {
+			return err
+		}
+		if err := m.log.Commit(version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropTable drops a table and logs it.
+func (m *Manager) DropTable(name string) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	if err := m.store.DropTable(name); err != nil {
+		return err
+	}
+	version := m.store.BumpVersion()
+	if m.log != nil {
+		if err := m.log.Append(wal.Record{Kind: wal.KindDropTable, Table: name}); err != nil {
+			return err
+		}
+		if err := m.log.Commit(version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateOrderIndex builds an order index (CREATE ORDER INDEX) and logs it.
+func (m *Manager) CreateOrderIndex(table, col string) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	tbl, ok := m.store.Get(table)
+	if !ok {
+		return fmt.Errorf("txn: no such table %q", table)
+	}
+	ci := tbl.Meta.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("txn: no column %q in table %q", col, table)
+	}
+	if err := tbl.CreateOrderIndex(ci); err != nil {
+		return err
+	}
+	version := m.store.BumpVersion()
+	if m.log != nil {
+		if err := m.log.Append(wal.Record{Kind: wal.KindOrderIndex, Table: table, Col: col}); err != nil {
+			return err
+		}
+		if err := m.log.Commit(version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint persists the store and truncates the WAL.
+func (m *Manager) Checkpoint() error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	if err := m.store.Checkpoint(); err != nil {
+		return err
+	}
+	if m.log != nil {
+		return m.log.Reset()
+	}
+	return nil
+}
+
+// ReplayWAL applies committed WAL transactions to a freshly opened store
+// (crash recovery).
+func ReplayWAL(store *storage.Store, path string) error {
+	return wal.Replay(path, func(recs []wal.Record, version uint64) error {
+		for _, rec := range recs {
+			switch rec.Kind {
+			case wal.KindCreateTable:
+				var meta storage.TableMeta
+				if err := wal.MetaFromJSON(rec.MetaJS, &meta); err != nil {
+					return err
+				}
+				if _, err := store.CreateTable(meta); err != nil {
+					return err
+				}
+			case wal.KindDropTable:
+				if err := store.DropTable(rec.Table); err != nil {
+					return err
+				}
+			case wal.KindAppend:
+				tbl, ok := store.Get(rec.Table)
+				if !ok {
+					return fmt.Errorf("txn: replay append to missing table %q", rec.Table)
+				}
+				// WAL vectors carry kind+scale only; restore full column types
+				// from the catalog so decimals keep precision metadata.
+				for i := range rec.Cols {
+					rec.Cols[i].Typ = tbl.Meta.Cols[i].Typ
+				}
+				if _, err := tbl.Append(rec.Cols, version); err != nil {
+					return err
+				}
+			case wal.KindDelete:
+				tbl, ok := store.Get(rec.Table)
+				if !ok {
+					return fmt.Errorf("txn: replay delete on missing table %q", rec.Table)
+				}
+				if _, _, err := tbl.Delete(rec.RowIDs, version); err != nil {
+					return err
+				}
+			case wal.KindOrderIndex:
+				tbl, ok := store.Get(rec.Table)
+				if !ok {
+					return fmt.Errorf("txn: replay order index on missing table %q", rec.Table)
+				}
+				if ci := tbl.Meta.ColIndex(rec.Col); ci >= 0 {
+					if err := tbl.CreateOrderIndex(ci); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for ; store.Version() < version; store.BumpVersion() {
+		}
+		return nil
+	})
+}

@@ -1,0 +1,336 @@
+// Package txn implements monetlite's transaction layer: optimistic
+// concurrency control over snapshot views (paper §3.1 "Concurrency Control").
+//
+// A transaction captures an immutable snapshot of every table at Begin.
+// Writes are buffered locally and become visible to the transaction's own
+// reads through overlay Views. At Commit, validation checks that no other
+// transaction has committed writes to the same tables since the snapshot was
+// taken; on conflict the transaction aborts with ErrWriteConflict. Validation
+// and apply run under a global commit lock, writes reach the WAL (with fsync)
+// before they are applied in memory.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+	"monetlite/internal/wal"
+)
+
+// ErrWriteConflict is returned by Commit when another transaction committed
+// to a table this transaction wrote (the paper's abort-on-write-conflict).
+var ErrWriteConflict = errors.New("txn: write conflict, transaction aborted")
+
+// ErrDone is returned when using a committed or rolled-back transaction.
+var ErrDone = errors.New("txn: transaction already finished")
+
+// Manager coordinates transactions over one store.
+type Manager struct {
+	store    *storage.Store
+	log      *wal.Log // nil for in-memory databases
+	commitMu sync.Mutex
+}
+
+// NewManager wires a manager to a store and optional WAL.
+func NewManager(store *storage.Store, log *wal.Log) *Manager {
+	return &Manager{store: store, log: log}
+}
+
+// Store exposes the underlying store.
+func (m *Manager) Store() *storage.Store { return m.store }
+
+// Begin starts a transaction with a fresh snapshot.
+func (m *Manager) Begin() *Txn {
+	return &Txn{mgr: m, snap: m.store.Snapshot(), pend: map[string]*pendingTable{}}
+}
+
+// pendingTable buffers one table's uncommitted writes.
+type pendingTable struct {
+	extra     []*vec.Vector // pending appended rows, one vector per column
+	extraRows int
+	dels      map[int32]bool // pending deletes in view coordinates
+}
+
+// Txn is a transaction: a snapshot plus buffered writes.
+type Txn struct {
+	mgr  *Manager
+	mu   sync.Mutex
+	snap map[string]*storage.TableVersion
+	pend map[string]*pendingTable
+	done bool
+}
+
+// View is a transaction-consistent read view of one table: the snapshot
+// version overlaid with the transaction's own pending appends and deletes.
+type View struct {
+	Base      *storage.TableVersion
+	Extra     []*vec.Vector // nil when no pending appends
+	ExtraRows int
+	PendDels  map[int32]bool
+}
+
+// Meta returns the table schema.
+func (v *View) Meta() *storage.TableMeta { return v.Base.Meta() }
+
+// NumRows returns the visible physical row count (deleted rows included).
+func (v *View) NumRows() int { return v.Base.NRows + v.ExtraRows }
+
+// Col returns visible column i: the snapshot data plus pending appends.
+func (v *View) Col(i int) (*vec.Vector, error) {
+	base, err := v.Base.Col(i)
+	if err != nil {
+		return nil, err
+	}
+	if v.ExtraRows == 0 {
+		return base, nil
+	}
+	return vec.Concat(base, v.Extra[i]), nil
+}
+
+// LiveCands returns the candidate list of live rows (nil = all rows live).
+func (v *View) LiveCands() []int32 {
+	if v.Base.Dels.Count() == 0 && len(v.PendDels) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, v.NumRows())
+	for i := int32(0); int(i) < v.NumRows(); i++ {
+		if int(i) < v.Base.NRows && v.Base.Dels.Get(i) {
+			continue
+		}
+		if v.PendDels[i] {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Clean reports whether the view has no transaction-local overlay, which is
+// the precondition for serving shared secondary indexes.
+func (v *View) Clean() bool { return v.ExtraRows == 0 && len(v.PendDels) == 0 }
+
+// Table returns the view's table (index access helpers live there).
+func (v *View) Table() *storage.Table { return v.Base.Table() }
+
+// View returns the transaction's read view of the named table.
+func (t *Txn) View(name string) (*View, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base, ok := t.snap[name]
+	if !ok {
+		// Table created after this snapshot (or never): re-check the store so
+		// freshly created tables are reachable (DDL is auto-committed).
+		tbl, found := t.mgr.store.Get(name)
+		if !found {
+			return nil, false
+		}
+		base = tbl.Version()
+		t.snap[name] = base
+	}
+	v := &View{Base: base}
+	if p, ok := t.pend[name]; ok {
+		v.Extra, v.ExtraRows, v.PendDels = p.extra, p.extraRows, p.dels
+	}
+	return v, true
+}
+
+// Append buffers rows for the named table. Column vectors must match the
+// table schema positionally.
+func (t *Txn) Append(name string, cols []*vec.Vector) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	base, ok := t.snap[name]
+	if !ok {
+		tbl, found := t.mgr.store.Get(name)
+		if !found {
+			return fmt.Errorf("txn: no such table %q", name)
+		}
+		base = tbl.Version()
+		t.snap[name] = base
+	}
+	meta := base.Meta()
+	if len(cols) != len(meta.Cols) {
+		return fmt.Errorf("txn: append to %s: %d columns, want %d", name, len(cols), len(meta.Cols))
+	}
+	n := cols[0].Len()
+	for i, c := range cols {
+		if c.Len() != n {
+			return fmt.Errorf("txn: append to %s: ragged batch", name)
+		}
+		if c.Typ.Kind != meta.Cols[i].Typ.Kind {
+			return fmt.Errorf("txn: append to %s.%s: type %s, want %s", name, meta.Cols[i].Name, c.Typ, meta.Cols[i].Typ)
+		}
+	}
+	p := t.pend[name]
+	if p == nil {
+		p = &pendingTable{dels: map[int32]bool{}}
+		t.pend[name] = p
+	}
+	if p.extra == nil {
+		p.extra = make([]*vec.Vector, len(meta.Cols))
+		for i, cd := range meta.Cols {
+			p.extra[i] = vec.NewCap(cd.Typ, 0)
+		}
+	}
+	for i := range cols {
+		p.extra[i].AppendVec(cols[i])
+	}
+	p.extraRows += n
+	return nil
+}
+
+// Delete buffers deletions of the given view-coordinate row ids; returns the
+// number of rows newly marked.
+func (t *Txn) Delete(name string, rowids []int32) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return 0, ErrDone
+	}
+	base, ok := t.snap[name]
+	if !ok {
+		return 0, fmt.Errorf("txn: no such table %q", name)
+	}
+	p := t.pend[name]
+	if p == nil {
+		p = &pendingTable{dels: map[int32]bool{}}
+		t.pend[name] = p
+	}
+	limit := base.NRows + p.extraRows
+	n := 0
+	for _, r := range rowids {
+		if r < 0 || int(r) >= limit {
+			return n, fmt.Errorf("txn: delete from %s: row %d out of range", name, r)
+		}
+		if int(r) < base.NRows && base.Dels.Get(r) {
+			continue
+		}
+		if !p.dels[r] {
+			p.dels[r] = true
+			n++
+		}
+	}
+	return n, nil
+}
+
+// HasWrites reports whether the transaction buffered any mutation.
+func (t *Txn) HasWrites() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pend) > 0
+}
+
+// Rollback discards all buffered writes.
+func (t *Txn) Rollback() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	t.pend = nil
+	return nil
+}
+
+// Commit validates and applies the buffered writes atomically.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	if len(t.pend) == 0 {
+		return nil
+	}
+	m := t.mgr
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+
+	// Validation: every written table must be unchanged since our snapshot.
+	for name := range t.pend {
+		tbl, ok := m.store.Get(name)
+		if !ok {
+			return fmt.Errorf("txn: table %q dropped concurrently: %w", name, ErrWriteConflict)
+		}
+		if tbl.Version() != t.snap[name] {
+			return ErrWriteConflict
+		}
+	}
+
+	version := m.store.BumpVersion()
+
+	// Prepare the physical mutations: pending deletes of pending rows simply
+	// filter the append batch; base-row deletes become bitmap sets.
+	type mutation struct {
+		tbl     *storage.Table
+		appends []*vec.Vector
+		baseDel []int32
+	}
+	muts := make([]mutation, 0, len(t.pend))
+	for name, p := range t.pend {
+		tbl, _ := m.store.Get(name)
+		base := t.snap[name]
+		mut := mutation{tbl: tbl}
+		if p.extraRows > 0 {
+			keep := make([]int32, 0, p.extraRows)
+			for i := 0; i < p.extraRows; i++ {
+				if !p.dels[int32(base.NRows+i)] {
+					keep = append(keep, int32(i))
+				}
+			}
+			mut.appends = make([]*vec.Vector, len(p.extra))
+			for i, v := range p.extra {
+				if len(keep) == p.extraRows {
+					mut.appends[i] = v
+				} else {
+					mut.appends[i] = vec.Gather(v, keep)
+				}
+			}
+		}
+		for r := range p.dels {
+			if int(r) < base.NRows {
+				mut.baseDel = append(mut.baseDel, r)
+			}
+		}
+		muts = append(muts, mut)
+	}
+
+	// WAL first (with fsync via Commit), then in-memory apply.
+	if m.log != nil {
+		for _, mut := range muts {
+			if mut.appends != nil && mut.appends[0].Len() > 0 {
+				if err := m.log.Append(wal.Record{Kind: wal.KindAppend, Table: mut.tbl.Meta.Name, Cols: mut.appends}); err != nil {
+					return err
+				}
+			}
+			if len(mut.baseDel) > 0 {
+				if err := m.log.Append(wal.Record{Kind: wal.KindDelete, Table: mut.tbl.Meta.Name, RowIDs: mut.baseDel}); err != nil {
+					return err
+				}
+			}
+		}
+		if err := m.log.Commit(version); err != nil {
+			return err
+		}
+	}
+	for _, mut := range muts {
+		if mut.appends != nil && mut.appends[0].Len() > 0 {
+			if _, err := mut.tbl.Append(mut.appends, version); err != nil {
+				return err
+			}
+		}
+		if len(mut.baseDel) > 0 {
+			if _, _, err := mut.tbl.Delete(mut.baseDel, version); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package txn
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+	"monetlite/internal/wal"
+)
+
+func memManager(t *testing.T) *Manager {
+	t.Helper()
+	return NewManager(storage.NewMemory(), nil)
+}
+
+func meta() storage.TableMeta {
+	return storage.TableMeta{Name: "t", Cols: []storage.ColDef{
+		{Name: "a", Typ: mtypes.Int},
+		{Name: "b", Typ: mtypes.Varchar},
+	}}
+}
+
+func batch(vals ...int32) []*vec.Vector {
+	a := vec.New(mtypes.Int, len(vals))
+	copy(a.I32, vals)
+	b := vec.New(mtypes.Varchar, len(vals))
+	for i := range b.Str {
+		b.Str[i] = "s"
+	}
+	return []*vec.Vector{a, b}
+}
+
+func TestCommitMakesWritesVisible(t *testing.T) {
+	m := memManager(t)
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	if err := tx.Append("t", batch(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction doesn't see uncommitted rows.
+	other := m.Begin()
+	v, _ := other.View("t")
+	if v.NumRows() != 0 {
+		t.Fatal("uncommitted rows leaked")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// New transactions see them.
+	v2, _ := m.Begin().View("t")
+	if v2.NumRows() != 3 {
+		t.Fatalf("rows after commit = %d", v2.NumRows())
+	}
+	// The old snapshot still doesn't (snapshot isolation).
+	if v3, _ := other.View("t"); v3.NumRows() != 0 {
+		t.Fatal("snapshot isolation violated")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2))
+	v, _ := tx.View("t")
+	if v.NumRows() != 2 {
+		t.Fatal("txn should see its own appends")
+	}
+	col, err := v.Col(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.I32[1] != 2 {
+		t.Fatalf("own write content: %v", col.I32)
+	}
+	// Delete one of our own pending rows.
+	if n, err := tx.Delete("t", []int32{0}); err != nil || n != 1 {
+		t.Fatalf("delete own row: %d %v", n, err)
+	}
+	v2, _ := tx.View("t")
+	cands := v2.LiveCands()
+	if len(cands) != 1 || cands[0] != 1 {
+		t.Fatalf("live after own delete: %v", cands)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the surviving row lands.
+	vf, _ := m.Begin().View("t")
+	if vf.NumRows() != 1 {
+		t.Fatalf("committed rows = %d", vf.NumRows())
+	}
+	col, _ = vf.Col(0)
+	if col.I32[0] != 2 {
+		t.Fatalf("wrong surviving row: %v", col.I32)
+	}
+}
+
+func TestWriteConflictAborts(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	t1 := m.Begin()
+	t2 := m.Begin()
+	t1.Append("t", batch(1))
+	t2.Append("t", batch(2))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("want write conflict, got %v", err)
+	}
+	// t2's writes are gone.
+	v, _ := m.Begin().View("t")
+	if v.NumRows() != 1 {
+		t.Fatalf("rows = %d", v.NumRows())
+	}
+}
+
+func TestNoConflictOnDisjointTables(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	m2 := meta()
+	m2.Name = "u"
+	m.CreateTable(m2)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	t1.Append("t", batch(1))
+	t2.Append("u", batch(2))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("disjoint writes should not conflict: %v", err)
+	}
+}
+
+func TestReadersDontAbortWriters(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	r := m.Begin()
+	r.View("t") // read only
+	w := m.Begin()
+	w.Append("t", batch(9))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal("read-only txn must commit cleanly")
+	}
+}
+
+func TestRollbackDiscards(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	tx := m.Begin()
+	tx.Append("t", batch(1))
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatal("commit after rollback should fail")
+	}
+	v, _ := m.Begin().View("t")
+	if v.NumRows() != 0 {
+		t.Fatal("rollback leaked rows")
+	}
+}
+
+func TestDeleteBaseRows(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	tx := m.Begin()
+	tx.Append("t", batch(10, 20, 30))
+	tx.Commit()
+
+	tx2 := m.Begin()
+	if n, err := tx2.Delete("t", []int32{1}); err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	// Deleting twice within the txn is idempotent.
+	if n, _ := tx2.Delete("t", []int32{1}); n != 0 {
+		t.Fatal("double delete should be idempotent")
+	}
+	if _, err := tx2.Delete("t", []int32{99}); err == nil {
+		t.Fatal("out of range delete should fail")
+	}
+	tx2.Commit()
+	v, _ := m.Begin().View("t")
+	if v.Base.LiveRows() != 2 {
+		t.Fatalf("live rows = %d", v.Base.LiveRows())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	m := memManager(t)
+	m.CreateTable(meta())
+	tx := m.Begin()
+	if err := tx.Append("missing", batch(1)); err == nil {
+		t.Fatal("append to missing table should fail")
+	}
+	if err := tx.Append("t", batch(1)[:1]); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+	wrong := batch(1)
+	wrong[1] = vec.New(mtypes.Int, 1) // wrong type for column b
+	if err := tx.Append("t", wrong); err == nil {
+		t.Fatal("wrong column type should fail")
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+
+	st, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(st, log)
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Append("t", batch(7, 8))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no checkpoint, just close the file handles.
+	log.Close()
+	st.Close()
+
+	st2, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := st2.Get("t")
+	if !ok {
+		t.Fatal("table lost after replay")
+	}
+	tv := tbl.Version()
+	if tv.NRows != 2 {
+		t.Fatalf("rows after replay = %d", tv.NRows)
+	}
+	col, _ := tv.Col(0)
+	if col.I32[0] != 7 || col.I32[1] != 8 {
+		t.Fatalf("replayed data: %v", col.I32)
+	}
+	if st2.Version() == 0 {
+		t.Fatal("version not advanced by replay")
+	}
+	st2.Close()
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	st, _ := storage.Open(dir)
+	log, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	m.CreateTable(meta())
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2, 3))
+	tx.Commit()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	st.Close()
+
+	// After checkpoint the WAL is empty; state comes from column files.
+	n := 0
+	wal.Replay(walPath, func(recs []wal.Record, v uint64) error { n++; return nil })
+	if n != 0 {
+		t.Fatalf("WAL should be empty after checkpoint, found %d groups", n)
+	}
+	st2, _ := storage.Open(dir)
+	defer st2.Close()
+	tbl, _ := st2.Get("t")
+	if tbl.Version().NRows != 3 {
+		t.Fatal("checkpointed data lost")
+	}
+}
+
+func TestDDLReplay(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	st, _ := storage.Open(dir)
+	log, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	m.CreateTable(meta())
+	m.CreateOrderIndex("t", "a")
+	m2 := meta()
+	m2.Name = "gone"
+	m.CreateTable(m2)
+	m.DropTable("gone")
+	log.Close()
+	st.Close()
+
+	st2, _ := storage.Open(dir)
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get("gone"); ok {
+		t.Fatal("dropped table survived replay")
+	}
+	tbl, ok := st2.Get("t")
+	if !ok {
+		t.Fatal("created table lost")
+	}
+	if !tbl.HasOrderIndex(0) {
+		t.Fatal("order index request lost in replay")
+	}
+}
+
+func TestViewOfMissingTable(t *testing.T) {
+	m := memManager(t)
+	if _, ok := m.Begin().View("nope"); ok {
+		t.Fatal("missing table should not resolve")
+	}
+}

@@ -1,0 +1,265 @@
+package vec
+
+import (
+	"fmt"
+
+	"monetlite/internal/mtypes"
+)
+
+// AggKind enumerates the aggregate functions.
+type AggKind uint8
+
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggCountStar
+	AggMin
+	AggMax
+	AggAvg
+	AggMedian
+)
+
+// String renders the aggregate in SQL syntax.
+func (k AggKind) String() string {
+	return [...]string{"SUM", "COUNT", "COUNT(*)", "MIN", "MAX", "AVG", "MEDIAN"}[k]
+}
+
+// AggResultType computes the SQL result type of an aggregate over input type t.
+func AggResultType(kind AggKind, t mtypes.Type) mtypes.Type {
+	switch kind {
+	case AggCount, AggCountStar:
+		return mtypes.BigInt
+	case AggAvg, AggMedian:
+		return mtypes.Double
+	case AggSum:
+		switch t.Kind {
+		case mtypes.KDouble:
+			return mtypes.Double
+		case mtypes.KDecimal:
+			return mtypes.Decimal(18, t.Scale)
+		default:
+			return mtypes.BigInt
+		}
+	default: // min/max keep the input type
+		return t
+	}
+}
+
+// Aggregate computes one aggregate over vals, partitioned by gids (which are
+// positionally aligned with vals; ngroups is the number of partitions).
+// For AggCountStar vals may be nil. NULL inputs are skipped; empty groups
+// yield NULL (COUNT yields 0).
+func Aggregate(kind AggKind, vals *Vector, gids []int32, ngroups int) (*Vector, error) {
+	switch kind {
+	case AggCountStar:
+		out := New(mtypes.BigInt, ngroups)
+		for _, g := range gids {
+			out.I64[g]++
+		}
+		return out, nil
+	case AggCount:
+		out := New(mtypes.BigInt, ngroups)
+		for k, g := range gids {
+			if !vals.IsNull(k) {
+				out.I64[g]++
+			}
+		}
+		return out, nil
+	case AggSum:
+		return aggSum(vals, gids, ngroups)
+	case AggMin, AggMax:
+		return aggMinMax(kind, vals, gids, ngroups)
+	case AggAvg:
+		sums, err := aggSumFloat(vals, gids, ngroups)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]int64, ngroups)
+		for k, g := range gids {
+			if !vals.IsNull(k) {
+				counts[g]++
+			}
+		}
+		out := New(mtypes.Double, ngroups)
+		for g := 0; g < ngroups; g++ {
+			if counts[g] == 0 {
+				out.F64[g] = mtypes.NullFloat64()
+			} else {
+				out.F64[g] = sums[g] / float64(counts[g])
+			}
+		}
+		return out, nil
+	case AggMedian:
+		fs := AsFloats(vals)
+		buckets := make([][]float64, ngroups)
+		for k, g := range gids {
+			if !mtypes.IsNullF64(fs[k]) {
+				buckets[g] = append(buckets[g], fs[k])
+			}
+		}
+		out := New(mtypes.Double, ngroups)
+		for g := range buckets {
+			out.F64[g] = MedianFloats(buckets[g])
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("vec: unknown aggregate %d", kind)
+}
+
+func aggSum(vals *Vector, gids []int32, ngroups int) (*Vector, error) {
+	rt := AggResultType(AggSum, vals.Typ)
+	out := New(rt, ngroups)
+	if rt.Kind == mtypes.KDouble {
+		sums, err := aggSumFloat(vals, gids, ngroups)
+		if err != nil {
+			return nil, err
+		}
+		copy(out.F64, sums)
+		nonNull := make([]bool, ngroups)
+		for k, g := range gids {
+			if !vals.IsNull(k) {
+				nonNull[g] = true
+			}
+		}
+		for g := range nonNull {
+			if !nonNull[g] {
+				out.F64[g] = mtypes.NullFloat64()
+			}
+		}
+		return out, nil
+	}
+	xs := AsInts64(vals)
+	nonNull := make([]bool, ngroups)
+	for k, g := range gids {
+		x := xs[k]
+		if x == mtypes.NullInt64 {
+			continue
+		}
+		out.I64[g] += x
+		nonNull[g] = true
+	}
+	for g := range nonNull {
+		if !nonNull[g] {
+			out.I64[g] = mtypes.NullInt64
+		}
+	}
+	return out, nil
+}
+
+func aggSumFloat(vals *Vector, gids []int32, ngroups int) ([]float64, error) {
+	if !vals.Typ.IsNumeric() {
+		return nil, fmt.Errorf("vec: SUM/AVG over non-numeric type %s", vals.Typ)
+	}
+	fs := AsFloats(vals)
+	sums := make([]float64, ngroups)
+	for k, g := range gids {
+		f := fs[k]
+		if !mtypes.IsNullF64(f) {
+			sums[g] += f
+		}
+	}
+	return sums, nil
+}
+
+func aggMinMax(kind AggKind, vals *Vector, gids []int32, ngroups int) (*Vector, error) {
+	out := New(vals.Typ, ngroups)
+	for g := 0; g < ngroups; g++ {
+		out.SetNull(g)
+	}
+	better := func(cur, cand mtypes.Value) bool {
+		if cur.Null {
+			return true
+		}
+		c := mtypes.Compare(cand, cur)
+		if kind == AggMin {
+			return c < 0
+		}
+		return c > 0
+	}
+	for k, g := range gids {
+		if vals.IsNull(k) {
+			continue
+		}
+		cand := vals.Value(k)
+		if better(out.Value(int(g)), cand) {
+			out.Set(int(g), cand)
+		}
+	}
+	return out, nil
+}
+
+// MergeAggPartials merges per-chunk partial aggregate vectors into a final
+// one, for the mitosis (parallel execution) merge phase. Partials must share
+// group numbering: partial p's row g corresponds to global group g (vectors
+// may be shorter than ngroups if trailing groups were absent from the chunk).
+// AVG and MEDIAN cannot be merged from partials; the mitosis pass decomposes
+// AVG into SUM+COUNT and never parallelizes MEDIAN (it is a blocking op).
+func MergeAggPartials(kind AggKind, partials []*Vector, ngroups int) (*Vector, error) {
+	switch kind {
+	case AggAvg, AggMedian:
+		return nil, fmt.Errorf("vec: %s partials cannot be merged", kind)
+	}
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("vec: no partials to merge")
+	}
+	rt := partials[0].Typ
+	out := New(rt, ngroups)
+	switch kind {
+	case AggCount, AggCountStar:
+		for _, p := range partials {
+			for g := 0; g < p.Len(); g++ {
+				out.I64[g] += p.I64[g]
+			}
+		}
+		return out, nil
+	case AggSum:
+		init := make([]bool, ngroups)
+		for _, p := range partials {
+			for g := 0; g < p.Len(); g++ {
+				if p.IsNull(g) {
+					continue
+				}
+				if rt.Kind == mtypes.KDouble {
+					if !init[g] {
+						out.F64[g] = 0
+					}
+					out.F64[g] += p.F64[g]
+				} else {
+					if !init[g] {
+						out.I64[g] = 0
+					}
+					out.I64[g] += p.I64[g]
+				}
+				init[g] = true
+			}
+		}
+		for g, ok := range init {
+			if !ok {
+				out.SetNull(g)
+			}
+		}
+		return out, nil
+	default: // min/max
+		for g := 0; g < ngroups; g++ {
+			out.SetNull(g)
+		}
+		for _, p := range partials {
+			for g := 0; g < p.Len(); g++ {
+				if p.IsNull(g) {
+					continue
+				}
+				cand := p.Value(g)
+				cur := out.Value(g)
+				take := cur.Null
+				if !take {
+					c := mtypes.Compare(cand, cur)
+					take = (kind == AggMin && c < 0) || (kind == AggMax && c > 0)
+				}
+				if take {
+					out.Set(g, cand)
+				}
+			}
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,453 @@
+package vec
+
+import (
+	"strings"
+
+	"monetlite/internal/mtypes"
+)
+
+// CmpOp enumerates comparison operators used by selection and map kernels.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Flip mirrors the operator for swapped operands (a op b == b op.Flip() a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return op
+}
+
+type number interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~float64
+}
+
+// selCmp is the generic typed selection kernel: it appends to out the row ids
+// (from cands, or [0,len(data)) if cands is nil) where data[i] op c holds and
+// data[i] is not the null sentinel.
+func selCmp[T number](data []T, op CmpOp, c T, null T, cands []int32, out []int32) []int32 {
+	pred := func(x T) bool {
+		if x == null {
+			return false
+		}
+		switch op {
+		case CmpEq:
+			return x == c
+		case CmpNe:
+			return x != c
+		case CmpLt:
+			return x < c
+		case CmpLe:
+			return x <= c
+		case CmpGt:
+			return x > c
+		default:
+			return x >= c
+		}
+	}
+	if cands == nil {
+		for i, x := range data {
+			if pred(x) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if pred(data[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func selRange[T number](data []T, lo, hi T, loIncl, hiIncl bool, null T, cands []int32, out []int32) []int32 {
+	pred := func(x T) bool {
+		if x == null {
+			return false
+		}
+		if loIncl {
+			if x < lo {
+				return false
+			}
+		} else if x <= lo {
+			return false
+		}
+		if hiIncl {
+			return x <= hi
+		}
+		return x < hi
+	}
+	if cands == nil {
+		for i, x := range data {
+			if pred(x) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if pred(data[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// coerce converts a boxed constant to the target vector's physical domain.
+// Decimal constants are rescaled; doubles compared against integer columns
+// are handled by the caller via promotion to a double comparison.
+func coerceConst(v *Vector, val mtypes.Value) mtypes.Value {
+	if v.Typ.Kind == mtypes.KDecimal && val.Typ.Kind == mtypes.KDecimal && val.Typ.Scale != v.Typ.Scale {
+		return mtypes.Value{Typ: v.Typ, I: mtypes.RescaleDecimal(val.I, val.Typ.Scale, v.Typ.Scale)}
+	}
+	if v.Typ.Kind == mtypes.KDecimal && val.Typ.IsInteger() {
+		return mtypes.Value{Typ: v.Typ, I: val.I * mtypes.Pow10[v.Typ.Scale]}
+	}
+	return val
+}
+
+// SelCmp returns the candidates where v op val holds (NULL never matches).
+func SelCmp(v *Vector, op CmpOp, val mtypes.Value, cands []int32) []int32 {
+	out := make([]int32, 0, NumCands(v.Len(), cands)/2+8)
+	if val.Null {
+		return out
+	}
+	val = coerceConst(v, val)
+	switch v.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		return selCmp(v.I8, op, int8(val.AsInt()), mtypes.NullInt8, cands, out)
+	case mtypes.KSmallInt:
+		return selCmp(v.I16, op, int16(val.AsInt()), mtypes.NullInt16, cands, out)
+	case mtypes.KInt, mtypes.KDate:
+		if val.Typ.Kind == mtypes.KDouble {
+			return selFloatOnInts(v, op, val.F, cands, out)
+		}
+		return selCmp(v.I32, op, int32(val.AsInt()), mtypes.NullInt32, cands, out)
+	case mtypes.KBigInt, mtypes.KDecimal:
+		if val.Typ.Kind == mtypes.KDouble {
+			return selFloatOnInts(v, op, val.F, cands, out)
+		}
+		return selCmp(v.I64, op, val.AsInt(), mtypes.NullInt64, cands, out)
+	case mtypes.KDouble:
+		return selCmp(v.F64, op, val.AsFloat(), mtypes.NullFloat64(), cands, out)
+	case mtypes.KVarchar:
+		return selStr(v.Str, op, val.S, cands, out)
+	}
+	return out
+}
+
+// selFloatOnInts compares an integer-backed column against a float constant.
+func selFloatOnInts(v *Vector, op CmpOp, c float64, cands []int32, out []int32) []int32 {
+	fs := AsFloats(v)
+	return selCmp(fs, op, c, mtypes.NullFloat64(), cands, out)
+}
+
+func selStr(data []string, op CmpOp, c string, cands []int32, out []int32) []int32 {
+	pred := func(x string) bool {
+		if x == StrNull {
+			return false
+		}
+		r := strings.Compare(x, c)
+		switch op {
+		case CmpEq:
+			return r == 0
+		case CmpNe:
+			return r != 0
+		case CmpLt:
+			return r < 0
+		case CmpLe:
+			return r <= 0
+		case CmpGt:
+			return r > 0
+		default:
+			return r >= 0
+		}
+	}
+	if cands == nil {
+		for i, x := range data {
+			if pred(x) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if pred(data[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelRange returns the candidates with lo (op per loIncl) v (op per hiIncl) hi.
+// Used for BETWEEN and merged range predicates; imprints accelerate this path
+// at the storage layer.
+func SelRange(v *Vector, lo, hi mtypes.Value, loIncl, hiIncl bool, cands []int32) []int32 {
+	out := make([]int32, 0, NumCands(v.Len(), cands)/2+8)
+	if lo.Null || hi.Null {
+		return out
+	}
+	lo, hi = coerceConst(v, lo), coerceConst(v, hi)
+	switch v.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		return selRange(v.I8, int8(lo.AsInt()), int8(hi.AsInt()), loIncl, hiIncl, mtypes.NullInt8, cands, out)
+	case mtypes.KSmallInt:
+		return selRange(v.I16, int16(lo.AsInt()), int16(hi.AsInt()), loIncl, hiIncl, mtypes.NullInt16, cands, out)
+	case mtypes.KInt, mtypes.KDate:
+		if lo.Typ.Kind == mtypes.KDouble || hi.Typ.Kind == mtypes.KDouble {
+			return selRange(AsFloats(v), lo.AsFloat(), hi.AsFloat(), loIncl, hiIncl, mtypes.NullFloat64(), cands, out)
+		}
+		return selRange(v.I32, int32(lo.AsInt()), int32(hi.AsInt()), loIncl, hiIncl, mtypes.NullInt32, cands, out)
+	case mtypes.KBigInt, mtypes.KDecimal:
+		if lo.Typ.Kind == mtypes.KDouble || hi.Typ.Kind == mtypes.KDouble {
+			return selRange(AsFloats(v), lo.AsFloat(), hi.AsFloat(), loIncl, hiIncl, mtypes.NullFloat64(), cands, out)
+		}
+		return selRange(v.I64, lo.AsInt(), hi.AsInt(), loIncl, hiIncl, mtypes.NullInt64, cands, out)
+	case mtypes.KDouble:
+		return selRange(v.F64, lo.AsFloat(), hi.AsFloat(), loIncl, hiIncl, mtypes.NullFloat64(), cands, out)
+	case mtypes.KVarchar:
+		for _, i := range candIter(v.Len(), cands) {
+			x := v.Str[i]
+			if x == StrNull {
+				continue
+			}
+			okLo := x > lo.S || (loIncl && x == lo.S)
+			okHi := x < hi.S || (hiIncl && x == hi.S)
+			if okLo && okHi {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return out
+}
+
+// candIter materializes the effective candidate list (small helper for
+// non-hot paths; hot kernels use the two-branch form).
+func candIter(n int, cands []int32) []int32 {
+	if cands == nil {
+		return Range(n)
+	}
+	return cands
+}
+
+// SelIn returns the candidates whose value equals one of vals.
+func SelIn(v *Vector, vals []mtypes.Value, cands []int32) []int32 {
+	out := make([]int32, 0, 16)
+	if v.Typ.Kind == mtypes.KVarchar {
+		set := make(map[string]struct{}, len(vals))
+		for _, val := range vals {
+			if !val.Null {
+				set[val.S] = struct{}{}
+			}
+		}
+		for _, i := range candIter(v.Len(), cands) {
+			if x := v.Str[i]; x != StrNull {
+				if _, ok := set[x]; ok {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	if v.Typ.Kind == mtypes.KDouble {
+		set := make(map[float64]struct{}, len(vals))
+		for _, val := range vals {
+			if !val.Null {
+				set[val.AsFloat()] = struct{}{}
+			}
+		}
+		for _, i := range candIter(v.Len(), cands) {
+			x := v.F64[i]
+			if mtypes.IsNullF64(x) {
+				continue
+			}
+			if _, ok := set[x]; ok {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	set := make(map[int64]struct{}, len(vals))
+	for _, val := range vals {
+		if !val.Null {
+			set[coerceConst(v, val).AsInt()] = struct{}{}
+		}
+	}
+	xs := AsInts64(v)
+	for _, i := range candIter(v.Len(), cands) {
+		x := xs[i]
+		if x == mtypes.NullInt64 {
+			continue
+		}
+		if _, ok := set[x]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNull / SelNotNull select by null-ness.
+func SelNull(v *Vector, cands []int32) []int32 {
+	out := make([]int32, 0, 8)
+	for _, i := range candIter(v.Len(), cands) {
+		if v.IsNull(int(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNotNull returns the candidates holding non-NULL values.
+func SelNotNull(v *Vector, cands []int32) []int32 {
+	out := make([]int32, 0, NumCands(v.Len(), cands))
+	for _, i := range candIter(v.Len(), cands) {
+		if !v.IsNull(int(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelTrue selects the candidates where a BOOLEAN vector is true (NULL and
+// false excluded). The bool vector is positionally aligned with cands when
+// aligned is true (i.e. bv[k] corresponds to cands[k]); otherwise bv is
+// indexed by row id.
+func SelTrue(bv *Vector, cands []int32, aligned bool) []int32 {
+	out := make([]int32, 0, NumCands(bv.Len(), cands)/2+8)
+	if cands == nil {
+		for i, x := range bv.I8 {
+			if x == 1 {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	if aligned {
+		for k, i := range cands {
+			if bv.I8[k] == 1 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if bv.I8[i] == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelString selects candidates whose string value satisfies pred (used by the
+// engine's LIKE implementation). NULLs never match.
+func SelString(v *Vector, pred func(string) bool, cands []int32) []int32 {
+	out := make([]int32, 0, 16)
+	if cands == nil {
+		for i, x := range v.Str {
+			if x != StrNull && pred(x) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if x := v.Str[i]; x != StrNull && pred(x) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Intersect computes the intersection of two sorted candidate lists.
+func Intersect(a, b []int32) []int32 {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union merges two sorted candidate lists (for OR predicates). A nil operand
+// means "all rows", so the result is nil.
+func Union(a, b []int32) []int32 {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Difference returns the sorted candidates of a not present in b (for AND NOT
+// rewrites). a must not be nil.
+func Difference(a, b []int32) []int32 {
+	if b == nil {
+		return []int32{}
+	}
+	out := make([]int32, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

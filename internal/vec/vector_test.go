@@ -1,0 +1,171 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+
+	"monetlite/internal/mtypes"
+)
+
+func intVec(vals ...int32) *Vector {
+	v := New(mtypes.Int, len(vals))
+	copy(v.I32, vals)
+	return v
+}
+
+func strVec(vals ...string) *Vector {
+	v := New(mtypes.Varchar, len(vals))
+	copy(v.Str, vals)
+	return v
+}
+
+func dblVec(vals ...float64) *Vector {
+	v := New(mtypes.Double, len(vals))
+	copy(v.F64, vals)
+	return v
+}
+
+func TestNewAllKinds(t *testing.T) {
+	for _, typ := range []mtypes.Type{
+		mtypes.Bool, mtypes.TinyInt, mtypes.SmallInt, mtypes.Int, mtypes.BigInt,
+		mtypes.Double, mtypes.Decimal(10, 2), mtypes.Date, mtypes.Varchar,
+	} {
+		v := New(typ, 7)
+		if v.Len() != 7 {
+			t.Errorf("New(%s, 7).Len() = %d", typ, v.Len())
+		}
+		v.SetNull(3)
+		if !v.IsNull(3) || v.IsNull(2) {
+			t.Errorf("null handling broken for %s", typ)
+		}
+		if got := v.Value(3); !got.Null {
+			t.Errorf("Value(null) not null for %s", typ)
+		}
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	cases := []mtypes.Value{
+		mtypes.NewBool(true),
+		mtypes.NewInt(mtypes.TinyInt, -5),
+		mtypes.NewInt(mtypes.SmallInt, 1234),
+		mtypes.NewInt(mtypes.Int, -99999),
+		mtypes.NewInt(mtypes.BigInt, 1<<40),
+		mtypes.NewDouble(3.25),
+		mtypes.NewDecimal(10, 2, 12345),
+		mtypes.NewDate(9000),
+		mtypes.NewString("hello"),
+	}
+	for _, val := range cases {
+		v := New(val.Typ, 1)
+		v.Set(0, val)
+		got := v.Value(0)
+		if got.String() != val.String() {
+			t.Errorf("round trip %s: got %s", val, got)
+		}
+	}
+}
+
+func TestSetDecimalRescales(t *testing.T) {
+	v := New(mtypes.Decimal(10, 4), 1)
+	v.Set(0, mtypes.NewDecimal(10, 2, 150)) // 1.50
+	if v.I64[0] != 15000 {
+		t.Fatalf("decimal rescale on Set: got %d", v.I64[0])
+	}
+}
+
+func TestGather(t *testing.T) {
+	v := intVec(10, 20, 30, 40, 50)
+	g := Gather(v, []int32{4, 0, 2})
+	if g.Len() != 3 || g.I32[0] != 50 || g.I32[1] != 10 || g.I32[2] != 30 {
+		t.Fatalf("gather: %v", g.I32)
+	}
+	if Gather(v, nil) != v {
+		t.Fatal("nil cands should return the vector itself")
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	a, b := intVec(1, 2), intVec(3)
+	c := Concat(a, b)
+	if c.Len() != 3 || c.I32[2] != 3 {
+		t.Fatalf("concat: %v", c.I32)
+	}
+	s := c.Slice(1, 3)
+	if s.Len() != 2 || s.I32[0] != 2 {
+		t.Fatalf("slice: %v", s.I32)
+	}
+	// Slice shares memory.
+	s.I32[0] = 99
+	if c.I32[1] != 99 {
+		t.Fatal("slice should alias")
+	}
+	cl := c.Clone()
+	cl.I32[0] = -1
+	if c.I32[0] == -1 {
+		t.Fatal("clone should not alias")
+	}
+}
+
+func TestConstAndRange(t *testing.T) {
+	c := Const(mtypes.NewInt(mtypes.Int, 7), 4)
+	for i := 0; i < 4; i++ {
+		if c.I32[i] != 7 {
+			t.Fatal("const fill")
+		}
+	}
+	r := Range(3)
+	if len(r) != 3 || r[0] != 0 || r[2] != 2 {
+		t.Fatal("range")
+	}
+	if NumCands(10, nil) != 10 || NumCands(10, []int32{1, 2}) != 2 {
+		t.Fatal("NumCands")
+	}
+}
+
+func TestAsFloatsAsInts(t *testing.T) {
+	d := New(mtypes.Decimal(10, 2), 3)
+	d.I64[0], d.I64[1] = 150, 225
+	d.SetNull(2)
+	fs := AsFloats(d)
+	if fs[0] != 1.5 || fs[1] != 2.25 || !mtypes.IsNullF64(fs[2]) {
+		t.Fatalf("decimal AsFloats: %v", fs)
+	}
+	iv := intVec(5, 6)
+	iv.SetNull(1)
+	is := AsInts64(iv)
+	if is[0] != 5 || is[1] != mtypes.NullInt64 {
+		t.Fatalf("AsInts64: %v", is)
+	}
+	// Aliasing for already-wide types.
+	bv := New(mtypes.BigInt, 2)
+	if &AsInts64(bv)[0] != &bv.I64[0] {
+		t.Fatal("AsInts64 should alias I64")
+	}
+	dv := dblVec(1, 2)
+	if &AsFloats(dv)[0] != &dv.F64[0] {
+		t.Fatal("AsFloats should alias F64")
+	}
+}
+
+func TestAppendValue(t *testing.T) {
+	v := NewCap(mtypes.Varchar, 0)
+	v.AppendValue(mtypes.NewString("a"))
+	v.AppendValue(mtypes.NullValue(mtypes.Varchar))
+	if v.Len() != 2 || v.Str[0] != "a" || !v.IsNull(1) {
+		t.Fatalf("append: %v", v.Str)
+	}
+}
+
+// randomIntVecWithNulls builds a vector of n random int32s, ~10% null.
+func randomIntVecWithNulls(rng *rand.Rand, n int) *Vector {
+	v := New(mtypes.Int, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(10) == 0 {
+			v.SetNull(i)
+		} else {
+			v.I32[i] = int32(rng.Intn(200) - 100)
+		}
+	}
+	return v
+}

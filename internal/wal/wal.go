@@ -1,0 +1,402 @@
+// Package wal implements monetlite's write-ahead log: a physical redo log of
+// committed mutations. Transactions buffer their writes; at commit the
+// mutation records are appended, terminated by a commit marker, and synced
+// before the in-memory state is updated. Recovery replays only record groups
+// that end in a commit marker, so a crash mid-commit loses the uncommitted
+// tail and nothing else.
+//
+// Record framing: [length uint32][crc32(payload) uint32][payload]. The first
+// payload byte is the record kind.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// Record kinds.
+const (
+	KindCreateTable = byte('C')
+	KindDropTable   = byte('D')
+	KindAppend      = byte('A')
+	KindDelete      = byte('X')
+	KindCommit      = byte('T')
+	KindOrderIndex  = byte('O')
+)
+
+// Record is one logical WAL entry.
+type Record struct {
+	Kind    byte
+	Table   string
+	Col     string        // order index records
+	MetaJS  []byte        // create-table records: JSON schema
+	Cols    []*vec.Vector // append records
+	RowIDs  []int32       // delete records
+	Version uint64        // commit records
+}
+
+// Log is an append-only WAL file.
+type Log struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// Open opens (creating if needed) the WAL at path for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+// Append buffers one record (no sync; Commit flushes and syncs).
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeLocked(rec)
+}
+
+// Commit writes the commit marker for version, flushes and fsyncs. Only
+// after Commit returns may the in-memory state expose the transaction.
+func (l *Log) Commit(version uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.writeLocked(Record{Kind: KindCommit, Version: version}); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Reset truncates the log (after a successful checkpoint).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(0, io.SeekStart)
+	return err
+}
+
+// Close flushes and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+func (l *Log) writeLocked(rec Record) error {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = l.w.Write(payload)
+	return err
+}
+
+// Replay reads the WAL at path and invokes apply once per committed
+// transaction with its records (commit marker excluded) and version.
+// Truncated or corrupt tails (the expected crash artifact) are ignored;
+// corruption before the last commit marker is reported as an error.
+func Replay(path string, apply func(recs []Record, version uint64) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var pending []Record
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or truncated header: stop replay
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // truncated payload: uncommitted tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil // corrupt tail: stop (records before last commit are fine)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if rec.Kind == KindCommit {
+			if err := apply(pending, rec.Version); err != nil {
+				return err
+			}
+			pending = nil
+			continue
+		}
+		pending = append(pending, rec)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding.
+// ---------------------------------------------------------------------------
+
+func encodeRecord(rec Record) ([]byte, error) {
+	buf := []byte{rec.Kind}
+	putStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	switch rec.Kind {
+	case KindCreateTable:
+		buf = binary.AppendUvarint(buf, uint64(len(rec.MetaJS)))
+		buf = append(buf, rec.MetaJS...)
+	case KindDropTable:
+		putStr(rec.Table)
+	case KindOrderIndex:
+		putStr(rec.Table)
+		putStr(rec.Col)
+	case KindAppend:
+		putStr(rec.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Cols)))
+		for _, v := range rec.Cols {
+			var err error
+			buf, err = encodeVector(buf, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case KindDelete:
+		putStr(rec.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.RowIDs)))
+		for _, r := range rec.RowIDs {
+			buf = binary.AppendVarint(buf, int64(r))
+		}
+	case KindCommit:
+		buf = binary.AppendUvarint(buf, rec.Version)
+	default:
+		return nil, fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return buf, nil
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, errors.New("empty record")
+	}
+	rec := Record{Kind: payload[0]}
+	b := payload[1:]
+	fail := errors.New("truncated record")
+	getStr := func() (string, error) {
+		n, k := binary.Uvarint(b)
+		if k <= 0 || int(n) > len(b)-k {
+			return "", fail
+		}
+		s := string(b[k : k+int(n)])
+		b = b[k+int(n):]
+		return s, nil
+	}
+	var err error
+	switch rec.Kind {
+	case KindCreateTable:
+		var s string
+		if s, err = getStr(); err != nil {
+			return rec, err
+		}
+		rec.MetaJS = []byte(s)
+	case KindDropTable:
+		rec.Table, err = getStr()
+	case KindOrderIndex:
+		if rec.Table, err = getStr(); err != nil {
+			return rec, err
+		}
+		rec.Col, err = getStr()
+	case KindAppend:
+		if rec.Table, err = getStr(); err != nil {
+			return rec, err
+		}
+		n, k := binary.Uvarint(b)
+		if k <= 0 {
+			return rec, fail
+		}
+		b = b[k:]
+		for i := 0; i < int(n); i++ {
+			var v *vec.Vector
+			v, b, err = decodeVector(b)
+			if err != nil {
+				return rec, err
+			}
+			rec.Cols = append(rec.Cols, v)
+		}
+	case KindDelete:
+		if rec.Table, err = getStr(); err != nil {
+			return rec, err
+		}
+		n, k := binary.Uvarint(b)
+		if k <= 0 {
+			return rec, fail
+		}
+		b = b[k:]
+		for i := 0; i < int(n); i++ {
+			x, k := binary.Varint(b)
+			if k <= 0 {
+				return rec, fail
+			}
+			b = b[k:]
+			rec.RowIDs = append(rec.RowIDs, int32(x))
+		}
+	case KindCommit:
+		v, k := binary.Uvarint(b)
+		if k <= 0 {
+			return rec, fail
+		}
+		rec.Version = v
+	default:
+		return rec, fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return rec, err
+}
+
+// encodeVector serializes a vector: kind, scale, count, then values
+// (varint-encoded integers, raw float bits, length-prefixed strings).
+func encodeVector(buf []byte, v *vec.Vector) ([]byte, error) {
+	buf = append(buf, byte(v.Typ.Kind), byte(v.Typ.Scale))
+	n := v.Len()
+	buf = binary.AppendUvarint(buf, uint64(n))
+	switch v.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		for _, x := range v.I8 {
+			buf = append(buf, byte(x))
+		}
+	case mtypes.KSmallInt:
+		for _, x := range v.I16 {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(x))
+		}
+	case mtypes.KInt, mtypes.KDate:
+		for _, x := range v.I32 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		}
+	case mtypes.KBigInt, mtypes.KDecimal:
+		for _, x := range v.I64 {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+		}
+	case mtypes.KDouble:
+		for _, x := range v.F64 {
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(x))
+		}
+	case mtypes.KVarchar:
+		for _, s := range v.Str {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	default:
+		return nil, fmt.Errorf("cannot log vector kind %d", v.Typ.Kind)
+	}
+	return buf, nil
+}
+
+func decodeVector(b []byte) (*vec.Vector, []byte, error) {
+	fail := errors.New("truncated vector")
+	if len(b) < 2 {
+		return nil, b, fail
+	}
+	typ := mtypes.Type{Kind: mtypes.Kind(b[0]), Scale: int(b[1])}
+	b = b[2:]
+	n64, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, b, fail
+	}
+	b = b[k:]
+	n := int(n64)
+	v := vec.New(typ, n)
+	switch typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		if len(b) < n {
+			return nil, b, fail
+		}
+		for i := 0; i < n; i++ {
+			v.I8[i] = int8(b[i])
+		}
+		b = b[n:]
+	case mtypes.KSmallInt:
+		if len(b) < 2*n {
+			return nil, b, fail
+		}
+		for i := 0; i < n; i++ {
+			v.I16[i] = int16(binary.LittleEndian.Uint16(b[2*i:]))
+		}
+		b = b[2*n:]
+	case mtypes.KInt, mtypes.KDate:
+		if len(b) < 4*n {
+			return nil, b, fail
+		}
+		for i := 0; i < n; i++ {
+			v.I32[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		b = b[4*n:]
+	case mtypes.KBigInt, mtypes.KDecimal:
+		if len(b) < 8*n {
+			return nil, b, fail
+		}
+		for i := 0; i < n; i++ {
+			v.I64[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		b = b[8*n:]
+	case mtypes.KDouble:
+		if len(b) < 8*n {
+			return nil, b, fail
+		}
+		for i := 0; i < n; i++ {
+			v.F64[i] = floatFrom(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		b = b[8*n:]
+	case mtypes.KVarchar:
+		for i := 0; i < n; i++ {
+			sn, k := binary.Uvarint(b)
+			if k <= 0 || int(sn) > len(b)-k {
+				return nil, b, fail
+			}
+			v.Str[i] = string(b[k : k+int(sn)])
+			b = b[k+int(sn):]
+		}
+	default:
+		return nil, b, fmt.Errorf("unknown vector kind %d", typ.Kind)
+	}
+	return v, b, nil
+}
+
+// MetaToJSON / MetaFromJSON marshal table schemas for create-table records.
+func MetaToJSON(meta any) ([]byte, error) { return json.Marshal(meta) }
+
+// MetaFromJSON unmarshals a create-table record's schema payload.
+func MetaFromJSON(data []byte, into any) error { return json.Unmarshal(data, into) }

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+func sampleCols() []*vec.Vector {
+	a := vec.New(mtypes.Int, 3)
+	copy(a.I32, []int32{1, 2, 3})
+	a.SetNull(1)
+	b := vec.New(mtypes.Varchar, 3)
+	copy(b.Str, []string{"x", vec.StrNull, "z"})
+	c := vec.New(mtypes.Double, 3)
+	copy(c.F64, []float64{1.5, 2.5, 3.5})
+	d := vec.New(mtypes.Decimal(15, 2), 3)
+	copy(d.I64, []int64{100, 200, 300})
+	return []*vec.Vector{a, b, c, d}
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindCreateTable, MetaJS: []byte(`{"Name":"t"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindDelete, Table: "t", RowIDs: []int32{0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	var groups [][]Record
+	var versions []uint64
+	err = Replay(path, func(recs []Record, v uint64) error {
+		cp := make([]Record, len(recs))
+		copy(cp, recs)
+		groups = append(groups, cp)
+		versions = append(versions, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || versions[0] != 1 || versions[1] != 2 {
+		t.Fatalf("groups=%d versions=%v", len(groups), versions)
+	}
+	if groups[0][0].Kind != KindCreateTable || groups[0][1].Kind != KindAppend {
+		t.Fatalf("group 0 kinds: %c %c", groups[0][0].Kind, groups[0][1].Kind)
+	}
+	cols := groups[0][1].Cols
+	if len(cols) != 4 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	if cols[0].I32[0] != 1 || !cols[0].IsNull(1) {
+		t.Fatalf("int col: %v", cols[0].I32)
+	}
+	if cols[1].Str[0] != "x" || !cols[1].IsNull(1) {
+		t.Fatalf("str col: %v", cols[1].Str)
+	}
+	if cols[2].F64[2] != 3.5 {
+		t.Fatalf("double col: %v", cols[2].F64)
+	}
+	if cols[3].I64[1] != 200 || cols[3].Typ.Scale != 2 {
+		t.Fatalf("decimal col: %v scale %d", cols[3].I64, cols[3].Typ.Scale)
+	}
+	if got := groups[1][0].RowIDs; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("delete rowids: %v", got)
+	}
+}
+
+// Crash injection: an uncommitted tail (no commit marker) must be ignored.
+func TestReplayIgnoresUncommittedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Commit(1)
+	// Uncommitted writes followed by "crash" (close without commit).
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Close()
+
+	n := 0
+	if err := Replay(path, func(recs []Record, v uint64) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d groups, want 1", n)
+	}
+}
+
+// Crash injection: a torn record (truncated mid-payload) stops replay cleanly.
+func TestReplayTruncatedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Commit(1)
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Commit(2)
+	l.Close()
+
+	data, _ := os.ReadFile(path)
+	// Chop into the middle of the last record group.
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Replay(path, func(recs []Record, v uint64) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d groups after truncation, want 1", n)
+	}
+}
+
+// Crash injection: bit corruption in the tail is detected by CRC.
+func TestReplayCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Commit(1)
+	l.Append(Record{Kind: KindDelete, Table: "t", RowIDs: []int32{1}})
+	l.Commit(2)
+	l.Close()
+
+	data, _ := os.ReadFile(path)
+	data[len(data)-3] ^= 0xFF // flip bits in the tail
+	os.WriteFile(path, data, 0o644)
+	n := 0
+	if err := Replay(path, func(recs []Record, v uint64) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d groups with corrupt tail, want 1", n)
+	}
+}
+
+func TestResetTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(Record{Kind: KindDropTable, Table: "t"})
+	l.Commit(1)
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindDropTable, Table: "u"})
+	l.Commit(2)
+	l.Close()
+	var tables []string
+	Replay(path, func(recs []Record, v uint64) error {
+		for _, r := range recs {
+			tables = append(tables, r.Table)
+		}
+		return nil
+	})
+	if len(tables) != 1 || tables[0] != "u" {
+		t.Fatalf("after reset: %v", tables)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if err := Replay(filepath.Join(t.TempDir(), "none.log"), nil); err != nil {
+		t.Fatal("missing WAL should be fine (fresh database)")
+	}
+}
+
+func TestOrderIndexRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(Record{Kind: KindOrderIndex, Table: "t", Col: "a"})
+	l.Commit(1)
+	l.Close()
+	var got Record
+	Replay(path, func(recs []Record, v uint64) error { got = recs[0]; return nil })
+	if got.Kind != KindOrderIndex || got.Table != "t" || got.Col != "a" {
+		t.Fatalf("order index record: %+v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package monetlite
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The full persistent lifecycle: load, checkpoint, reopen (columns now
+// lazily memory-mapped), query through the mmap path, mutate, recover.
+func TestPersistentLifecycleWithMmap(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE facts (k INTEGER, v DECIMAL(10,2), s VARCHAR, d DATE)`)
+	n := 5000
+	ks := make([]int32, n)
+	vs := make([]float64, n)
+	ss := make([]string, n)
+	ds := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ks[i] = int32(i)
+		vs[i] = float64(i) / 4
+		ss[i] = []string{"alpha", "beta", "gamma"}[i%3]
+		ds[i] = int32(9000 + i%365)
+	}
+	if err := c.Append("facts", ks, vs, ss, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // checkpoints
+		t.Fatal(err)
+	}
+
+	// Reopen: columns are file-backed and mmap'd on first touch.
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := db2.Connect()
+	res := mustQuery(t, c2, `SELECT s, count(*), sum(v) FROM facts WHERE k >= 1000 GROUP BY s ORDER BY s`)
+	if res.NumRows() != 3 {
+		t.Fatalf("groups: %v", resultGrid(res))
+	}
+	total := int64(0)
+	counts := res.Column(1).AsInts()
+	for _, x := range counts {
+		total += x
+	}
+	if total != 4000 {
+		t.Fatalf("filtered count: %d", total)
+	}
+	// Zero-copy access over a mapped column.
+	res = mustQuery(t, c2, `SELECT k FROM facts`)
+	raw, err := res.Column(0).Ints32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != n || raw[4999] != 4999 {
+		t.Fatalf("mapped zero-copy: %d %d", len(raw), raw[len(raw)-1])
+	}
+
+	// Mutate after reload: append (copies the mapped column into process
+	// memory), delete, update; then crash-recover from the WAL.
+	if err := c2.Append("facts", []int32{9001}, []float64{1}, []string{"delta"}, []int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c2, `DELETE FROM facts WHERE k < 10`)
+	mustExec(t, c2, `UPDATE facts SET v = v + 100 WHERE k = 9001`)
+	// Simulated crash (no checkpoint).
+	db2.mu.Lock()
+	db2.closed = true
+	db2.log.Close()
+	db2.store.Close()
+	db2.mu.Unlock()
+
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	c3 := db3.Connect()
+	res = mustQuery(t, c3, `SELECT count(*) FROM facts`)
+	if res.RowStrings(0)[0] != "4991" { // 5000 - 10 deleted + 1 appended
+		t.Fatalf("recovered count: %v", resultGrid(res))
+	}
+	res = mustQuery(t, c3, `SELECT v FROM facts WHERE k = 9001`)
+	if res.NumRows() != 1 || res.RowStrings(0)[0] != "101.00" {
+		t.Fatalf("recovered update: %v", resultGrid(res))
+	}
+}
+
+func TestQueryTimeoutConfig(t *testing.T) {
+	db, err := OpenInMemory(Config{Parallel: false, QueryTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE t (a INTEGER)`)
+	big := make([]int32, 200000)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	if err := c.Append("t", big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(`SELECT a, count(*) FROM t GROUP BY a`); err == nil {
+		t.Fatal("expected query timeout")
+	}
+}
+
+func TestConfigOptions(t *testing.T) {
+	// ForceCopy: results never alias engine memory.
+	db, _ := OpenInMemory(Config{ForceCopy: true})
+	defer db.Close()
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE t (a INTEGER)`)
+	c.Append("t", []int32{1, 2, 3})
+	r1 := mustQuery(t, c, `SELECT a FROM t`)
+	r2 := mustQuery(t, c, `SELECT a FROM t`)
+	s1, _ := r1.Column(0).Ints32()
+	s2, _ := r2.Column(0).Ints32()
+	s1[0] = 99
+	if s2[0] == 99 {
+		t.Fatal("ForceCopy results should be independent")
+	}
+	// NoIndexes engine still answers point queries correctly.
+	db2, _ := OpenInMemory(Config{NoIndexes: true})
+	defer db2.Close()
+	c2 := db2.Connect()
+	mustExec(t, c2, `CREATE TABLE t (a INTEGER)`)
+	c2.Append("t", []int32{5, 6, 7})
+	res := mustQuery(t, c2, `SELECT count(*) FROM t WHERE a = 6`)
+	if res.RowStrings(0)[0] != "1" {
+		t.Fatal("NoIndexes correctness")
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	db := memDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE b (x INTEGER); CREATE TABLE a (y INTEGER)`)
+	names := db.Tables()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("tables: %v", names)
+	}
+}
