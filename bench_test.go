@@ -16,7 +16,9 @@ import (
 	"testing"
 	"time"
 
+	"monetlite"
 	"monetlite/internal/bench"
+	"monetlite/internal/tpch"
 )
 
 func benchConfig(b *testing.B) bench.Config {
@@ -230,6 +232,47 @@ func BenchmarkAblationAppendVsInsert(b *testing.B) {
 			b.Fatal(err)
 		}
 		reportCells(b, rep)
+	}
+}
+
+// BenchmarkGroupedAggParallel measures the parallel partitioned hash
+// aggregation path on the TPC-H Q1 shape (grouped SUM/AVG/COUNT over
+// lineitem): the serial engine against the mitosis engine (per-chunk hash
+// tables, keyed partial merge). A real speedup needs a multi-core host AND
+// enough rows for mal.MitosisGrouped to split the scan (SF >= ~0.25; set
+// MLITE_BENCH_SF=1 for the paper-scale run).
+func BenchmarkGroupedAggParallel(b *testing.B) {
+	cfg := benchConfig(b)
+	data := tpch.Generate(cfg.SF, cfg.Seed)
+	q1 := tpch.Queries[1]
+	for _, mode := range []struct {
+		name string
+		mc   monetlite.Config
+	}{
+		{"Serial", monetlite.Config{Parallel: false}},
+		{"Parallel", monetlite.Config{Parallel: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := monetlite.OpenInMemory(mode.mc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := tpch.LoadInto(db, data); err != nil {
+				b.Fatal(err)
+			}
+			conn := db.Connect()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := conn.Query(q1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NumRows() == 0 {
+					b.Fatal("empty Q1 result")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module monetlite
+
+go 1.24

@@ -8,6 +8,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"monetlite/internal/index"
@@ -45,7 +46,17 @@ type Engine struct {
 	Trace      *mal.Program // optional MAL trace for EXPLAIN / tests
 
 	deadline time.Time
-	subCache map[plan.Node]mtypes.Value
+	subCache *subplanCache
+}
+
+// subplanCache memoizes uncorrelated scalar subquery results for one
+// execution. It is shared between the coordinating engine and its mitosis
+// chunk engines, so a subquery in a pushed-down scan filter is evaluated
+// once per query — not once per chunk — and the lock serializes concurrent
+// first evaluations from worker goroutines.
+type subplanCache struct {
+	mu sync.Mutex
+	m  map[plan.Node]mtypes.Value
 }
 
 // ErrTimeout is returned when a query exceeds the engine timeout.
@@ -81,7 +92,7 @@ func newBatch(cols []*vec.Vector) *batch {
 
 // Execute runs a plan to completion.
 func (e *Engine) Execute(n plan.Node) (*Result, error) {
-	e.subCache = map[plan.Node]mtypes.Value{}
+	e.subCache = &subplanCache{m: map[plan.Node]mtypes.Value{}}
 	if e.Timeout > 0 {
 		e.deadline = time.Now().Add(e.Timeout)
 	} else {
@@ -97,6 +108,21 @@ func (e *Engine) Execute(n plan.Node) (*Result, error) {
 		res.Names = append(res.Names, c.Name)
 	}
 	return res, nil
+}
+
+// chunkEngine returns a clone of e for use inside a mitosis worker
+// goroutine. The clone drops the MAL trace (Program emission is not safe for
+// concurrent use — the coordinator emits summary instructions instead) and
+// shares the coordinator's lock-guarded subquery cache. Nested operators
+// stay serial: the worker is the unit of parallelism.
+func (e *Engine) chunkEngine() *Engine {
+	return &Engine{
+		Cat:        e.Cat,
+		MaxThreads: 1,
+		NoIndexes:  e.NoIndexes,
+		deadline:   e.deadline,
+		subCache:   e.subCache,
+	}
 }
 
 func (e *Engine) checkTimeout() error {
@@ -244,11 +270,18 @@ func (e *Engine) execDistinct(x *plan.Distinct) (*batch, error) {
 	return newBatch(out), nil
 }
 
-// evalSubplan computes an uncorrelated scalar subquery once, caching by node.
+// evalSubplan computes an uncorrelated scalar subquery once, caching by
+// node. The cache lock is held across the evaluation so concurrent mitosis
+// workers needing the same subplan wait for one evaluation instead of
+// racing to repeat it.
 func (e *Engine) evalSubplan(p plan.Node) (mtypes.Value, error) {
-	if v, ok := e.subCache[p]; ok {
+	e.subCache.mu.Lock()
+	defer e.subCache.mu.Unlock()
+	if v, ok := e.subCache.m[p]; ok {
 		return v, nil
 	}
+	// The sub-engine gets its own fresh cache in Execute, so a parallel
+	// subplan never re-enters this lock.
 	sub := &Engine{Cat: e.Cat, Parallel: e.Parallel, MaxThreads: e.MaxThreads, NoIndexes: e.NoIndexes}
 	res, err := sub.Execute(p)
 	if err != nil {
@@ -264,6 +297,6 @@ func (e *Engine) evalSubplan(p plan.Node) (mtypes.Value, error) {
 	default:
 		return mtypes.Value{}, fmt.Errorf("exec: scalar subquery returned %d rows", res.NumRows())
 	}
-	e.subCache[p] = v
+	e.subCache.m[p] = v
 	return v, nil
 }

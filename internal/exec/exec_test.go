@@ -157,6 +157,105 @@ func TestParallelAggsMatchSerial(t *testing.T) {
 	}
 }
 
+// buildNullTable creates a table large enough for grouped mitosis, with NULL
+// group keys and NULL aggregate inputs sprinkled in.
+func buildNullTable(t *testing.T, n int) memCatalog {
+	t.Helper()
+	tbl := storage.NewMemoryTable(storage.TableMeta{Name: "nums", Cols: []storage.ColDef{
+		{Name: "i", Typ: mtypes.Int},
+		{Name: "grp", Typ: mtypes.Varchar},
+	}})
+	iv := vec.New(mtypes.Int, n)
+	gv := vec.New(mtypes.Varchar, n)
+	for k := 0; k < n; k++ {
+		if k%11 == 0 {
+			iv.SetNull(k)
+		} else {
+			iv.I32[k] = int32(k % 1000)
+		}
+		if k%7 == 0 {
+			gv.SetNull(k)
+		} else {
+			gv.Str[k] = []string{"a", "b", "c", "d"}[k%4]
+		}
+	}
+	if _, err := tbl.Append([]*vec.Vector{iv, gv}, 1); err != nil {
+		t.Fatal(err)
+	}
+	return memCatalog{"nums": tbl}
+}
+
+// Parallel grouped aggregation (per-chunk hash tables + keyed merge) must
+// match the serial path exactly — including NULL group keys (their own
+// group) and NULL inputs (skipped by SUM/AVG/COUNT, empty groups NULL).
+func TestParallelGroupedAggMatchesSerial(t *testing.T) {
+	cat := buildNullTable(t, 3*mal.MinGroupedChunkRows)
+	queries := []string{
+		"SELECT grp, sum(i), count(i), count(*), min(i), max(i), avg(i) FROM nums GROUP BY grp",
+		"SELECT grp, sum(i) FROM nums WHERE i % 3 = 0 GROUP BY grp",
+		"SELECT grp, i % 5, count(*) FROM nums GROUP BY grp, i % 5",
+		"SELECT grp, avg(i) FROM nums WHERE i < 0 GROUP BY grp", // empty input
+	}
+	for _, q := range queries {
+		p := planFor(t, cat, q)
+		par := &Engine{Cat: cat, Parallel: true, MaxThreads: 4}
+		ser := &Engine{Cat: cat, Parallel: false}
+		r1, err := par.Execute(p)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		r2, err := ser.Execute(p)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if r1.NumRows() != r2.NumRows() {
+			t.Fatalf("%s: %d vs %d rows", q, r1.NumRows(), r2.NumRows())
+		}
+		for c := range r1.Cols {
+			for i := 0; i < r1.NumRows(); i++ {
+				a, b := r1.Cols[c].Value(i), r2.Cols[c].Value(i)
+				if a.String() != b.String() {
+					t.Fatalf("%s: cell (%d,%d) %s vs %s", q, i, c, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The grouped mitosis path shows up in the trace: chunked split, parallel
+// merge grouping, and merged aggregates.
+func TestParallelGroupedAggTraceShape(t *testing.T) {
+	cat := buildTable(t, 3*mal.MinGroupedChunkRows)
+	trace := &mal.Program{}
+	e := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}
+	res, err := e.Execute(planFor(t, cat, "SELECT grp, sum(i) FROM nums GROUP BY grp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("want 3 groups, got %d", res.NumRows())
+	}
+	out := trace.String()
+	if trace.Count("optimizer.mitosis") == 0 {
+		t.Fatalf("no mitosis in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "parallel merge") {
+		t.Fatalf("no parallel merge grouping in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "aggr.SUM") {
+		t.Fatalf("no merged SUM in trace:\n%s", out)
+	}
+	// MEDIAN and DISTINCT block grouped mitosis: serial fallback, no panic.
+	trace2 := &mal.Program{}
+	e2 := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace2}
+	if _, err := e2.Execute(planFor(t, cat, "SELECT grp, median(i) FROM nums GROUP BY grp")); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(trace2.String(), "parallel merge") {
+		t.Fatal("blocking MEDIAN took the parallel grouped path")
+	}
+}
+
 // Index use shows up in the trace, and disabling indexes removes it without
 // changing results.
 func TestIndexTraceAndEquivalence(t *testing.T) {

@@ -259,13 +259,21 @@ func crossPairs(nl, nr int) ([]int32, []int32) {
 // ---------------------------------------------------------------------------
 
 func (e *Engine) execAggregate(x *plan.Aggregate) (*batch, error) {
-	// Mitosis fast path: global aggregates directly over a scan run the
+	// Mitosis fast paths: aggregates directly over a scan run the
 	// parallelizable prefix (scan, selection, map) per chunk and merge
-	// partials before the blocking final aggregate (paper Figure 2).
-	if e.Parallel && len(x.GroupBy) == 0 {
+	// partials before the blocking final step (paper Figure 2). Global
+	// aggregates merge aligned partials; grouped aggregates build per-chunk
+	// hash tables and merge keyed partials.
+	if e.Parallel {
 		if scan, ok := x.Input.(*plan.Scan); ok {
-			if b, handled, err := e.parallelGlobalAgg(x, scan); handled {
-				return b, err
+			if len(x.GroupBy) == 0 {
+				if b, handled, err := e.parallelGlobalAgg(x, scan); handled {
+					return b, err
+				}
+			} else {
+				if b, handled, err := e.parallelGroupedAgg(x, scan); handled {
+					return b, err
+				}
 			}
 		}
 	}
@@ -386,8 +394,9 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
+			ce := e.chunkEngine()
 			lo, hi := cp.Bounds(ci, nrows)
-			cands, cols, err := e.scanRange(scan, src, lo, hi)
+			cands, cols, err := ce.scanRange(scan, src, lo, hi)
 			if err != nil {
 				outs[ci] = chunkOut{err: err}
 				return
@@ -397,7 +406,7 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 				gathered[i] = vec.Gather(c, cands)
 			}
 			cb := newBatch(gathered)
-			memo := newMemo(e)
+			memo := newMemo(ce)
 			co := chunkOut{partials: make([]*vec.Vector, len(x.Aggs))}
 			co.count = int64(cb.n)
 			for ai, a := range x.Aggs {
@@ -496,6 +505,175 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 		}
 	}
 	return newBatch(result), true, nil
+}
+
+// parallelGroupedAgg runs SELECT keys, agg(expr) FROM t WHERE ... GROUP BY
+// keys with mitosis: each chunk scans, filters, evaluates the key and
+// argument expressions and builds its own hash-aggregated partial (local
+// group table + partial aggregate vectors). The merge phase re-groups the
+// chunks' key representatives into global groups and folds the keyed
+// partials (vec.MergeKeyedAggPartials). AVG is decomposed into SUM+COUNT
+// partials; MEDIAN (blocking) and DISTINCT aggregates fall back to the
+// serial path. Returns handled=false when the plan shape or chunking
+// heuristics rule parallelism out.
+func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, bool, error) {
+	for _, a := range x.Aggs {
+		if a.Kind == vec.AggMedian || a.Distinct {
+			return nil, false, nil
+		}
+	}
+	src, ok := e.Cat.Source(scan.Table)
+	if !ok {
+		return nil, true, fmt.Errorf("exec: no such table %q", scan.Table)
+	}
+	nrows := src.NumRows()
+	cp := mal.MitosisGrouped(nrows, 8*len(scan.Cols), e.MaxThreads)
+	if cp.Chunks <= 1 {
+		return nil, false, nil
+	}
+	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (grouped)", cp.Chunks))
+
+	type chunkOut struct {
+		keys     []*vec.Vector   // key columns at the chunk's group representatives
+		partials [][]*vec.Vector // per agg: one partial, or [SUM, COUNT] for AVG
+		ngroups  int
+		err      error
+	}
+	outs := make([]chunkOut, cp.Chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cp.Chunks; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			ce := e.chunkEngine()
+			lo, hi := cp.Bounds(ci, nrows)
+			cands, cols, err := ce.scanRange(scan, src, lo, hi)
+			if err != nil {
+				outs[ci] = chunkOut{err: err}
+				return
+			}
+			gathered := make([]*vec.Vector, len(cols))
+			for i, c := range cols {
+				gathered[i] = vec.Gather(c, cands)
+			}
+			cb := newBatch(gathered)
+			memo := newMemo(ce)
+			keys := make([]*vec.Vector, len(x.GroupBy))
+			for i, g := range x.GroupBy {
+				if keys[i], err = memo.evalVec(g, cb); err != nil {
+					outs[ci] = chunkOut{err: err}
+					return
+				}
+			}
+			gids, ngroups, reprs := vec.GroupBy(keys, nil)
+			co := chunkOut{
+				keys:     make([]*vec.Vector, len(keys)),
+				partials: make([][]*vec.Vector, len(x.Aggs)),
+				ngroups:  ngroups,
+			}
+			for i, kv := range keys {
+				co.keys[i] = vec.Gather(kv, reprs)
+			}
+			for ai, a := range x.Aggs {
+				var vals *vec.Vector
+				if a.Arg != nil {
+					if vals, err = memo.evalVec(a.Arg, cb); err != nil {
+						outs[ci] = chunkOut{err: err}
+						return
+					}
+				}
+				if a.Kind == vec.AggAvg {
+					sum, err := vec.Aggregate(vec.AggSum, vals, gids, ngroups)
+					if err != nil {
+						outs[ci] = chunkOut{err: err}
+						return
+					}
+					cnt, err := vec.Aggregate(vec.AggCount, vals, gids, ngroups)
+					if err != nil {
+						outs[ci] = chunkOut{err: err}
+						return
+					}
+					co.partials[ai] = []*vec.Vector{sum, cnt}
+					continue
+				}
+				p, err := vec.Aggregate(a.Kind, vals, gids, ngroups)
+				if err != nil {
+					outs[ci] = chunkOut{err: err}
+					return
+				}
+				co.partials[ai] = []*vec.Vector{p}
+			}
+			outs[ci] = co
+		}(ci)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, true, o.err
+		}
+	}
+
+	// Merge phase: re-group the concatenated chunk representatives to map
+	// every chunk-local group onto a global group id.
+	allKeys := make([]*vec.Vector, len(x.GroupBy))
+	for i := range allKeys {
+		pieces := make([]*vec.Vector, cp.Chunks)
+		for ci := range outs {
+			pieces[ci] = outs[ci].keys[i]
+		}
+		allKeys[i] = vec.Concat(pieces...)
+	}
+	gGids, ngroups, gReprs := vec.GroupBy(allKeys, nil)
+	gidMaps := make([][]int32, cp.Chunks)
+	off := 0
+	for ci := range outs {
+		gidMaps[ci] = gGids[off : off+outs[ci].ngroups]
+		off += outs[ci].ngroups
+	}
+	e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups (parallel merge)", len(allKeys), ngroups))
+
+	outCols := make([]*vec.Vector, 0, len(allKeys)+len(x.Aggs))
+	for _, kv := range allKeys {
+		outCols = append(outCols, vec.Gather(kv, gReprs))
+	}
+	collect := func(ai, j int) []*vec.Vector {
+		ps := make([]*vec.Vector, cp.Chunks)
+		for ci := range outs {
+			ps[ci] = outs[ci].partials[ai][j]
+		}
+		return ps
+	}
+	for ai, a := range x.Aggs {
+		if a.Kind == vec.AggAvg {
+			sums, err := vec.MergeKeyedAggPartials(vec.AggSum, collect(ai, 0), gidMaps, ngroups)
+			if err != nil {
+				return nil, true, err
+			}
+			cnts, err := vec.MergeKeyedAggPartials(vec.AggCount, collect(ai, 1), gidMaps, ngroups)
+			if err != nil {
+				return nil, true, err
+			}
+			fs := vec.AsFloats(sums)
+			avg := vec.New(mtypes.Double, ngroups)
+			for g := 0; g < ngroups; g++ {
+				if cnts.I64[g] == 0 {
+					avg.SetNull(g)
+				} else {
+					avg.F64[g] = fs[g] / float64(cnts.I64[g])
+				}
+			}
+			e.Trace.Emit("aggr.AVG", "merged")
+			outCols = append(outCols, avg)
+			continue
+		}
+		merged, err := vec.MergeKeyedAggPartials(a.Kind, collect(ai, 0), gidMaps, ngroups)
+		if err != nil {
+			return nil, true, err
+		}
+		e.Trace.Emit("aggr."+a.Kind.String(), "merged")
+		outCols = append(outCols, merged)
+	}
+	return newBatch(outCols), true, nil
 }
 
 // sumCountPair packs a 1-row SUM partial and COUNT partial into a 2-row

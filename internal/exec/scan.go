@@ -51,8 +51,9 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
+			ce := e.chunkEngine()
 			lo, hi := cp.Bounds(ci, nrows)
-			cands, cols, err := e.scanRange(x, src, lo, hi)
+			cands, cols, err := ce.scanRange(x, src, lo, hi)
 			if err != nil {
 				parts[ci] = part{err: err}
 				return

@@ -2,7 +2,110 @@ package frame
 
 import (
 	"fmt"
+
+	"monetlite/internal/vec"
 )
+
+// The group-by and join paths share the engine's open-addressing distinct-
+// key table (vec.OATable): per-row fused hashes feed linear probing with
+// exact row-vs-row verification, replacing the old byte-encoded
+// map[string][]int32 chains. Equality semantics are unchanged: columns
+// compare by raw value, floats by 1e-6 quantization (the old encodeKey
+// contract), and type-mismatched key columns never match.
+
+// floatQuantum is the quantization applied to float64 keys before hashing
+// and comparison, mirroring the historical encodeKey behaviour.
+const floatQuantum = 1e6
+
+// keyHashes fuses one hash per row over the key columns.
+func keyHashes(cols []any, n int) []uint64 {
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = vec.HashSeed
+	}
+	for _, c := range cols {
+		switch x := c.(type) {
+		case []int32:
+			for i := 0; i < n; i++ {
+				hs[i] = vec.HashInt64(hs[i], int64(x[i]))
+			}
+		case []int64:
+			for i := 0; i < n; i++ {
+				hs[i] = vec.HashInt64(hs[i], x[i])
+			}
+		case []float64:
+			for i := 0; i < n; i++ {
+				hs[i] = vec.HashInt64(hs[i], int64(x[i]*floatQuantum))
+			}
+		case []string:
+			for i := 0; i < n; i++ {
+				hs[i] = vec.HashString(hs[i], x[i])
+			}
+		}
+	}
+	return hs
+}
+
+// rowsEqual compares row a of acols with row b of bcols (positionally paired
+// key columns; mismatched column types never compare equal).
+func rowsEqual(acols, bcols []any, a, b int32) bool {
+	for i := range acols {
+		switch x := acols[i].(type) {
+		case []int32:
+			y, ok := bcols[i].([]int32)
+			if !ok || x[a] != y[b] {
+				return false
+			}
+		case []int64:
+			y, ok := bcols[i].([]int64)
+			if !ok || x[a] != y[b] {
+				return false
+			}
+		case []float64:
+			y, ok := bcols[i].([]float64)
+			if !ok || int64(x[a]*floatQuantum) != int64(y[b]*floatQuantum) {
+				return false
+			}
+		case []string:
+			y, ok := bcols[i].([]string)
+			if !ok || x[a] != y[b] {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// keyTable builds the distinct-key table over all n rows of cols. With
+// chains=true it also links per-key row chains (head/next in row order) for
+// join match enumeration; membership-only callers (semi joins) skip that
+// bookkeeping and get nil chains.
+func keyTable(cols []any, n int, chains bool) (t *vec.OATable, head, next []int32) {
+	hashes := keyHashes(cols, n)
+	t = vec.NewOATable(n/8+16, func(a, b int32) bool { return rowsEqual(cols, cols, a, b) })
+	if !chains {
+		for i := 0; i < n; i++ {
+			t.Insert(int32(i), hashes[i])
+		}
+		return t, nil, nil
+	}
+	next = make([]int32, n)
+	var tail []int32
+	for i := 0; i < n; i++ {
+		next[i] = -1
+		id, fresh := t.Insert(int32(i), hashes[i])
+		if fresh {
+			head = append(head, int32(i))
+			tail = append(tail, int32(i))
+		} else {
+			next[tail[id]] = int32(i)
+			tail[id] = int32(i)
+		}
+	}
+	return t, head, next
+}
 
 // Join computes the inner hash equi-join of l and r on the given key column
 // lists (positionally paired). Right-side key columns are dropped from the
@@ -12,12 +115,6 @@ func Join(l, r *DataFrame, lKeys, rKeys []string) (*DataFrame, error) {
 	if len(lKeys) != len(rKeys) || len(lKeys) == 0 {
 		return nil, fmt.Errorf("frame: join needs matching key lists")
 	}
-	// Build on the smaller side, probe the bigger.
-	if r.n > l.n {
-		// Swap so the hash table is built on r (smaller): keep output order
-		// by always probing l.
-	}
-	ht := make(map[string][]int32, r.n)
 	rkeyCols := make([]any, len(rKeys))
 	for i, k := range rKeys {
 		c := r.Col(k)
@@ -25,11 +122,6 @@ func Join(l, r *DataFrame, lKeys, rKeys []string) (*DataFrame, error) {
 			return nil, fmt.Errorf("frame: no join column %q", k)
 		}
 		rkeyCols[i] = c
-	}
-	buf := make([]byte, 0, 64)
-	for i := 0; i < r.n; i++ {
-		buf = encodeKey(buf[:0], rkeyCols, i)
-		ht[string(buf)] = append(ht[string(buf)], int32(i))
 	}
 	lkeyCols := make([]any, len(lKeys))
 	for i, k := range lKeys {
@@ -39,11 +131,20 @@ func Join(l, r *DataFrame, lKeys, rKeys []string) (*DataFrame, error) {
 		}
 		lkeyCols[i] = c
 	}
+	// Build on r, probe l in order (stable output row order).
+	ht, head, next := keyTable(rkeyCols, r.n, true)
+	lHashes := keyHashes(lkeyCols, l.n)
 	var lIdx, rIdx []int32
 	for i := 0; i < l.n; i++ {
-		buf = encodeKey(buf[:0], lkeyCols, i)
-		for _, j := range ht[string(buf)] {
-			lIdx = append(lIdx, int32(i))
+		li := int32(i)
+		id := ht.Lookup(lHashes[i], func(repr int32) bool {
+			return rowsEqual(lkeyCols, rkeyCols, li, repr)
+		})
+		if id < 0 {
+			continue
+		}
+		for j := head[id]; j >= 0; j = next[j] {
+			lIdx = append(lIdx, li)
 			rIdx = append(rIdx, j)
 		}
 	}
@@ -95,12 +196,6 @@ func SemiJoin(l, r *DataFrame, lKeys, rKeys []string, anti bool) (*DataFrame, er
 			return nil, fmt.Errorf("frame: no join column %q", k)
 		}
 	}
-	set := make(map[string]bool, r.n)
-	buf := make([]byte, 0, 64)
-	for i := 0; i < r.n; i++ {
-		buf = encodeKey(buf[:0], rkeyCols, i)
-		set[string(buf)] = true
-	}
 	lkeyCols := make([]any, len(lKeys))
 	for i, k := range lKeys {
 		lkeyCols[i] = l.Col(k)
@@ -108,40 +203,19 @@ func SemiJoin(l, r *DataFrame, lKeys, rKeys []string, anti bool) (*DataFrame, er
 			return nil, fmt.Errorf("frame: no join column %q", k)
 		}
 	}
+	ht, _, _ := keyTable(rkeyCols, r.n, false)
+	lHashes := keyHashes(lkeyCols, l.n)
 	idx := make([]int32, 0, l.n)
 	for i := 0; i < l.n; i++ {
-		buf = encodeKey(buf[:0], lkeyCols, i)
-		if set[string(buf)] != anti {
-			idx = append(idx, int32(i))
+		li := int32(i)
+		found := ht.Lookup(lHashes[i], func(repr int32) bool {
+			return rowsEqual(lkeyCols, rkeyCols, li, repr)
+		}) >= 0
+		if found != anti {
+			idx = append(idx, li)
 		}
 	}
 	return l.Take(idx)
-}
-
-func encodeKey(buf []byte, cols []any, row int) []byte {
-	for _, c := range cols {
-		switch x := c.(type) {
-		case []int32:
-			v := x[row]
-			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), 0xfe)
-		case []int64:
-			v := x[row]
-			for s := 0; s < 64; s += 8 {
-				buf = append(buf, byte(v>>uint(s)))
-			}
-			buf = append(buf, 0xfe)
-		case []float64:
-			v := int64(x[row] * 1e6)
-			for s := 0; s < 64; s += 8 {
-				buf = append(buf, byte(v>>uint(s)))
-			}
-			buf = append(buf, 0xfe)
-		case []string:
-			buf = append(buf, x[row]...)
-			buf = append(buf, 0xff)
-		}
-	}
-	return buf
 }
 
 // AggKind selects an aggregate for Grouped.Agg.
@@ -184,21 +258,15 @@ func (g *Grouped) Agg(aggs ...AggSpec) (*DataFrame, error) {
 			return nil, fmt.Errorf("frame: no group column %q", k)
 		}
 	}
-	gidOf := make(map[string]int32, 1024)
+	hashes := keyHashes(keyCols, df.n)
+	tbl := vec.NewOATable(df.n/8+16, func(a, b int32) bool { return rowsEqual(keyCols, keyCols, a, b) })
 	gids := make([]int32, df.n)
-	var reprs []int32
-	buf := make([]byte, 0, 64)
 	for i := 0; i < df.n; i++ {
-		buf = encodeKey(buf[:0], keyCols, i)
-		id, ok := gidOf[string(buf)]
-		if !ok {
-			id = int32(len(reprs))
-			gidOf[string(buf)] = id
-			reprs = append(reprs, int32(i))
-		}
+		id, _ := tbl.Insert(int32(i), hashes[i])
 		gids[i] = id
 	}
-	ng := len(reprs)
+	reprs := tbl.Reprs()
+	ng := tbl.Len()
 
 	outNames := append([]string{}, g.keys...)
 	outCols := make([]any, 0, len(g.keys)+len(aggs))

@@ -143,6 +143,30 @@ func Mitosis(nrows int, rowBytes int, maxThreads int) ChunkPlan {
 	return ChunkPlan{Chunks: chunks, Rows: rows}
 }
 
+// MinGroupedChunkRows is the smallest chunk worth parallelizing for grouped
+// aggregation. Each chunk builds its own hash table and the merge phase
+// re-groups every chunk's key representatives and folds keyed partials, so
+// the fixed per-chunk overhead is higher than for plain scan/map pipelines —
+// grouped mitosis therefore demands larger chunks before it splits.
+const MinGroupedChunkRows = 2 * MinChunkRows
+
+// MitosisGrouped decides the chunking of a parallel grouped-aggregation
+// pipeline over nrows rows. It starts from the plain Mitosis plan and clamps
+// the chunk count so every chunk holds at least MinGroupedChunkRows rows;
+// when that leaves a single chunk the caller should fall back to the serial
+// grouped path (which the plain scan mitosis still parallelizes upstream).
+func MitosisGrouped(nrows int, rowBytes int, maxThreads int) ChunkPlan {
+	cp := Mitosis(nrows, rowBytes, maxThreads)
+	if cp.Chunks <= 1 {
+		return cp
+	}
+	if maxChunks := nrows / MinGroupedChunkRows; cp.Chunks > maxChunks {
+		cp.Chunks = max(1, maxChunks)
+		cp.Rows = (nrows + cp.Chunks - 1) / cp.Chunks
+	}
+	return cp
+}
+
 // Bounds returns the row range [lo, hi) of chunk i.
 func (cp ChunkPlan) Bounds(i, nrows int) (int, int) {
 	lo := i * cp.Rows

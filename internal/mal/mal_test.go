@@ -60,6 +60,41 @@ func TestMitosisUsesThreads(t *testing.T) {
 	}
 }
 
+func TestMitosisGroupedDemandsLargerChunks(t *testing.T) {
+	// Plain mitosis splits 100k rows into MinChunkRows-sized chunks; grouped
+	// aggregation clamps to MinGroupedChunkRows-sized chunks so the per-chunk
+	// hash table and keyed merge overhead is amortized.
+	plain := Mitosis(100_000, 8, 8)
+	grouped := MitosisGrouped(100_000, 8, 8)
+	if grouped.Chunks > plain.Chunks {
+		t.Fatalf("grouped plan has more chunks (%d) than plain (%d)", grouped.Chunks, plain.Chunks)
+	}
+	if grouped.Chunks != 100_000/MinGroupedChunkRows {
+		t.Fatalf("grouped chunks = %d, want %d", grouped.Chunks, 100_000/MinGroupedChunkRows)
+	}
+	if grouped.Rows < MinGroupedChunkRows {
+		t.Fatalf("grouped chunk of %d rows below the minimum %d", grouped.Rows, MinGroupedChunkRows)
+	}
+}
+
+func TestMitosisGroupedSmallInputsNotSplit(t *testing.T) {
+	// Big enough for plain mitosis, too small for grouped.
+	nrows := 2*MinChunkRows + 100
+	if plain := Mitosis(nrows, 8, 8); plain.Chunks <= 1 {
+		t.Fatalf("plain mitosis did not split %d rows", nrows)
+	}
+	if cp := MitosisGrouped(nrows, 8, 8); cp.Chunks != 1 {
+		t.Fatalf("grouped mitosis split %d rows into %d chunks", nrows, cp.Chunks)
+	}
+}
+
+func TestMitosisGroupedLargeInputsMatchThreads(t *testing.T) {
+	cp := MitosisGrouped(10_000_000, 8, 4)
+	if cp.Chunks != 4 {
+		t.Fatalf("chunks = %d, want 4", cp.Chunks)
+	}
+}
+
 func TestMitosisMemoryBudget(t *testing.T) {
 	// Huge rows force more chunks so each fits the budget.
 	rowBytes := 1 << 20 // 1 MiB per row

@@ -1,0 +1,67 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"monetlite"
+	"monetlite/internal/mal"
+)
+
+// The parallel partitioned hash-aggregation path (per-chunk group tables +
+// keyed partial merge) must agree with the serial engine on TPC-H Q1 at a
+// scale factor large enough for mal.MitosisGrouped to actually split the
+// lineitem scan. Decimal SUMs must match exactly (integer partials merge
+// losslessly); AVG doubles may differ in the last ulps because the parallel
+// path divides one exact merged sum while the serial path accumulates
+// floats row by row.
+func TestParallelQ1MatchesSerial(t *testing.T) {
+	// ~90k lineitem rows: > 2*MinGroupedChunkRows, so 4 threads split it.
+	const sf = 0.015
+	data := Generate(sf, 42)
+	if n := data.Lineitem.Rows; n < 2*mal.MinGroupedChunkRows {
+		t.Fatalf("SF %g generated only %d lineitem rows; below the grouped mitosis threshold %d",
+			sf, n, 2*mal.MinGroupedChunkRows)
+	}
+
+	run := func(cfg monetlite.Config) *monetlite.Result {
+		db, err := monetlite.OpenInMemory(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := LoadInto(db, data); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Connect().Query(Queries[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ser := run(monetlite.Config{Parallel: false})
+	par := run(monetlite.Config{Parallel: true, MaxThreads: 4})
+
+	if ser.NumRows() != par.NumRows() || ser.NumRows() == 0 {
+		t.Fatalf("serial %d rows, parallel %d rows", ser.NumRows(), par.NumRows())
+	}
+	for c := 0; c < ser.NumCols(); c++ {
+		st, pt := ser.Column(c).Type(), par.Column(c).Type()
+		if st != pt {
+			t.Fatalf("col %d: type %s vs %s", c, st, pt)
+		}
+		for i := 0; i < ser.NumRows(); i++ {
+			sv, pv := ser.Column(c).Value(i), par.Column(c).Value(i)
+			if sf, ok := sv.(float64); ok {
+				pf := pv.(float64)
+				if math.Abs(sf-pf) > 1e-9*math.Max(1, math.Abs(sf)) {
+					t.Fatalf("col %d row %d: %v vs %v", c, i, sv, pv)
+				}
+				continue
+			}
+			if sv != pv {
+				t.Fatalf("col %d row %d: %v (%T) vs %v (%T)", c, i, sv, sv, pv, pv)
+			}
+		}
+	}
+}

@@ -195,6 +195,16 @@ func aggMinMax(kind AggKind, vals *Vector, gids []int32, ngroups int) (*Vector, 
 // AVG and MEDIAN cannot be merged from partials; the mitosis pass decomposes
 // AVG into SUM+COUNT and never parallelizes MEDIAN (it is a blocking op).
 func MergeAggPartials(kind AggKind, partials []*Vector, ngroups int) (*Vector, error) {
+	return MergeKeyedAggPartials(kind, partials, nil, ngroups)
+}
+
+// MergeKeyedAggPartials merges grouped per-chunk partials whose local group
+// numbering differs chunk to chunk: local group g of partial p corresponds
+// to global group gidMaps[p][g] (the mapping the parallel grouped-aggregation
+// merge phase derives by re-grouping the chunks' key representatives).
+// gidMaps == nil means aligned numbering (local g == global g), which is the
+// plain MergeAggPartials case. AVG and MEDIAN cannot be merged from partials.
+func MergeKeyedAggPartials(kind AggKind, partials []*Vector, gidMaps [][]int32, ngroups int) (*Vector, error) {
 	switch kind {
 	case AggAvg, AggMedian:
 		return nil, fmt.Errorf("vec: %s partials cannot be merged", kind)
@@ -202,35 +212,46 @@ func MergeAggPartials(kind AggKind, partials []*Vector, ngroups int) (*Vector, e
 	if len(partials) == 0 {
 		return nil, fmt.Errorf("vec: no partials to merge")
 	}
+	if gidMaps != nil && len(gidMaps) != len(partials) {
+		return nil, fmt.Errorf("vec: %d gid maps for %d partials", len(gidMaps), len(partials))
+	}
 	rt := partials[0].Typ
 	out := New(rt, ngroups)
+	// mapped returns the global group of local group g in partial pi.
+	mapped := func(pi, g int) int32 {
+		if gidMaps == nil {
+			return int32(g)
+		}
+		return gidMaps[pi][g]
+	}
 	switch kind {
 	case AggCount, AggCountStar:
-		for _, p := range partials {
+		for pi, p := range partials {
 			for g := 0; g < p.Len(); g++ {
-				out.I64[g] += p.I64[g]
+				out.I64[mapped(pi, g)] += p.I64[g]
 			}
 		}
 		return out, nil
 	case AggSum:
 		init := make([]bool, ngroups)
-		for _, p := range partials {
+		for pi, p := range partials {
 			for g := 0; g < p.Len(); g++ {
 				if p.IsNull(g) {
 					continue
 				}
+				gg := mapped(pi, g)
 				if rt.Kind == mtypes.KDouble {
-					if !init[g] {
-						out.F64[g] = 0
+					if !init[gg] {
+						out.F64[gg] = 0
 					}
-					out.F64[g] += p.F64[g]
+					out.F64[gg] += p.F64[g]
 				} else {
-					if !init[g] {
-						out.I64[g] = 0
+					if !init[gg] {
+						out.I64[gg] = 0
 					}
-					out.I64[g] += p.I64[g]
+					out.I64[gg] += p.I64[g]
 				}
-				init[g] = true
+				init[gg] = true
 			}
 		}
 		for g, ok := range init {
@@ -243,20 +264,21 @@ func MergeAggPartials(kind AggKind, partials []*Vector, ngroups int) (*Vector, e
 		for g := 0; g < ngroups; g++ {
 			out.SetNull(g)
 		}
-		for _, p := range partials {
+		for pi, p := range partials {
 			for g := 0; g < p.Len(); g++ {
 				if p.IsNull(g) {
 					continue
 				}
+				gg := int(mapped(pi, g))
 				cand := p.Value(g)
-				cur := out.Value(g)
+				cur := out.Value(gg)
 				take := cur.Null
 				if !take {
 					c := mtypes.Compare(cand, cur)
 					take = (kind == AggMin && c < 0) || (kind == AggMax && c > 0)
 				}
 				if take {
-					out.Set(g, cand)
+					out.Set(gg, cand)
 				}
 			}
 		}

@@ -1,20 +1,25 @@
 package vec
 
 import (
-	"encoding/binary"
 	"math"
 
 	"monetlite/internal/mtypes"
 )
 
-// GroupBy assigns group ids to the candidate rows of a multi-column key,
-// using MonetDB-style iterative group refinement: start with one group and
-// refine it per key column. The returned gids are positionally aligned with
-// the effective candidate list; reprs holds one representative row id per
-// group (the first member), used to materialize the key output columns.
+// This file holds the MonetDB-style iterative group refinement path. It was
+// the engine's grouping implementation before the open-addressing table in
+// oahash.go replaced it; it is kept only as a test oracle — the cross-check
+// tests assert that GroupBy and GroupByRefine produce identical groupings
+// (including group-id numbering, which both assign in first-appearance order
+// of the composite key).
+
+// GroupByRefine assigns group ids to the candidate rows of a multi-column
+// key using iterative group refinement: start with one group and refine it
+// per key column, allocating a fresh map per column. Semantics and output
+// numbering match GroupBy exactly; GroupBy is a single-pass replacement.
 //
 // SQL semantics: NULL keys form their own group (NULLs group together).
-func GroupBy(keys []*Vector, cands []int32) (gids []int32, ngroups int, reprs []int32) {
+func GroupByRefine(keys []*Vector, cands []int32) (gids []int32, ngroups int, reprs []int32) {
 	n := NumCands(keys[0].Len(), cands)
 	gids = make([]int32, n)
 	ngroups = 1
@@ -109,86 +114,11 @@ func refineGroups(key *Vector, cands []int32, gids []int32, ngroups int) ([]int3
 	return out, int(next)
 }
 
-// ---------------------------------------------------------------------------
-// Hash join.
-// ---------------------------------------------------------------------------
-
-// HashTable is a join hash table built over one or more key columns of the
-// build side. NULL keys are excluded (SQL equi-join semantics).
-type HashTable struct {
-	nkeys int
-	// Single numeric key fast path.
-	m64 map[int64][]int32
-	// Single string key fast path.
-	mstr map[string][]int32
-	// Composite key fallback (binary-encoded keys).
-	mcomp map[string][]int32
-}
-
-// BuildHash constructs a hash table over the candidate rows of the build-side
-// key columns. Rows with any NULL key are skipped.
-func BuildHash(keys []*Vector, cands []int32) *HashTable {
-	ht := &HashTable{nkeys: len(keys)}
-	n := NumCands(keys[0].Len(), cands)
-	rowAt := func(k int) int32 {
-		if cands == nil {
-			return int32(k)
-		}
-		return cands[k]
-	}
-	switch {
-	case len(keys) == 1 && keys[0].Typ.Kind == mtypes.KVarchar:
-		ht.mstr = make(map[string][]int32, n)
-		key := keys[0]
-		for k := 0; k < n; k++ {
-			r := rowAt(k)
-			s := key.Str[r]
-			if s == StrNull {
-				continue
-			}
-			ht.mstr[s] = append(ht.mstr[s], r)
-		}
-	case len(keys) == 1:
-		ht.m64 = make(map[int64][]int32, n)
-		key := keys[0]
-		for k := 0; k < n; k++ {
-			r := rowAt(k)
-			v, null := numKeyAt(key, int(r))
-			if null {
-				continue
-			}
-			ht.m64[v] = append(ht.m64[v], r)
-		}
-	default:
-		ht.mcomp = make(map[string][]int32, n)
-		buf := make([]byte, 0, 64)
-		for k := 0; k < n; k++ {
-			r := rowAt(k)
-			enc, ok := encodeCompositeKey(keys, int(r), buf[:0])
-			if !ok {
-				continue
-			}
-			ht.mcomp[string(enc)] = append(ht.mcomp[string(enc)], r)
-		}
-	}
-	return ht
-}
-
-// Len returns the number of distinct keys in the table.
-func (ht *HashTable) Len() int {
-	switch {
-	case ht.m64 != nil:
-		return len(ht.m64)
-	case ht.mstr != nil:
-		return len(ht.mstr)
-	default:
-		return len(ht.mcomp)
-	}
-}
-
 // numKeyAt extracts the canonical int64 payload of a numeric join key.
 // Doubles use their bit pattern; decimals their scaled integer (callers must
-// align scales before joining — the planner does).
+// align scales before joining — the planner does). Shared by the
+// open-addressing tables' tests (the brute-force join oracle) and kept as
+// the reference definition of the canonical payload encoding.
 func numKeyAt(v *Vector, i int) (int64, bool) {
 	switch v.Typ.Kind {
 	case mtypes.KDouble:
@@ -209,121 +139,5 @@ func numKeyAt(v *Vector, i int) (int64, bool) {
 	default:
 		x := v.I8[i]
 		return int64(x), x == mtypes.NullInt8
-	}
-}
-
-func encodeCompositeKey(keys []*Vector, row int, buf []byte) ([]byte, bool) {
-	for _, key := range keys {
-		if key.Typ.Kind == mtypes.KVarchar {
-			s := key.Str[row]
-			if s == StrNull {
-				return nil, false
-			}
-			buf = binary.AppendUvarint(buf, uint64(len(s)))
-			buf = append(buf, s...)
-			continue
-		}
-		v, null := numKeyAt(key, row)
-		if null {
-			return nil, false
-		}
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
-	}
-	return buf, true
-}
-
-// Probe computes the inner-join match pairs between the probe-side candidate
-// rows and the build side: parallel arrays of probe row ids and build row
-// ids, one entry per matching pair.
-func (ht *HashTable) Probe(keys []*Vector, cands []int32) (probeSel, buildSel []int32) {
-	n := NumCands(keys[0].Len(), cands)
-	probeSel = make([]int32, 0, n)
-	buildSel = make([]int32, 0, n)
-	ht.probeEach(keys, cands, func(probeRow int32, matches []int32) {
-		for _, b := range matches {
-			probeSel = append(probeSel, probeRow)
-			buildSel = append(buildSel, b)
-		}
-	})
-	return probeSel, buildSel
-}
-
-// ProbeSemi returns the probe-side candidates that have at least one match
-// (semi join, for EXISTS); with anti=true it returns those with none
-// (anti join, for NOT EXISTS / NOT IN without NULL hazards).
-func (ht *HashTable) ProbeSemi(keys []*Vector, cands []int32, anti bool) []int32 {
-	out := make([]int32, 0, NumCands(keys[0].Len(), cands))
-	ht.probeEach(keys, cands, func(probeRow int32, matches []int32) {
-		if (len(matches) > 0) != anti {
-			out = append(out, probeRow)
-		}
-	})
-	return out
-}
-
-// ProbeLeft computes left-outer-join pairs: every probe row appears at least
-// once; unmatched rows carry buildSel = -1.
-func (ht *HashTable) ProbeLeft(keys []*Vector, cands []int32) (probeSel, buildSel []int32) {
-	n := NumCands(keys[0].Len(), cands)
-	probeSel = make([]int32, 0, n)
-	buildSel = make([]int32, 0, n)
-	ht.probeEach(keys, cands, func(probeRow int32, matches []int32) {
-		if len(matches) == 0 {
-			probeSel = append(probeSel, probeRow)
-			buildSel = append(buildSel, -1)
-			return
-		}
-		for _, b := range matches {
-			probeSel = append(probeSel, probeRow)
-			buildSel = append(buildSel, b)
-		}
-	})
-	return probeSel, buildSel
-}
-
-// probeEach invokes fn once per effective probe candidate with its matches
-// (nil/empty for no match, including NULL keys).
-func (ht *HashTable) probeEach(keys []*Vector, cands []int32, fn func(probeRow int32, matches []int32)) {
-	n := NumCands(keys[0].Len(), cands)
-	rowAt := func(k int) int32 {
-		if cands == nil {
-			return int32(k)
-		}
-		return cands[k]
-	}
-	switch {
-	case ht.mstr != nil:
-		key := keys[0]
-		for k := 0; k < n; k++ {
-			r := rowAt(k)
-			s := key.Str[r]
-			if s == StrNull {
-				fn(r, nil)
-				continue
-			}
-			fn(r, ht.mstr[s])
-		}
-	case ht.m64 != nil:
-		key := keys[0]
-		for k := 0; k < n; k++ {
-			r := rowAt(k)
-			v, null := numKeyAt(key, int(r))
-			if null {
-				fn(r, nil)
-				continue
-			}
-			fn(r, ht.m64[v])
-		}
-	default:
-		buf := make([]byte, 0, 64)
-		for k := 0; k < n; k++ {
-			r := rowAt(k)
-			enc, ok := encodeCompositeKey(keys, int(r), buf[:0])
-			if !ok {
-				fn(r, nil)
-				continue
-			}
-			fn(r, ht.mcomp[string(enc)])
-		}
 	}
 }
