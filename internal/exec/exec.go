@@ -8,7 +8,9 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"monetlite/internal/index"
@@ -47,6 +49,26 @@ type Engine struct {
 
 	deadline time.Time
 	subCache *subplanCache
+	stats    *execStats
+
+	// testJoinChunkRows, when >0, overrides the MitosisJoin chunk size so
+	// tests can force multi-chunk parallel probes on small inputs.
+	testJoinChunkRows int
+}
+
+// execStats accumulates per-query counters that mitosis workers update
+// concurrently; the coordinator surfaces them in the MAL trace.
+type execStats struct {
+	imprintsBlocksSkipped atomic.Int64
+	imprintsBlocksTotal   atomic.Int64
+}
+
+// workerBudget returns the engine's parallel worker count.
+func (e *Engine) workerBudget() int {
+	if e.MaxThreads > 0 {
+		return e.MaxThreads
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // subplanCache memoizes uncorrelated scalar subquery results for one
@@ -93,6 +115,7 @@ func newBatch(cols []*vec.Vector) *batch {
 // Execute runs a plan to completion.
 func (e *Engine) Execute(n plan.Node) (*Result, error) {
 	e.subCache = &subplanCache{m: map[plan.Node]mtypes.Value{}}
+	e.stats = &execStats{}
 	if e.Timeout > 0 {
 		e.deadline = time.Now().Add(e.Timeout)
 	} else {
@@ -122,6 +145,7 @@ func (e *Engine) chunkEngine() *Engine {
 		NoIndexes:  e.NoIndexes,
 		deadline:   e.deadline,
 		subCache:   e.subCache,
+		stats:      e.stats,
 	}
 }
 

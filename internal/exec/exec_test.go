@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -313,4 +314,88 @@ func TestSelectRowsHelper(t *testing.T) {
 	if err != nil || len(all) != 100 {
 		t.Fatalf("all rows: %d %v", len(all), err)
 	}
+}
+
+// crossPairs and joinGather must reject pair counts beyond int32 row
+// addressing instead of silently truncating selection vectors. The guards
+// run before any allocation, so the regression test can use row counts whose
+// product overflows without materializing gigabytes of pairs.
+func TestCrossProductOverflowGuard(t *testing.T) {
+	if _, _, err := crossPairs(70000, 70000); err == nil {
+		t.Fatal("70000 x 70000 cross product must be rejected (4.9e9 pairs)")
+	}
+	// The guard must also catch products that overflow int64 multiplication
+	// ranges on the way to the check.
+	if _, _, err := crossPairs(1<<31, 1<<31); err == nil {
+		t.Fatal("2^31 x 2^31 cross product must be rejected")
+	}
+	if ls, rs, err := crossPairs(3, 2); err != nil || len(ls) != 6 || len(rs) != 6 {
+		t.Fatalf("small cross product broken: %d pairs, err %v", len(ls), err)
+	}
+	// Degenerate sides stay legal.
+	if _, _, err := crossPairs(0, 1<<40); err != nil {
+		t.Fatalf("empty side rejected: %v", err)
+	}
+	if err := checkPairCount(math.MaxInt32); err != nil {
+		t.Fatalf("MaxInt32 pairs must pass: %v", err)
+	}
+	if err := checkPairCount(math.MaxInt32 + 1); err == nil {
+		t.Fatal("MaxInt32+1 pairs must fail")
+	}
+	// joinGather applies the same guard to its pair lists; small inputs pass.
+	lsel := make([]int32, 10)
+	rsel := make([]int32, 10)
+	if _, err := joinGather(&batch{n: 10}, &batch{n: 10}, lsel, rsel, false); err != nil {
+		t.Fatalf("small joinGather: %v", err)
+	}
+}
+
+// BenchmarkHashJoinParallel: end-to-end parallel join through the engine
+// (partitioned build + chunked probe). Run once per CI build so wall-clock
+// regressions surface in the logs.
+func BenchmarkHashJoinParallel(b *testing.B) {
+	n, nr := 1<<18, 1<<14
+	lt := storage.NewMemoryTable(storage.TableMeta{Name: "l", Cols: []storage.ColDef{
+		{Name: "k1", Typ: mtypes.Int}, {Name: "kpay", Typ: mtypes.BigInt}}})
+	rt := storage.NewMemoryTable(storage.TableMeta{Name: "r", Cols: []storage.ColDef{
+		{Name: "j1", Typ: mtypes.Int}, {Name: "jpay", Typ: mtypes.BigInt}}})
+	lk, lp := vec.New(mtypes.Int, n), vec.New(mtypes.BigInt, n)
+	for i := 0; i < n; i++ {
+		lk.I32[i] = int32(i % nr)
+		lp.I64[i] = int64(i)
+	}
+	rk, rp := vec.New(mtypes.Int, nr), vec.New(mtypes.BigInt, nr)
+	for i := 0; i < nr; i++ {
+		rk.I32[i] = int32(i)
+		rp.I64[i] = int64(i)
+	}
+	lt.Append([]*vec.Vector{lk, lp}, 1)
+	rt.Append([]*vec.Vector{rk, rp}, 1)
+	cat := memCatalog{"l": lt, "r": rt}
+	p := planForBench(b, cat, "SELECT sum(kpay), sum(jpay), count(*) FROM l, r WHERE l.k1 = r.j1")
+	e := &Engine{Cat: cat, Parallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Execute(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumRows() != 1 {
+			b.Fatal("bad result")
+		}
+	}
+	b.SetBytes(int64(n * 12))
+}
+
+func planForBench(b *testing.B, cat memCatalog, sql string) plan.Node {
+	b.Helper()
+	st, err := sqlparse.ParseOne(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := plan.BindSelect(cat, st.(*sqlparse.SelectStmt), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q.Plan
 }

@@ -1,0 +1,404 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+)
+
+// Randomized differential join-test harness: for random table pairs with
+// duplicate keys, NULL keys, NaN doubles, empty sides and skewed key
+// distributions, the parallel partitioned join must equal the serial join
+// row-for-row, and both must equal a brute-force nested-loop oracle as a
+// row multiset — for inner, left outer, semi (EXISTS) and anti (NOT EXISTS)
+// joins. Every trial derives its own seed from the base seed, and failures
+// report that seed plus the full (small) tables, so a failing case can be
+// shrunk by re-running a single trial.
+
+const joinFuzzBaseSeed = 20260728
+
+func TestJoinFuzzDifferential(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 20
+	}
+	for trial := 0; trial < trials; trial++ {
+		runJoinFuzzTrial(t, joinFuzzBaseSeed+int64(trial))
+	}
+}
+
+// Re-run one seed here when shrinking a fuzzer failure.
+func TestJoinFuzzRegressions(t *testing.T) {
+	for _, seed := range []int64{joinFuzzBaseSeed} {
+		runJoinFuzzTrial(t, seed)
+	}
+}
+
+type fuzzTable struct {
+	name string
+	keys []*vec.Vector // key columns (k1..kn / j1..jn)
+	pay  *vec.Vector   // payload: distinct row ids, BIGINT
+	n    int
+}
+
+// fuzzKeyTypes: every join-key kind the engine canonicalizes.
+var fuzzKeyTypes = []mtypes.Type{
+	mtypes.Int, mtypes.BigInt, mtypes.SmallInt, mtypes.Double,
+	mtypes.Varchar, mtypes.Decimal(9, 2),
+}
+
+// randJoinKey draws one key column: small domain (duplicates), ~20% NULLs,
+// optional skew (a hot value), and for doubles a mix of NaN payloads (every
+// NaN is SQL NULL and must never join).
+func randJoinKey(rng *rand.Rand, typ mtypes.Type, n int, skew bool) *vec.Vector {
+	v := vec.New(typ, n)
+	domain := 2 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			if typ.Kind == mtypes.KDouble && rng.Intn(2) == 0 {
+				// A non-canonical NaN payload instead of the stock sentinel.
+				v.F64[i] = math.Float64frombits(0x7ff8_0000_0000_0001 + uint64(rng.Intn(9)))
+			} else {
+				v.SetNull(i)
+			}
+			continue
+		}
+		x := int64(rng.Intn(domain))
+		if skew && rng.Intn(3) > 0 {
+			x = 1 // hot key
+		}
+		switch typ.Kind {
+		case mtypes.KDouble:
+			v.F64[i] = float64(x) + 0.5
+		case mtypes.KVarchar:
+			v.Str[i] = fmt.Sprintf("key-%d", x)
+		case mtypes.KBigInt, mtypes.KDecimal:
+			v.I64[i] = x
+		case mtypes.KInt, mtypes.KDate:
+			v.I32[i] = int32(x)
+		case mtypes.KSmallInt:
+			v.I16[i] = int16(x)
+		default:
+			v.I8[i] = int8(x)
+		}
+	}
+	return v
+}
+
+func makeFuzzTable(rng *rand.Rand, name, keyPrefix string, types []mtypes.Type, n int, skew bool) (fuzzTable, *storage.Table) {
+	ft := fuzzTable{name: name, n: n}
+	cols := make([]storage.ColDef, 0, len(types)+1)
+	vecs := make([]*vec.Vector, 0, len(types)+1)
+	for i, typ := range types {
+		k := randJoinKey(rng, typ, n, skew)
+		ft.keys = append(ft.keys, k)
+		cols = append(cols, storage.ColDef{Name: fmt.Sprintf("%s%d", keyPrefix, i+1), Typ: typ})
+		vecs = append(vecs, k)
+	}
+	ft.pay = vec.New(mtypes.BigInt, n)
+	for i := 0; i < n; i++ {
+		ft.pay.I64[i] = int64(i)
+	}
+	cols = append(cols, storage.ColDef{Name: keyPrefix + "pay", Typ: mtypes.BigInt})
+	vecs = append(vecs, ft.pay)
+	tbl := storage.NewMemoryTable(storage.TableMeta{Name: name, Cols: cols})
+	if n > 0 {
+		if _, err := tbl.Append(vecs, 1); err != nil {
+			panic(err)
+		}
+	}
+	return ft, tbl
+}
+
+// keyNull / keyEq give the oracle's view of one key column.
+func keyNull(v *vec.Vector, i int) bool { return v.IsNull(i) }
+
+func keyEq(a *vec.Vector, i int, b *vec.Vector, j int) bool {
+	if keyNull(a, i) || keyNull(b, j) {
+		return false
+	}
+	return a.Value(i).String() == b.Value(j).String()
+}
+
+func rowsMatch(l, r fuzzTable, i, j int) bool {
+	for c := range l.keys {
+		if !keyEq(l.keys[c], i, r.keys[c], j) {
+			return false
+		}
+	}
+	return true
+}
+
+// resultRows renders each result row as one canonical string.
+func resultRows(res *Result) []string {
+	out := make([]string, res.NumRows())
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		for c := range res.Cols {
+			sb.WriteString(res.Cols[c].Value(i).String())
+			sb.WriteByte('|')
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// rowString renders the oracle's expected row for table positions (i, j);
+// j < 0 renders the right side as NULLs (left outer non-match), width = the
+// right column count to render. rightOnly=false includes left columns.
+func oracleRow(l, r fuzzTable, i, j int, includeRight bool) string {
+	var sb strings.Builder
+	for _, k := range l.keys {
+		sb.WriteString(k.Value(i).String())
+		sb.WriteByte('|')
+	}
+	sb.WriteString(l.pay.Value(i).String())
+	sb.WriteByte('|')
+	if !includeRight {
+		return sb.String()
+	}
+	if j < 0 {
+		for range r.keys {
+			sb.WriteString("NULL|")
+		}
+		sb.WriteString("NULL|")
+		return sb.String()
+	}
+	for _, k := range r.keys {
+		sb.WriteString(k.Value(j).String())
+		sb.WriteByte('|')
+	}
+	sb.WriteString(r.pay.Value(j).String())
+	sb.WriteByte('|')
+	return sb.String()
+}
+
+func sortedCopy(xs []string) []string {
+	out := append([]string(nil), xs...)
+	insertionSortStr(out)
+	return out
+}
+
+func insertionSortStr(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func dumpFuzzTables(t *testing.T, l, r fuzzTable) {
+	t.Helper()
+	dump := func(ft fuzzTable) string {
+		if ft.n > 40 {
+			return fmt.Sprintf("%s: %d rows (too big to dump)", ft.name, ft.n)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s (%d rows):\n", ft.name, ft.n)
+		for i := 0; i < ft.n; i++ {
+			for _, k := range ft.keys {
+				fmt.Fprintf(&sb, "%s\t", k.Value(i))
+			}
+			fmt.Fprintf(&sb, "#%d\n", i)
+		}
+		return sb.String()
+	}
+	t.Log(dump(l))
+	t.Log(dump(r))
+}
+
+func runJoinFuzzTrial(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nl, nr := rng.Intn(160), rng.Intn(160)
+	switch rng.Intn(8) {
+	case 0:
+		nl = 0 // empty probe side
+	case 1:
+		nr = 0 // empty build side
+	}
+	nkeys := 1 + rng.Intn(2)
+	types := make([]mtypes.Type, nkeys)
+	for i := range types {
+		types[i] = fuzzKeyTypes[rng.Intn(len(fuzzKeyTypes))]
+	}
+	skew := rng.Intn(3) == 0
+	l, lt := makeFuzzTable(rng, "l", "k", types, nl, skew)
+	r, rt := makeFuzzTable(rng, "r", "j", types, nr, skew)
+	cat := memCatalog{"l": lt, "r": rt}
+
+	on := make([]string, nkeys)
+	for i := range on {
+		on[i] = fmt.Sprintf("l.k%d = r.j%d", i+1, i+1)
+	}
+	cond := strings.Join(on, " AND ")
+
+	queries := []struct {
+		kind   string
+		sql    string
+		oracle func() []string
+	}{
+		{"inner", fmt.Sprintf("SELECT * FROM l, r WHERE %s", cond), func() []string {
+			var want []string
+			for i := 0; i < l.n; i++ {
+				for j := 0; j < r.n; j++ {
+					if rowsMatch(l, r, i, j) {
+						want = append(want, oracleRow(l, r, i, j, true))
+					}
+				}
+			}
+			return want
+		}},
+		{"left", fmt.Sprintf("SELECT * FROM l LEFT JOIN r ON %s", cond), func() []string {
+			var want []string
+			for i := 0; i < l.n; i++ {
+				matched := false
+				for j := 0; j < r.n; j++ {
+					if rowsMatch(l, r, i, j) {
+						want = append(want, oracleRow(l, r, i, j, true))
+						matched = true
+					}
+				}
+				if !matched {
+					want = append(want, oracleRow(l, r, i, -1, true))
+				}
+			}
+			return want
+		}},
+		{"semi", fmt.Sprintf("SELECT * FROM l WHERE EXISTS (SELECT * FROM r WHERE %s)", cond), func() []string {
+			var want []string
+			for i := 0; i < l.n; i++ {
+				for j := 0; j < r.n; j++ {
+					if rowsMatch(l, r, i, j) {
+						want = append(want, oracleRow(l, r, i, -1, false))
+						break
+					}
+				}
+			}
+			return want
+		}},
+		{"anti", fmt.Sprintf("SELECT * FROM l WHERE NOT EXISTS (SELECT * FROM r WHERE %s)", cond), func() []string {
+			var want []string
+			for i := 0; i < l.n; i++ {
+				matched := false
+				for j := 0; j < r.n; j++ {
+					if rowsMatch(l, r, i, j) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					want = append(want, oracleRow(l, r, i, -1, false))
+				}
+			}
+			return want
+		}},
+	}
+
+	for _, q := range queries {
+		p := planFor(t, cat, q.sql)
+		ser := &Engine{Cat: cat, Parallel: false}
+		serRes, err := ser.Execute(p)
+		if err != nil {
+			t.Fatalf("seed %d %s: serial: %v", seed, q.kind, err)
+		}
+		// Force multi-chunk partitioned probes at fuzz scale.
+		par := &Engine{Cat: cat, Parallel: true, MaxThreads: 4}
+		par.testJoinChunkRows = 1 + rng.Intn(24)
+		parRes, err := par.Execute(p)
+		if err != nil {
+			t.Fatalf("seed %d %s: parallel: %v", seed, q.kind, err)
+		}
+
+		// Parallel == serial, row-for-row (chunk-order concatenation keeps
+		// the serial pair order).
+		serRows, parRows := resultRows(serRes), resultRows(parRes)
+		if len(serRows) != len(parRows) {
+			dumpFuzzTables(t, l, r)
+			t.Fatalf("seed %d %s: serial %d rows, parallel %d", seed, q.kind, len(serRows), len(parRows))
+		}
+		for i := range serRows {
+			if serRows[i] != parRows[i] {
+				dumpFuzzTables(t, l, r)
+				t.Fatalf("seed %d %s: row %d differs\n serial:   %s\n parallel: %s",
+					seed, q.kind, i, serRows[i], parRows[i])
+			}
+		}
+
+		// Serial == brute-force oracle, as a row multiset.
+		want := sortedCopy(q.oracle())
+		got := sortedCopy(serRows)
+		if len(got) != len(want) {
+			dumpFuzzTables(t, l, r)
+			t.Fatalf("seed %d %s: engine %d rows, oracle %d\n sql: %s", seed, q.kind, len(got), len(want), q.sql)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				dumpFuzzTables(t, l, r)
+				t.Fatalf("seed %d %s: multiset row %d differs\n engine: %s\n oracle: %s\n sql: %s",
+					seed, q.kind, i, got[i], want[i], q.sql)
+			}
+		}
+	}
+}
+
+// A join big enough for mal.MitosisJoin to split naturally (no test
+// override) must agree with the serial engine and emit the partitioned-probe
+// trace markers.
+func TestParallelJoinNaturalChunking(t *testing.T) {
+	n := 3 * 16384 // > 2*MinChunkRows probe side
+	lt := storage.NewMemoryTable(storage.TableMeta{Name: "l", Cols: []storage.ColDef{
+		{Name: "k1", Typ: mtypes.Int}, {Name: "kpay", Typ: mtypes.BigInt}}})
+	rt := storage.NewMemoryTable(storage.TableMeta{Name: "r", Cols: []storage.ColDef{
+		{Name: "j1", Typ: mtypes.Int}, {Name: "jpay", Typ: mtypes.BigInt}}})
+	rng := rand.New(rand.NewSource(99))
+	lk, lp := vec.New(mtypes.Int, n), vec.New(mtypes.BigInt, n)
+	for i := 0; i < n; i++ {
+		lk.I32[i] = int32(rng.Intn(5000))
+		lp.I64[i] = int64(i)
+	}
+	nr := 4000
+	rk, rp := vec.New(mtypes.Int, nr), vec.New(mtypes.BigInt, nr)
+	for i := 0; i < nr; i++ {
+		rk.I32[i] = int32(rng.Intn(5000))
+		rp.I64[i] = int64(i)
+	}
+	lt.Append([]*vec.Vector{lk, lp}, 1)
+	rt.Append([]*vec.Vector{rk, rp}, 1)
+	cat := memCatalog{"l": lt, "r": rt}
+
+	q := "SELECT sum(kpay), sum(jpay), count(*) FROM l, r WHERE l.k1 = r.j1"
+	p := planFor(t, cat, q)
+	ser := &Engine{Cat: cat, Parallel: false}
+	serRes, err := ser.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &mal.Program{}
+	par := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}
+	parRes, err := par.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range serRes.Cols {
+		a, b := serRes.Cols[c].Value(0), parRes.Cols[c].Value(0)
+		if a.String() != b.String() {
+			t.Fatalf("col %d: serial %s parallel %s", c, a, b)
+		}
+	}
+	out := trace.String()
+	if !strings.Contains(out, "probe chunks (join)") {
+		t.Fatalf("parallel join did not chunk the probe side:\n%s", out)
+	}
+	if !strings.Contains(out, "partitioned") {
+		t.Fatalf("parallel join did not build a partitioned table:\n%s", out)
+	}
+}

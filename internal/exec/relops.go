@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"monetlite/internal/mal"
@@ -47,16 +48,17 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 		// Build on the smaller side.
 		if len(x.EquiL) == 0 {
 			// Pure residual join: nested-loop via cross pairs then filter.
-			lsel, rsel = crossPairs(left.n, right.n)
+			lsel, rsel, err = crossPairs(left.n, right.n)
+			if err != nil {
+				return nil, err
+			}
 		} else if left.n <= right.n {
-			ht := vec.BuildHash(lKeys, nil)
-			e.Trace.Emit("algebra.hashjoin", "build=left", fmt.Sprintf("%d keys", ht.Len()))
-			rs, ls := ht.Probe(rKeys, nil)
+			jp := e.buildJoinTable(lKeys, left.n, right.n, "build=left")
+			rs, ls := jp.probe(rKeys, right.n)
 			lsel, rsel = ls, rs
 		} else {
-			ht := vec.BuildHash(rKeys, nil)
-			e.Trace.Emit("algebra.hashjoin", "build=right", fmt.Sprintf("%d keys", ht.Len()))
-			lsel, rsel = ht.Probe(lKeys, nil)
+			jp := e.buildJoinTable(rKeys, right.n, left.n, "build=right")
+			lsel, rsel = jp.probe(lKeys, left.n)
 		}
 		if x.Residual != nil {
 			lsel, rsel, err = e.filterPairs(x, left, right, lsel, rsel)
@@ -64,11 +66,11 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 				return nil, err
 			}
 		}
-		return joinGather(left, right, lsel, rsel, false), nil
+		return joinGather(left, right, lsel, rsel, false)
 	case plan.JoinLeft:
-		ht := vec.BuildHash(rKeys, nil)
+		jp := e.buildJoinTable(rKeys, right.n, left.n, "build=right")
 		e.Trace.Emit("algebra.leftjoin")
-		lsel, rsel = ht.ProbeLeft(lKeys, nil)
+		lsel, rsel = jp.probeLeft(lKeys, left.n)
 		if x.Residual != nil {
 			// Residual applies to matched pairs; unmatched rows stay.
 			keptL, keptR, err := e.filterPairs(x, left, right, lsel, rsel)
@@ -92,16 +94,16 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 			}
 			lsel, rsel = keptL, keptR
 		}
-		return joinGather(left, right, lsel, rsel, true), nil
+		return joinGather(left, right, lsel, rsel, true)
 	case plan.JoinSemi, plan.JoinAnti:
 		anti := x.Kind == plan.JoinAnti
 		if len(x.EquiL) == 0 {
 			return nil, fmt.Errorf("exec: semi/anti join requires equi keys")
 		}
-		ht := vec.BuildHash(rKeys, nil)
+		jp := e.buildJoinTable(rKeys, right.n, left.n, "build=right")
 		if x.Residual == nil {
 			e.Trace.Emit("algebra.semijoin")
-			keep := ht.ProbeSemi(lKeys, nil, anti)
+			keep := jp.probeSemi(lKeys, left.n, anti)
 			out := make([]*vec.Vector, len(left.cols))
 			for i, c := range left.cols {
 				out[i] = vec.Gather(c, keep)
@@ -109,7 +111,7 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 			return newBatch(out), nil
 		}
 		// Residual semi/anti: compute pairs, filter, dedup left side.
-		ls, rs := ht.Probe(lKeys, nil)
+		ls, rs := jp.probe(lKeys, left.n)
 		ls, _, err = e.filterPairs(x, left, right, ls, rs)
 		if err != nil {
 			return nil, err
@@ -182,9 +184,133 @@ func scaleOfT(t mtypes.Type) int {
 	return 0
 }
 
+// ---------------------------------------------------------------------------
+// Parallel partitioned probe (mitosis for hash joins).
+// ---------------------------------------------------------------------------
+
+// joinProber wraps the build-side hash table together with the probe-side
+// chunk plan. With one chunk it is the old serial path verbatim; with more,
+// the table is radix-partitioned (parallel contention-free build) and probe
+// chunks run on worker goroutines, their pair lists concatenated in chunk
+// order — bit-identical output either way, which the differential tests
+// exploit.
+type joinProber struct {
+	e   *Engine
+	tbl vec.JoinTable
+	cp  mal.ChunkPlan
+}
+
+// buildJoinTable builds the join hash table over the build-side keys, picking
+// the partitioned parallel form when the probe side is big enough for
+// mal.MitosisJoin to split it.
+func (e *Engine) buildJoinTable(buildKeys []*vec.Vector, buildN, probeN int, label string) *joinProber {
+	cp := mal.ChunkPlan{Chunks: 1, Rows: probeN}
+	if e.Parallel {
+		cp = mal.MitosisJoin(probeN, buildN, e.MaxThreads)
+		if e.testJoinChunkRows > 0 && probeN > e.testJoinChunkRows {
+			cp = mal.ChunkPlan{
+				Chunks: (probeN + e.testJoinChunkRows - 1) / e.testJoinChunkRows,
+				Rows:   e.testJoinChunkRows,
+			}
+		}
+	}
+	if cp.Chunks <= 1 {
+		ht := vec.BuildHash(buildKeys, nil)
+		e.Trace.Emit("algebra.hashjoin", label, fmt.Sprintf("%d keys", ht.Len()))
+		return &joinProber{e: e, tbl: ht, cp: cp}
+	}
+	workers := e.workerBudget()
+	parts := vec.JoinPartitions(workers)
+	pt := vec.BuildHashPartitioned(buildKeys, nil, parts, workers)
+	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d probe chunks (join)", cp.Chunks))
+	e.Trace.Emit("algebra.hashjoin", label,
+		fmt.Sprintf("partitioned %d parts", parts), fmt.Sprintf("%d keys", pt.Len()))
+	return &joinProber{e: e, tbl: pt, cp: cp}
+}
+
+// probeChunks fans the probe side out over the chunk plan: each worker
+// probes a slice of the key vectors and rebases the emitted probe rows, the
+// coordinator concatenates pair lists in chunk order.
+func (jp *joinProber) probeChunks(keys []*vec.Vector, n int,
+	probe func(vec.JoinTable, []*vec.Vector) ([]int32, []int32)) ([]int32, []int32) {
+	type pairs struct{ p, b []int32 }
+	outs := make([]pairs, jp.cp.Chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < jp.cp.Chunks; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			lo, hi := jp.cp.Bounds(ci, n)
+			if lo >= hi {
+				return
+			}
+			sliced := make([]*vec.Vector, len(keys))
+			for i, k := range keys {
+				sliced[i] = k.Slice(lo, hi)
+			}
+			p, b := probe(jp.tbl, sliced)
+			for i := range p {
+				p[i] += int32(lo)
+			}
+			outs[ci] = pairs{p, b}
+		}(ci)
+	}
+	wg.Wait()
+	total := 0
+	for ci := range outs {
+		total += len(outs[ci].p)
+	}
+	pSel := make([]int32, 0, total)
+	var bSel []int32
+	if outs[0].b != nil || total == 0 {
+		bSel = make([]int32, 0, total)
+	}
+	for ci := range outs {
+		pSel = append(pSel, outs[ci].p...)
+		if bSel != nil {
+			bSel = append(bSel, outs[ci].b...)
+		}
+	}
+	return pSel, bSel
+}
+
+// probe computes inner-join pairs (probe rows, build rows).
+func (jp *joinProber) probe(keys []*vec.Vector, n int) ([]int32, []int32) {
+	if jp.cp.Chunks <= 1 {
+		return jp.tbl.Probe(keys, nil)
+	}
+	return jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
+		return t.Probe(ks, nil)
+	})
+}
+
+// probeLeft computes left-outer pairs (unmatched probe rows carry -1).
+func (jp *joinProber) probeLeft(keys []*vec.Vector, n int) ([]int32, []int32) {
+	if jp.cp.Chunks <= 1 {
+		return jp.tbl.ProbeLeft(keys, nil)
+	}
+	return jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
+		return t.ProbeLeft(ks, nil)
+	})
+}
+
+// probeSemi computes the kept probe rows of a semi (anti=false) or anti join.
+func (jp *joinProber) probeSemi(keys []*vec.Vector, n int, anti bool) []int32 {
+	if jp.cp.Chunks <= 1 {
+		return jp.tbl.ProbeSemi(keys, nil, anti)
+	}
+	keep, _ := jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
+		return t.ProbeSemi(ks, nil, anti), nil
+	})
+	return keep
+}
+
 // filterPairs evaluates the residual predicate over candidate join pairs.
 func (e *Engine) filterPairs(x *plan.Join, left, right *batch, lsel, rsel []int32) ([]int32, []int32, error) {
-	pairs := joinGather(left, right, lsel, rsel, x.Kind == plan.JoinLeft)
+	pairs, err := joinGather(left, right, lsel, rsel, x.Kind == plan.JoinLeft)
+	if err != nil {
+		return nil, nil, err
+	}
 	memo := newMemo(e)
 	bv, err := memo.evalVec(x.Residual, pairs)
 	if err != nil {
@@ -200,9 +326,23 @@ func (e *Engine) filterPairs(x *plan.Join, left, right *batch, lsel, rsel []int3
 	return keptL, keptR, nil
 }
 
+// checkPairCount guards the join output size: selection vectors address rows
+// with int32, so a pair list beyond MaxInt32 would silently truncate row ids
+// in downstream operators. Kept separate from joinGather so the guard is
+// testable without allocating gigabytes of pairs.
+func checkPairCount(n int) error {
+	if n > math.MaxInt32 {
+		return fmt.Errorf("exec: join produces %d rows, beyond the %d-row selection-vector limit", n, math.MaxInt32)
+	}
+	return nil
+}
+
 // joinGather materializes the pair lists into a combined batch. rsel entries
 // of -1 (left outer non-matches) become NULLs.
-func joinGather(left, right *batch, lsel, rsel []int32, outer bool) *batch {
+func joinGather(left, right *batch, lsel, rsel []int32, outer bool) (*batch, error) {
+	if err := checkPairCount(len(lsel)); err != nil {
+		return nil, err
+	}
 	// nil means "no pairs" here — never "all rows" (vec.Gather's nil).
 	if lsel == nil {
 		lsel = []int32{}
@@ -233,16 +373,26 @@ func joinGather(left, right *batch, lsel, rsel []int32, outer bool) *batch {
 	if len(out) == 0 {
 		b.n = len(lsel)
 	}
-	return b
+	return b, nil
 }
 
 func (e *Engine) crossJoin(left, right *batch) (*batch, error) {
-	lsel, rsel := crossPairs(left.n, right.n)
+	lsel, rsel, err := crossPairs(left.n, right.n)
+	if err != nil {
+		return nil, err
+	}
 	e.Trace.Emit("algebra.crossproduct")
-	return joinGather(left, right, lsel, rsel, false), nil
+	return joinGather(left, right, lsel, rsel, false)
 }
 
-func crossPairs(nl, nr int) ([]int32, []int32) {
+// crossPairs enumerates the full cross product. The size check runs before
+// any allocation: nl*nr pairs beyond MaxInt32 would overflow int32 row
+// addressing (and on 32-bit platforms the product itself can overflow int),
+// so the error surfaces instead of a silently truncated selection.
+func crossPairs(nl, nr int) ([]int32, []int32, error) {
+	if nl > 0 && nr > 0 && nl > math.MaxInt32/nr {
+		return nil, nil, fmt.Errorf("exec: cross product of %d x %d rows exceeds the %d-row selection-vector limit", nl, nr, math.MaxInt32)
+	}
 	lsel := make([]int32, 0, nl*nr)
 	rsel := make([]int32, 0, nl*nr)
 	for i := 0; i < nl; i++ {
@@ -251,7 +401,7 @@ func crossPairs(nl, nr int) ([]int32, []int32) {
 			rsel = append(rsel, int32(j))
 		}
 	}
-	return lsel, rsel
+	return lsel, rsel, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +532,7 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 		return nil, false, nil
 	}
 	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks", cp.Chunks))
+	skip0, tot0 := e.imprintsCounters()
 
 	type chunkOut struct {
 		partials []*vec.Vector // per agg: partial vector (1 group) or raw values for median
@@ -450,6 +601,7 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 			return nil, true, o.err
 		}
 	}
+	e.emitImprintsDelta(skip0, tot0)
 	// Merge phase (blocking ops run here).
 	result := make([]*vec.Vector, len(x.Aggs))
 	for ai, a := range x.Aggs {
@@ -532,6 +684,7 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 		return nil, false, nil
 	}
 	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (grouped)", cp.Chunks))
+	skip0, tot0 := e.imprintsCounters()
 
 	type chunkOut struct {
 		keys     []*vec.Vector   // key columns at the chunk's group representatives
@@ -612,6 +765,7 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 			return nil, true, o.err
 		}
 	}
+	e.emitImprintsDelta(skip0, tot0)
 
 	// Merge phase: re-group the concatenated chunk representatives to map
 	// every chunk-local group onto a global group id.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"monetlite/internal/index"
 	"monetlite/internal/mal"
 	"monetlite/internal/mtypes"
 	"monetlite/internal/plan"
@@ -41,6 +42,7 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 	// Mitosis: chunked parallel scan+filter+gather, merged with bat.mergecand
 	// semantics (paper Figure 2).
 	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks", cp.Chunks))
+	skip0, tot0 := e.imprintsCounters()
 	type part struct {
 		cols []*vec.Vector
 		err  error
@@ -79,8 +81,27 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 		}
 		merged[i] = vec.Concat(pieces...)
 	}
+	e.emitImprintsDelta(skip0, tot0)
 	e.Trace.Emit("bat.mergecand")
 	return newBatch(merged), nil
+}
+
+// imprintsCounters snapshots the per-query imprint pruning totals; paired
+// with emitImprintsDelta it lets the coordinator report pruning that chunk
+// workers (which have no trace) performed.
+func (e *Engine) imprintsCounters() (skipped, total int64) {
+	if e.stats == nil {
+		return 0, 0
+	}
+	return e.stats.imprintsBlocksSkipped.Load(), e.stats.imprintsBlocksTotal.Load()
+}
+
+func (e *Engine) emitImprintsDelta(skip0, tot0 int64) {
+	skip1, tot1 := e.imprintsCounters()
+	if tot1 > tot0 {
+		e.Trace.Emit("algebra.rangeselect", "imprints",
+			fmt.Sprintf("%d/%d blocks skipped (parallel)", skip1-skip0, tot1-tot0))
+	}
 }
 
 // scanRange computes the candidate list of rows in [lo, hi) passing all scan
@@ -108,10 +129,9 @@ func (e *Engine) scanRange(x *plan.Scan, src TableSource, lo, hi int) ([]int32, 
 			}
 		}
 	}
-	full := lo == 0 && hi == src.NumRows()
 	for _, f := range x.Filters {
 		var err error
-		cands, err = e.applyScanFilter(x, src, f, cols, cands, full)
+		cands, err = e.applyScanFilter(x, src, f, cols, cands, lo, hi)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -122,34 +142,35 @@ func (e *Engine) scanRange(x *plan.Scan, src TableSource, lo, hi int) ([]int32, 
 	return cands, cols, nil
 }
 
-// applyScanFilter applies one conjunct, choosing a selection kernel and
-// using secondary indexes when the predicate shape allows.
-func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, cols []*vec.Vector, cands []int32, fullScan bool) ([]int32, error) {
+// applyScanFilter applies one conjunct over the scan window [rowLo, rowHi),
+// choosing a selection kernel and using secondary indexes when the predicate
+// shape allows.
+func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, cols []*vec.Vector, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	switch p := f.(type) {
 	case *plan.BinOp:
 		if p.Kind == plan.BinCmp {
 			if cr, ok := p.L.(*plan.ColRef); ok {
 				if c, ok := p.R.(*plan.Const); ok {
-					return e.selectCmp(x, src, cols, cr, p.Cmp, c.Val, cands, fullScan)
+					return e.selectCmp(x, src, cols, cr, p.Cmp, c.Val, cands, rowLo, rowHi)
 				}
 				if sp, ok := p.R.(*plan.SubplanExpr); ok {
 					v, err := e.evalSubplan(sp.Plan)
 					if err != nil {
 						return nil, err
 					}
-					return e.selectCmp(x, src, cols, cr, p.Cmp, v, cands, fullScan)
+					return e.selectCmp(x, src, cols, cr, p.Cmp, v, cands, rowLo, rowHi)
 				}
 			}
 			if cr, ok := p.R.(*plan.ColRef); ok {
 				if c, ok := p.L.(*plan.Const); ok {
-					return e.selectCmp(x, src, cols, cr, p.Cmp.Flip(), c.Val, cands, fullScan)
+					return e.selectCmp(x, src, cols, cr, p.Cmp.Flip(), c.Val, cands, rowLo, rowHi)
 				}
 			}
 		}
 	case *plan.BetweenExpr:
 		if cr, ok := p.E.(*plan.ColRef); ok && !p.Not {
 			if lo, hi, ok := constBounds(p); ok {
-				return e.selectRange(x, src, cols, cr, lo, hi, cands, fullScan)
+				return e.selectRange(x, src, cols, cr, lo, hi, cands, rowLo, rowHi)
 			}
 		}
 	case *plan.LikeExpr:
@@ -191,30 +212,38 @@ func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, col
 	return vec.SelTrue(bv, cands, false), nil
 }
 
-// selectCmp runs a comparison select, preferring the hash index for equality
-// and imprints / order index for ranges on full-table scans.
-func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, op vec.CmpOp, val mtypes.Value, cands []int32, fullScan bool) ([]int32, error) {
+// selectCmp runs a comparison select over the scan window [rowLo, rowHi),
+// preferring the hash index for equality (full scans only — its row lists
+// are table-global) and the order index / imprints for ranges. Imprints
+// prune at cache-line-block granularity, so they also apply to mitosis chunk
+// windows: blocks overlapping the window are tested against the predicate's
+// bin mask and skipped wholesale when they cannot match.
+func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, op vec.CmpOp, val mtypes.Value, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	col := cols[cr.Slot]
 	tableCol := x.Cols[cr.Slot]
-	if fullScan && !e.NoIndexes && !val.Null {
+	fullScan := rowLo == 0 && rowHi == src.NumRows()
+	if !e.NoIndexes && !val.Null {
 		switch op {
 		case vec.CmpEq:
-			if h := src.HashIdx(tableCol); h != nil {
-				e.Trace.Emit("algebra.select", "hashidx")
-				rows := h.Lookup(coerceForIndex(col, val))
-				sorted := append([]int32(nil), rows...)
-				insertionSort(sorted)
-				return vec.Intersect(cands, sorted), nil
+			if fullScan {
+				if h := src.HashIdx(tableCol); h != nil {
+					e.Trace.Emit("algebra.select", "hashidx")
+					rows := h.Lookup(coerceForIndex(col, val))
+					sorted := append([]int32(nil), rows...)
+					insertionSort(sorted)
+					return vec.Intersect(cands, sorted), nil
+				}
 			}
 		case vec.CmpLt, vec.CmpLe, vec.CmpGt, vec.CmpGe:
 			lo, hi, loI, hiI := openRange(col.Typ, op, val)
-			if oi := src.OrderIdx(tableCol); oi != nil {
-				e.Trace.Emit("algebra.select", "orderidx")
-				return vec.Intersect(cands, oi.SelectRange(col, lo, hi, loI, hiI)), nil
+			if fullScan {
+				if oi := src.OrderIdx(tableCol); oi != nil {
+					e.Trace.Emit("algebra.select", "orderidx")
+					return vec.Intersect(cands, oi.SelectRange(col, lo, hi, loI, hiI)), nil
+				}
 			}
 			if im := src.Imprints(tableCol); im != nil {
-				e.Trace.Emit("algebra.select", "imprints")
-				return vec.Intersect(cands, im.SelectRange(col, lo, hi, loI, hiI)), nil
+				return e.imprintSelect(im, col, lo, hi, loI, hiI, rowLo, cands, "algebra.select"), nil
 			}
 		}
 	}
@@ -222,21 +251,37 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 	return vec.SelCmp(col, op, val, cands), nil
 }
 
-func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, cands []int32, fullScan bool) ([]int32, error) {
+func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	col := cols[cr.Slot]
 	tableCol := x.Cols[cr.Slot]
-	if fullScan && !e.NoIndexes {
-		if oi := src.OrderIdx(tableCol); oi != nil {
-			e.Trace.Emit("algebra.rangeselect", "orderidx")
-			return vec.Intersect(cands, oi.SelectRange(col, lo, hi, true, true)), nil
+	fullScan := rowLo == 0 && rowHi == src.NumRows()
+	if !e.NoIndexes {
+		if fullScan {
+			if oi := src.OrderIdx(tableCol); oi != nil {
+				e.Trace.Emit("algebra.rangeselect", "orderidx")
+				return vec.Intersect(cands, oi.SelectRange(col, lo, hi, true, true)), nil
+			}
 		}
 		if im := src.Imprints(tableCol); im != nil {
-			e.Trace.Emit("algebra.rangeselect", "imprints")
-			return vec.Intersect(cands, im.SelectRange(col, lo, hi, true, true)), nil
+			return e.imprintSelect(im, col, lo, hi, true, true, rowLo, cands, "algebra.rangeselect"), nil
 		}
 	}
 	e.Trace.Emit("algebra.rangeselect")
 	return vec.SelRange(col, lo, hi, true, true, cands), nil
+}
+
+// imprintSelect runs one imprint-pruned range select over a (possibly
+// windowed) column slice, recording the pruning counters. Chunk engines have
+// no trace, so the per-query totals accumulated in execStats are what the
+// coordinator reports for parallel scans.
+func (e *Engine) imprintSelect(im *index.Imprints, col *vec.Vector, lo, hi mtypes.Value, loI, hiI bool, off int, cands []int32, traceOp string) []int32 {
+	sel, skipped, total := im.SelectRangeSlice(col, lo, hi, loI, hiI, off)
+	if e.stats != nil {
+		e.stats.imprintsBlocksSkipped.Add(int64(skipped))
+		e.stats.imprintsBlocksTotal.Add(int64(total))
+	}
+	e.Trace.Emit(traceOp, "imprints", fmt.Sprintf("%d/%d blocks skipped", skipped, total))
+	return vec.Intersect(cands, sel)
 }
 
 // openRange converts a one-sided comparison into SelectRange bounds.

@@ -3,7 +3,8 @@
 //
 //   - Imprints: a cache-line-grained bitmap index accelerating point and
 //     range selections. Built automatically on the first range query over a
-//     persistent column; destroyed when the column is modified.
+//     persistent column; extended on appends (new blocks only), destroyed
+//     on updates and deletes.
 //   - Hash index: value -> row-ids table accelerating group-by and equi-join
 //     keys. Built automatically, maintained on appends, destroyed on updates
 //     and deletes.
@@ -106,19 +107,60 @@ func (im *Imprints) queryMask(lo, hi float64) uint64 {
 // imprints to skip blocks, then verifies survivors value-by-value. The result
 // is identical to vec.SelRange over the same column.
 func (im *Imprints) SelectRange(v *vec.Vector, lo, hi mtypes.Value, loIncl, hiIncl bool) []int32 {
+	out, _, _ := im.SelectRangeSlice(v, lo, hi, loIncl, hiIncl, 0)
+	return out
+}
+
+// SelectRangeSlice is the windowed form used by mitosis chunk scans: v is the
+// column slice starting at global row off, and the returned candidates are
+// relative to the slice (matching the chunk's candidate-list domain). It also
+// reports how many imprint blocks the window touched and how many of those
+// the bin masks pruned, for the MAL trace and the pruning tests.
+func (im *Imprints) SelectRangeSlice(v *vec.Vector, lo, hi mtypes.Value, loIncl, hiIncl bool, off int) (cands []int32, skipped, total int) {
 	mask := im.queryMask(lo.AsFloat(), hi.AsFloat())
 	out := make([]int32, 0, 64)
 	n := v.Len()
-	for b, bm := range im.masks {
-		if bm&mask == 0 {
-			continue // no value in this block can fall in the range
+	for b := off / imprintsBlock; b*imprintsBlock < off+n && b < len(im.masks); b++ {
+		total++
+		if im.masks[b]&mask == 0 {
+			skipped++ // no value in this block can fall in the range
+			continue
 		}
-		start := b * imprintsBlock
-		end := min(start+imprintsBlock, n)
+		// Clamp the block to the window, in slice-relative coordinates.
+		start := max(b*imprintsBlock-off, 0)
+		end := min(b*imprintsBlock+imprintsBlock-off, n)
 		blockCands := vec.SelRange(v.Slice(start, end), lo, hi, loIncl, hiIncl, nil)
 		for _, c := range blockCands {
 			out = append(out, c+int32(start))
 		}
+	}
+	return out, skipped, total
+}
+
+// Extend incorporates appended rows into the imprints: data is the full
+// column after the append, oldRows the previously indexed length. The bin
+// bounds stay fixed (they partition the value domain, so pruning stays
+// correct; only pruning quality could drift if the new data's distribution
+// diverges) — the mask of the partially filled last block is rebuilt and new
+// block masks are appended. The receiver is never mutated: concurrent
+// readers may still be probing it under an older snapshot, so Extend returns
+// a fresh Imprints (nil when the bookkeeping is stale and the caller should
+// rebuild instead).
+func (im *Imprints) Extend(data *vec.Vector, oldRows int) *Imprints {
+	if oldRows != im.n || data.Len() < oldRows {
+		return nil
+	}
+	n := data.Len()
+	firstDirty := oldRows / imprintsBlock * imprintsBlock
+	fs := vec.AsFloats(data.Slice(firstDirty, n))
+	out := &Imprints{bounds: im.bounds, n: n}
+	out.masks = make([]uint64, (n+imprintsBlock-1)/imprintsBlock)
+	copy(out.masks, im.masks[:firstDirty/imprintsBlock])
+	for i, f := range fs {
+		if mtypes.IsNullF64(f) {
+			continue
+		}
+		out.masks[(firstDirty+i)/imprintsBlock] |= 1 << out.bin(f)
 	}
 	return out
 }

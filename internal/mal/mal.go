@@ -167,6 +167,37 @@ func MitosisGrouped(nrows int, rowBytes int, maxThreads int) ChunkPlan {
 	return cp
 }
 
+// MitosisJoin decides the probe-side chunking of a parallel hash join. The
+// build side is shared by every worker (a radix-partitioned table built
+// once), so only the probe side splits. Two asymmetry rules on top of the
+// plain scan heuristics:
+//
+//   - probing is pure pointer-chasing with no merge step, so chunks only
+//     need to clear the plain MinChunkRows bar;
+//   - when the build side is large relative to a chunk, each probe misses
+//     cache on nearly every lookup and the fixed per-chunk cost (key
+//     canonicalization, goroutine) stops amortizing — so every chunk must
+//     probe at least a quarter of the build side's rows.
+func MitosisJoin(probeRows, buildRows, maxThreads int) ChunkPlan {
+	if maxThreads <= 0 {
+		maxThreads = runtime.GOMAXPROCS(0)
+	}
+	if maxThreads == 1 || probeRows < 2*MinChunkRows {
+		return ChunkPlan{Chunks: 1, Rows: probeRows}
+	}
+	chunks := maxThreads
+	if probeRows/chunks < MinChunkRows {
+		chunks = probeRows / MinChunkRows
+	}
+	if minChunk := buildRows / 4; minChunk > MinChunkRows && probeRows/chunks < minChunk {
+		chunks = probeRows / minChunk
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return ChunkPlan{Chunks: chunks, Rows: (probeRows + chunks - 1) / chunks}
+}
+
 // Bounds returns the row range [lo, hi) of chunk i.
 func (cp ChunkPlan) Bounds(i, nrows int) (int, int) {
 	lo := i * cp.Rows

@@ -126,3 +126,39 @@ func TestChunkBounds(t *testing.T) {
 		t.Fatalf("covered %d rows", covered)
 	}
 }
+
+func TestMitosisJoinSmallProbeNotSplit(t *testing.T) {
+	if cp := MitosisJoin(2*MinChunkRows-1, 100, 8); cp.Chunks != 1 {
+		t.Fatalf("small probe split into %d chunks", cp.Chunks)
+	}
+	if cp := MitosisJoin(1<<20, 100, 1); cp.Chunks != 1 {
+		t.Fatalf("single thread split into %d chunks", cp.Chunks)
+	}
+}
+
+func TestMitosisJoinUsesThreads(t *testing.T) {
+	cp := MitosisJoin(1<<20, 1000, 4)
+	if cp.Chunks != 4 {
+		t.Fatalf("want 4 chunks, got %d", cp.Chunks)
+	}
+	if cp.Rows*cp.Chunks < 1<<20 {
+		t.Fatal("chunks do not cover the probe side")
+	}
+}
+
+// Build/probe asymmetry: a build side large relative to the probe chunks
+// forces bigger chunks (fewer workers) so the per-chunk probe amortizes.
+func TestMitosisJoinBuildAsymmetry(t *testing.T) {
+	probe := 8 * MinChunkRows // 131072: plain plan would use 8 threads
+	small := MitosisJoin(probe, 1000, 8)
+	if small.Chunks != 8 {
+		t.Fatalf("small build: want 8 chunks, got %d", small.Chunks)
+	}
+	big := MitosisJoin(probe, probe*2, 8)
+	if big.Chunks >= small.Chunks {
+		t.Fatalf("huge build side should shrink the chunk count: %d vs %d", big.Chunks, small.Chunks)
+	}
+	if big.Chunks < 1 {
+		t.Fatal("chunk count must stay positive")
+	}
+}

@@ -400,3 +400,63 @@ func TestStoreVersioning(t *testing.T) {
 		t.Fatal("memory store flags")
 	}
 }
+
+// Imprints must survive appends: the index is extended with the new blocks
+// (not rebuilt, not destroyed), old snapshots keep their unmutated copy, and
+// pruned selections stay identical to naive scans across the append.
+func TestImprintsMaintainedOnAppend(t *testing.T) {
+	s := NewMemory()
+	tbl, err := s.CreateTable(testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Append(testBatch(500, 0), s.BumpVersion()); err != nil {
+		t.Fatal(err)
+	}
+	v1 := tbl.Version()
+	im1 := tbl.ImprintsFor(v1, 0)
+	if im1 == nil || im1.Len() != 500 {
+		t.Fatal("imprints not built on demand")
+	}
+
+	if _, err := tbl.Append(testBatch(300, 500), s.BumpVersion()); err != nil {
+		t.Fatal(err)
+	}
+	// The old snapshot no longer serves imprints (not current)...
+	if tbl.ImprintsFor(v1, 0) != nil {
+		t.Fatal("stale snapshot still serves imprints")
+	}
+	// ...but the extended index is already installed for the new version:
+	// no rebuild, Len covers the appended rows.
+	v2 := tbl.Version()
+	im2 := tbl.ImprintsFor(v2, 0)
+	if im2 == nil || im2.Len() != 800 {
+		t.Fatalf("imprints not maintained across append (len %v)", im2)
+	}
+	if im2 == im1 {
+		t.Fatal("append must produce a fresh imprints object (readers may hold the old one)")
+	}
+	if im1.Len() != 500 {
+		t.Fatal("append mutated the old snapshot's imprints")
+	}
+	col, _ := v2.Col(0)
+	lo, hi := mtypes.NewInt(mtypes.Int, 100), mtypes.NewInt(mtypes.Int, 650)
+	got := im2.SelectRange(col, lo, hi, true, true)
+	want := vec.SelRange(col, lo, hi, true, true, nil)
+	if len(got) != len(want) {
+		t.Fatalf("pruned selection %d rows, naive %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	// Deletes still destroy imprints (bitmap-filtered snapshots never prune).
+	if _, _, err := tbl.Delete([]int32{3}, s.BumpVersion()); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ImprintsFor(tbl.Version(), 0) != nil {
+		t.Fatal("imprints served for a snapshot with deletions")
+	}
+}

@@ -109,8 +109,8 @@ func (t *Table) Version() *TableVersion { return t.cur.Load() }
 
 // Append adds a batch of rows (one vector per column, equal lengths) and
 // publishes a new version stamped with commitVersion. Index maintenance
-// follows the paper: imprints are destroyed (column modified), hash indexes
-// are extended, order indexes are dropped (they do not survive appends).
+// follows the paper: imprints and hash indexes are extended with the new
+// rows, order indexes are dropped (they do not survive appends).
 func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion, error) {
 	if len(cols) != len(t.cols) {
 		return nil, fmt.Errorf("storage: append to %s: %d columns, want %d", t.Meta.Name, len(cols), len(t.cols))
@@ -134,8 +134,18 @@ func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion,
 		}
 	}
 	for i := range t.idx {
-		t.idx[i].imprints = nil
 		t.idx[i].order = nil
+		// Imprints and hash indexes survive appends: new rows only add
+		// blocks/entries, existing ones are untouched (paper §3.1 — indexes
+		// are "maintained when data is appended").
+		if im := t.idx[i].imprints; im != nil {
+			var ext *index.Imprints
+			if data, err := t.cols[i].Load(); err == nil && t.idx[i].imprintsRows == old.NRows {
+				ext = im.Extend(data, old.NRows)
+				t.idx[i].imprintsRows = data.Len()
+			}
+			t.idx[i].imprints = ext
+		}
 		if h := t.idx[i].hash; h != nil {
 			data, err := t.cols[i].Load()
 			if err == nil && h.Rows() == old.NRows {

@@ -1,12 +1,47 @@
 package tpch
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"monetlite"
 	"monetlite/internal/mal"
 )
+
+// compareResults checks parallel vs serial results column by column:
+// decimal/integer/string cells must match exactly (decimal SUMs and COUNTs
+// merge losslessly through integer partials), doubles within relative ulps
+// (parallel AVG divides one exact merged sum, serial accumulates floats).
+func compareResults(t *testing.T, label string, ser, par *monetlite.Result) {
+	t.Helper()
+	if ser.NumRows() != par.NumRows() {
+		t.Fatalf("%s: serial %d rows, parallel %d rows", label, ser.NumRows(), par.NumRows())
+	}
+	if ser.NumCols() != par.NumCols() {
+		t.Fatalf("%s: serial %d cols, parallel %d cols", label, ser.NumCols(), par.NumCols())
+	}
+	for c := 0; c < ser.NumCols(); c++ {
+		st, pt := ser.Column(c).Type(), par.Column(c).Type()
+		if st != pt {
+			t.Fatalf("%s: col %d: type %s vs %s", label, c, st, pt)
+		}
+		for i := 0; i < ser.NumRows(); i++ {
+			sv, pv := ser.Column(c).Value(i), par.Column(c).Value(i)
+			if sf, ok := sv.(float64); ok {
+				pf := pv.(float64)
+				if math.Abs(sf-pf) > 1e-9*math.Max(1, math.Abs(sf)) {
+					t.Fatalf("%s: col %d row %d: %v vs %v", label, c, i, sv, pv)
+				}
+				continue
+			}
+			if sv != pv {
+				t.Fatalf("%s: col %d row %d: %v (%T) vs %v (%T)", label, c, i, sv, sv, pv, pv)
+			}
+		}
+	}
+}
 
 // The parallel partitioned hash-aggregation path (per-chunk group tables +
 // keyed partial merge) must agree with the serial engine on TPC-H Q1 at a
@@ -41,27 +76,114 @@ func TestParallelQ1MatchesSerial(t *testing.T) {
 	}
 	ser := run(monetlite.Config{Parallel: false})
 	par := run(monetlite.Config{Parallel: true, MaxThreads: 4})
-
-	if ser.NumRows() != par.NumRows() || ser.NumRows() == 0 {
-		t.Fatalf("serial %d rows, parallel %d rows", ser.NumRows(), par.NumRows())
+	if ser.NumRows() == 0 {
+		t.Fatal("Q1 returned no rows")
 	}
-	for c := 0; c < ser.NumCols(); c++ {
-		st, pt := ser.Column(c).Type(), par.Column(c).Type()
-		if st != pt {
-			t.Fatalf("col %d: type %s vs %s", c, st, pt)
+	compareResults(t, "Q1", ser, par)
+}
+
+// The parallel partitioned hash-join path (radix-partitioned build +
+// chunked probe) must agree with the serial engine on the join-heavy TPC-H
+// queries Q3, Q5 and Q10, at a scale factor large enough for mal.MitosisJoin
+// to split the probe side into multiple chunks. The chunked pair lists are
+// concatenated in chunk order, so results must match the serial path
+// exactly — decimal SUMs and COUNTs included.
+func TestParallelJoinQueriesMatchSerial(t *testing.T) {
+	// ~150k lineitem rows: the filtered probe sides of Q3/Q5/Q10 stay above
+	// 2*MinChunkRows so the probe splits under 4 threads.
+	const sf = 0.025
+	data := Generate(sf, 42)
+	if n := data.Lineitem.Rows; n < 4*mal.MinChunkRows {
+		t.Fatalf("SF %g generated only %d lineitem rows; too small for multi-chunk probes", sf, n)
+	}
+
+	open := func(cfg monetlite.Config) *monetlite.Conn {
+		db, err := monetlite.OpenInMemory(cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i := 0; i < ser.NumRows(); i++ {
-			sv, pv := ser.Column(c).Value(i), par.Column(c).Value(i)
-			if sf, ok := sv.(float64); ok {
-				pf := pv.(float64)
-				if math.Abs(sf-pf) > 1e-9*math.Max(1, math.Abs(sf)) {
-					t.Fatalf("col %d row %d: %v vs %v", c, i, sv, pv)
-				}
-				continue
-			}
-			if sv != pv {
-				t.Fatalf("col %d row %d: %v (%T) vs %v (%T)", c, i, sv, sv, pv, pv)
+		t.Cleanup(func() { db.Close() })
+		if err := LoadInto(db, data); err != nil {
+			t.Fatal(err)
+		}
+		return db.Connect()
+	}
+	serConn := open(monetlite.Config{Parallel: false})
+	parConn := open(monetlite.Config{Parallel: true, MaxThreads: 4})
+	parConn.TraceMAL = true
+
+	joinChunked := false
+	for _, q := range []int{3, 5, 10} {
+		ser, err := serConn.Query(Queries[q])
+		if err != nil {
+			t.Fatalf("Q%d serial: %v", q, err)
+		}
+		par, err := parConn.Query(Queries[q])
+		if err != nil {
+			t.Fatalf("Q%d parallel: %v", q, err)
+		}
+		if ser.NumRows() == 0 {
+			t.Fatalf("Q%d returned no rows", q)
+		}
+		compareResults(t, Queries[q], ser, par)
+		if strings.Contains(parConn.LastTrace.String(), "probe chunks (join)") {
+			joinChunked = true
+		}
+	}
+	if !joinChunked {
+		t.Fatal("no query took the multi-chunk partitioned join path; raise the scale factor")
+	}
+}
+
+// Imprint pruning on TPC-H data: a selective range predicate over the
+// clustered l_orderkey column must skip most blocks (visible in the MAL
+// trace) while returning exactly the same rows as the unindexed scan.
+func TestImprintPruningOnTPCH(t *testing.T) {
+	data := Generate(0.01, 42)
+	run := func(cfg monetlite.Config) (*monetlite.Result, string) {
+		db, err := monetlite.OpenInMemory(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := LoadInto(db, data); err != nil {
+			t.Fatal(err)
+		}
+		conn := db.Connect()
+		conn.TraceMAL = true
+		q := `select count(*), sum(l_extendedprice), min(l_shipdate)
+		      from lineitem where l_orderkey between 1000 and 2000`
+		res, err := conn.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, conn.LastTrace.String()
+	}
+	pruned, trace := run(monetlite.Config{Parallel: false})
+	naive, _ := run(monetlite.Config{Parallel: false, NoIndexes: true})
+	compareResults(t, "pruned vs naive", naive, pruned)
+
+	if !strings.Contains(trace, "imprints") {
+		t.Fatalf("imprints not consulted:\n%s", trace)
+	}
+	// The trace line reads "skipped/total blocks skipped"; the clustered
+	// orderkey range must actually skip blocks.
+	var skipped, total int
+	for _, line := range strings.Split(trace, "\n") {
+		if i := strings.Index(line, "imprints"); i >= 0 && strings.Contains(line, "blocks skipped") {
+			if _, err := fmt.Sscanf(line[i:], "imprints, %d/%d blocks skipped", &skipped, &total); err == nil && skipped > 0 {
+				break
 			}
 		}
+	}
+	if skipped == 0 || skipped >= total+1 {
+		t.Fatalf("selective orderkey range skipped %d/%d blocks:\n%s", skipped, total, trace)
+	}
+
+	// Parallel chunked scans prune too: the coordinator aggregates worker
+	// counters into a summary trace line.
+	_, ptrace := run(monetlite.Config{Parallel: true, MaxThreads: 4})
+	if strings.Contains(ptrace, "optimizer.mitosis") && !strings.Contains(ptrace, "blocks skipped") {
+		t.Fatalf("parallel scan shows no pruning summary:\n%s", ptrace)
 	}
 }
