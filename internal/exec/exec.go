@@ -1,8 +1,26 @@
 // Package exec is monetlite's columnar execution engine: it interprets
 // logical plans column-at-a-time, in the MonetDB style the paper describes —
 // every operator processes whole columns, intermediates are materialized
-// vectors, selections flow as candidate lists, and scan/map pipelines are
-// parallelized by the mitosis heuristics in package mal (§3.1).
+// vectors, selections flow as candidate lists, and operators are
+// parallelized by the mitosis heuristics in package mal (§3.1): chunked
+// scan/map/partial-aggregation pipelines, partitioned hash-join probes, and
+// per-run parallel sorts with a k-way merge (plus the bounded-heap TopN for
+// ORDER BY … LIMIT).
+//
+// Invariants:
+//
+//   - Chunk-order determinism: mitosis workers write into per-chunk slots
+//     and the coordinator merges in chunk order, so with Parallel on or off
+//     the engine returns *identical* results — same rows, same order. The
+//     serial path of each operator is kept alive as the differential-test
+//     oracle (see docs/ARCHITECTURE.md).
+//   - Worker isolation: chunk engines (chunkEngine) never emit to the
+//     shared MAL trace; the coordinator emits summary instructions and
+//     aggregates worker counters (e.g. imprint block skips) afterwards.
+//     The scalar-subquery cache is the one shared structure, and it is
+//     lock-guarded so a subquery evaluates once per query, not per chunk.
+//   - Timeouts are checked between operators (checkTimeout), never inside a
+//     kernel, so kernels stay branch-free.
 package exec
 
 import (
@@ -54,6 +72,9 @@ type Engine struct {
 	// testJoinChunkRows, when >0, overrides the MitosisJoin chunk size so
 	// tests can force multi-chunk parallel probes on small inputs.
 	testJoinChunkRows int
+	// testSortChunkRows, when >0, overrides the MitosisSort chunk size so
+	// tests can force multi-run parallel sorts and TopN heaps on small inputs.
+	testSortChunkRows int
 }
 
 // execStats accumulates per-query counters that mitosis workers update
@@ -173,6 +194,8 @@ func (e *Engine) exec(n plan.Node) (*batch, error) {
 		return e.execAggregate(x)
 	case *plan.Sort:
 		return e.execSort(x)
+	case *plan.TopN:
+		return e.execTopN(x)
 	case *plan.Limit:
 		return e.execLimit(x)
 	case *plan.Distinct:
@@ -231,29 +254,6 @@ func (e *Engine) execProject(x *plan.Project) (*batch, error) {
 	}
 	e.Trace.Emit("bat.project", fmt.Sprintf("%d exprs", len(x.Exprs)))
 	return &batch{cols: out, n: in.n}, nil
-}
-
-func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
-	in, err := e.exec(x.Input)
-	if err != nil {
-		return nil, err
-	}
-	memo := newMemo(e)
-	keys := make([]vec.SortKey, len(x.Keys))
-	for i, k := range x.Keys {
-		kv, err := memo.evalVecN(k.E, in, in.n)
-		if err != nil {
-			return nil, err
-		}
-		keys[i] = vec.SortKey{Vec: kv, Desc: k.Desc}
-	}
-	order := vec.SortOrder(keys, in.n)
-	e.Trace.Emit("algebra.sort", fmt.Sprintf("%d keys", len(keys)))
-	out := make([]*vec.Vector, len(in.cols))
-	for i, c := range in.cols {
-		out[i] = vec.Gather(c, order)
-	}
-	return newBatch(out), nil
 }
 
 func (e *Engine) execLimit(x *plan.Limit) (*batch, error) {

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"monetlite/internal/mal"
+	"monetlite/internal/plan"
+	"monetlite/internal/vec"
+)
+
+// ORDER BY and ORDER BY … LIMIT execution. Sorting is a blocking operator:
+// its input is a fully materialized batch, so mitosis here parallelizes the
+// blocking step itself rather than the scan feeding it — the index range is
+// cut into contiguous runs by mal.MitosisSort, each worker sorts its run with
+// the typed code kernels (vec.CodedSort), and the coordinator k-way merges.
+// Because the kernels order rows by (keys, original index), the merged
+// permutation is identical to the serial stable vec.SortOrder — which stays
+// on as the differential oracle, same convention as GroupByRefine and the
+// serial join path.
+
+// sortKeys evaluates the ORDER BY key expressions over the input batch.
+func (e *Engine) sortKeys(specs []plan.SortSpec, in *batch) ([]vec.SortKey, error) {
+	memo := newMemo(e)
+	keys := make([]vec.SortKey, len(specs))
+	for i, k := range specs {
+		kv, err := memo.evalVecN(k.E, in, in.n)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = vec.SortKey{Vec: kv, Desc: k.Desc}
+	}
+	return keys, nil
+}
+
+// sortChunkPlan decides the run layout for a parallel sort over n rows.
+func (e *Engine) sortChunkPlan(n int) mal.ChunkPlan {
+	cp := mal.ChunkPlan{Chunks: 1, Rows: n}
+	if !e.Parallel {
+		return cp
+	}
+	cp = mal.MitosisSort(n, e.MaxThreads)
+	if e.testSortChunkRows > 0 && n > e.testSortChunkRows {
+		cp = mal.ChunkPlan{
+			Chunks: (n + e.testSortChunkRows - 1) / e.testSortChunkRows,
+			Rows:   e.testSortChunkRows,
+		}
+	}
+	return cp
+}
+
+func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := e.sortKeys(x.Keys, in)
+	if err != nil {
+		return nil, err
+	}
+	var order []int32
+	if cp := e.sortChunkPlan(in.n); cp.Chunks <= 1 {
+		if e.Parallel {
+			// Typed kernels, one run (input too small to split).
+			order = vec.SortOrderParallel(keys, in.n, 1)
+		} else {
+			// Serial engine: the stable closure-comparator path is the
+			// differential oracle the fuzzer holds the kernels against.
+			order = vec.SortOrder(keys, in.n)
+		}
+		e.Trace.Emit("algebra.sort", fmt.Sprintf("%d keys", len(keys)))
+	} else {
+		order = e.parallelSortOrder(keys, in.n, cp)
+		e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (sort)", cp.Chunks))
+		e.Trace.Emit("algebra.sort", fmt.Sprintf("%d keys", len(keys)), fmt.Sprintf("parallel %d runs", cp.Chunks))
+	}
+	out := make([]*vec.Vector, len(in.cols))
+	for i, c := range in.cols {
+		out[i] = vec.Gather(c, order)
+	}
+	return newBatch(out), nil
+}
+
+// parallelSortOrder sorts each chunk's index run on its own goroutine, then
+// merges the Less-ordered runs. Runs are disjoint ascending ranges, so the
+// kernels' index tie-break makes the merge stable across runs.
+func (e *Engine) parallelSortOrder(keys []vec.SortKey, n int, cp mal.ChunkPlan) []int32 {
+	cs := vec.NewCodedSort(keys, n)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	runs := make([][]int32, 0, cp.Chunks)
+	for ci := 0; ci < cp.Chunks; ci++ {
+		lo, hi := cp.Bounds(ci, n)
+		if lo < hi {
+			runs = append(runs, order[lo:hi])
+		}
+	}
+	var wg sync.WaitGroup
+	for _, run := range runs {
+		wg.Add(1)
+		go func(run []int32) {
+			defer wg.Done()
+			cs.Sort(run)
+		}(run)
+	}
+	wg.Wait()
+	return cs.MergeRuns(runs)
+}
+
+// execTopN evaluates the fused ORDER BY … LIMIT operator: each chunk keeps
+// only its k = N+Offset best rows in a bounded heap, the per-chunk survivors
+// (already sorted) are k-way merged, and the global best k are sliced to
+// [Offset, Offset+N). Output is permutation-identical to Limit(Sort(…)) —
+// i.e. to slicing the serial stable sort — without ever sorting the rows the
+// LIMIT discards.
+func (e *Engine) execTopN(x *plan.TopN) (*batch, error) {
+	in, err := e.exec(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := e.sortKeys(x.Keys, in)
+	if err != nil {
+		return nil, err
+	}
+	// N and Offset are each non-negative, but only N is bounded (by
+	// plan.NoLimit) — an absurd OFFSET literal can wrap the sum. A wrapped
+	// (negative) or oversized sum both mean "keep every row", so clamp to
+	// the input size.
+	k := in.n
+	if k64 := x.N + x.Offset; k64 >= 0 && k64 < int64(k) {
+		k = int(k64)
+	}
+	cs := vec.NewCodedSort(keys, in.n)
+	cp := e.sortChunkPlan(in.n)
+	var best []int32
+	if cp.Chunks <= 1 {
+		best = cs.TopK(0, in.n, k)
+		e.Trace.Emit("algebra.topn", fmt.Sprintf("%d keys", len(keys)), fmt.Sprintf("k=%d of %d", k, in.n))
+	} else {
+		runs := make([][]int32, cp.Chunks)
+		var wg sync.WaitGroup
+		for ci := 0; ci < cp.Chunks; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				lo, hi := cp.Bounds(ci, in.n)
+				runs[ci] = cs.TopK(lo, hi, k)
+			}(ci)
+		}
+		wg.Wait()
+		merged := cs.MergeRuns(runs)
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		best = merged
+		e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (sort)", cp.Chunks))
+		e.Trace.Emit("algebra.topn", fmt.Sprintf("%d keys", len(keys)),
+			fmt.Sprintf("k=%d of %d", k, in.n), fmt.Sprintf("parallel %d heaps", cp.Chunks))
+	}
+	lo := int(x.Offset)
+	if lo > len(best) {
+		lo = len(best)
+	}
+	best = best[lo:]
+	out := make([]*vec.Vector, len(in.cols))
+	for i, c := range in.cols {
+		out[i] = vec.Gather(c, best)
+	}
+	b := newBatch(out)
+	if len(out) == 0 {
+		b.n = len(best)
+	}
+	return b, nil
+}

@@ -244,10 +244,90 @@ func (df *DataFrame) Head(n int) (*DataFrame, error) {
 
 // SortBy materializes the frame ordered by the given key columns.
 func (df *DataFrame) SortBy(keys []string, desc []bool) (*DataFrame, error) {
+	less, err := df.rowLess(keys, desc)
+	if err != nil {
+		return nil, err
+	}
 	idx := make([]int32, df.n)
 	for i := range idx {
 		idx[i] = int32(i)
 	}
+	sort.SliceStable(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	return df.Take(idx)
+}
+
+// TopBy materializes the first n rows of SortBy's order without sorting the
+// rest: a bounded heap keeps the n best rows seen so far — the library
+// analogue of the engine's fused TopN (ORDER BY … LIMIT) operator. Ties keep
+// input order, so TopBy(keys, desc, n) equals SortBy(keys, desc) then
+// Head(n) row for row.
+func (df *DataFrame) TopBy(keys []string, desc []bool, n int) (*DataFrame, error) {
+	less, err := df.rowLess(keys, desc)
+	if err != nil {
+		return nil, err
+	}
+	if n > df.n {
+		n = df.n
+	}
+	if n < 0 {
+		n = 0
+	}
+	// Total order (keys, then row index) = the stable sort's order; a
+	// max-heap of size n under it holds exactly the first n stable rows.
+	totalLess := func(a, b int32) bool {
+		if less(a, b) {
+			return true
+		}
+		if less(b, a) {
+			return false
+		}
+		return a < b
+	}
+	heap := make([]int32, 0, n)
+	siftDown := func(h []int32, i int) {
+		for {
+			l, r, s := 2*i+1, 2*i+2, i
+			if l < len(h) && totalLess(h[s], h[l]) {
+				s = l
+			}
+			if r < len(h) && totalLess(h[s], h[r]) {
+				s = r
+			}
+			if s == i {
+				return
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
+		}
+	}
+	for i := int32(0); int(i) < df.n; i++ {
+		if len(heap) < n {
+			heap = append(heap, i)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !totalLess(heap[p], heap[c]) {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+			continue
+		}
+		if n > 0 && totalLess(i, heap[0]) {
+			heap[0] = i
+			siftDown(heap, 0)
+		}
+	}
+	for end := len(heap) - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftDown(heap[:end], 0)
+	}
+	return df.Take(heap)
+}
+
+// rowLess compiles the key columns into a strict-weak row ordering shared by
+// SortBy and TopBy.
+func (df *DataFrame) rowLess(keys []string, desc []bool) (func(a, b int32) bool, error) {
 	cmps := make([]func(a, b int32) int, len(keys))
 	for k, name := range keys {
 		c := df.Col(name)
@@ -265,8 +345,7 @@ func (df *DataFrame) SortBy(keys []string, desc []bool) (*DataFrame, error) {
 			cmps[k] = func(a, b int32) int { return cmp3s(x[a], x[b]) }
 		}
 	}
-	sort.SliceStable(idx, func(i, j int) bool {
-		a, b := idx[i], idx[j]
+	return func(a, b int32) bool {
 		for k := range cmps {
 			r := cmps[k](a, b)
 			if r == 0 {
@@ -278,8 +357,7 @@ func (df *DataFrame) SortBy(keys []string, desc []bool) (*DataFrame, error) {
 			return r < 0
 		}
 		return false
-	})
-	return df.Take(idx)
+	}, nil
 }
 
 func cmp3[T int32 | int64 | float64](a, b T) int {

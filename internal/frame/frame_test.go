@@ -57,6 +57,38 @@ func TestSortBy(t *testing.T) {
 	}
 }
 
+// TopBy must equal SortBy + Head row for row, including duplicate-key ties
+// (which keep input order), for every n from 0 to beyond the frame size.
+func TestTopByMatchesSortHead(t *testing.T) {
+	df, _ := New(sess(), []string{"g", "v", "id"},
+		[]string{"b", "a", "b", "a", "b", "a"},
+		[]float64{1, 2, 1, 3, 1, 2},
+		[]int32{0, 1, 2, 3, 4, 5})
+	for n := 0; n <= 8; n++ {
+		sorted, err := df.SortBy([]string{"g", "v"}, []bool{false, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := sorted.Head(n)
+		got, err := df.TopBy([]string{"g", "v"}, []bool{false, true}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("n=%d: %d rows, want %d", n, got.NumRows(), want.NumRows())
+		}
+		for i := 0; i < got.NumRows(); i++ {
+			if got.Ints32("id")[i] != want.Ints32("id")[i] {
+				t.Fatalf("n=%d row %d: id %d, want %d (ties must keep input order)",
+					n, i, got.Ints32("id")[i], want.Ints32("id")[i])
+			}
+		}
+	}
+	if _, err := df.TopBy([]string{"nope"}, nil, 2); err == nil {
+		t.Fatal("missing column should error")
+	}
+}
+
 func TestJoin(t *testing.T) {
 	l, _ := New(sess(), []string{"k", "lx"}, []int32{1, 2, 3}, []string{"a", "b", "c"})
 	r, _ := New(sess(), []string{"k", "rx"}, []int32{2, 3, 3}, []float64{20, 30, 31})

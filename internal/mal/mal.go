@@ -8,8 +8,17 @@
 //     plan-shape tests — including common-subexpression elimination, which
 //     the executor performs by memoizing identical expression instructions;
 //   - the mitosis heuristics (paper §3.1 "Parallel Execution", Figure 2):
-//     how many chunks to split the largest table into, based on table size,
-//     core count and a memory budget, never splitting small inputs.
+//     how many chunks to split an operator's input into, based on input
+//     size, core count and (for scans) a memory budget, never splitting
+//     small inputs. Each operator family has its own split rule — Mitosis
+//     for scan pipelines, MitosisGrouped for grouped aggregation,
+//     MitosisJoin for hash-join probes, MitosisSort for ORDER BY runs —
+//     because their fixed per-chunk overheads differ.
+//
+// A ChunkPlan only describes row ranges; executing chunks concurrently and
+// merging results in chunk order (the determinism contract) is package
+// exec's job. Heuristic outputs are pure functions of their arguments, so
+// plan shapes are reproducible in tests.
 package mal
 
 import (
@@ -165,6 +174,31 @@ func MitosisGrouped(nrows int, rowBytes int, maxThreads int) ChunkPlan {
 		cp.Rows = (nrows + cp.Chunks - 1) / cp.Chunks
 	}
 	return cp
+}
+
+// MitosisSort decides the chunking of a parallel ORDER BY over nrows
+// already-materialized rows: each chunk sorts its contiguous index run
+// independently and the coordinator k-way merges the runs. Unlike scan
+// mitosis there is no memory budget (the input batch is already resident)
+// but the serial O(n log k) merge is pure coordinator overhead, so chunks
+// must clear the plain MinChunkRows bar before splitting pays — and the
+// chunk count is clamped to the worker budget, since sorting is CPU-bound
+// with no I/O to overlap.
+func MitosisSort(nrows, maxThreads int) ChunkPlan {
+	if maxThreads <= 0 {
+		maxThreads = runtime.GOMAXPROCS(0)
+	}
+	if maxThreads == 1 || nrows < 2*MinChunkRows {
+		return ChunkPlan{Chunks: 1, Rows: nrows}
+	}
+	chunks := maxThreads
+	if nrows/chunks < MinChunkRows {
+		chunks = nrows / MinChunkRows
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return ChunkPlan{Chunks: chunks, Rows: (nrows + chunks - 1) / chunks}
 }
 
 // MitosisJoin decides the probe-side chunking of a parallel hash join. The

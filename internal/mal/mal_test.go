@@ -162,3 +162,31 @@ func TestMitosisJoinBuildAsymmetry(t *testing.T) {
 		t.Fatal("chunk count must stay positive")
 	}
 }
+
+func TestMitosisSortSmallInputsNotSplit(t *testing.T) {
+	if cp := MitosisSort(2*MinChunkRows-1, 8); cp.Chunks != 1 {
+		t.Fatalf("small sort split into %d chunks", cp.Chunks)
+	}
+	if cp := MitosisSort(1<<20, 1); cp.Chunks != 1 {
+		t.Fatalf("single thread split into %d chunks", cp.Chunks)
+	}
+}
+
+func TestMitosisSortUsesThreads(t *testing.T) {
+	cp := MitosisSort(1<<20, 4)
+	if cp.Chunks != 4 {
+		t.Fatalf("want 4 chunks, got %d", cp.Chunks)
+	}
+	if cp.Rows*cp.Chunks < 1<<20 {
+		t.Fatal("runs do not cover the input")
+	}
+	// Respect the minimum run size: 3*MinChunkRows rows on 8 threads must
+	// not produce runs below MinChunkRows.
+	cp = MitosisSort(3*MinChunkRows, 8)
+	if cp.Chunks > 3 {
+		t.Fatalf("runs below MinChunkRows: %d chunks", cp.Chunks)
+	}
+	if cp.Chunks < 2 {
+		t.Fatalf("large input should split: %d chunks", cp.Chunks)
+	}
+}

@@ -364,7 +364,8 @@ func (b *binder) bindSelect(sel *sqlparse.SelectStmt, outer *scope) (Node, error
 	if sel.Limit >= 0 || sel.Offset > 0 {
 		n := sel.Limit
 		if n < 0 {
-			n = 1<<62 - 1
+			// OFFSET without LIMIT: NoLimit keeps the TopN fusion rule off.
+			n = NoLimit
 		}
 		result = &Limit{Input: result, N: n, Offset: sel.Offset}
 	}

@@ -1,12 +1,25 @@
 // Package plan implements monetlite's query planner: name resolution
 // (binding) of parsed SQL into a typed logical plan, subquery decorrelation,
 // and the high-level optimizations the paper attributes to the relational
-// level — constant folding, filter pushdown, projection pruning and
-// heuristic join ordering (§3.1 "Query Plan Execution").
+// level (§3.1 "Query Plan Execution") — constant folding at bind time, then
+// in Optimize: heuristic smallest-first join ordering over equi-join
+// regions, pushdown of single-table conjuncts into scans, projection pruning
+// so scans only read referenced columns, and fusion of Limit(Sort(…)) into a
+// single TopN node (ORDER BY … LIMIT as a bounded heap instead of a full
+// sort).
 //
-// The logical plan is shared by both execution engines: the columnar
-// MAL-style engine (internal/exec) and the volcano row engine
-// (internal/rowstore).
+// Invariants callers may rely on:
+//
+//   - The logical plan is shared by both execution engines — the columnar
+//     MAL-style engine (internal/exec) and the volcano row engine
+//     (internal/rowstore) — so every node an optimizer rule can emit
+//     (including TopN) must be executable by both.
+//   - Optimizer rewrites preserve result rows AND row order for
+//     order-sensitive operators: a fused TopN returns exactly the rows the
+//     unfused stable Sort + Limit would, in the same order.
+//   - Expressions reference their input by slot (ColRef.Slot into the child
+//     schema); every structural rewrite remaps slots via MapSlots, so a
+//     bound plan never holds dangling slot references.
 package plan
 
 import (

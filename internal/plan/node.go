@@ -109,6 +109,22 @@ type Limit struct {
 	N, Offset int64
 }
 
+// NoLimit is the Limit.N value meaning "no LIMIT clause" (OFFSET only).
+// The TopN fusion rule only fires below it.
+const NoLimit = int64(1)<<62 - 1
+
+// TopN is the fusion of Limit(Sort(…)): the first N rows (after skipping
+// Offset) of the input ordered by Keys, exactly as the stable Sort would
+// produce them. The executor runs it as a bounded per-chunk heap plus a run
+// merge instead of a full sort, so ORDER BY … LIMIT k never pays for rows it
+// discards. Produced only by the optimizer (Optimize/fuseTopN), never bound
+// directly.
+type TopN struct {
+	Input     Node
+	Keys      []SortSpec
+	N, Offset int64
+}
+
 // Distinct removes duplicate rows.
 type Distinct struct{ Input Node }
 
@@ -188,6 +204,12 @@ func (n *Limit) Schema() Schema { return n.Input.Schema() }
 func (n *Limit) Children() []Node { return []Node{n.Input} }
 
 // Schema returns the input schema.
+func (n *TopN) Schema() Schema { return n.Input.Schema() }
+
+// Children returns the single input.
+func (n *TopN) Children() []Node { return []Node{n.Input} }
+
+// Schema returns the input schema.
 func (n *Distinct) Schema() Schema { return n.Input.Schema() }
 
 // Children returns the single input.
@@ -239,6 +261,9 @@ func planString(sb *strings.Builder, n Node, depth int) {
 		planString(sb, x.Input, depth+1)
 	case *Limit:
 		fmt.Fprintf(sb, "%sLIMIT %d OFFSET %d\n", indent, x.N, x.Offset)
+		planString(sb, x.Input, depth+1)
+	case *TopN:
+		fmt.Fprintf(sb, "%sTOPN %d OFFSET %d keys=%d\n", indent, x.N, x.Offset, len(x.Keys))
 		planString(sb, x.Input, depth+1)
 	case *Distinct:
 		fmt.Fprintf(sb, "%sDISTINCT\n", indent)

@@ -13,6 +13,10 @@ import (
 // projection pruning so scans only touch the columns a query needs (the
 // column-store advantage the evaluation leans on).
 func Optimize(cat Catalog, n Node) Node {
+	// Fuse first: the binder's Limit(Sort(…)) / Limit(Project(Sort(…)))
+	// shapes are still intact here, and the later passes then see (and are
+	// exercised on) the TopN node like any other operator.
+	n = fuseTopN(n)
 	n = optimizeJoins(cat, n)
 	n, _ = pruneNode(n, allRequired(len(n.Schema())))
 	return n
@@ -49,6 +53,9 @@ func optimizeJoins(cat Catalog, n Node) Node {
 		x.Input = optimizeJoins(cat, x.Input)
 		return x
 	case *Limit:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	case *TopN:
 		x.Input = optimizeJoins(cat, x.Input)
 		return x
 	case *Distinct:
@@ -555,6 +562,21 @@ func pruneNode(n Node, required []bool) (Node, map[int]int) {
 	case *Limit:
 		in, m := pruneNode(x.Input, required)
 		return &Limit{Input: in, N: x.N, Offset: x.Offset}, m
+	case *TopN:
+		req := append([]bool(nil), required...)
+		for _, k := range x.Keys {
+			used := map[int]bool{}
+			SlotsUsed(k.E, used)
+			for s := range used {
+				req[s] = true
+			}
+		}
+		in, m := pruneNode(x.Input, req)
+		keys := make([]SortSpec, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = SortSpec{E: mapExprSlots(k.E, m), Desc: k.Desc}
+		}
+		return &TopN{Input: in, Keys: keys, N: x.N, Offset: x.Offset}, m
 	case *Distinct:
 		// Distinct compares whole rows: everything is required.
 		in, m := pruneNode(x.Input, allRequired(len(x.Input.Schema())))
@@ -562,6 +584,54 @@ func pruneNode(n Node, required []bool) (Node, map[int]int) {
 	default:
 		return n, identityMap(len(n.Schema()))
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Top-N fusion.
+// ---------------------------------------------------------------------------
+
+// fuseTopN rewrites Limit(Sort(…)) — and Limit(Project(Sort(…))), the shape
+// the binder emits when ORDER BY references hidden sort columns, since a
+// Project is row-preserving and commutes with Limit — into a single TopN
+// node. Only real LIMIT clauses fuse (N < NoLimit): an OFFSET-only query
+// would make the bounded heap as large as the input, which is just a slower
+// full sort.
+func fuseTopN(n Node) Node {
+	switch x := n.(type) {
+	case *Limit:
+		x.Input = fuseTopN(x.Input)
+		if x.N >= NoLimit {
+			return x
+		}
+		if s, ok := x.Input.(*Sort); ok {
+			return &TopN{Input: s.Input, Keys: s.Keys, N: x.N, Offset: x.Offset}
+		}
+		if p, ok := x.Input.(*Project); ok && p.Input != nil {
+			if s, ok := p.Input.(*Sort); ok {
+				p.Input = &TopN{Input: s.Input, Keys: s.Keys, N: x.N, Offset: x.Offset}
+				return p
+			}
+		}
+		return x
+	case *Filter:
+		x.Input = fuseTopN(x.Input)
+	case *Project:
+		if x.Input != nil {
+			x.Input = fuseTopN(x.Input)
+		}
+	case *Join:
+		x.Left = fuseTopN(x.Left)
+		x.Right = fuseTopN(x.Right)
+	case *Aggregate:
+		x.Input = fuseTopN(x.Input)
+	case *Sort:
+		x.Input = fuseTopN(x.Input)
+	case *TopN:
+		x.Input = fuseTopN(x.Input)
+	case *Distinct:
+		x.Input = fuseTopN(x.Input)
+	}
+	return n
 }
 
 func identityMap(n int) map[int]int {

@@ -443,3 +443,39 @@ func TestRowEvalBasics(t *testing.T) {
 		t.Fatal("case without else should be NULL")
 	}
 }
+
+// ORDER BY … LIMIT must fuse into a single TopN node — including the shape
+// with hidden sort columns, where the binder interposes a strip-Project
+// between Limit and Sort. OFFSET-only and un-sorted LIMITs must not fuse.
+func TestTopNFusion(t *testing.T) {
+	q := bindQuery(t, "SELECT a, b FROM t ORDER BY a DESC LIMIT 7")
+	ps := PlanString(q.Plan)
+	if !strings.Contains(ps, "TOPN 7 OFFSET 0 keys=1") {
+		t.Fatalf("Limit(Sort) did not fuse to TopN:\n%s", ps)
+	}
+	if strings.Contains(ps, "SORT") || strings.Contains(ps, "LIMIT") {
+		t.Fatalf("fused plan still has SORT/LIMIT:\n%s", ps)
+	}
+
+	// Hidden sort column: ORDER BY a column not in the projection puts a
+	// strip-Project between Limit and Sort; the fusion pushes through it.
+	q = bindQuery(t, "SELECT b FROM t ORDER BY a LIMIT 3 OFFSET 2")
+	ps = PlanString(q.Plan)
+	if !strings.Contains(ps, "TOPN 3 OFFSET 2") {
+		t.Fatalf("Limit(Project(Sort)) did not fuse:\n%s", ps)
+	}
+
+	// OFFSET without LIMIT: a TopN heap would hold the whole input — no fusion.
+	q = bindQuery(t, "SELECT a FROM t ORDER BY a OFFSET 4")
+	ps = PlanString(q.Plan)
+	if strings.Contains(ps, "TOPN") || !strings.Contains(ps, "SORT") {
+		t.Fatalf("OFFSET-only query should keep Sort+Limit:\n%s", ps)
+	}
+
+	// LIMIT without ORDER BY: nothing to fuse.
+	q = bindQuery(t, "SELECT a FROM t LIMIT 5")
+	ps = PlanString(q.Plan)
+	if strings.Contains(ps, "TOPN") {
+		t.Fatalf("unsorted LIMIT fused:\n%s", ps)
+	}
+}

@@ -133,6 +133,19 @@ func (v *volcano) build(n plan.Node) (iterator, error) {
 			return nil, err
 		}
 		return &limitIter{in: in, skip: x.Offset, n: x.N}, nil
+	case *plan.TopN:
+		// The row store has no bounded-heap fast path: evaluate the fused
+		// node as its unfused Sort + Limit equivalent. Keeping the tuple-
+		// at-a-time baseline naive is the point of the comparison.
+		in, err := v.build(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		srt, err := newSortIter(v, &plan.Sort{Input: x.Input, Keys: x.Keys}, in)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: srt, skip: x.Offset, n: x.N}, nil
 	case *plan.Distinct:
 		in, err := v.build(x.Input)
 		if err != nil {

@@ -187,3 +187,53 @@ func TestImprintPruningOnTPCH(t *testing.T) {
 		t.Fatalf("parallel scan shows no pruning summary:\n%s", ptrace)
 	}
 }
+
+// The fused TopN path (ORDER BY … LIMIT as bounded per-chunk heaps + run
+// merge) must agree with the serial engine row for row on the ordered-limit
+// TPC-H queries Q2, Q3 and Q10. The parallel and serial engines share the
+// fused plan, so this also pins the serial TopN heap against the full-sort
+// semantics it replaced; the MAL trace must show the TopN operator actually
+// ran (the plans fused) on every query.
+func TestParallelOrderedQueriesMatchSerial(t *testing.T) {
+	const sf = 0.025
+	data := Generate(sf, 42)
+
+	open := func(cfg monetlite.Config) *monetlite.Conn {
+		db, err := monetlite.OpenInMemory(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		if err := LoadInto(db, data); err != nil {
+			t.Fatal(err)
+		}
+		conn := db.Connect()
+		conn.TraceMAL = true
+		return conn
+	}
+	serConn := open(monetlite.Config{Parallel: false})
+	parConn := open(monetlite.Config{Parallel: true, MaxThreads: 4})
+
+	for _, q := range []int{2, 3, 10} {
+		ser, err := serConn.Query(Queries[q])
+		if err != nil {
+			t.Fatalf("Q%d serial: %v", q, err)
+		}
+		if !strings.Contains(serConn.LastTrace.String(), "algebra.topn") {
+			t.Fatalf("Q%d: serial plan did not fuse ORDER BY+LIMIT to TopN:\n%s",
+				q, serConn.LastTrace.String())
+		}
+		par, err := parConn.Query(Queries[q])
+		if err != nil {
+			t.Fatalf("Q%d parallel: %v", q, err)
+		}
+		if !strings.Contains(parConn.LastTrace.String(), "algebra.topn") {
+			t.Fatalf("Q%d: parallel plan did not fuse ORDER BY+LIMIT to TopN:\n%s",
+				q, parConn.LastTrace.String())
+		}
+		if ser.NumRows() == 0 {
+			t.Fatalf("Q%d returned no rows", q)
+		}
+		compareResults(t, Queries[q], ser, par)
+	}
+}

@@ -43,7 +43,10 @@ func SortOrder(keys []SortKey, n int) []int32 {
 }
 
 // comparator builds a typed three-way row comparator with NULL-smallest
-// semantics.
+// semantics. Every kind checks NULL explicitly rather than leaning on the
+// in-domain sentinel happening to be the domain minimum: the sentinels of the
+// integer family are MinIntN today, but the ordering contract (NULL first
+// ascending, last descending) must not silently depend on that choice.
 func comparator(v *Vector) func(a, b int32) int {
 	switch v.Typ.Kind {
 	case mtypes.KVarchar:
@@ -65,13 +68,41 @@ func comparator(v *Vector) func(a, b int32) int {
 			return cmpOrdered(x, y)
 		}
 	case mtypes.KBigInt, mtypes.KDecimal:
-		return func(a, b int32) int { return cmpOrdered(v.I64[a], v.I64[b]) }
+		return func(a, b int32) int {
+			x, y := v.I64[a], v.I64[b]
+			xn, yn := x == mtypes.NullInt64, y == mtypes.NullInt64
+			if xn || yn {
+				return nullCmp(xn, yn)
+			}
+			return cmpOrdered(x, y)
+		}
 	case mtypes.KInt, mtypes.KDate:
-		return func(a, b int32) int { return cmpOrdered(v.I32[a], v.I32[b]) }
+		return func(a, b int32) int {
+			x, y := v.I32[a], v.I32[b]
+			xn, yn := x == mtypes.NullInt32, y == mtypes.NullInt32
+			if xn || yn {
+				return nullCmp(xn, yn)
+			}
+			return cmpOrdered(x, y)
+		}
 	case mtypes.KSmallInt:
-		return func(a, b int32) int { return cmpOrdered(v.I16[a], v.I16[b]) }
+		return func(a, b int32) int {
+			x, y := v.I16[a], v.I16[b]
+			xn, yn := x == mtypes.NullInt16, y == mtypes.NullInt16
+			if xn || yn {
+				return nullCmp(xn, yn)
+			}
+			return cmpOrdered(x, y)
+		}
 	default:
-		return func(a, b int32) int { return cmpOrdered(v.I8[a], v.I8[b]) }
+		return func(a, b int32) int {
+			x, y := v.I8[a], v.I8[b]
+			xn, yn := x == mtypes.NullInt8, y == mtypes.NullInt8
+			if xn || yn {
+				return nullCmp(xn, yn)
+			}
+			return cmpOrdered(x, y)
+		}
 	}
 }
 

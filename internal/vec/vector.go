@@ -7,6 +7,26 @@
 // in-domain sentinel values (see package mtypes). A candidate list is a
 // strictly increasing []int32 of qualifying row positions; nil means
 // "all rows".
+//
+// Invariants every kernel upholds:
+//
+//   - NULL/NaN canonicalization: for DOUBLE columns, every NaN payload is
+//     SQL NULL (mtypes.IsNullF64), and kernels canonicalize before hashing,
+//     encoding or comparing — a non-stock NaN payload groups, joins and
+//     sorts exactly like the stock sentinel. NULL never matches a join key,
+//     groups with itself in GROUP BY, and sorts smallest (first ascending,
+//     last descending); the sort kernels check NULL explicitly per kind
+//     rather than relying on the sentinel values being domain minima.
+//   - Determinism: kernels produce identical output for identical input —
+//     group ids are assigned in first-appearance order, join tables emit
+//     match chains in build order, and sorts are stable (ties keep input
+//     order). This is what lets the parallel paths (which concatenate
+//     per-chunk results in chunk order) promise output *identical* to their
+//     serial oracles, not merely equivalent.
+//   - Fast path / oracle pairs: GroupBy vs GroupByRefine, the partitioned
+//     join table vs BuildHash, the coded sort kernels (sortkernels.go) vs
+//     SortOrder. The slow twin is kept as the executable specification the
+//     randomized differential tests compare against.
 package vec
 
 import (
