@@ -1,0 +1,186 @@
+// Command benchgate turns `go test -bench` output into a compact JSON
+// snapshot and gates a current snapshot against a committed baseline — the
+// CI bench-regression harness (see the bench-baseline job in
+// .github/workflows/ci.yml and the README's "Benchmark baseline" section).
+//
+// Emit mode (reads bench output from stdin):
+//
+//	go test -run '^$' -bench X -benchmem -benchtime=3x -count=3 | benchgate -emit BENCH_PR4.json
+//
+// With -count > 1 the minimum ns/op (and allocs/op) per benchmark is kept:
+// the minimum is the least noisy summary of a wall-clock measurement — every
+// source of interference only ever makes a run slower.
+//
+// Compare mode:
+//
+//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR4.json -tolerance 0.30
+//
+// The gate fails (exit 1) when a benchmark's ns/op or allocs/op exceeds the
+// baseline by more than the tolerance, or when a baselined benchmark is
+// missing from the current snapshot. Improvements beyond the tolerance pass
+// with a notice to refresh the committed baseline, so the trajectory stays
+// honest in both directions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark measurement in a snapshot file.
+type Entry struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkScanFilterProject/CandidateList-4  5  3051704 ns/op  687 MB/s  4411537 B/op  126 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
+
+func parse(r *os.File) ([]Entry, error) {
+	best := map[string]*Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		var allocs int64
+		if m[3] != "" {
+			allocs, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		e, ok := best[m[1]]
+		if !ok {
+			best[m[1]] = &Entry{Op: m[1], NsPerOp: ns, AllocsPerOp: allocs}
+			continue
+		}
+		e.NsPerOp = min(e.NsPerOp, ns)
+		e.AllocsPerOp = min(e.AllocsPerOp, allocs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(best))
+	for _, e := range best {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return out, nil
+}
+
+func load(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		m[e.Op] = e
+	}
+	return m, nil
+}
+
+func compare(baselinePath, currentPath string, tol float64) int {
+	base, err := load(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	ops := make([]string, 0, len(base))
+	for op := range base {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	failed := false
+	check := func(op, metric string, baseV, curV float64) {
+		if baseV <= 0 {
+			return
+		}
+		ratio := curV / baseV
+		switch {
+		case ratio > 1+tol:
+			failed = true
+			fmt.Printf("FAIL %s: %s %.0f vs baseline %.0f (%+.1f%%, tolerance ±%.0f%%)\n",
+				op, metric, curV, baseV, (ratio-1)*100, tol*100)
+		case ratio < 1-tol:
+			fmt.Printf("note %s: %s %.0f vs baseline %.0f (%+.1f%%) — faster than the baseline "+
+				"tolerance; consider refreshing BENCH_BASELINE.json\n",
+				op, metric, curV, baseV, (ratio-1)*100)
+		default:
+			fmt.Printf("ok   %s: %s %.0f vs baseline %.0f (%+.1f%%)\n",
+				op, metric, curV, baseV, (ratio-1)*100)
+		}
+	}
+	for _, op := range ops {
+		b := base[op]
+		c, ok := cur[op]
+		if !ok {
+			failed = true
+			fmt.Printf("FAIL %s: baselined benchmark missing from current run\n", op)
+			continue
+		}
+		check(op, "ns/op", b.NsPerOp, c.NsPerOp)
+		check(op, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp))
+	}
+	for op := range cur {
+		if _, ok := base[op]; !ok {
+			fmt.Printf("note %s: not in baseline (new benchmark) — add it when refreshing\n", op)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	emit := flag.String("emit", "", "parse bench output from stdin and write a JSON snapshot to this path")
+	baseline := flag.String("baseline", "", "baseline snapshot to compare against")
+	current := flag.String("current", "", "current snapshot to gate")
+	tol := flag.Float64("tolerance", 0.30, "relative tolerance before the gate fails")
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		entries, err := parse(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		data, _ := json.MarshalIndent(entries, "", "  ")
+		if err := os.WriteFile(*emit, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(entries), *emit)
+	case *baseline != "" && *current != "":
+		os.Exit(compare(*baseline, *current, *tol))
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: use -emit OUT.json (stdin = bench output), or -baseline A.json -current B.json")
+		os.Exit(2)
+	}
+}

@@ -12,6 +12,13 @@ import (
 // memo is the vectorized expression evaluator for one batch, with common
 // sub-expression elimination: identical subtrees (by display form) are
 // computed once per batch — the MAL-level CSE optimization of the paper.
+//
+// When the batch is a selection view (batch.sel != nil) the memo evaluates
+// *under the candidate list*: column leaves are gathered at the surviving
+// rows (once each, via the CSE cache) and every kernel above runs densely
+// over those survivors, so an expression over a filtered batch costs
+// O(len(sel)) per column touched — never O(full column). Results are
+// positionally aligned with sel; a memo must not outlive its batch's sel.
 type memo struct {
 	e     *Engine
 	cache map[string]*vec.Vector
@@ -47,12 +54,14 @@ func (m *memo) compute(ex plan.Expr, b *batch, n int) (*vec.Vector, error) {
 		if x.Slot >= len(b.cols) {
 			return nil, fmt.Errorf("exec: slot %d out of range (%d cols)", x.Slot, len(b.cols))
 		}
-		return b.cols[x.Slot], nil
+		// Gather is the identity when b.sel is nil; under a candidate list it
+		// densifies the leaf to the survivors (cached, so once per column).
+		return vec.Gather(b.cols[x.Slot], b.sel), nil
 	case *plan.AggRef:
 		if x.Slot >= len(b.cols) {
 			return nil, fmt.Errorf("exec: agg slot %d out of range", x.Slot)
 		}
-		return b.cols[x.Slot], nil
+		return vec.Gather(b.cols[x.Slot], b.sel), nil
 	case *plan.Const:
 		return vec.Const(x.Val, n), nil
 	case *plan.SubplanExpr:
@@ -135,7 +144,7 @@ func (m *memo) compute(ex plan.Expr, b *batch, n int) (*vec.Vector, error) {
 		}
 		lo, hi, ok := constBounds(x)
 		if ok {
-			hits := vec.SelRange(in, lo, hi, true, true, nil)
+			hits := vec.SelRange(in, lo, hi, !x.LoExcl, !x.HiExcl, nil)
 			out := vec.New(mtypes.Bool, n)
 			for _, c := range hits {
 				out.I8[c] = 1
@@ -158,11 +167,18 @@ func (m *memo) compute(ex plan.Expr, b *batch, n int) (*vec.Vector, error) {
 		if err != nil {
 			return nil, err
 		}
-		ge, err := vec.CmpVec(vec.CmpGe, in, loV)
+		loOp, hiOp := vec.CmpGe, vec.CmpLe
+		if x.LoExcl {
+			loOp = vec.CmpGt
+		}
+		if x.HiExcl {
+			hiOp = vec.CmpLt
+		}
+		ge, err := vec.CmpVec(loOp, in, loV)
 		if err != nil {
 			return nil, err
 		}
-		le, err := vec.CmpVec(vec.CmpLe, in, hiV)
+		le, err := vec.CmpVec(hiOp, in, hiV)
 		if err != nil {
 			return nil, err
 		}

@@ -75,6 +75,9 @@ type Engine struct {
 	// testSortChunkRows, when >0, overrides the MitosisSort chunk size so
 	// tests can force multi-run parallel sorts and TopN heaps on small inputs.
 	testSortChunkRows int
+	// testScanChunkRows, when >0, overrides the MitosisScan chunk size so
+	// tests can force multi-chunk candidate-list scans on small inputs.
+	testScanChunkRows int
 }
 
 // execStats accumulates per-query counters that mitosis workers update
@@ -119,9 +122,18 @@ func (r *Result) NumRows() int {
 	return r.Cols[0].Len()
 }
 
-// batch is a materialized intermediate: aligned column vectors.
+// batch is an operator intermediate: aligned column vectors plus an optional
+// candidate list. With sel == nil the batch is dense — logical row i is
+// cols[*][i]. With sel != nil the batch is a *selection view*: the columns
+// are full-width (typically base-table vectors) and logical row i is
+// cols[*][sel[i]]; n == len(sel). Scans and filters produce selection views
+// so a conjunct chain refines one []int32 instead of copying columns; the
+// memo evaluator computes expressions densely over the survivors; and the
+// full gather happens once, at a pipeline breaker (result assembly, group,
+// join build/probe, sort) via materialize.
 type batch struct {
 	cols []*vec.Vector
+	sel  []int32 // nil = all rows; else strictly increasing row ids into cols
 	n    int
 }
 
@@ -131,6 +143,34 @@ func newBatch(cols []*vec.Vector) *batch {
 		n = cols[0].Len()
 	}
 	return &batch{cols: cols, n: n}
+}
+
+// newSelBatch wraps full-width columns with a candidate list (nil = dense).
+func newSelBatch(cols []*vec.Vector, sel []int32) *batch {
+	b := newBatch(cols)
+	if sel != nil {
+		b.sel = sel
+		b.n = len(sel)
+	}
+	return b
+}
+
+// materialize turns a selection view into a dense batch, gathering every
+// column at the candidate list. This is the single full-width copy of a
+// scan→filter pipeline, paid only at pipeline breakers; dense batches pass
+// through untouched (and unlogged).
+func (e *Engine) materialize(b *batch) *batch {
+	if b.sel == nil {
+		return b
+	}
+	out := make([]*vec.Vector, len(b.cols))
+	for i, c := range b.cols {
+		out[i] = vec.Gather(c, b.sel)
+	}
+	e.Trace.Emit("bat.materialize", fmt.Sprintf("%d cols x %d rows", len(b.cols), b.n))
+	nb := newBatch(out)
+	nb.n = b.n // preserve the row count for zero-column batches
+	return nb
 }
 
 // Execute runs a plan to completion.
@@ -146,6 +186,7 @@ func (e *Engine) Execute(n plan.Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	b = e.materialize(b) // result assembly is a pipeline breaker
 	sch := n.Schema()
 	res := &Result{Cols: b.cols}
 	for _, c := range sch {
@@ -205,23 +246,32 @@ func (e *Engine) exec(n plan.Node) (*batch, error) {
 	}
 }
 
+// execFilter refines the input's candidate list conjunct by conjunct — the
+// same representation the scan path uses — instead of materializing a
+// filtered copy: each conjunct maps to a selection kernel (or a dense
+// predicate evaluation over the current survivors) and the output batch
+// carries the refined list. Nothing is gathered here; that happens once,
+// downstream, at a pipeline breaker.
 func (e *Engine) execFilter(x *plan.Filter) (*batch, error) {
 	in, err := e.exec(x.Input)
 	if err != nil {
 		return nil, err
 	}
-	memo := newMemo(e)
-	bv, err := memo.evalVec(x.Pred, in)
-	if err != nil {
-		return nil, err
+	width := in.n
+	if len(in.cols) > 0 {
+		width = in.cols[0].Len()
 	}
-	cands := vec.SelTrue(bv, nil, false)
-	e.Trace.Emit("algebra.select", "pred")
-	out := make([]*vec.Vector, len(in.cols))
-	for i, c := range in.cols {
-		out[i] = vec.Gather(c, cands)
+	sel := in.sel
+	for _, f := range plan.SplitConjuncts(x.Pred) {
+		sel, err = e.refineFilter(f, in.cols, width, sel)
+		if err != nil {
+			return nil, err
+		}
+		if sel != nil && len(sel) == 0 {
+			break // all-false: no later conjunct can resurrect a row
+		}
 	}
-	return newBatch(out), nil
+	return newSelBatch(in.cols, sel), nil
 }
 
 func (e *Engine) execProject(x *plan.Project) (*batch, error) {
@@ -252,7 +302,13 @@ func (e *Engine) execProject(x *plan.Project) (*batch, error) {
 		}
 		out[i] = v
 	}
-	e.Trace.Emit("bat.project", fmt.Sprintf("%d exprs", len(x.Exprs)))
+	if in.sel != nil {
+		// Projection expressions were computed densely over the survivors —
+		// the candidate list never forced a full-width gather.
+		e.Trace.Emit("bat.project", fmt.Sprintf("%d exprs", len(x.Exprs)), fmt.Sprintf("%d cands", in.n))
+	} else {
+		e.Trace.Emit("bat.project", fmt.Sprintf("%d exprs", len(x.Exprs)))
+	}
 	return &batch{cols: out, n: in.n}, nil
 }
 
@@ -269,11 +325,15 @@ func (e *Engine) execLimit(x *plan.Limit) (*batch, error) {
 	if hi > in.n || hi < 0 {
 		hi = in.n
 	}
+	e.Trace.Emit("bat.slice", fmt.Sprintf("%d..%d", lo, hi))
+	if in.sel != nil {
+		// A limit over a selection view just slices the candidate list.
+		return newSelBatch(in.cols, in.sel[lo:hi]), nil
+	}
 	out := make([]*vec.Vector, len(in.cols))
 	for i, c := range in.cols {
 		out[i] = c.Slice(lo, hi)
 	}
-	e.Trace.Emit("bat.slice", fmt.Sprintf("%d..%d", lo, hi))
 	return newBatch(out), nil
 }
 
@@ -282,6 +342,7 @@ func (e *Engine) execDistinct(x *plan.Distinct) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	in = e.materialize(in) // grouping is a pipeline breaker
 	if in.n == 0 || len(in.cols) == 0 {
 		return in, nil
 	}

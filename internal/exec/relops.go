@@ -23,6 +23,9 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Join build and probe are pipeline breakers: pair lists address rows
+	// positionally, so selection views materialize here, once.
+	left, right = e.materialize(left), e.materialize(right)
 	if len(x.EquiL) == 0 && x.Residual == nil && x.Kind == plan.JoinInner {
 		return e.crossJoin(left, right)
 	}
@@ -552,11 +555,9 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 				outs[ci] = chunkOut{err: err}
 				return
 			}
-			gathered := make([]*vec.Vector, len(cols))
-			for i, c := range cols {
-				gathered[i] = vec.Gather(c, cands)
-			}
-			cb := newBatch(gathered)
+			// Selection view: aggregate arguments are evaluated densely over
+			// the survivors; non-referenced columns are never gathered.
+			cb := newSelBatch(cols, cands)
 			memo := newMemo(ce)
 			co := chunkOut{partials: make([]*vec.Vector, len(x.Aggs))}
 			co.count = int64(cb.n)
@@ -705,11 +706,9 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 				outs[ci] = chunkOut{err: err}
 				return
 			}
-			gathered := make([]*vec.Vector, len(cols))
-			for i, c := range cols {
-				gathered[i] = vec.Gather(c, cands)
-			}
-			cb := newBatch(gathered)
+			// Selection view: keys and aggregate arguments are evaluated
+			// densely over the survivors (see parallelGlobalAgg).
+			cb := newSelBatch(cols, cands)
 			memo := newMemo(ce)
 			keys := make([]*vec.Vector, len(x.GroupBy))
 			for i, g := range x.GroupBy {

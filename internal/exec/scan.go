@@ -13,8 +13,12 @@ import (
 
 // execScan evaluates a scan with its pushed filters. Selection runs over the
 // base columns with candidate lists; indexable predicates (point/range on a
-// column) go through imprints or the order index when available. Large scans
-// are split by the mitosis heuristics and filtered in parallel.
+// column) go through imprints or the order index when available. The scan's
+// output is a selection view — the base columns plus the surviving row ids —
+// not a filtered copy: materialization is the downstream pipeline breaker's
+// job. Large filtered scans are split by mal.MitosisScan and the per-chunk
+// candidate lists are concatenated in chunk order (bat.mergecand), which is
+// bit-identical to the serial list.
 func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 	src, ok := e.Cat.Source(x.Table)
 	if !ok {
@@ -24,28 +28,34 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 	e.Trace.Emit("sql.bind", x.Table, fmt.Sprintf("%d cols", len(x.Cols)))
 
 	cp := mal.ChunkPlan{Chunks: 1, Rows: nrows}
-	if e.Parallel {
-		cp = mal.Mitosis(nrows, 8*len(x.Cols), e.MaxThreads)
+	if e.Parallel && len(x.Filters) > 0 {
+		// An unfiltered scan produces no candidate list — nothing to split.
+		cp = mal.MitosisScan(nrows, e.MaxThreads)
+		if e.testScanChunkRows > 0 && nrows > e.testScanChunkRows {
+			cp = mal.ChunkPlan{
+				Chunks: (nrows + e.testScanChunkRows - 1) / e.testScanChunkRows,
+				Rows:   e.testScanChunkRows,
+			}
+		}
 	}
 	if cp.Chunks <= 1 {
 		cands, cols, err := e.scanRange(x, src, 0, nrows)
 		if err != nil {
 			return nil, err
 		}
-		out := make([]*vec.Vector, len(cols))
-		for i, c := range cols {
-			out[i] = vec.Gather(c, cands)
-		}
-		return newBatch(out), nil
+		return newSelBatch(cols, cands), nil
 	}
 
-	// Mitosis: chunked parallel scan+filter+gather, merged with bat.mergecand
-	// semantics (paper Figure 2).
-	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks", cp.Chunks))
+	// Mitosis: chunked parallel scan+filter; the workers produce per-window
+	// candidate lists which the coordinator rebases and concatenates with
+	// bat.mergecand semantics (paper Figure 2).
+	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (scan)", cp.Chunks))
 	skip0, tot0 := e.imprintsCounters()
 	type part struct {
-		cols []*vec.Vector
-		err  error
+		cands []int32 // relative to the chunk window; nil = every row passed
+		lo    int
+		hi    int
+		err   error
 	}
 	parts := make([]part, cp.Chunks)
 	var wg sync.WaitGroup
@@ -55,35 +65,53 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 			defer wg.Done()
 			ce := e.chunkEngine()
 			lo, hi := cp.Bounds(ci, nrows)
-			cands, cols, err := ce.scanRange(x, src, lo, hi)
-			if err != nil {
-				parts[ci] = part{err: err}
-				return
-			}
-			out := make([]*vec.Vector, len(cols))
-			for i, c := range cols {
-				out[i] = vec.Gather(c, cands)
-			}
-			parts[ci] = part{cols: out}
+			cands, _, err := ce.scanRange(x, src, lo, hi)
+			parts[ci] = part{cands: cands, lo: lo, hi: hi, err: err}
 		}(ci)
 	}
 	wg.Wait()
+	total := 0
+	allNil := true
 	for _, p := range parts {
 		if p.err != nil {
 			return nil, p.err
 		}
-	}
-	merged := make([]*vec.Vector, len(x.Cols))
-	for i := range merged {
-		pieces := make([]*vec.Vector, cp.Chunks)
-		for ci := range parts {
-			pieces[ci] = parts[ci].cols[i]
+		if p.cands == nil {
+			total += p.hi - p.lo
+		} else {
+			allNil = false
+			total += len(p.cands)
 		}
-		merged[i] = vec.Concat(pieces...)
+	}
+	cols := make([]*vec.Vector, len(x.Cols))
+	for i, ci := range x.Cols {
+		full, err := src.Col(ci)
+		if err != nil {
+			return nil, err
+		}
+		// Slice to the snapshot row count: the stored vector may extend past
+		// this version's visible rows (storage's append contract).
+		cols[i] = full.Slice(0, nrows)
+	}
+	if allNil {
+		// Every row of every chunk survived: the merged list is "all rows".
+		return newBatch(cols), nil
+	}
+	merged := make([]int32, 0, total)
+	for _, p := range parts {
+		if p.cands == nil {
+			for r := p.lo; r < p.hi; r++ {
+				merged = append(merged, int32(r))
+			}
+			continue
+		}
+		for _, c := range p.cands {
+			merged = append(merged, c+int32(p.lo))
+		}
 	}
 	e.emitImprintsDelta(skip0, tot0)
-	e.Trace.Emit("bat.mergecand")
-	return newBatch(merged), nil
+	e.Trace.Emit("bat.mergecand", fmt.Sprintf("%d cands", len(merged)))
+	return newSelBatch(cols, merged), nil
 }
 
 // imprintsCounters snapshots the per-query imprint pruning totals; paired
@@ -142,9 +170,11 @@ func (e *Engine) scanRange(x *plan.Scan, src TableSource, lo, hi int) ([]int32, 
 	return cands, cols, nil
 }
 
-// applyScanFilter applies one conjunct over the scan window [rowLo, rowHi),
-// choosing a selection kernel and using secondary indexes when the predicate
-// shape allows.
+// applyScanFilter applies one conjunct over the scan window [rowLo, rowHi).
+// It adds secondary-index acceleration (hash/order indexes, imprints) on top
+// of the shared conjunct refiner for the predicate shapes indexes understand;
+// everything else delegates to refineFilter, so the scan path and the
+// post-scan Filter path share one candidate-list representation.
 func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, cols []*vec.Vector, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	switch p := f.(type) {
 	case *plan.BinOp:
@@ -170,7 +200,61 @@ func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, col
 	case *plan.BetweenExpr:
 		if cr, ok := p.E.(*plan.ColRef); ok && !p.Not {
 			if lo, hi, ok := constBounds(p); ok {
-				return e.selectRange(x, src, cols, cr, lo, hi, cands, rowLo, rowHi)
+				return e.selectRange(x, src, cols, cr, lo, hi, !p.LoExcl, !p.HiExcl, cands, rowLo, rowHi)
+			}
+		}
+	}
+	return e.refineFilter(f, cols, rowHi-rowLo, cands)
+}
+
+// refineFilter applies one filter conjunct under the current candidate list,
+// returning the refined list — the shared core of scan filtering and the
+// Filter operator. cols are full-width (width rows); cands is the usual
+// nil-means-all selection. Recognized shapes route to the cands-aware
+// selection kernels in vec; tautological and contradictory constants
+// short-circuit without touching any column; the general fallback evaluates
+// the predicate densely over the survivors only (memo under the candidate
+// list) and select-trues the aligned boolean vector.
+func (e *Engine) refineFilter(f plan.Expr, cols []*vec.Vector, width int, cands []int32) ([]int32, error) {
+	switch p := f.(type) {
+	case *plan.Const:
+		if !p.Val.Null && p.Val.I != 0 {
+			// Tautology: every current candidate survives, nothing to do.
+			e.Trace.Emit("algebra.select", "const", "all")
+			return cands, nil
+		}
+		// Contradiction (FALSE or NULL): empty — but never nil, which would
+		// mean "all rows".
+		e.Trace.Emit("algebra.select", "const", "none")
+		return []int32{}, nil
+	case *plan.BinOp:
+		if p.Kind == plan.BinCmp {
+			if cr, ok := p.L.(*plan.ColRef); ok {
+				if c, ok := p.R.(*plan.Const); ok {
+					e.Trace.Emit("algebra.thetaselect", p.Cmp.String())
+					return vec.SelCmp(cols[cr.Slot], p.Cmp, c.Val, cands), nil
+				}
+				if sp, ok := p.R.(*plan.SubplanExpr); ok {
+					v, err := e.evalSubplan(sp.Plan)
+					if err != nil {
+						return nil, err
+					}
+					e.Trace.Emit("algebra.thetaselect", p.Cmp.String())
+					return vec.SelCmp(cols[cr.Slot], p.Cmp, v, cands), nil
+				}
+			}
+			if cr, ok := p.R.(*plan.ColRef); ok {
+				if c, ok := p.L.(*plan.Const); ok {
+					e.Trace.Emit("algebra.thetaselect", p.Cmp.Flip().String())
+					return vec.SelCmp(cols[cr.Slot], p.Cmp.Flip(), c.Val, cands), nil
+				}
+			}
+		}
+	case *plan.BetweenExpr:
+		if cr, ok := p.E.(*plan.ColRef); ok && !p.Not {
+			if lo, hi, ok := constBounds(p); ok {
+				e.Trace.Emit("algebra.rangeselect")
+				return vec.SelRange(cols[cr.Slot], lo, hi, !p.LoExcl, !p.HiExcl, cands), nil
 			}
 		}
 	case *plan.LikeExpr:
@@ -201,15 +285,19 @@ func (e *Engine) applyScanFilter(x *plan.Scan, src TableSource, f plan.Expr, col
 			return vec.SelNull(cols[cr.Slot], cands), nil
 		}
 	}
-	// General predicate: vectorized boolean evaluation + select-true.
+	// General predicate: dense boolean evaluation under the candidate list
+	// (survivors only), then select-true on the aligned result.
 	memo := newMemo(e)
-	b := &batch{cols: cols, n: cols[0].Len()}
+	b := &batch{cols: cols, sel: cands, n: width}
+	if cands != nil {
+		b.n = len(cands)
+	}
 	bv, err := memo.evalVec(f, b)
 	if err != nil {
 		return nil, err
 	}
 	e.Trace.Emit("algebra.thetaselect")
-	return vec.SelTrue(bv, cands, false), nil
+	return vec.SelTrue(bv, cands, true), nil
 }
 
 // selectCmp runs a comparison select over the scan window [rowLo, rowHi),
@@ -229,7 +317,9 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 				if h := src.HashIdx(tableCol); h != nil {
 					e.Trace.Emit("algebra.select", "hashidx")
 					rows := h.Lookup(coerceForIndex(col, val))
-					sorted := append([]int32(nil), rows...)
+					// Never nil: an absent key means zero matches, and a nil
+					// candidate list would mean "all rows" to Intersect.
+					sorted := append(make([]int32, 0, len(rows)), rows...)
 					insertionSort(sorted)
 					return vec.Intersect(cands, sorted), nil
 				}
@@ -251,7 +341,7 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 	return vec.SelCmp(col, op, val, cands), nil
 }
 
-func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, cands []int32, rowLo, rowHi int) ([]int32, error) {
+func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, loI, hiI bool, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	col := cols[cr.Slot]
 	tableCol := x.Cols[cr.Slot]
 	fullScan := rowLo == 0 && rowHi == src.NumRows()
@@ -259,15 +349,15 @@ func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, 
 		if fullScan {
 			if oi := src.OrderIdx(tableCol); oi != nil {
 				e.Trace.Emit("algebra.rangeselect", "orderidx")
-				return vec.Intersect(cands, oi.SelectRange(col, lo, hi, true, true)), nil
+				return vec.Intersect(cands, oi.SelectRange(col, lo, hi, loI, hiI)), nil
 			}
 		}
 		if im := src.Imprints(tableCol); im != nil {
-			return e.imprintSelect(im, col, lo, hi, true, true, rowLo, cands, "algebra.rangeselect"), nil
+			return e.imprintSelect(im, col, lo, hi, loI, hiI, rowLo, cands, "algebra.rangeselect"), nil
 		}
 	}
 	e.Trace.Emit("algebra.rangeselect")
-	return vec.SelRange(col, lo, hi, true, true, cands), nil
+	return vec.SelRange(col, lo, hi, loI, hiI, cands), nil
 }
 
 // imprintSelect runs one imprint-pruned range select over a (possibly

@@ -54,6 +54,7 @@ func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	in = e.materialize(in) // sort is a pipeline breaker (order gathers positionally)
 	keys, err := e.sortKeys(x.Keys, in)
 	if err != nil {
 		return nil, err
@@ -120,6 +121,7 @@ func (e *Engine) execTopN(x *plan.TopN) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	in = e.materialize(in) // same breaker as Sort: heap indexes are positional
 	keys, err := e.sortKeys(x.Keys, in)
 	if err != nil {
 		return nil, err

@@ -152,6 +152,31 @@ func Mitosis(nrows int, rowBytes int, maxThreads int) ChunkPlan {
 	return ChunkPlan{Chunks: chunks, Rows: rows}
 }
 
+// MitosisScan decides the chunking of a selection pipeline — a scan whose
+// output is a candidate list (scan → filter → project shapes), not a
+// materialized copy. Unlike the aggregate-feeding Mitosis there is no memory
+// budget: chunk windows are views over the resident base columns and each
+// worker produces only a []int32 of survivors, so the only fixed per-chunk
+// cost is the goroutine plus the chunk-order concatenation (bat.mergecand).
+// Chunks therefore just have to clear the plain MinChunkRows bar, clamped to
+// the worker budget.
+func MitosisScan(nrows, maxThreads int) ChunkPlan {
+	if maxThreads <= 0 {
+		maxThreads = runtime.GOMAXPROCS(0)
+	}
+	if maxThreads == 1 || nrows < 2*MinChunkRows {
+		return ChunkPlan{Chunks: 1, Rows: nrows}
+	}
+	chunks := maxThreads
+	if nrows/chunks < MinChunkRows {
+		chunks = nrows / MinChunkRows
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return ChunkPlan{Chunks: chunks, Rows: (nrows + chunks - 1) / chunks}
+}
+
 // MinGroupedChunkRows is the smallest chunk worth parallelizing for grouped
 // aggregation. Each chunk builds its own hash table and the merge phase
 // re-groups every chunk's key representatives and folds keyed partials, so

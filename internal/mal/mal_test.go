@@ -190,3 +190,37 @@ func TestMitosisSortUsesThreads(t *testing.T) {
 		t.Fatalf("large input should split: %d chunks", cp.Chunks)
 	}
 }
+
+// MitosisScan splits candidate-list scan pipelines: no memory budget (chunk
+// windows are views, workers emit only row ids), plain MinChunkRows bar,
+// clamped to the worker budget.
+func TestMitosisScan(t *testing.T) {
+	if cp := MitosisScan(1000, 8); cp.Chunks != 1 {
+		t.Fatalf("small input split into %d chunks", cp.Chunks)
+	}
+	if cp := MitosisScan(2*MinChunkRows-1, 8); cp.Chunks != 1 {
+		t.Fatalf("just-below-threshold split into %d chunks", cp.Chunks)
+	}
+	if cp := MitosisScan(1_000_000, 4); cp.Chunks != 4 {
+		t.Fatalf("chunks = %d, want worker budget 4", cp.Chunks)
+	}
+	if cp := MitosisScan(1_000_000, 1); cp.Chunks != 1 {
+		t.Fatalf("single worker split into %d chunks", cp.Chunks)
+	}
+	// MinChunkRows clamps the chunk count below the worker budget.
+	cp := MitosisScan(40000, 8)
+	if cp.Chunks != 40000/MinChunkRows {
+		t.Fatalf("chunks = %d, want %d", cp.Chunks, 40000/MinChunkRows)
+	}
+	// Bounds cover every row exactly once.
+	n := 100_001
+	cp = MitosisScan(n, 3)
+	covered := 0
+	for i := 0; i < cp.Chunks; i++ {
+		lo, hi := cp.Bounds(i, n)
+		covered += hi - lo
+	}
+	if covered != n {
+		t.Fatalf("bounds cover %d of %d rows", covered, n)
+	}
+}

@@ -555,6 +555,11 @@ func splitBoundConjuncts(e Expr) []Expr {
 	return []Expr{e}
 }
 
+// SplitConjuncts splits a bound predicate on top-level ANDs. The executor
+// filters by refining one candidate list conjunct by conjunct, so it needs
+// the same decomposition the optimizer uses for pushdown.
+func SplitConjuncts(e Expr) []Expr { return splitBoundConjuncts(e) }
+
 // equiSides recognizes `leftExpr = rightExpr` where leftExpr only touches
 // slots < nLeft and rightExpr only slots >= nLeft (or vice versa); returns
 // the pair rebased for Join.EquiL/EquiR.

@@ -88,11 +88,15 @@ type InListExpr struct {
 	Not  bool
 }
 
-// BetweenExpr is an inclusive range test (kept as a node so the executor can
-// map it to one SelRange / imprints probe).
+// BetweenExpr is a range test, kept as a node so the executor can map it to
+// one SelRange / imprints probe. SQL BETWEEN is inclusive on both ends (the
+// zero value); the optimizer's range-conjunct fusion also produces half-open
+// ranges (e.g. `a >= lo AND a < hi`) by setting LoExcl/HiExcl, so a pair of
+// one-sided comparisons still becomes a single imprint-prunable probe.
 type BetweenExpr struct {
-	E, Lo, Hi Expr
-	Not       bool
+	E, Lo, Hi      Expr
+	Not            bool
+	LoExcl, HiExcl bool // strict bound (>, <) instead of inclusive (>=, <=)
 }
 
 // CaseExpr is a searched CASE.
@@ -328,6 +332,16 @@ func ExprString(e Expr) string {
 	case *InListExpr:
 		return fmt.Sprintf("%s IN [%d values]", ExprString(x.E), len(x.Vals))
 	case *BetweenExpr:
+		if x.LoExcl || x.HiExcl {
+			loOp, hiOp := ">=", "<="
+			if x.LoExcl {
+				loOp = ">"
+			}
+			if x.HiExcl {
+				hiOp = "<"
+			}
+			return fmt.Sprintf("%s RANGE %s %s, %s %s", ExprString(x.E), loOp, ExprString(x.Lo), hiOp, ExprString(x.Hi))
+		}
 		return fmt.Sprintf("%s BETWEEN %s AND %s", ExprString(x.E), ExprString(x.Lo), ExprString(x.Hi))
 	case *CaseExpr:
 		return "CASE..."

@@ -19,6 +19,9 @@ func Optimize(cat Catalog, n Node) Node {
 	n = fuseTopN(n)
 	n = optimizeJoins(cat, n)
 	n, _ = pruneNode(n, allRequired(len(n.Schema())))
+	// Last, after pushdown has landed every single-table conjunct in its
+	// scan: merge one-sided range pairs so imprints see both bounds at once.
+	n = fuseScanRanges(n)
 	return n
 }
 
@@ -632,6 +635,128 @@ func fuseTopN(n Node) Node {
 		x.Input = fuseTopN(x.Input)
 	}
 	return n
+}
+
+// ---------------------------------------------------------------------------
+// Range-conjunct fusion.
+// ---------------------------------------------------------------------------
+
+// fuseScanRanges walks the plan and fuses each scan's pushed-down filters.
+func fuseScanRanges(n Node) Node {
+	switch x := n.(type) {
+	case *Scan:
+		x.Filters = fuseRangeConjuncts(x.Filters)
+	case *Filter:
+		x.Input = fuseScanRanges(x.Input)
+	case *Project:
+		if x.Input != nil {
+			x.Input = fuseScanRanges(x.Input)
+		}
+	case *Join:
+		x.Left = fuseScanRanges(x.Left)
+		x.Right = fuseScanRanges(x.Right)
+	case *Aggregate:
+		x.Input = fuseScanRanges(x.Input)
+	case *Sort:
+		x.Input = fuseScanRanges(x.Input)
+	case *TopN:
+		x.Input = fuseScanRanges(x.Input)
+	case *Limit:
+		x.Input = fuseScanRanges(x.Input)
+	case *Distinct:
+		x.Input = fuseScanRanges(x.Input)
+	}
+	return n
+}
+
+// colConstBound recognizes a one-sided comparison between a bare column and a
+// constant (either operand order), normalized to column-on-the-left form.
+func colConstBound(f Expr) (cr *ColRef, op vec.CmpOp, c *Const, ok bool) {
+	bo, isCmp := f.(*BinOp)
+	if !isCmp || bo.Kind != BinCmp {
+		return nil, 0, nil, false
+	}
+	if cl, okL := bo.L.(*ColRef); okL {
+		if cc, okR := bo.R.(*Const); okR {
+			return cl, bo.Cmp, cc, true
+		}
+	}
+	if cr, okR := bo.R.(*ColRef); okR {
+		if cc, okL := bo.L.(*Const); okL {
+			return cr, bo.Cmp.Flip(), cc, true
+		}
+	}
+	return nil, 0, nil, false
+}
+
+// fuseRangeConjuncts merges a lower-bound conjunct (col > / >= const) with an
+// upper-bound conjunct (col < / <= const) over the same column into a single
+// BetweenExpr (half-open via LoExcl/HiExcl), so the executor runs one range
+// selection — and one imprints probe — instead of two one-sided selections
+// intersected. The fused node takes the earlier conjunct's position;
+// everything unpaired keeps its place and order. Semantics are unchanged:
+// the conjunction and the range agree on every input including NULLs (both
+// reject them) and inverted bounds (both select nothing).
+func fuseRangeConjuncts(filters []Expr) []Expr {
+	if len(filters) < 2 {
+		return filters
+	}
+	type bound struct {
+		cr *ColRef
+		op vec.CmpOp
+		c  *Const
+	}
+	bounds := make([]*bound, len(filters))
+	for i, f := range filters {
+		if cr, op, c, ok := colConstBound(f); ok {
+			bounds[i] = &bound{cr: cr, op: op, c: c}
+		}
+	}
+	used := make([]bool, len(filters))
+	out := make([]Expr, 0, len(filters))
+	for i, f := range filters {
+		if used[i] {
+			continue
+		}
+		b := bounds[i]
+		if b == nil || (b.op != vec.CmpGt && b.op != vec.CmpGe && b.op != vec.CmpLt && b.op != vec.CmpLe) {
+			out = append(out, f)
+			continue
+		}
+		lower := b.op == vec.CmpGt || b.op == vec.CmpGe
+		fused := false
+		for j := i + 1; j < len(filters); j++ {
+			p := bounds[j]
+			if used[j] || p == nil || p.cr.Slot != b.cr.Slot {
+				continue
+			}
+			pLower := p.op == vec.CmpGt || p.op == vec.CmpGe
+			pUpper := p.op == vec.CmpLt || p.op == vec.CmpLe
+			if (!pLower && !pUpper) || pLower == lower {
+				// Equality/inequality conjuncts are not range bounds, and
+				// same-direction bounds don't pair.
+				continue
+			}
+			lo, hi := b, p
+			if !lower {
+				lo, hi = p, b
+			}
+			out = append(out, &BetweenExpr{
+				E:      &ColRef{Slot: b.cr.Slot, Typ: b.cr.Typ, Name: b.cr.Name},
+				Lo:     lo.c,
+				Hi:     hi.c,
+				LoExcl: lo.op == vec.CmpGt,
+				HiExcl: hi.op == vec.CmpLt,
+			})
+			used[j] = true
+			fused = true
+			break
+		}
+		if !fused {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func identityMap(n int) map[int]int {

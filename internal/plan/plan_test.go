@@ -479,3 +479,94 @@ func TestTopNFusion(t *testing.T) {
 		t.Fatalf("unsorted LIMIT fused:\n%s", ps)
 	}
 }
+
+// Pairs of one-sided range conjuncts over the same column must fuse into a
+// single BetweenExpr (half-open via LoExcl/HiExcl) so the executor — and the
+// imprints — see both bounds in one probe. Same-direction pairs, pairs over
+// different columns, and non-constant bounds must not fuse.
+func TestRangeConjunctFusion(t *testing.T) {
+	q := bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND a < 10")
+	ps := PlanString(q.Plan)
+	if !strings.Contains(ps, "RANGE >= 5, < 10") {
+		t.Fatalf(">=/< pair did not fuse:\n%s", ps)
+	}
+	if strings.Count(ps, "filter=") != 1 {
+		t.Fatalf("fused scan should carry one filter:\n%s", ps)
+	}
+
+	// Constant on the left flips; strict lower + inclusive upper.
+	q = bindQuery(t, "SELECT a FROM t WHERE 5 < a AND a <= 10")
+	ps = PlanString(q.Plan)
+	if !strings.Contains(ps, "RANGE > 5, <= 10") {
+		t.Fatalf("flipped </<= pair did not fuse:\n%s", ps)
+	}
+
+	// Both inclusive: plain BETWEEN (the zero-value flags).
+	q = bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND a <= 10")
+	ps = PlanString(q.Plan)
+	if !strings.Contains(ps, "BETWEEN 5 AND 10") {
+		t.Fatalf(">=/<= pair did not fuse to BETWEEN:\n%s", ps)
+	}
+
+	// Same-direction bounds stay separate conjuncts.
+	q = bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND a > 10")
+	ps = PlanString(q.Plan)
+	if strings.Contains(ps, "RANGE") || strings.Contains(ps, "BETWEEN") {
+		t.Fatalf("same-direction bounds fused:\n%s", ps)
+	}
+
+	// Equality and inequality conjuncts are not range bounds: fusing
+	// `a >= 5 AND a <> 7` into BETWEEN 5 AND 7 would change results.
+	q = bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND a <> 7")
+	ps = PlanString(q.Plan)
+	if strings.Contains(ps, "RANGE") || strings.Contains(ps, "BETWEEN") {
+		t.Fatalf("inequality conjunct fused as a range bound:\n%s", ps)
+	}
+	q = bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND a = 7")
+	ps = PlanString(q.Plan)
+	if strings.Contains(ps, "RANGE") || strings.Contains(ps, "BETWEEN") {
+		t.Fatalf("equality conjunct fused as a range bound:\n%s", ps)
+	}
+
+	// Different columns stay separate.
+	q = bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND c < 10")
+	ps = PlanString(q.Plan)
+	if strings.Contains(ps, "RANGE") {
+		t.Fatalf("bounds on different columns fused:\n%s", ps)
+	}
+
+	// A third bound on the same column pairs once; the leftover stays.
+	q = bindQuery(t, "SELECT a FROM t WHERE a >= 5 AND a < 10 AND a < 8")
+	ps = PlanString(q.Plan)
+	if !strings.Contains(ps, "RANGE >= 5, < 10") || !strings.Contains(ps, "(#0(a) < 8)") {
+		t.Fatalf("triple bound mishandled:\n%s", ps)
+	}
+}
+
+// The row evaluator (the rowstore engine's oracle) must honor the half-open
+// flags the fusion pass introduces, with SQL three-valued NULL semantics.
+func TestRowEvalHalfOpenRange(t *testing.T) {
+	rng := &BetweenExpr{
+		E:      &ColRef{Slot: 0, Typ: mtypes.Int},
+		Lo:     &Const{Val: mtypes.NewInt(mtypes.Int, 5)},
+		Hi:     &Const{Val: mtypes.NewInt(mtypes.Int, 10)},
+		LoExcl: false, HiExcl: true, // 5 <= a < 10
+	}
+	cases := []struct {
+		in   int64
+		want bool
+	}{{4, false}, {5, true}, {9, true}, {10, false}}
+	for _, c := range cases {
+		v, err := EvalRow(rng, &EvalCtx{Row: []mtypes.Value{mtypes.NewInt(mtypes.Int, c.in)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Null || (v.I == 1) != c.want {
+			t.Fatalf("a=%d: got %v, want %v", c.in, v, c.want)
+		}
+	}
+	v, err := EvalRow(rng, &EvalCtx{Row: []mtypes.Value{mtypes.NullValue(mtypes.Int)}})
+	if err != nil || !v.Null {
+		t.Fatalf("NULL input must yield NULL, got %v (%v)", v, err)
+	}
+}

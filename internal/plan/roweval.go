@@ -92,8 +92,15 @@ func EvalRow(e Expr, ctx *EvalCtx) (mtypes.Value, error) {
 		if v.Null || lo.Null || hi.Null {
 			return mtypes.NullValue(mtypes.Bool), nil
 		}
-		in := mtypes.Compare(v, lo) >= 0 && mtypes.Compare(v, hi) <= 0
-		return mtypes.NewBool(in != x.Not), nil
+		okLo := mtypes.Compare(v, lo) >= 0
+		if x.LoExcl {
+			okLo = mtypes.Compare(v, lo) > 0
+		}
+		okHi := mtypes.Compare(v, hi) <= 0
+		if x.HiExcl {
+			okHi = mtypes.Compare(v, hi) < 0
+		}
+		return mtypes.NewBool((okLo && okHi) != x.Not), nil
 	case *CaseExpr:
 		for _, w := range x.Whens {
 			c, err := EvalRow(w.Cond, ctx)

@@ -3,6 +3,7 @@ package tpch
 import (
 	"fmt"
 	"math"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -235,5 +236,101 @@ func TestParallelOrderedQueriesMatchSerial(t *testing.T) {
 			t.Fatalf("Q%d returned no rows", q)
 		}
 		compareResults(t, Queries[q], ser, par)
+	}
+}
+
+// The candidate-list scan pipeline (PR 4) must agree with the serial engine
+// row for row on scan-heavy shapes: the Q1 pre-aggregation scan (filter +
+// projected expressions, ~98% selective) and the Q6 predicate stack (fused
+// shipdate range + discount BETWEEN + quantity bound, ~2% selective), plus
+// Q6 itself. Both engines run the same plan; the parallel one must split the
+// scan into multiple MitosisScan chunks and merge per-chunk candidate lists
+// (bat.mergecand), and neither may materialize the pipeline full-width — the
+// MAL trace shows projections evaluated under a candidate list ("cands") and
+// zero bat.materialize instructions, i.e. no per-conjunct full-column gather
+// anywhere between the scan and the dense projection output.
+// projectUnderCands matches a bat.project instruction that executed under a
+// candidate list, e.g. "bat.project(2 exprs, 2245 cands)".
+var projectUnderCands = regexp.MustCompile(`bat\.project\(\d+ exprs, \d+ cands\)`)
+
+func TestParallelScanPipelineMatchesSerial(t *testing.T) {
+	const sf = 0.025
+	data := Generate(sf, 42)
+	if n := data.Lineitem.Rows; n < 4*mal.MinChunkRows {
+		t.Fatalf("SF %g generated only %d lineitem rows; too small for multi-chunk scans", sf, n)
+	}
+
+	open := func(cfg monetlite.Config) *monetlite.Conn {
+		db, err := monetlite.OpenInMemory(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		if err := LoadInto(db, data); err != nil {
+			t.Fatal(err)
+		}
+		conn := db.Connect()
+		conn.TraceMAL = true
+		return conn
+	}
+	serConn := open(monetlite.Config{Parallel: false})
+	parConn := open(monetlite.Config{Parallel: true, MaxThreads: 4})
+
+	queries := []struct {
+		label     string
+		sql       string
+		wantCands bool // projection must run under a candidate list
+	}{
+		{"Q1 pre-agg scan", `
+			select l_returnflag, l_quantity, l_extendedprice * (1 - l_discount)
+			from lineitem
+			where l_shipdate <= date '1998-09-02'`, true},
+		{"Q6 predicate scan", `
+			select l_extendedprice * l_discount
+			from lineitem
+			where l_shipdate >= date '1994-01-01'
+				and l_shipdate < date '1995-01-01'
+				and l_discount between 0.05 and 0.07
+				and l_quantity < 24`, true},
+		// Q6 itself aggregates: its final bat.project runs over the one-row
+		// aggregate result, so only the materialize/merge assertions apply.
+		{"Q6", Queries[6], false},
+	}
+	scanChunked := false
+	for _, q := range queries {
+		ser, err := serConn.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.label, err)
+		}
+		if c := serConn.LastTrace.Count("bat.materialize"); c != 0 {
+			t.Fatalf("%s: serial pipeline materialized full-width %d times:\n%s",
+				q.label, c, serConn.LastTrace.String())
+		}
+		par, err := parConn.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", q.label, err)
+		}
+		ptrace := parConn.LastTrace.String()
+		if c := parConn.LastTrace.Count("bat.materialize"); c != 0 {
+			t.Fatalf("%s: parallel pipeline materialized full-width %d times:\n%s", q.label, c, ptrace)
+		}
+		if strings.Contains(ptrace, "chunks (scan)") {
+			scanChunked = true
+			if !strings.Contains(ptrace, "bat.mergecand") {
+				t.Fatalf("%s: chunked scan without candidate merge:\n%s", q.label, ptrace)
+			}
+		}
+		// Match the bat.project instruction specifically — bat.mergecand also
+		// mentions "cands", which must not satisfy this assertion.
+		if q.wantCands && !projectUnderCands.MatchString(ptrace) {
+			t.Fatalf("%s: projection did not run under a candidate list:\n%s", q.label, ptrace)
+		}
+		if ser.NumRows() == 0 {
+			t.Fatalf("%s returned no rows", q.label)
+		}
+		compareResults(t, q.label, ser, par)
+	}
+	if !scanChunked {
+		t.Fatal("no query took the multi-chunk MitosisScan path; raise the scale factor")
 	}
 }
