@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"monetlite/internal/mal"
+)
+
+// The blocking/serial aggregate fallbacks under mitosis: MEDIAN merges raw
+// per-chunk values on the coordinator, and DISTINCT aggregates must not take
+// the partial-merge path at all — per-chunk partials would recount values
+// shared across chunk boundaries. These differentials pin queries *mixing*
+// parallel-safe and fallback aggregates against the all-serial path (PR 1
+// shipped the fallback untested; the global DISTINCT path did not fall back
+// and silently overcounted, fixed alongside this test).
+
+// Global aggregates: a DISTINCT aggregate anywhere in the select list forces
+// the whole aggregate serial. The grp column repeats in every mitosis chunk,
+// so the pre-fix per-chunk COUNT(DISTINCT) partials would sum to chunks*3.
+func TestGlobalDistinctAggFallsBackSerial(t *testing.T) {
+	cat := buildTable(t, 3*mal.MinChunkRows)
+	q := "SELECT count(distinct grp), sum(i), median(i), avg(i) FROM nums"
+
+	ser, err := (&Engine{Cat: cat, Parallel: false}).Execute(planFor(t, cat, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &mal.Program{}
+	par, err := (&Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}).Execute(planFor(t, cat, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := par.Cols[0].I64[0]; got != 3 {
+		t.Fatalf("count(distinct grp) = %d, want 3 (chunk partials recounted?)", got)
+	}
+	serRows, parRows := resultRows(ser), resultRows(par)
+	if serRows[0] != parRows[0] {
+		t.Fatalf("parallel differs from serial:\n serial:   %s\n parallel: %s", serRows[0], parRows[0])
+	}
+	// The fallback is the serial aggregate pipeline: no mitosis fan-out may
+	// appear in the trace (the unfiltered scan does not chunk either).
+	if n := trace.Count("optimizer.mitosis"); n != 0 {
+		t.Fatalf("DISTINCT aggregate still went parallel (%d mitosis instrs):\n%s", n, trace)
+	}
+}
+
+// Grouped aggregates mixing parallel-safe (SUM/COUNT/AVG) with fallback
+// (MEDIAN, DISTINCT) kinds: results must equal the all-serial path
+// row-for-row, and the trace must show the grouped mitosis pipeline stayed
+// off — the whole Aggregate runs serial, not a partial split.
+func TestGroupedMixedAggFallbackMatchesSerial(t *testing.T) {
+	cat := buildTable(t, 5*mal.MinChunkRows)
+	for _, q := range []string{
+		"SELECT grp, sum(i), median(i) FROM nums GROUP BY grp ORDER BY grp",
+		"SELECT grp, count(distinct i), avg(i) FROM nums GROUP BY grp ORDER BY grp",
+		"SELECT grp, sum(i), median(i), count(distinct i), count(*) FROM nums GROUP BY grp ORDER BY grp",
+	} {
+		ser, err := (&Engine{Cat: cat, Parallel: false}).Execute(planFor(t, cat, q))
+		if err != nil {
+			t.Fatalf("%s serial: %v", q, err)
+		}
+		trace := &mal.Program{}
+		par, err := (&Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}).Execute(planFor(t, cat, q))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", q, err)
+		}
+		serRows, parRows := resultRows(ser), resultRows(par)
+		if len(serRows) != len(parRows) {
+			t.Fatalf("%s: serial %d rows, parallel %d", q, len(serRows), len(parRows))
+		}
+		for i := range serRows {
+			if serRows[i] != parRows[i] {
+				t.Fatalf("%s: row %d differs\n serial:   %s\n parallel: %s", q, i, serRows[i], parRows[i])
+			}
+		}
+		if out := trace.String(); strings.Contains(out, "chunks (grouped)") {
+			t.Fatalf("%s: fallback aggregate still split the grouped pipeline:\n%s", q, out)
+		}
+	}
+}
+
+// Control: the same shape without fallback aggregates must still take the
+// parallel grouped pipeline (the fallback guard is not over-broad).
+func TestGroupedParallelSafeAggsStillSplit(t *testing.T) {
+	cat := buildTable(t, 5*mal.MinChunkRows)
+	q := "SELECT grp, sum(i), avg(i), count(*) FROM nums GROUP BY grp"
+	trace := &mal.Program{}
+	if _, err := (&Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}).Execute(planFor(t, cat, q)); err != nil {
+		t.Fatal(err)
+	}
+	if out := trace.String(); !strings.Contains(out, "chunks (grouped)") {
+		t.Fatalf("parallel-safe grouped aggregate did not split:\n%s", out)
+	}
+}

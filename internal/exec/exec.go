@@ -3,9 +3,9 @@
 // every operator processes whole columns, intermediates are materialized
 // vectors, selections flow as candidate lists, and operators are
 // parallelized by the mitosis heuristics in package mal (§3.1): chunked
-// scan/map/partial-aggregation pipelines, partitioned hash-join probes, and
+// scan/map/partial-aggregation pipelines, partitioned hash-join probes,
 // per-run parallel sorts with a k-way merge (plus the bounded-heap TopN for
-// ORDER BY … LIMIT).
+// ORDER BY … LIMIT), and per-partition window-function fan-out.
 //
 // Invariants:
 //
@@ -78,6 +78,9 @@ type Engine struct {
 	// testScanChunkRows, when >0, overrides the MitosisScan chunk size so
 	// tests can force multi-chunk candidate-list scans on small inputs.
 	testScanChunkRows int
+	// testWindowChunkRows, when >0, overrides the MitosisWindow per-worker
+	// row target so tests can force multi-group parallel window execution.
+	testWindowChunkRows int
 }
 
 // execStats accumulates per-query counters that mitosis workers update
@@ -241,6 +244,8 @@ func (e *Engine) exec(n plan.Node) (*batch, error) {
 		return e.execLimit(x)
 	case *plan.Distinct:
 		return e.execDistinct(x)
+	case *plan.Window:
+		return e.execWindow(x)
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}

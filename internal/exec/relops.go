@@ -525,6 +525,14 @@ func dedupPerGroup(gids []int32, vals *vec.Vector) ([]int32, *vec.Vector) {
 // decomposed into SUM+COUNT; MEDIAN keeps per-chunk value vectors and runs
 // the blocking median after the merge.
 func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, bool, error) {
+	for _, a := range x.Aggs {
+		if a.Distinct {
+			// DISTINCT needs a global dedup before aggregating: per-chunk
+			// partials would recount values shared across chunks. Fall back
+			// to the serial path (dedupPerGroup), like the grouped pipeline.
+			return nil, false, nil
+		}
+	}
 	src, ok := e.Cat.Source(scan.Table)
 	if !ok {
 		return nil, true, fmt.Errorf("exec: no such table %q", scan.Table)

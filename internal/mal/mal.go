@@ -12,8 +12,9 @@
 //     size, core count and (for scans) a memory budget, never splitting
 //     small inputs. Each operator family has its own split rule — Mitosis
 //     for scan pipelines, MitosisGrouped for grouped aggregation,
-//     MitosisJoin for hash-join probes, MitosisSort for ORDER BY runs —
-//     because their fixed per-chunk overheads differ.
+//     MitosisJoin for hash-join probes, MitosisSort for ORDER BY runs,
+//     MitosisWindow for per-partition window computation — because their
+//     fixed per-chunk overheads differ.
 //
 // A ChunkPlan only describes row ranges; executing chunks concurrently and
 // merging results in chunk order (the determinism contract) is package
@@ -224,6 +225,21 @@ func MitosisSort(nrows, maxThreads int) ChunkPlan {
 		chunks = 1
 	}
 	return ChunkPlan{Chunks: chunks, Rows: (nrows + chunks - 1) / chunks}
+}
+
+// MitosisWindow decides the fan-out of per-partition window-function
+// computation over nrows already-sorted rows. Partitions are fully
+// independent — each worker takes a contiguous run of whole partitions and
+// writes results at disjoint input positions, so there is no merge step at
+// all; like MitosisSort there is no memory budget (the input batch is
+// resident), and chunks must clear the plain MinChunkRows bar before the
+// goroutine overhead pays. The returned Rows is a *target* per worker: the
+// executor grows each worker's range to the next partition boundary, so a
+// plan never splits a partition. The split arithmetic is MitosisSort's: both
+// operators fan out CPU-bound work over an already-resident batch with the
+// plain MinChunkRows bar.
+func MitosisWindow(nrows, maxThreads int) ChunkPlan {
+	return MitosisSort(nrows, maxThreads)
 }
 
 // MitosisJoin decides the probe-side chunking of a parallel hash join. The

@@ -265,6 +265,9 @@ func (e *outerRef) Type() mtypes.Type { return e.Typ }
 type binder struct {
 	cat    Catalog
 	params []mtypes.Value
+	// win collects window calls while one SELECT's items are bound; nil
+	// anywhere else, which is what rejects OVER outside the select list.
+	win *windowCtx
 }
 
 var aggNames = map[string]vec.AggKind{
@@ -275,6 +278,12 @@ var aggNames = map[string]vec.AggKind{
 func isAggCall(e sqlparse.Expr) (*sqlparse.FuncCall, bool) {
 	fc, ok := e.(*sqlparse.FuncCall)
 	if !ok {
+		return nil, false
+	}
+	if fc.Over != nil {
+		// A windowed sum(...) OVER (...) is a window call, not an aggregate —
+		// though its arguments and spec may contain real aggregates, which
+		// walkAST still reaches.
 		return nil, false
 	}
 	_, isAgg := aggNames[fc.Name]
@@ -295,6 +304,11 @@ func containsAgg(e sqlparse.Expr) bool {
 // bindSelect binds a full SELECT (outer = enclosing scope for correlated
 // subqueries; nil at top level).
 func (b *binder) bindSelect(sel *sqlparse.SelectStmt, outer *scope) (Node, error) {
+	// Window collection is per SELECT; nested binds get a clean slate.
+	savedWin := b.win
+	b.win = nil
+	defer func() { b.win = savedWin }()
+
 	plan, s, err := b.bindFromWhere(sel, outer)
 	if err != nil {
 		return nil, err
@@ -315,6 +329,7 @@ func (b *binder) bindSelect(sel *sqlparse.SelectStmt, outer *scope) (Node, error
 			return nil, err
 		}
 	} else {
+		b.win = &windowCtx{bind: func(ast sqlparse.Expr) (Expr, error) { return b.bindExpr(ast, s) }}
 		for _, it := range sel.Items {
 			if it.Star {
 				for i, c := range s.cols {
@@ -331,6 +346,19 @@ func (b *binder) bindSelect(sel *sqlparse.SelectStmt, outer *scope) (Node, error
 			projNames = append(projNames, itemName(it))
 		}
 	}
+
+	// Bound after projection resolution, like the hidden-sort-column path:
+	// one Window node per distinct spec is stacked over the plan and the
+	// placeholders become ColRefs into the appended window columns.
+	if b.win != nil && len(b.win.groups) > 0 {
+		var offsets []int
+		plan, offsets = attachWindows(plan, b.win.groups)
+		for i := range projExprs {
+			projExprs[i] = resolveWindowRefs(projExprs[i], offsets, b.win.groups)
+		}
+	}
+	// Window functions are not allowed past this point (DISTINCT/ORDER BY).
+	b.win = nil
 
 	out := make(Schema, len(projExprs))
 	for i := range projExprs {
@@ -654,8 +682,11 @@ func (b *binder) bindAggregate(sel *sqlparse.SelectStmt, plan Node, s *scope) (N
 
 	agg := &Aggregate{Input: plan, GroupBy: groupExprs, Names: groupNames}
 
-	// 2. Post-aggregation rebinding of select items.
+	// 2. Post-aggregation rebinding of select items. Window calls bind their
+	// arguments and spec in the same post-agg context (a window may order by
+	// an aggregate result), so they land above the Aggregate.
 	pa := &postAggBinder{b: b, s: s, agg: agg, groupASTs: groupASTs, aliasToAST: aliasToAST}
+	b.win = &windowCtx{bind: pa.rebind}
 	var projExprs []Expr
 	var projNames []string
 	for _, it := range sel.Items {
@@ -672,7 +703,11 @@ func (b *binder) bindAggregate(sel *sqlparse.SelectStmt, plan Node, s *scope) (N
 
 	var result Node = agg
 	if sel.Having != nil {
+		// HAVING runs below the Window nodes: no window functions here.
+		win := b.win
+		b.win = nil
 		h, err := pa.rebind(sel.Having)
+		b.win = win
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -695,6 +730,11 @@ type postAggBinder struct {
 }
 
 func (pa *postAggBinder) rebind(ast sqlparse.Expr) (Expr, error) {
+	// Window calls first: they look like aggregate calls but bind above the
+	// Aggregate, with their arguments rebound in this post-agg context.
+	if fc, ok := ast.(*sqlparse.FuncCall); ok && fc.Over != nil {
+		return pa.b.bindWindowCall(fc)
+	}
 	// Whole-subtree match against a GROUP BY expression?
 	if !containsAgg(ast) {
 		if slot, ok := pa.matchGroup(ast); ok {
@@ -862,7 +902,12 @@ func (pa *postAggBinder) addAgg(kind vec.AggKind, x *sqlparse.FuncCall) (Expr, e
 		if len(x.Args) != 1 {
 			return nil, fmt.Errorf("plan: %s takes exactly one argument", x.Name)
 		}
+		// Aggregate arguments evaluate below the Window nodes: a window call
+		// inside one must error, not leak an unresolved placeholder.
+		win := pa.b.win
+		pa.b.win = nil
 		arg, err := pa.b.bindExpr(x.Args[0], pa.s)
+		pa.b.win = win
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,14 @@ func walkAST(e sqlparse.Expr, fn func(sqlparse.Expr) bool) {
 		for _, a := range x.Args {
 			walkAST(a, fn)
 		}
+		if x.Over != nil {
+			for _, pe := range x.Over.PartitionBy {
+				walkAST(pe, fn)
+			}
+			for _, oi := range x.Over.OrderBy {
+				walkAST(oi.Expr, fn)
+			}
+		}
 	case *sqlparse.CaseExpr:
 		walkAST(x.Operand, fn)
 		for _, w := range x.Whens {
@@ -109,6 +117,9 @@ func (b *binder) bindExpr(ast sqlparse.Expr, s *scope) (Expr, error) {
 		}
 		return FoldConst(&FuncExpr{Kind: FuncNeg, Args: []Expr{e}, Typ: e.Type()}).(Expr), nil
 	case *sqlparse.FuncCall:
+		if x.Over != nil {
+			return b.bindWindowCall(x)
+		}
 		return b.bindFunc(x, s)
 	case *sqlparse.CaseExpr:
 		return b.bindCase(x, s)

@@ -1,0 +1,275 @@
+package plan
+
+import (
+	"fmt"
+	"reflect"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/sqlparse"
+)
+
+// Window-function binding. Window calls are collected while the select items
+// are bound (in both the plain and the post-aggregation context): each
+// fn(args) OVER (spec) becomes a windowRef placeholder, and calls sharing one
+// (PARTITION BY, ORDER BY) specification are grouped so they share a single
+// Window node — and therefore a single physical sort. After every item is
+// bound (and the aggregate schema is final), attachWindows stacks one Window
+// node per distinct spec over the plan — after projection resolution, like
+// the hidden-sort-column path — and the placeholders are rewritten into
+// ColRefs over the appended window columns.
+
+// windowCtx is the per-SELECT collection state; it is non-nil only while the
+// select items are being bound, which is what rejects window functions in
+// WHERE, GROUP BY, HAVING and ORDER BY.
+type windowCtx struct {
+	// bind resolves an AST expression in the current context: the plain
+	// scope binder, or postAggBinder.rebind under aggregation.
+	bind   func(sqlparse.Expr) (Expr, error)
+	groups []*windowGroup
+	// binding guards against nested OVER: while one call's arguments and
+	// spec are being bound, an inner window call is a clean error — a
+	// windowRef leaking into a Window node's expressions would never be
+	// resolved.
+	binding bool
+}
+
+// windowGroup is one shared window specification plus its deduplicated calls.
+type windowGroup struct {
+	partitionBy []Expr
+	orderBy     []SortSpec
+	calls       []WindowCall
+}
+
+// windowRef marks a bound window call inside a projection expression until
+// attachWindows assigns output slots; it never survives into the final plan.
+type windowRef struct {
+	group, call int
+	typ         mtypes.Type
+}
+
+// Type returns the window call's result type.
+func (e *windowRef) Type() mtypes.Type { return e.typ }
+
+var windowFuncs = map[string]WinFunc{
+	"row_number": WinRowNumber, "rank": WinRank, "dense_rank": WinDenseRank,
+	"lag": WinLag, "lead": WinLead,
+	"sum": WinSum, "count": WinCount, "min": WinMin, "max": WinMax, "avg": WinAvg,
+}
+
+// isRankFamily reports whether f is ordering-derived (no argument, no frame).
+func isRankFamily(f WinFunc) bool {
+	return f == WinRowNumber || f == WinRank || f == WinDenseRank
+}
+
+// bindWindowCall binds one fn(args) OVER (spec) call, deduplicating both the
+// specification (same-spec calls share one Window node and its sort) and the
+// call itself.
+func (b *binder) bindWindowCall(fc *sqlparse.FuncCall) (Expr, error) {
+	if b.win == nil || b.win.bind == nil {
+		return nil, fmt.Errorf("plan: window function %q is only allowed in the SELECT list", fc.Name)
+	}
+	if b.win.binding {
+		return nil, fmt.Errorf("plan: window functions cannot be nested")
+	}
+	b.win.binding = true
+	defer func() { b.win.binding = false }()
+	fn, ok := windowFuncs[fc.Name]
+	if !ok {
+		return nil, fmt.Errorf("plan: %q is not a window function", fc.Name)
+	}
+	if fc.Distinct {
+		return nil, fmt.Errorf("plan: DISTINCT is not supported in window aggregates")
+	}
+	call := WindowCall{Func: fn, Name: fc.Name}
+	switch {
+	case isRankFamily(fn):
+		if len(fc.Args) != 0 || fc.Star {
+			return nil, fmt.Errorf("plan: %s takes no arguments", fc.Name)
+		}
+		if fc.Over.Frame != nil {
+			return nil, fmt.Errorf("plan: %s does not accept a frame clause", fc.Name)
+		}
+	case fn == WinLag || fn == WinLead:
+		if len(fc.Args) < 1 || len(fc.Args) > 3 || fc.Star {
+			return nil, fmt.Errorf("plan: %s takes 1 to 3 arguments", fc.Name)
+		}
+		if fc.Over.Frame != nil {
+			return nil, fmt.Errorf("plan: %s does not accept a frame clause", fc.Name)
+		}
+		arg, err := b.win.bind(fc.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		call.Arg = arg
+		call.Offset = 1
+		if len(fc.Args) >= 2 {
+			off, err := b.win.bind(fc.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			c, isConst := FoldConst(off).(*Const)
+			if !isConst || c.Val.Null || !c.Val.Typ.IsInteger() || c.Val.I < 0 {
+				return nil, fmt.Errorf("plan: %s offset must be a non-negative integer constant", fc.Name)
+			}
+			call.Offset = c.Val.I
+		}
+		if len(fc.Args) == 3 {
+			def, err := b.win.bind(fc.Args[2])
+			if err != nil {
+				return nil, err
+			}
+			call.Default = castTo(def, arg.Type())
+		}
+	case fc.Star:
+		if fn != WinCount {
+			return nil, fmt.Errorf("plan: %s(*) is not valid", fc.Name)
+		}
+		call.Func = WinCountStar
+	default:
+		if len(fc.Args) != 1 {
+			return nil, fmt.Errorf("plan: %s takes exactly one argument", fc.Name)
+		}
+		arg, err := b.win.bind(fc.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if (fn == WinSum || fn == WinAvg) && !arg.Type().IsNumeric() {
+			return nil, fmt.Errorf("plan: %s over %s is not valid", fc.Name, arg.Type())
+		}
+		call.Arg = arg
+	}
+	if fc.Over.Frame != nil {
+		call.Frame = frameFromAST(fc.Over.Frame)
+	}
+
+	// Bind the shared specification.
+	var partitionBy []Expr
+	for _, pe := range fc.Over.PartitionBy {
+		e, err := b.win.bind(pe)
+		if err != nil {
+			return nil, err
+		}
+		partitionBy = append(partitionBy, e)
+	}
+	var orderBy []SortSpec
+	for _, oi := range fc.Over.OrderBy {
+		e, err := b.win.bind(oi.Expr)
+		if err != nil {
+			return nil, err
+		}
+		orderBy = append(orderBy, SortSpec{E: e, Desc: oi.Desc})
+	}
+
+	// Same-spec calls share one group (one Window node, one physical sort).
+	gi := -1
+	for i, g := range b.win.groups {
+		if reflect.DeepEqual(g.partitionBy, partitionBy) && reflect.DeepEqual(g.orderBy, orderBy) {
+			gi = i
+			break
+		}
+	}
+	if gi < 0 {
+		b.win.groups = append(b.win.groups, &windowGroup{partitionBy: partitionBy, orderBy: orderBy})
+		gi = len(b.win.groups) - 1
+	}
+	g := b.win.groups[gi]
+	for ci, existing := range g.calls {
+		if reflect.DeepEqual(existing, call) {
+			return &windowRef{group: gi, call: ci, typ: WindowResultType(call)}, nil
+		}
+	}
+	g.calls = append(g.calls, call)
+	return &windowRef{group: gi, call: len(g.calls) - 1, typ: WindowResultType(call)}, nil
+}
+
+func frameFromAST(fs *sqlparse.FrameSpec) *Frame {
+	conv := func(bound sqlparse.FrameBound) FrameBound {
+		switch bound.Kind {
+		case sqlparse.FrameUnboundedPreceding:
+			return FrameBound{Kind: FrameUnboundedPreceding}
+		case sqlparse.FramePreceding:
+			return FrameBound{Kind: FramePreceding, N: bound.N}
+		case sqlparse.FrameCurrentRow:
+			return FrameBound{Kind: FrameCurrentRow}
+		case sqlparse.FrameFollowing:
+			return FrameBound{Kind: FrameFollowing, N: bound.N}
+		default:
+			return FrameBound{Kind: FrameUnboundedFollowing}
+		}
+	}
+	return &Frame{Lo: conv(fs.Lo), Hi: conv(fs.Hi)}
+}
+
+// attachWindows stacks one Window node per collected spec group over n (the
+// aggregate/HAVING output under aggregation, the FROM/WHERE plan otherwise)
+// and returns the output slot offset of each group's first call. Stacking is
+// prefix-stable: every node's schema extends its input's, so expressions over
+// the original input schema stay valid at any level.
+func attachWindows(n Node, groups []*windowGroup) (Node, []int) {
+	offsets := make([]int, len(groups))
+	off := len(n.Schema())
+	for gi, g := range groups {
+		offsets[gi] = off
+		off += len(g.calls)
+		n = &Window{Input: n, PartitionBy: g.partitionBy, OrderBy: g.orderBy, Calls: g.calls}
+	}
+	return n, offsets
+}
+
+// resolveWindowRefs rewrites windowRef placeholders into ColRefs over the
+// window output columns.
+func resolveWindowRefs(e Expr, offsets []int, groups []*windowGroup) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *windowRef:
+		return &ColRef{Slot: offsets[x.group] + x.call, Typ: x.typ, Name: groups[x.group].calls[x.call].Name}
+	case *ColRef, *Const, *SubplanExpr, *AggRef, *outerRef:
+		return e
+	case *BinOp:
+		c := *x
+		c.L = resolveWindowRefs(x.L, offsets, groups)
+		c.R = resolveWindowRefs(x.R, offsets, groups)
+		return &c
+	case *NotExpr:
+		return &NotExpr{E: resolveWindowRefs(x.E, offsets, groups)}
+	case *IsNullExpr:
+		return &IsNullExpr{E: resolveWindowRefs(x.E, offsets, groups), Not: x.Not}
+	case *LikeExpr:
+		c := *x
+		c.E = resolveWindowRefs(x.E, offsets, groups)
+		return &c
+	case *InListExpr:
+		c := *x
+		c.E = resolveWindowRefs(x.E, offsets, groups)
+		return &c
+	case *BetweenExpr:
+		c := *x
+		c.E = resolveWindowRefs(x.E, offsets, groups)
+		c.Lo = resolveWindowRefs(x.Lo, offsets, groups)
+		c.Hi = resolveWindowRefs(x.Hi, offsets, groups)
+		return &c
+	case *CaseExpr:
+		c := *x
+		c.Whens = make([]WhenClause, len(x.Whens))
+		for i, w := range x.Whens {
+			c.Whens[i] = WhenClause{
+				Cond:   resolveWindowRefs(w.Cond, offsets, groups),
+				Result: resolveWindowRefs(w.Result, offsets, groups),
+			}
+		}
+		c.Else = resolveWindowRefs(x.Else, offsets, groups)
+		return &c
+	case *FuncExpr:
+		c := *x
+		c.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = resolveWindowRefs(a, offsets, groups)
+		}
+		return &c
+	case *CastExpr:
+		return &CastExpr{E: resolveWindowRefs(x.E, offsets, groups), To: x.To}
+	default:
+		return e
+	}
+}

@@ -128,6 +128,104 @@ type TopN struct {
 // Distinct removes duplicate rows.
 type Distinct struct{ Input Node }
 
+// WinFunc enumerates the window functions.
+type WinFunc uint8
+
+// Window functions: the rank family, the offset pair, and the windowed
+// aggregates.
+const (
+	WinRowNumber WinFunc = iota
+	WinRank
+	WinDenseRank
+	WinLag
+	WinLead
+	WinSum
+	WinCount
+	WinCountStar
+	WinMin
+	WinMax
+	WinAvg
+)
+
+func (f WinFunc) String() string {
+	return [...]string{"ROW_NUMBER", "RANK", "DENSE_RANK", "LAG", "LEAD",
+		"SUM", "COUNT", "COUNT(*)", "MIN", "MAX", "AVG"}[f]
+}
+
+// FrameBoundKind classifies one end of an explicit ROWS frame.
+type FrameBoundKind uint8
+
+// Frame bound kinds, in frame order (start bounds never sort after end
+// bounds).
+const (
+	FrameUnboundedPreceding FrameBoundKind = iota
+	FramePreceding
+	FrameCurrentRow
+	FrameFollowing
+	FrameUnboundedFollowing
+)
+
+// FrameBound is one end of a ROWS frame (N used by Preceding/Following).
+type FrameBound struct {
+	Kind FrameBoundKind
+	N    int64
+}
+
+// Frame is an explicit ROWS frame on a windowed aggregate. A nil *Frame on a
+// WindowCall means the SQL default: the whole partition when the window has
+// no ORDER BY, otherwise the peer-inclusive running frame (RANGE UNBOUNDED
+// PRECEDING .. CURRENT ROW — all rows up to and including the current row's
+// order-key peers).
+type Frame struct {
+	Lo, Hi FrameBound
+}
+
+// WindowCall is one window-function computation inside a Window node. Arg,
+// Default and the enclosing node's PartitionBy/OrderBy are expressions over
+// the node's input schema.
+type WindowCall struct {
+	Func    WinFunc
+	Arg     Expr   // nil for ROW_NUMBER/RANK/DENSE_RANK/COUNT(*)
+	Offset  int64  // LAG/LEAD distance (>= 0)
+	Default Expr   // LAG/LEAD out-of-partition value; nil = NULL
+	Frame   *Frame // explicit ROWS frame (windowed aggregates only)
+	Name    string
+}
+
+// Window computes window functions over one shared specification: the input
+// is ordered once by (PartitionBy, OrderBy) — the single physical sort every
+// same-spec call shares — partition boundaries are discovered on that order,
+// and each call's result column is appended to the input schema, positionally
+// aligned with the *input* row order (Window preserves row order and count).
+// Distinct specifications in one SELECT become stacked Window nodes.
+type Window struct {
+	Input       Node
+	PartitionBy []Expr
+	OrderBy     []SortSpec
+	Calls       []WindowCall
+	// SortFree is set by the optimizer when the input is already ordered
+	// compatibly (partition keys as the ordering prefix, then exactly this
+	// window's order keys), so the operator skips its physical sort: the
+	// identity permutation is what the stable sort would return.
+	SortFree bool
+}
+
+// WindowResultType computes a window call's output type.
+func WindowResultType(c WindowCall) mtypes.Type {
+	switch c.Func {
+	case WinRowNumber, WinRank, WinDenseRank, WinCount, WinCountStar:
+		return mtypes.BigInt
+	case WinLag, WinLead:
+		return c.Arg.Type()
+	case WinSum:
+		return vec.AggResultType(vec.AggSum, c.Arg.Type())
+	case WinAvg:
+		return mtypes.Double
+	default: // min/max keep the input type
+		return c.Arg.Type()
+	}
+}
+
 // Schema implementations.
 func (n *Scan) Schema() Schema { return n.Out }
 
@@ -215,6 +313,20 @@ func (n *Distinct) Schema() Schema { return n.Input.Schema() }
 // Children returns the single input.
 func (n *Distinct) Children() []Node { return []Node{n.Input} }
 
+// Schema returns the input schema followed by one column per window call.
+func (n *Window) Schema() Schema {
+	in := n.Input.Schema()
+	out := make(Schema, 0, len(in)+len(n.Calls))
+	out = append(out, in...)
+	for _, c := range n.Calls {
+		out = append(out, ColInfo{Name: c.Name, Typ: WindowResultType(c)})
+	}
+	return out
+}
+
+// Children returns the single input.
+func (n *Window) Children() []Node { return []Node{n.Input} }
+
 // PlanString renders an indented plan tree (for EXPLAIN and plan-shape tests).
 func PlanString(n Node) string {
 	var sb strings.Builder
@@ -267,6 +379,18 @@ func planString(sb *strings.Builder, n Node, depth int) {
 		planString(sb, x.Input, depth+1)
 	case *Distinct:
 		fmt.Fprintf(sb, "%sDISTINCT\n", indent)
+		planString(sb, x.Input, depth+1)
+	case *Window:
+		calls := make([]string, len(x.Calls))
+		for i, c := range x.Calls {
+			calls[i] = c.Func.String()
+		}
+		fmt.Fprintf(sb, "%sWINDOW parts=%d orders=%d calls=%s", indent,
+			len(x.PartitionBy), len(x.OrderBy), strings.Join(calls, ","))
+		if x.SortFree {
+			sb.WriteString(" sortfree")
+		}
+		sb.WriteByte('\n')
 		planString(sb, x.Input, depth+1)
 	default:
 		fmt.Fprintf(sb, "%s%T\n", indent, n)

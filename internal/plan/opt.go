@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"reflect"
 	"sort"
 
 	"monetlite/internal/mtypes"
@@ -22,6 +23,9 @@ func Optimize(cat Catalog, n Node) Node {
 	// Last, after pushdown has landed every single-table conjunct in its
 	// scan: merge one-sided range pairs so imprints see both bounds at once.
 	n = fuseScanRanges(n)
+	// With shapes final, mark Window nodes whose input is already ordered
+	// compatibly so they skip their physical sort.
+	n = elideWindowSorts(n)
 	return n
 }
 
@@ -62,6 +66,9 @@ func optimizeJoins(cat Catalog, n Node) Node {
 		x.Input = optimizeJoins(cat, x.Input)
 		return x
 	case *Distinct:
+		x.Input = optimizeJoins(cat, x.Input)
+		return x
+	case *Window:
 		x.Input = optimizeJoins(cat, x.Input)
 		return x
 	default:
@@ -183,6 +190,8 @@ func estimate(cat Catalog, n Node, filters int) float64 {
 		base = estimate(cat, x.Left, 0)
 	case *Project:
 		base = estimate(cat, x.Input, filters)
+	case *Window:
+		base = estimate(cat, x.Input, filters) // row-preserving
 	default:
 		base = 1000
 	}
@@ -584,6 +593,29 @@ func pruneNode(n Node, required []bool) (Node, map[int]int) {
 		// Distinct compares whole rows: everything is required.
 		in, m := pruneNode(x.Input, allRequired(len(x.Input.Schema())))
 		return &Distinct{Input: in}, m
+	case *Window:
+		// Window passes every input column through, and its expressions may
+		// hold AggRefs (which SlotsUsed does not track), so the input keeps
+		// all columns — pruning still applies below the aggregate/join inputs.
+		in, m := pruneNode(x.Input, allRequired(len(x.Input.Schema())))
+		w := &Window{Input: in, SortFree: x.SortFree}
+		for _, pe := range x.PartitionBy {
+			w.PartitionBy = append(w.PartitionBy, mapExprSlots(pe, m))
+		}
+		for _, k := range x.OrderBy {
+			w.OrderBy = append(w.OrderBy, SortSpec{E: mapExprSlots(k.E, m), Desc: k.Desc})
+		}
+		for _, c := range x.Calls {
+			nc := c
+			if c.Arg != nil {
+				nc.Arg = mapExprSlots(c.Arg, m)
+			}
+			if c.Default != nil {
+				nc.Default = mapExprSlots(c.Default, m)
+			}
+			w.Calls = append(w.Calls, nc)
+		}
+		return w, identityMap(len(w.Schema()))
 	default:
 		return n, identityMap(len(n.Schema()))
 	}
@@ -633,6 +665,8 @@ func fuseTopN(n Node) Node {
 		x.Input = fuseTopN(x.Input)
 	case *Distinct:
 		x.Input = fuseTopN(x.Input)
+	case *Window:
+		x.Input = fuseTopN(x.Input)
 	}
 	return n
 }
@@ -665,8 +699,88 @@ func fuseScanRanges(n Node) Node {
 		x.Input = fuseScanRanges(x.Input)
 	case *Distinct:
 		x.Input = fuseScanRanges(x.Input)
+	case *Window:
+		x.Input = fuseScanRanges(x.Input)
 	}
 	return n
+}
+
+// ---------------------------------------------------------------------------
+// Window sort elision.
+// ---------------------------------------------------------------------------
+
+// elideWindowSorts marks Window nodes whose input is already ordered
+// compatibly, so execution skips the physical sort. Compatible means the
+// input's known ordering starts with the window's partition expressions (in
+// either direction — partitions only need to be contiguous, and window
+// results are written back by input position, so inter-partition order is
+// irrelevant) followed by exactly the window's order keys. A stable sort of
+// input already ordered that way is the identity permutation, so skipping it
+// is bit-identical to performing it.
+func elideWindowSorts(n Node) Node {
+	for _, c := range n.Children() {
+		elideWindowSorts(c)
+	}
+	if w, ok := n.(*Window); ok {
+		if ord := knownOrdering(w.Input); windowOrderSubsumed(w, ord) {
+			w.SortFree = true
+		}
+	}
+	// Recurse into scalar subplans too (cheap completeness).
+	return n
+}
+
+// knownOrdering returns the sort keys a node's output is known to be ordered
+// by, or nil. Filter/Limit/Window preserve relative row order and schema
+// prefixes, so the ordering passes through them.
+func knownOrdering(n Node) []SortSpec {
+	switch x := n.(type) {
+	case *Sort:
+		return x.Keys
+	case *TopN:
+		return x.Keys
+	case *Filter:
+		return knownOrdering(x.Input)
+	case *Limit:
+		return knownOrdering(x.Input)
+	case *Window:
+		return knownOrdering(x.Input)
+	default:
+		return nil
+	}
+}
+
+// windowOrderSubsumed reports whether ord begins with w's partition
+// expressions (any direction) followed by w's order keys (exact direction).
+func windowOrderSubsumed(w *Window, ord []SortSpec) bool {
+	need := len(w.PartitionBy) + len(w.OrderBy)
+	if need == 0 || len(ord) < need {
+		return false
+	}
+	for i, pe := range w.PartitionBy {
+		if !exprEqual(ord[i].E, pe) {
+			return false
+		}
+	}
+	for j, k := range w.OrderBy {
+		o := ord[len(w.PartitionBy)+j]
+		if o.Desc != k.Desc || !exprEqual(o.E, k.E) {
+			return false
+		}
+	}
+	return true
+}
+
+// exprEqual compares bound expressions structurally, ignoring display names
+// on column references (a sort key bound through an alias must still match).
+func exprEqual(a, b Expr) bool {
+	if ca, ok := a.(*ColRef); ok {
+		if cb, ok := b.(*ColRef); ok {
+			return ca.Slot == cb.Slot && ca.Typ == cb.Typ
+		}
+		return false
+	}
+	return reflect.DeepEqual(a, b)
 }
 
 // colConstBound recognizes a one-sided comparison between a bare column and a

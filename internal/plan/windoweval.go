@@ -1,0 +1,59 @@
+package plan
+
+import (
+	"math"
+
+	"monetlite/internal/mtypes"
+)
+
+// FrameRowBounds returns the inclusive [lo, hi] partition offsets of an
+// explicit ROWS frame for row i of an m-row partition; hi < lo means an
+// empty frame. Both engines use this one computation so they cannot drift.
+// Offset arithmetic runs in int64 with saturation: the parser admits literal
+// offsets up to MaxInt64, which must read as "unbounded", never wrap into a
+// silently empty (or inverted) frame.
+func FrameRowBounds(f *Frame, i, m int) (lo, hi int) {
+	bound := func(b FrameBound, unbounded int64) int64 {
+		switch b.Kind {
+		case FramePreceding:
+			return int64(i) - b.N
+		case FrameCurrentRow:
+			return int64(i)
+		case FrameFollowing:
+			if b.N > math.MaxInt64-int64(i) {
+				return math.MaxInt64
+			}
+			return int64(i) + b.N
+		default: // FrameUnboundedPreceding / FrameUnboundedFollowing
+			return unbounded
+		}
+	}
+	lo64 := bound(f.Lo, 0)
+	hi64 := bound(f.Hi, int64(m-1))
+	lo64 = max(lo64, 0)
+	lo64 = min(lo64, int64(m)) // past-the-end start: empty frame, int-safe
+	hi64 = min(hi64, int64(m-1))
+	hi64 = max(hi64, -1) // before-the-start end: empty frame, int-safe
+	return int(lo64), int(hi64)
+}
+
+// Shared windowed-AVG arithmetic. The columnar engine (typed kernels) and the
+// rowstore oracle (row-at-a-time) both accumulate window frames in the same
+// domain — int64 for the integer-backed kinds, float64 for DOUBLE, always in
+// frame order — and must divide identically too, so the differential tests
+// can assert bitwise equality on doubles. These helpers are that contract.
+
+// WinAvgInt finishes an integer-backed windowed AVG: isum is the frame's sum
+// at the argument's decimal scale, count its non-NULL cardinality (> 0).
+func WinAvgInt(isum int64, scale int, count int64) float64 {
+	v := float64(isum)
+	if scale > 0 {
+		v /= float64(mtypes.Pow10[scale])
+	}
+	return v / float64(count)
+}
+
+// WinAvgFloat finishes a DOUBLE windowed AVG.
+func WinAvgFloat(fsum float64, count int64) float64 {
+	return fsum / float64(count)
+}

@@ -152,6 +152,8 @@ func (v *volcano) build(n plan.Node) (iterator, error) {
 			return nil, err
 		}
 		return &distinctIter{v: v, in: in, seen: map[string]bool{}}, nil
+	case *plan.Window:
+		return v.buildWindow(x)
 	default:
 		return nil, fmt.Errorf("rowstore: unsupported node %T", n)
 	}

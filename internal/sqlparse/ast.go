@@ -196,12 +196,45 @@ type UnaryExpr struct {
 	E  Expr
 }
 
-// FuncCall is a function or aggregate invocation.
+// FuncCall is a function, aggregate or window-function invocation.
 type FuncCall struct {
 	Name     string // lower-cased
 	Args     []Expr
-	Star     bool // count(*)
-	Distinct bool // count(distinct x)
+	Star     bool        // count(*)
+	Distinct bool        // count(distinct x)
+	Over     *WindowSpec // non-nil: fn(args) OVER (...)
+}
+
+// WindowSpec is the OVER (...) clause of a window-function call.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	Frame       *FrameSpec // nil = the SQL default frame
+}
+
+// FrameBoundKind classifies one end of an explicit ROWS frame.
+type FrameBoundKind uint8
+
+// Frame bound kinds.
+const (
+	FrameUnboundedPreceding FrameBoundKind = iota
+	FramePreceding
+	FrameCurrentRow
+	FrameFollowing
+	FrameUnboundedFollowing
+)
+
+// FrameBound is one end of a ROWS frame; N is the offset for
+// FramePreceding/FrameFollowing.
+type FrameBound struct {
+	Kind FrameBoundKind
+	N    int64
+}
+
+// FrameSpec is an explicit ROWS frame: ROWS BETWEEN Lo AND Hi (the shorthand
+// ROWS <bound> parses as BETWEEN <bound> AND CURRENT ROW).
+type FrameSpec struct {
+	Lo, Hi FrameBound
 }
 
 // CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.

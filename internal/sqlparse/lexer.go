@@ -2,7 +2,10 @@
 // and recursive-descent parser producing an untyped AST. The supported
 // dialect covers the DDL/DML surface of the paper plus everything the TPC-H
 // queries Q1–Q10 need verbatim (joins, subqueries, EXISTS, CASE, EXTRACT,
-// LIKE, BETWEEN, date/interval arithmetic, GROUP BY aliases, LIMIT).
+// LIKE, BETWEEN, date/interval arithmetic, GROUP BY aliases, LIMIT), and
+// window functions: fn(args) OVER (PARTITION BY … ORDER BY … [ROWS …]).
+// The window-clause keywords are soft — usable as plain identifiers — so
+// schemas predating them keep parsing.
 package sqlparse
 
 import (
@@ -43,7 +46,8 @@ func init() {
 		TRUE FALSE PRIMARY KEY FOREIGN REFERENCES UNIQUE IF
 		BOOLEAN BOOL TINYINT SMALLINT INTEGER INT BIGINT DOUBLE FLOAT REAL
 		DECIMAL NUMERIC VARCHAR CHAR TEXT STRING CLOB PRECISION FOR
-		CHECKPOINT WORK START`) {
+		CHECKPOINT WORK START
+		OVER PARTITION ROWS PRECEDING FOLLOWING UNBOUNDED CURRENT ROW`) {
 		keywords[k] = true
 	}
 }
@@ -94,7 +98,7 @@ func (l *Lexer) next() (Token, error) {
 			l.pos++
 		}
 		if l.pos >= len(l.src) {
-			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at %s", PosString(l.src, start))
 		}
 		text := l.src[start+1 : l.pos]
 		l.pos++
@@ -139,7 +143,7 @@ func (l *Lexer) next() (Token, error) {
 			sb.WriteByte(ch)
 			l.pos++
 		}
-		return Token{}, fmt.Errorf("sql: unterminated string literal at %d", start)
+		return Token{}, fmt.Errorf("sql: unterminated string literal at %s", PosString(l.src, start))
 	case c == '?':
 		l.pos++
 		return Token{Kind: TokParamQ, Text: "?", Pos: start}, nil
@@ -158,7 +162,7 @@ func (l *Lexer) next() (Token, error) {
 			l.pos++
 			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
 		}
-		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+		return Token{}, fmt.Errorf("sql: unexpected character %q at %s", c, PosString(l.src, start))
 	}
 }
 
@@ -183,6 +187,30 @@ func (l *Lexer) skipSpaceAndComments() {
 			return
 		}
 	}
+}
+
+// LineCol converts a byte offset into 1-based line and column numbers.
+func LineCol(src string, pos int) (line, col int) {
+	if pos > len(src) {
+		pos = len(src)
+	}
+	line, col = 1, 1
+	for i := 0; i < pos; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// PosString renders a byte offset as "line L, column C (offset N)" for error
+// messages.
+func PosString(src string, pos int) string {
+	line, col := LineCol(src, pos)
+	return fmt.Sprintf("line %d, column %d (offset %d)", line, col, pos)
 }
 
 func isIdentStart(c byte) bool {

@@ -8,6 +8,7 @@ import (
 
 // Parser is a recursive-descent SQL parser over a token stream.
 type Parser struct {
+	src     string // original text, for line/column error positions
 	toks    []Token
 	pos     int
 	nparams int
@@ -19,7 +20,7 @@ func Parse(src string) ([]Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
+	p := &Parser{src: src, toks: toks}
 	var stmts []Statement
 	for {
 		for p.matchOp(";") {
@@ -54,13 +55,19 @@ func (p *Parser) cur() Token  { return p.toks[p.pos] }
 func (p *Parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
 func (p *Parser) advance()    { p.pos++ }
 
+// errf builds a parse error carrying the offending token's text and its
+// line/column position, so multi-line statements report where the parse
+// actually stopped rather than a bare byte offset.
 func (p *Parser) errf(format string, args ...any) error {
 	t := p.cur()
 	loc := t.Text
+	if t.Raw != "" {
+		loc = t.Raw
+	}
 	if t.Kind == TokEOF {
 		loc = "end of input"
 	}
-	return fmt.Errorf("sql: %s (near %q at offset %d)", fmt.Sprintf(format, args...), loc, t.Pos)
+	return fmt.Errorf("sql: %s (near %q at %s)", fmt.Sprintf(format, args...), loc, PosString(p.src, t.Pos))
 }
 
 func (p *Parser) isKw(kw string) bool {
@@ -100,8 +107,30 @@ func (p *Parser) expectOp(op string) error {
 }
 
 // softKeywords may be used as plain identifiers (column/table names) when an
-// identifier is expected.
-var softKeywords = map[string]bool{"DAY": true, "MONTH": true, "YEAR": true, "KEY": true}
+// identifier is expected. The window-clause words are all soft, so schemas
+// predating the window subsystem (columns named "over", "rows", ...) keep
+// parsing.
+var softKeywords = map[string]bool{
+	"DAY": true, "MONTH": true, "YEAR": true, "KEY": true,
+	"OVER": true, "PARTITION": true, "ROWS": true, "PRECEDING": true,
+	"FOLLOWING": true, "UNBOUNDED": true, "CURRENT": true, "ROW": true,
+}
+
+// bareAlias accepts an implicit (AS-less) alias: a plain identifier or a
+// soft keyword, so pre-window schemas aliasing columns/tables as "rows",
+// "over" etc. keep parsing.
+func (p *Parser) bareAlias() (string, bool) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.advance()
+		return t.Text, true
+	}
+	if t.Kind == TokKeyword && softKeywords[t.Text] {
+		p.advance()
+		return strings.ToLower(t.Raw), true
+	}
+	return "", false
+}
 
 func (p *Parser) ident() (string, error) {
 	t := p.cur()
@@ -280,9 +309,8 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 			return SelectItem{}, err
 		}
 		item.Alias = a
-	} else if p.cur().Kind == TokIdent {
-		item.Alias = p.cur().Text
-		p.advance()
+	} else if a, ok := p.bareAlias(); ok {
+		item.Alias = a
 	}
 	return item, nil
 }
@@ -342,9 +370,8 @@ func (p *Parser) parseTablePrimary() (TableRef, error) {
 					return nil, err
 				}
 				alias = a
-			} else if p.cur().Kind == TokIdent {
-				alias = p.cur().Text
-				p.advance()
+			} else if a, ok := p.bareAlias(); ok {
+				alias = a
 			}
 			if alias == "" {
 				return nil, p.errf("derived table requires an alias")
@@ -371,9 +398,8 @@ func (p *Parser) parseTablePrimary() (TableRef, error) {
 			return nil, err
 		}
 		bt.Alias = a
-	} else if p.cur().Kind == TokIdent {
-		bt.Alias = p.cur().Text
-		p.advance()
+	} else if a, ok := p.bareAlias(); ok {
+		bt.Alias = a
 	}
 	return bt, nil
 }
@@ -675,6 +701,16 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			if err := p.expectOp(")"); err != nil {
 				return nil, err
 			}
+			// OVER opens a window spec only when followed by '(' — a bare
+			// `fn(x) over` keeps "over" available as an implicit alias.
+			if p.isKw("OVER") && p.peek().Kind == TokOp && p.peek().Text == "(" {
+				p.advance()
+				ws, err := p.parseWindowSpec()
+				if err != nil {
+					return nil, err
+				}
+				fc.Over = ws
+			}
 			return fc, nil
 		}
 		// Qualified identifier?
@@ -711,6 +747,129 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		}
 	}
 	return nil, p.errf("expected an expression")
+}
+
+// parseWindowSpec parses the parenthesized window specification following
+// OVER: ( [PARTITION BY exprs] [ORDER BY items] [ROWS frame] ).
+func (p *Parser) parseWindowSpec() (*WindowSpec, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ws := &WindowSpec{}
+	if p.matchKw("PARTITION") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ws.PartitionBy = append(ws.PartitionBy, e)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.isKw("ORDER") {
+		p.advance()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.matchKw("DESC") {
+				item.Desc = true
+			} else {
+				p.matchKw("ASC")
+			}
+			ws.OrderBy = append(ws.OrderBy, item)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("ROWS") {
+		fs, err := p.parseFrameSpec()
+		if err != nil {
+			return nil, err
+		}
+		ws.Frame = fs
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// parseFrameSpec parses the frame tail after ROWS: BETWEEN bound AND bound,
+// or the single-bound shorthand (… AND CURRENT ROW).
+func (p *Parser) parseFrameSpec() (*FrameSpec, error) {
+	if p.matchKw("BETWEEN") {
+		lo, err := p.parseFrameBound()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseFrameBound()
+		if err != nil {
+			return nil, err
+		}
+		if lo.Kind == FrameUnboundedFollowing {
+			return nil, p.errf("frame start cannot be UNBOUNDED FOLLOWING")
+		}
+		if hi.Kind == FrameUnboundedPreceding {
+			return nil, p.errf("frame end cannot be UNBOUNDED PRECEDING")
+		}
+		return &FrameSpec{Lo: lo, Hi: hi}, nil
+	}
+	lo, err := p.parseFrameBound()
+	if err != nil {
+		return nil, err
+	}
+	if lo.Kind == FrameFollowing || lo.Kind == FrameUnboundedFollowing {
+		return nil, p.errf("single-bound frame must start at or before CURRENT ROW")
+	}
+	return &FrameSpec{Lo: lo, Hi: FrameBound{Kind: FrameCurrentRow}}, nil
+}
+
+func (p *Parser) parseFrameBound() (FrameBound, error) {
+	switch {
+	case p.matchKw("UNBOUNDED"):
+		if p.matchKw("PRECEDING") {
+			return FrameBound{Kind: FrameUnboundedPreceding}, nil
+		}
+		if err := p.expectKw("FOLLOWING"); err != nil {
+			return FrameBound{}, err
+		}
+		return FrameBound{Kind: FrameUnboundedFollowing}, nil
+	case p.matchKw("CURRENT"):
+		if err := p.expectKw("ROW"); err != nil {
+			return FrameBound{}, err
+		}
+		return FrameBound{Kind: FrameCurrentRow}, nil
+	default:
+		n, err := p.parseIntLit()
+		if err != nil {
+			return FrameBound{}, err
+		}
+		if n < 0 {
+			return FrameBound{}, p.errf("frame offset must be non-negative")
+		}
+		if p.matchKw("PRECEDING") {
+			return FrameBound{Kind: FramePreceding, N: n}, nil
+		}
+		if err := p.expectKw("FOLLOWING"); err != nil {
+			return FrameBound{}, err
+		}
+		return FrameBound{Kind: FrameFollowing, N: n}, nil
+	}
 }
 
 func (p *Parser) parseCase() (Expr, error) {

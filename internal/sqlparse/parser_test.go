@@ -425,3 +425,134 @@ order by supp_nation, cust_nation, l_year`
 		t.Fatal("unreachable")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Window functions (OVER clauses).
+// ---------------------------------------------------------------------------
+
+func TestWindowSpecParsing(t *testing.T) {
+	sel := parseSel(t, `SELECT k, v,
+		rank() OVER (PARTITION BY k ORDER BY v DESC),
+		sum(v) OVER (PARTITION BY k, g ORDER BY v, w DESC ROWS BETWEEN 2 PRECEDING AND CURRENT ROW),
+		row_number() OVER ()
+	FROM t`)
+	if len(sel.Items) != 5 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	rk := sel.Items[2].Expr.(*FuncCall)
+	if rk.Name != "rank" || rk.Over == nil {
+		t.Fatalf("rank call: %+v", rk)
+	}
+	if len(rk.Over.PartitionBy) != 1 || len(rk.Over.OrderBy) != 1 || !rk.Over.OrderBy[0].Desc {
+		t.Fatalf("rank spec: %+v", rk.Over)
+	}
+	sm := sel.Items[3].Expr.(*FuncCall)
+	if sm.Name != "sum" || len(sm.Over.PartitionBy) != 2 || len(sm.Over.OrderBy) != 2 {
+		t.Fatalf("sum spec: %+v", sm.Over)
+	}
+	fr := sm.Over.Frame
+	if fr == nil || fr.Lo.Kind != FramePreceding || fr.Lo.N != 2 || fr.Hi.Kind != FrameCurrentRow {
+		t.Fatalf("sum frame: %+v", fr)
+	}
+	rn := sel.Items[4].Expr.(*FuncCall)
+	if rn.Over == nil || rn.Over.PartitionBy != nil || rn.Over.OrderBy != nil || rn.Over.Frame != nil {
+		t.Fatalf("empty spec: %+v", rn.Over)
+	}
+}
+
+func TestWindowFrameShorthandAndBounds(t *testing.T) {
+	sel := parseSel(t, `SELECT sum(v) OVER (ORDER BY v ROWS UNBOUNDED PRECEDING),
+		avg(v) OVER (ORDER BY v ROWS BETWEEN 1 PRECEDING AND 3 FOLLOWING),
+		count(*) OVER (ORDER BY v ROWS BETWEEN CURRENT ROW AND UNBOUNDED FOLLOWING)
+	FROM t`)
+	f0 := sel.Items[0].Expr.(*FuncCall).Over.Frame
+	if f0.Lo.Kind != FrameUnboundedPreceding || f0.Hi.Kind != FrameCurrentRow {
+		t.Fatalf("shorthand frame: %+v", f0)
+	}
+	f1 := sel.Items[1].Expr.(*FuncCall).Over.Frame
+	if f1.Lo.Kind != FramePreceding || f1.Lo.N != 1 || f1.Hi.Kind != FrameFollowing || f1.Hi.N != 3 {
+		t.Fatalf("between frame: %+v", f1)
+	}
+	f2 := sel.Items[2].Expr.(*FuncCall).Over.Frame
+	if f2.Lo.Kind != FrameCurrentRow || f2.Hi.Kind != FrameUnboundedFollowing {
+		t.Fatalf("following frame: %+v", f2)
+	}
+}
+
+// The window keywords are soft: schemas and queries that use them as plain
+// identifiers keep working.
+func TestWindowKeywordsAsIdentifiers(t *testing.T) {
+	st, err := ParseOne(`CREATE TABLE sched (over INT, partition INT, rows INT, current INT, row INT, preceding INT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if len(ct.Cols) != 6 || ct.Cols[0].Name != "over" || ct.Cols[2].Name != "rows" {
+		t.Fatalf("cols: %+v", ct.Cols)
+	}
+	sel := parseSel(t, `SELECT over, partition, t.rows FROM sched t WHERE current > row`)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if id := sel.Items[2].Expr.(*Ident); id.Qualifier != "t" || id.Name != "rows" {
+		t.Fatalf("qualified soft keyword: %+v", id)
+	}
+}
+
+func TestWindowParseErrors(t *testing.T) {
+	bad := []string{
+		// NOTE: `rank() OVER FROM t` is NOT here: OVER without '(' parses
+		// as a bare alias, keeping the keyword non-reserved.
+		"SELECT rank() OVER (PARTITION k) FROM t",                                      // missing BY
+		"SELECT sum(v) OVER (ORDER BY v ROWS BETWEEN 1 FOLLOWING) FROM t",              // missing AND
+		"SELECT sum(v) OVER (ROWS BETWEEN UNBOUNDED FOLLOWING AND CURRENT ROW) FROM t", // inverted bound
+		"SELECT sum(v) OVER (ROWS BETWEEN CURRENT ROW AND UNBOUNDED PRECEDING) FROM t", // inverted bound
+		"SELECT sum(v) OVER (ROWS 2 FOLLOWING) FROM t",                                 // shorthand after current row
+	}
+	for _, src := range bad {
+		if _, err := ParseOne(src); err == nil {
+			t.Errorf("ParseOne(%q) should fail", src)
+		}
+	}
+}
+
+// Parse errors carry the offending token and a line/column position.
+func TestParseErrorPositions(t *testing.T) {
+	_, err := ParseOne("SELECT a,\n  b FRMO t")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	for _, want := range []string{`"t"`, "line 2", "column"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	_, err = ParseOne("SELECT rank() OVER (PARTITION\nBY) FROM t")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q missing line info", err.Error())
+	}
+}
+
+// Implicit (AS-less) aliases named after the soft window keywords keep
+// parsing — columns, tables and derived tables alike — and a bare `over`
+// alias after a function call is not mistaken for a window spec.
+func TestWindowKeywordsAsBareAliases(t *testing.T) {
+	sel := parseSel(t, `SELECT a rows, sum(v) over FROM t partition`)
+	if sel.Items[0].Alias != "rows" || sel.Items[1].Alias != "over" {
+		t.Fatalf("aliases: %+v", sel.Items)
+	}
+	if fc := sel.Items[1].Expr.(*FuncCall); fc.Over != nil {
+		t.Fatalf("bare alias parsed as window spec: %+v", fc)
+	}
+	if bt := sel.From[0].(*BaseTable); bt.Alias != "partition" {
+		t.Fatalf("table alias: %+v", bt)
+	}
+	sel = parseSel(t, `SELECT * FROM (SELECT a FROM t) current`)
+	if sq := sel.From[0].(*SubqueryRef); sq.Alias != "current" {
+		t.Fatalf("derived alias: %+v", sq)
+	}
+}

@@ -177,7 +177,16 @@ func strPrefixCode(s string) uint64 {
 // Compare three-way-compares two rows over all keys (0 only when the rows are
 // equal on every key — VARCHAR prefix ties are resolved, not reported).
 func (cs *CodedSort) Compare(a, b int32) int {
-	for k, codes := range cs.codes {
+	return cs.ComparePrefix(a, b, len(cs.codes))
+}
+
+// ComparePrefix compares two rows on the first nkeys keys only. The window
+// operator uses it for partition-boundary discovery: with partition keys
+// encoded first, a non-zero prefix comparison between sort-adjacent rows
+// marks a new partition, and a zero full Compare marks order-key peers.
+func (cs *CodedSort) ComparePrefix(a, b int32, nkeys int) int {
+	for k := 0; k < nkeys; k++ {
+		codes := cs.codes[k]
 		ca, cb := codes[a], codes[b]
 		if ca < cb {
 			return -1
