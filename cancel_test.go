@@ -1,0 +1,73 @@
+package monetlite
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Context plumbing at the API surface: QueryContext/ExecContext must honor
+// cancellation and deadlines, surfacing the standard context errors.
+// (Mid-query abort latency is exercised in internal/exec; here we prove the
+// context reaches the engine at all.)
+
+func openCancelDB(t *testing.T) *Conn {
+	t.Helper()
+	db, err := OpenInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	c := db.Connect()
+	if _, err := c.Exec(`CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1),(2),(3)`); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestQueryContextCancelled(t *testing.T) {
+	c := openCancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.QueryContext(ctx, `SELECT sum(a) FROM t`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The connection recovers: a fresh context works.
+	res, err := c.QueryContext(context.Background(), `SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("recovered query: %d rows", res.NumRows())
+	}
+}
+
+func TestQueryContextDeadline(t *testing.T) {
+	c := openCancelDB(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := c.QueryContext(ctx, `SELECT sum(a) FROM t`); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestExecContextCancelledSkipsBatch(t *testing.T) {
+	c := openCancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := c.ExecContext(ctx, `INSERT INTO t VALUES (4); INSERT INTO t VALUES (5)`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("cancelled batch should not report affected rows, got %d", n)
+	}
+	res, err := c.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Column(0).Value(0); got != int64(3) {
+		t.Fatalf("cancelled batch must not have inserted rows: count=%v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package monetlite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,8 +19,9 @@ import (
 // transaction state. Connections are not safe for concurrent use; open one
 // connection per goroutine (connections themselves are cheap).
 type Conn struct {
-	db *Database
-	tx *txn.Txn // explicit transaction, nil in autocommit mode
+	db  *Database
+	tx  *txn.Txn        // explicit transaction, nil in autocommit mode
+	ctx context.Context // active query context (QueryContext/ExecContext)
 
 	// LastTrace holds the MAL instruction trace of the last query when
 	// TraceMAL is set (EXPLAIN-style introspection and tests).
@@ -37,6 +39,13 @@ var ErrNoTxn = errors.New("monetlite: no transaction open")
 // rows-affected semantics for DML/DDL). Positional parameters (?) are bound
 // from args.
 func (c *Conn) Query(sql string, args ...any) (*Result, error) {
+	return c.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext is Query with cancellation: when ctx is cancelled or its
+// deadline passes, query execution aborts within one chunk of work (serial
+// and mitosis-parallel paths both) and returns ctx's error.
+func (c *Conn) QueryContext(ctx context.Context, sql string, args ...any) (*Result, error) {
 	if c.db.isClosed() {
 		return nil, ErrClosed
 	}
@@ -48,6 +57,8 @@ func (c *Conn) Query(sql string, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.ctx = ctx
+	defer func() { c.ctx = nil }()
 	res, _, err := c.run(stmt, params)
 	return res, err
 }
@@ -55,6 +66,13 @@ func (c *Conn) Query(sql string, args ...any) (*Result, error) {
 // Exec executes one or more semicolon-separated SQL statements, returning
 // the total number of affected rows.
 func (c *Conn) Exec(sql string, args ...any) (int64, error) {
+	return c.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec with cancellation: a cancelled ctx aborts the current
+// statement and skips the rest of the batch. Statements already committed
+// (autocommit is per statement) stay committed.
+func (c *Conn) ExecContext(ctx context.Context, sql string, args ...any) (int64, error) {
 	if c.db.isClosed() {
 		return 0, ErrClosed
 	}
@@ -66,8 +84,13 @@ func (c *Conn) Exec(sql string, args ...any) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	c.ctx = ctx
+	defer func() { c.ctx = nil }()
 	var total int64
 	for _, stmt := range stmts {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		_, n, err := c.run(stmt, params)
 		if err != nil {
 			return total, err
@@ -171,6 +194,7 @@ func (c *Conn) engine(tx *txn.Txn) *exec.Engine {
 		MaxThreads: c.db.cfg.MaxThreads,
 		NoIndexes:  c.db.cfg.NoIndexes,
 		Timeout:    c.db.cfg.QueryTimeout,
+		Ctx:        c.ctx,
 	}
 	if c.TraceMAL {
 		c.LastTrace = &mal.Program{}

@@ -50,6 +50,10 @@ type Config struct {
 	EagerConvert bool
 	// QueryTimeout aborts queries that run longer (0 = none).
 	QueryTimeout time.Duration
+	// WALCheckpointBytes auto-checkpoints when the write-ahead log grows past
+	// this size, bounding recovery replay time (0 = only checkpoint on Close
+	// or explicit Checkpoint calls).
+	WALCheckpointBytes int64
 }
 
 // DefaultConfig returns the standard configuration.
@@ -64,6 +68,7 @@ type Database struct {
 	store *storage.Store
 	log   *wal.Log
 	mgr   *txn.Manager
+	rec   wal.RecoveryReport
 
 	mu     sync.Mutex
 	closed bool
@@ -83,20 +88,30 @@ func Open(dir string, cfg ...Config) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("monetlite: %w", err)
 	}
+	// Open the log before replaying: Open repairs any torn tail (truncating
+	// to the last committed frame) so replay and all later appends work on a
+	// clean file, and reports what recovery found.
 	walPath := filepath.Join(dir, "wal.log")
-	if err := txn.ReplayWAL(st, walPath); err != nil {
-		st.Close()
-		return nil, fmt.Errorf("monetlite: recovering WAL: %w", err)
-	}
-	log, err := wal.Open(walPath)
+	log, rec, err := wal.Open(walPath)
 	if err != nil {
 		st.Close()
 		return nil, fmt.Errorf("monetlite: %w", err)
 	}
-	db := &Database{cfg: c, store: st, log: log}
+	if err := txn.ReplayLog(st, log); err != nil {
+		log.Close()
+		st.Close()
+		return nil, fmt.Errorf("monetlite: recovering WAL: %w", err)
+	}
+	db := &Database{cfg: c, store: st, log: log, rec: *rec}
 	db.mgr = txn.NewManager(st, log)
+	db.mgr.SetAutoCheckpoint(c.WALCheckpointBytes)
 	return db, nil
 }
+
+// Recovery reports what WAL recovery found when the database was opened:
+// how many committed transactions were replayed and whether a torn or
+// corrupt tail had to be truncated.
+func (db *Database) Recovery() wal.RecoveryReport { return db.rec }
 
 // OpenInMemory creates a transient database: nothing is written to disk and
 // all data is discarded on Close (the paper's in-memory mode).

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"monetlite/internal/mal"
+)
+
+// Cancellation latency tests: a cancelled context must abort a running query
+// within one chunk of work (cancelBudget), on both the serial and the
+// mitosis-parallel paths, and surface as context.Canceled.
+//
+// Methodology: run the query with the cancel fired from a timer; if the query
+// happens to finish before the timer (fast machine), retry with a shorter
+// delay until the cancel lands mid-flight. The assertion clock starts at
+// cancel time, so scheduling slop before the cancel doesn't count against the
+// budget.
+
+func TestCancelSerialQuery(t *testing.T) {
+	cat := buildTable(t, 6*mal.MinChunkRows)
+	q := "SELECT sum(i) FROM nums WHERE i % 7 = 1 AND i % 11 = 2 AND i % 13 = 3 AND i % 17 = 4"
+	p := planFor(t, cat, q)
+	for _, delay := range []time.Duration{5 * time.Millisecond, time.Millisecond, 200 * time.Microsecond, 0} {
+		ctx, cancel := context.WithCancel(context.Background())
+		e := &Engine{Cat: cat, Parallel: false, Ctx: ctx}
+		done := make(chan error, 1)
+		var cancelledAt time.Time
+		go func() {
+			_, err := e.Execute(p)
+			done <- err
+		}()
+		time.Sleep(delay)
+		cancelledAt = time.Now()
+		cancel()
+		err := <-done
+		if err == nil {
+			continue // query finished before the cancel landed; retry sooner
+		}
+		latency := time.Since(cancelledAt)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if latency > cancelBudget {
+			t.Fatalf("serial cancel took %v (budget %v)", latency, cancelBudget)
+		}
+		return
+	}
+	t.Fatal("query always completed before cancellation, even at delay 0")
+}
+
+// TestCancelParallelQuery covers the mitosis worker loops. The trace
+// assertion proves the very query being cancelled runs the parallel path:
+// the uncancelled control run must emit optimizer.mitosis.
+func TestCancelParallelQuery(t *testing.T) {
+	cat := buildTable(t, 6*mal.MinChunkRows)
+	q := "SELECT sum(i), min(i), max(i) FROM nums WHERE i % 7 = 1 AND i % 11 = 2 AND i % 13 = 3"
+	p := planFor(t, cat, q)
+
+	trace := &mal.Program{}
+	if _, err := (&Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}).Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Count("optimizer.mitosis") == 0 {
+		t.Fatalf("control run did not take the mitosis path:\n%s", trace.String())
+	}
+
+	for _, delay := range []time.Duration{5 * time.Millisecond, time.Millisecond, 200 * time.Microsecond, 0} {
+		ctx, cancel := context.WithCancel(context.Background())
+		e := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Ctx: ctx}
+		done := make(chan error, 1)
+		var cancelledAt time.Time
+		go func() {
+			_, err := e.Execute(p)
+			done <- err
+		}()
+		time.Sleep(delay)
+		cancelledAt = time.Now()
+		cancel()
+		err := <-done
+		if err == nil {
+			continue
+		}
+		latency := time.Since(cancelledAt)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if latency > cancelBudget {
+			t.Fatalf("parallel cancel took %v (budget %v)", latency, cancelBudget)
+		}
+		return
+	}
+	t.Fatal("query always completed before cancellation, even at delay 0")
+}
+
+// A context already cancelled (or past its deadline) aborts before any work.
+func TestCancelBeforeStart(t *testing.T) {
+	cat := buildTable(t, 100)
+	p := planFor(t, cat, "SELECT sum(i) FROM nums")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Engine{Cat: cat, Ctx: ctx}).Execute(p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := (&Engine{Cat: cat, Ctx: dctx}).Execute(p); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// Cancellation during a parallel sort: the run-sorting workers bail and the
+// coordinator surfaces the context error instead of a garbage permutation.
+func TestCancelParallelSort(t *testing.T) {
+	cat := buildTable(t, 4096)
+	p := planFor(t, cat, "SELECT i FROM nums ORDER BY grp, i DESC")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Ctx: ctx, testSortChunkRows: 256}
+	if _, err := e.Execute(p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// Cancellation during a parallel join probe: probeChunks must propagate the
+// context error, never an empty pair list masquerading as a real result.
+func TestCancelParallelJoin(t *testing.T) {
+	cat := buildTable(t, 4096)
+	p := planFor(t, cat, "SELECT count(*) FROM nums a, nums b WHERE a.i = b.i")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Ctx: ctx, testJoinChunkRows: 256}
+	if _, err := e.Execute(p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// The Ctx check composes with the legacy Timeout deadline: whichever fires
+// first wins, and strings.Contains guards the error identity apart.
+func TestCtxAndTimeoutCompose(t *testing.T) {
+	cat := buildTable(t, 3*mal.MinChunkRows)
+	p := planFor(t, cat, "SELECT sum(i) FROM nums WHERE i % 7 = 1 AND i % 11 = 2")
+	e := &Engine{Cat: cat, Ctx: context.Background(), Timeout: time.Nanosecond}
+	_, err := e.Execute(p)
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("want engine timeout, got %v", err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package exec
+
+import "time"
+
+// cancelBudget is the acceptance bound on cancellation latency: a query must
+// return within this long of its context being cancelled (one chunk of work).
+const cancelBudget = 100 * time.Millisecond

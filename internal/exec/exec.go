@@ -19,11 +19,14 @@
 //     aggregates worker counters (e.g. imprint block skips) afterwards.
 //     The scalar-subquery cache is the one shared structure, and it is
 //     lock-guarded so a subquery evaluates once per query, not per chunk.
-//   - Timeouts are checked between operators (checkTimeout), never inside a
-//     kernel, so kernels stay branch-free.
+//   - Interrupts (context cancellation and deadlines) are checked between
+//     operators, between filter conjuncts, and per chunk in the mitosis
+//     worker loops (checkInterrupt) — never inside a kernel, so kernels stay
+//     branch-free. A cancelled query aborts within one chunk of work.
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -63,7 +66,8 @@ type Engine struct {
 	MaxThreads int  // 0 = GOMAXPROCS
 	NoIndexes  bool // disable automatic index use (ablation)
 	Timeout    time.Duration
-	Trace      *mal.Program // optional MAL trace for EXPLAIN / tests
+	Ctx        context.Context // optional; cancellation aborts the query
+	Trace      *mal.Program    // optional MAL trace for EXPLAIN / tests
 
 	deadline time.Time
 	subCache *subplanCache
@@ -208,13 +212,25 @@ func (e *Engine) chunkEngine() *Engine {
 		Cat:        e.Cat,
 		MaxThreads: 1,
 		NoIndexes:  e.NoIndexes,
+		Ctx:        e.Ctx,
 		deadline:   e.deadline,
 		subCache:   e.subCache,
 		stats:      e.stats,
 	}
 }
 
-func (e *Engine) checkTimeout() error {
+// checkInterrupt reports whether the query should abort: the context was
+// cancelled (client disconnect, server shutdown, per-query timeout upstream)
+// or the engine deadline passed. It returns the raw context error so callers
+// can match with errors.Is(err, context.Canceled).
+func (e *Engine) checkInterrupt() error {
+	if e.Ctx != nil {
+		select {
+		case <-e.Ctx.Done():
+			return e.Ctx.Err()
+		default:
+		}
+	}
 	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
 		return ErrTimeout
 	}
@@ -222,7 +238,7 @@ func (e *Engine) checkTimeout() error {
 }
 
 func (e *Engine) exec(n plan.Node) (*batch, error) {
-	if err := e.checkTimeout(); err != nil {
+	if err := e.checkInterrupt(); err != nil {
 		return nil, err
 	}
 	switch x := n.(type) {
@@ -268,6 +284,9 @@ func (e *Engine) execFilter(x *plan.Filter) (*batch, error) {
 	}
 	sel := in.sel
 	for _, f := range plan.SplitConjuncts(x.Pred) {
+		if err := e.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		sel, err = e.refineFilter(f, in.cols, width, sel)
 		if err != nil {
 			return nil, err
@@ -371,8 +390,12 @@ func (e *Engine) evalSubplan(p plan.Node) (mtypes.Value, error) {
 		return v, nil
 	}
 	// The sub-engine gets its own fresh cache in Execute, so a parallel
-	// subplan never re-enters this lock.
-	sub := &Engine{Cat: e.Cat, Parallel: e.Parallel, MaxThreads: e.MaxThreads, NoIndexes: e.NoIndexes}
+	// subplan never re-enters this lock. It inherits the interrupt context
+	// and whatever remains of the deadline budget.
+	sub := &Engine{Cat: e.Cat, Parallel: e.Parallel, MaxThreads: e.MaxThreads, NoIndexes: e.NoIndexes, Ctx: e.Ctx}
+	if !e.deadline.IsZero() {
+		sub.Timeout = time.Until(e.deadline)
+	}
 	res, err := sub.Execute(p)
 	if err != nil {
 		return mtypes.Value{}, err

@@ -57,11 +57,17 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 			}
 		} else if left.n <= right.n {
 			jp := e.buildJoinTable(lKeys, left.n, right.n, "build=left")
-			rs, ls := jp.probe(rKeys, right.n)
+			rs, ls, err := jp.probe(rKeys, right.n)
+			if err != nil {
+				return nil, err
+			}
 			lsel, rsel = ls, rs
 		} else {
 			jp := e.buildJoinTable(rKeys, right.n, left.n, "build=right")
-			lsel, rsel = jp.probe(lKeys, left.n)
+			lsel, rsel, err = jp.probe(lKeys, left.n)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if x.Residual != nil {
 			lsel, rsel, err = e.filterPairs(x, left, right, lsel, rsel)
@@ -73,7 +79,10 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 	case plan.JoinLeft:
 		jp := e.buildJoinTable(rKeys, right.n, left.n, "build=right")
 		e.Trace.Emit("algebra.leftjoin")
-		lsel, rsel = jp.probeLeft(lKeys, left.n)
+		lsel, rsel, err = jp.probeLeft(lKeys, left.n)
+		if err != nil {
+			return nil, err
+		}
 		if x.Residual != nil {
 			// Residual applies to matched pairs; unmatched rows stay.
 			keptL, keptR, err := e.filterPairs(x, left, right, lsel, rsel)
@@ -106,7 +115,10 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 		jp := e.buildJoinTable(rKeys, right.n, left.n, "build=right")
 		if x.Residual == nil {
 			e.Trace.Emit("algebra.semijoin")
-			keep := jp.probeSemi(lKeys, left.n, anti)
+			keep, err := jp.probeSemi(lKeys, left.n, anti)
+			if err != nil {
+				return nil, err
+			}
 			out := make([]*vec.Vector, len(left.cols))
 			for i, c := range left.cols {
 				out[i] = vec.Gather(c, keep)
@@ -114,7 +126,10 @@ func (e *Engine) execJoin(x *plan.Join) (*batch, error) {
 			return newBatch(out), nil
 		}
 		// Residual semi/anti: compute pairs, filter, dedup left side.
-		ls, rs := jp.probe(lKeys, left.n)
+		ls, rs, err := jp.probe(lKeys, left.n)
+		if err != nil {
+			return nil, err
+		}
 		ls, _, err = e.filterPairs(x, left, right, ls, rs)
 		if err != nil {
 			return nil, err
@@ -234,8 +249,12 @@ func (e *Engine) buildJoinTable(buildKeys []*vec.Vector, buildN, probeN int, lab
 // probeChunks fans the probe side out over the chunk plan: each worker
 // probes a slice of the key vectors and rebases the emitted probe rows, the
 // coordinator concatenates pair lists in chunk order.
+//
+// Cancellation: a worker that starts after the query was cancelled skips its
+// probe, and the coordinator re-checks after the barrier — a partial pair
+// list must never be mistaken for an (empty) join result.
 func (jp *joinProber) probeChunks(keys []*vec.Vector, n int,
-	probe func(vec.JoinTable, []*vec.Vector) ([]int32, []int32)) ([]int32, []int32) {
+	probe func(vec.JoinTable, []*vec.Vector) ([]int32, []int32)) ([]int32, []int32, error) {
 	type pairs struct{ p, b []int32 }
 	outs := make([]pairs, jp.cp.Chunks)
 	var wg sync.WaitGroup
@@ -243,6 +262,9 @@ func (jp *joinProber) probeChunks(keys []*vec.Vector, n int,
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
+			if jp.e.checkInterrupt() != nil {
+				return
+			}
 			lo, hi := jp.cp.Bounds(ci, n)
 			if lo >= hi {
 				return
@@ -259,6 +281,9 @@ func (jp *joinProber) probeChunks(keys []*vec.Vector, n int,
 		}(ci)
 	}
 	wg.Wait()
+	if err := jp.e.checkInterrupt(); err != nil {
+		return nil, nil, err
+	}
 	total := 0
 	for ci := range outs {
 		total += len(outs[ci].p)
@@ -274,13 +299,14 @@ func (jp *joinProber) probeChunks(keys []*vec.Vector, n int,
 			bSel = append(bSel, outs[ci].b...)
 		}
 	}
-	return pSel, bSel
+	return pSel, bSel, nil
 }
 
 // probe computes inner-join pairs (probe rows, build rows).
-func (jp *joinProber) probe(keys []*vec.Vector, n int) ([]int32, []int32) {
+func (jp *joinProber) probe(keys []*vec.Vector, n int) ([]int32, []int32, error) {
 	if jp.cp.Chunks <= 1 {
-		return jp.tbl.Probe(keys, nil)
+		p, b := jp.tbl.Probe(keys, nil)
+		return p, b, nil
 	}
 	return jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
 		return t.Probe(ks, nil)
@@ -288,9 +314,10 @@ func (jp *joinProber) probe(keys []*vec.Vector, n int) ([]int32, []int32) {
 }
 
 // probeLeft computes left-outer pairs (unmatched probe rows carry -1).
-func (jp *joinProber) probeLeft(keys []*vec.Vector, n int) ([]int32, []int32) {
+func (jp *joinProber) probeLeft(keys []*vec.Vector, n int) ([]int32, []int32, error) {
 	if jp.cp.Chunks <= 1 {
-		return jp.tbl.ProbeLeft(keys, nil)
+		p, b := jp.tbl.ProbeLeft(keys, nil)
+		return p, b, nil
 	}
 	return jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
 		return t.ProbeLeft(ks, nil)
@@ -298,14 +325,14 @@ func (jp *joinProber) probeLeft(keys []*vec.Vector, n int) ([]int32, []int32) {
 }
 
 // probeSemi computes the kept probe rows of a semi (anti=false) or anti join.
-func (jp *joinProber) probeSemi(keys []*vec.Vector, n int, anti bool) []int32 {
+func (jp *joinProber) probeSemi(keys []*vec.Vector, n int, anti bool) ([]int32, error) {
 	if jp.cp.Chunks <= 1 {
-		return jp.tbl.ProbeSemi(keys, nil, anti)
+		return jp.tbl.ProbeSemi(keys, nil, anti), nil
 	}
-	keep, _ := jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
+	keep, _, err := jp.probeChunks(keys, n, func(t vec.JoinTable, ks []*vec.Vector) ([]int32, []int32) {
 		return t.ProbeSemi(ks, nil, anti), nil
 	})
-	return keep
+	return keep, err
 }
 
 // filterPairs evaluates the residual predicate over candidate join pairs.
@@ -557,6 +584,12 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 		go func(ci int) {
 			defer wg.Done()
 			ce := e.chunkEngine()
+			// Worker-start interrupt check: a filterless scan never reaches
+			// scanRange's per-conjunct check, so cancellation surfaces here.
+			if err := ce.checkInterrupt(); err != nil {
+				outs[ci] = chunkOut{err: err}
+				return
+			}
 			lo, hi := cp.Bounds(ci, nrows)
 			cands, cols, err := ce.scanRange(scan, src, lo, hi)
 			if err != nil {
@@ -708,6 +741,11 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 		go func(ci int) {
 			defer wg.Done()
 			ce := e.chunkEngine()
+			// Worker-start interrupt check (see parallelGlobalAgg).
+			if err := ce.checkInterrupt(); err != nil {
+				outs[ci] = chunkOut{err: err}
+				return
+			}
 			lo, hi := cp.Bounds(ci, nrows)
 			cands, cols, err := ce.scanRange(scan, src, lo, hi)
 			if err != nil {

@@ -158,6 +158,12 @@ func (e *Engine) scanRange(x *plan.Scan, src TableSource, lo, hi int) ([]int32, 
 		}
 	}
 	for _, f := range x.Filters {
+		// Per-conjunct interrupt check: in a mitosis scan each chunk worker
+		// passes through here, so a cancelled query stops within one
+		// chunk-conjunct of work.
+		if err := e.checkInterrupt(); err != nil {
+			return nil, nil, err
+		}
 		var err error
 		cands, err = e.applyScanFilter(x, src, f, cols, cands, lo, hi)
 		if err != nil {

@@ -71,7 +71,10 @@ func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
 		}
 		e.Trace.Emit("algebra.sort", fmt.Sprintf("%d keys", len(keys)))
 	} else {
-		order = e.parallelSortOrder(keys, in.n, cp)
+		order, err = e.parallelSortOrder(keys, in.n, cp)
+		if err != nil {
+			return nil, err
+		}
 		e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (sort)", cp.Chunks))
 		e.Trace.Emit("algebra.sort", fmt.Sprintf("%d keys", len(keys)), fmt.Sprintf("parallel %d runs", cp.Chunks))
 	}
@@ -85,7 +88,11 @@ func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
 // parallelSortOrder sorts each chunk's index run on its own goroutine, then
 // merges the Less-ordered runs. Runs are disjoint ascending ranges, so the
 // kernels' index tie-break makes the merge stable across runs.
-func (e *Engine) parallelSortOrder(keys []vec.SortKey, n int, cp mal.ChunkPlan) []int32 {
+//
+// Cancellation: a worker that starts after the query was cancelled bails
+// without sorting its run, and the coordinator re-checks after the barrier so
+// a half-sorted permutation is never merged or returned.
+func (e *Engine) parallelSortOrder(keys []vec.SortKey, n int, cp mal.ChunkPlan) ([]int32, error) {
 	cs := vec.NewCodedSort(keys, n)
 	order := make([]int32, n)
 	for i := range order {
@@ -103,11 +110,17 @@ func (e *Engine) parallelSortOrder(keys []vec.SortKey, n int, cp mal.ChunkPlan) 
 		wg.Add(1)
 		go func(run []int32) {
 			defer wg.Done()
+			if e.checkInterrupt() != nil {
+				return
+			}
 			cs.Sort(run)
 		}(run)
 	}
 	wg.Wait()
-	return cs.MergeRuns(runs)
+	if err := e.checkInterrupt(); err != nil {
+		return nil, err
+	}
+	return cs.MergeRuns(runs), nil
 }
 
 // execTopN evaluates the fused ORDER BY … LIMIT operator: each chunk keeps
@@ -147,11 +160,17 @@ func (e *Engine) execTopN(x *plan.TopN) (*batch, error) {
 			wg.Add(1)
 			go func(ci int) {
 				defer wg.Done()
+				if e.checkInterrupt() != nil {
+					return // cancelled: leave the run empty, coordinator bails
+				}
 				lo, hi := cp.Bounds(ci, in.n)
 				runs[ci] = cs.TopK(lo, hi, k)
 			}(ci)
 		}
 		wg.Wait()
+		if err := e.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		merged := cs.MergeRuns(runs)
 		if len(merged) > k {
 			merged = merged[:k]

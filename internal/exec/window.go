@@ -78,7 +78,10 @@ func (e *Engine) execWindow(x *plan.Window) (*batch, error) {
 			cs.Sort(order)
 			e.Trace.Emit("algebra.windowsort", fmt.Sprintf("%d keys", len(keys)))
 		} else {
-			order = e.parallelSortOrder(keys, n, cp)
+			order, err = e.parallelSortOrder(keys, n, cp)
+			if err != nil {
+				return nil, err
+			}
 			e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (sort)", cp.Chunks))
 			e.Trace.Emit("algebra.windowsort", fmt.Sprintf("%d keys", len(keys)),
 				fmt.Sprintf("parallel %d runs", cp.Chunks))
@@ -116,8 +119,15 @@ func (e *Engine) execWindow(x *plan.Window) (*batch, error) {
 	// partitions cover disjoint input rows, so the shared output vectors need
 	// no synchronization and the result equals the serial walk exactly.
 	ranges := e.windowPartRanges(starts, n)
+	// Per-partition interrupt check: covers the serial walk and every worker
+	// (checkInterrupt only reads Engine state, so sharing e across goroutines
+	// is safe). Workers that see the cancellation stop writing; the
+	// coordinator re-checks after the barrier and discards the partial output.
 	compute := func(loPart, hiPart int) {
 		for p := loPart; p < hiPart; p++ {
+			if e.checkInterrupt() != nil {
+				return
+			}
 			rows := order[starts[p]:starts[p+1]]
 			for ci := range x.Calls {
 				windowPartition(&x.Calls[ci], len(x.OrderBy) > 0, cs, rows, ins[ci], outs[ci])
@@ -141,6 +151,9 @@ func (e *Engine) execWindow(x *plan.Window) (*batch, error) {
 		compute(0, nparts)
 		e.Trace.Emit("algebra.window", fmt.Sprintf("%d parts", nparts),
 			fmt.Sprintf("%d calls", len(x.Calls)))
+	}
+	if err := e.checkInterrupt(); err != nil {
+		return nil, err
 	}
 
 	cols := make([]*vec.Vector, 0, len(in.cols)+len(outs))

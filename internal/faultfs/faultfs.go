@@ -1,0 +1,353 @@
+// Package faultfs is the write-ahead log's injectable I/O layer. The WAL
+// talks to a File/FS pair instead of *os.File directly, so durability code
+// can run against two implementations:
+//
+//   - Disk, a thin adapter over the operating system (production);
+//   - SimFS, an in-memory filesystem that models a page cache and can fail,
+//     short-write, or "crash" (stop persisting) at any byte offset or call
+//     count — the engine behind the WAL crash-point fuzzer.
+//
+// SimFS's crash model is prefix persistence, the standard assumption for
+// append-only logs on a journaling filesystem: bytes acknowledged by Sync
+// always survive a crash, and of the unsynced tail an arbitrary prefix may
+// survive (the kernel writes back dirty pages in order for sequential
+// appends). A fuzzer trial therefore arms a crash point, runs a workload
+// until writes start failing, and reopens the AfterCrash image to verify
+// that recovery restores exactly a committed prefix.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// ErrInjected is returned by every operation after an injected fault fires.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is the slice of file behavior the WAL needs: appending writes,
+// positional reads, explicit durability, and truncation for tail repair.
+type File interface {
+	// Write appends p at the end of the file (O_APPEND semantics).
+	Write(p []byte) (int, error)
+	// ReadAt reads len(p) bytes from offset off.
+	ReadAt(p []byte, off int64) (int, error)
+	// Sync makes all written bytes durable.
+	Sync() error
+	// Truncate discards bytes beyond size.
+	Truncate(size int64) error
+	// Size returns the current file length.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS opens files.
+type FS interface {
+	// Open opens path read-write in append mode, creating it if absent.
+	Open(path string) (File, error)
+}
+
+// ---------------------------------------------------------------------------
+// Disk: the operating system.
+// ---------------------------------------------------------------------------
+
+type osFS struct{}
+
+// Disk is the production FS backed by the operating system.
+var Disk FS = osFS{}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error)             { return o.f.Write(p) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o osFile) Sync() error                             { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error               { return o.f.Truncate(size) }
+func (o osFile) Close() error                            { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ---------------------------------------------------------------------------
+// SimFS: in-memory filesystem with fault injection.
+// ---------------------------------------------------------------------------
+
+// CrashKeep selects what survives of the unsynced tail when a crash fires.
+type CrashKeep int
+
+const (
+	// KeepSynced drops everything past the durable watermark — the harshest
+	// crash, and the one with a deterministic outcome (exactly the synced
+	// prefix survives).
+	KeepSynced CrashKeep = iota
+	// KeepRandomPrefix keeps the synced bytes plus a random prefix of the
+	// unsynced tail — the page cache flushed some dirty pages before dying.
+	KeepRandomPrefix
+)
+
+// SimFS is an in-memory FS with injectable faults. Every file tracks its
+// visible bytes (what the process reads back) and a durable watermark (what
+// Sync has acknowledged); a crash discards part of the gap between them.
+//
+// Faults are armed by cumulative write-byte offset or by operation count
+// (Write, Sync and Truncate all count). A fault either fails the one
+// operation (FailAtCalls) or crashes the filesystem: the triggering write
+// stops mid-byte, and every later operation returns ErrInjected until the
+// post-crash image is reopened with AfterCrash.
+type SimFS struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	files map[string]*simData
+
+	crashAtBytes int64 // fire when cumulative written bytes reach this (-1 off)
+	crashAtCalls int   // fire on the Nth counted op (0 off)
+	failAtCalls  int   // fail (not crash) the Nth counted op (0 off)
+	keep         CrashKeep
+
+	crashed bool
+	written int64
+	calls   int
+}
+
+type simData struct {
+	data   []byte
+	synced int
+}
+
+// NewSim creates an empty simulated filesystem. All randomness (short-write
+// lengths, surviving-tail lengths) comes from seed, so trials replay exactly.
+func NewSim(seed int64) *SimFS {
+	return &SimFS{rng: rand.New(rand.NewSource(seed)), files: map[string]*simData{}, crashAtBytes: -1}
+}
+
+// CrashAtBytes arms a crash once n cumulative bytes have been written; the
+// triggering write persists only its prefix up to the threshold.
+func (fs *SimFS) CrashAtBytes(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAtBytes = n
+}
+
+// CrashAtCalls arms a crash on the nth counted operation (1-based).
+func (fs *SimFS) CrashAtCalls(n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAtCalls = n
+}
+
+// FailAtCalls arms a one-shot failure (ErrInjected, no crash) on the nth
+// counted operation: the op has no effect and the filesystem stays alive.
+func (fs *SimFS) FailAtCalls(n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failAtCalls = n
+}
+
+// SetKeep selects the crash survival policy for unsynced bytes.
+func (fs *SimFS) SetKeep(k CrashKeep) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.keep = k
+}
+
+// Crashed reports whether an injected crash has fired.
+func (fs *SimFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// CrashNow crashes the filesystem immediately (hard kill at a quiescent
+// point, e.g. at the end of a fuzz workload that never hit its crash point).
+func (fs *SimFS) CrashNow() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = true
+}
+
+// WrittenBytes returns the cumulative bytes written so far — a dry run's
+// total bounds the useful crash-offset range for the armed trials.
+func (fs *SimFS) WrittenBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.written
+}
+
+// Calls returns the number of counted operations (Write/Sync/Truncate) so
+// far — a dry run's total bounds the useful call-count range for the armed
+// trials (crash-at-call covers the sync points byte offsets can't hit).
+func (fs *SimFS) Calls() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.calls
+}
+
+// AfterCrash returns the filesystem a process would see on restart: per the
+// keep policy, each file retains its synced bytes plus none or a random
+// prefix of its unsynced tail. The returned FS has no faults armed and
+// treats the surviving bytes as durable. Call after the crash fired (or
+// after CrashNow).
+func (fs *SimFS) AfterCrash() *SimFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := &SimFS{rng: fs.rng, files: map[string]*simData{}, crashAtBytes: -1}
+	for name, f := range fs.files {
+		n := f.synced
+		if fs.keep == KeepRandomPrefix && len(f.data) > f.synced {
+			n += fs.rng.Intn(len(f.data) - f.synced + 1)
+		}
+		img := append([]byte(nil), f.data[:n]...)
+		out.files[name] = &simData{data: img, synced: len(img)}
+	}
+	return out
+}
+
+func (fs *SimFS) Open(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrInjected
+	}
+	d, ok := fs.files[path]
+	if !ok {
+		d = &simData{}
+		fs.files[path] = d
+	}
+	return &simFile{fs: fs, d: d}, nil
+}
+
+// countOpLocked advances the op counter and reports whether this op must
+// fail, and whether that failure is a crash.
+func (fs *SimFS) countOpLocked() (fail, crash bool) {
+	fs.calls++
+	if fs.failAtCalls > 0 && fs.calls == fs.failAtCalls {
+		return true, false
+	}
+	if fs.crashAtCalls > 0 && fs.calls >= fs.crashAtCalls {
+		return true, true
+	}
+	return false, false
+}
+
+type simFile struct {
+	fs *SimFS
+	d  *simData
+}
+
+func (f *simFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrInjected
+	}
+	if fail, crash := fs.countOpLocked(); fail {
+		if !crash {
+			return 0, ErrInjected
+		}
+		// Crash mid-write: a random prefix of p reaches the page cache.
+		k := fs.rng.Intn(len(p) + 1)
+		f.d.data = append(f.d.data, p[:k]...)
+		fs.written += int64(k)
+		fs.crashed = true
+		return k, ErrInjected
+	}
+	if fs.crashAtBytes >= 0 && fs.written+int64(len(p)) > fs.crashAtBytes {
+		// Crash at an exact byte offset: the write is torn at the threshold.
+		k := int(fs.crashAtBytes - fs.written)
+		f.d.data = append(f.d.data, p[:k]...)
+		fs.written += int64(k)
+		fs.crashed = true
+		return k, ErrInjected
+	}
+	f.d.data = append(f.d.data, p...)
+	fs.written += int64(len(p))
+	return len(p), nil
+}
+
+func (f *simFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrInjected
+	}
+	if fail, crash := fs.countOpLocked(); fail {
+		// A failed sync acknowledges nothing: the watermark stays put.
+		fs.crashed = crash || fs.crashed
+		return ErrInjected
+	}
+	f.d.synced = len(f.d.data)
+	return nil
+}
+
+func (f *simFile) Truncate(size int64) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrInjected
+	}
+	if fail, crash := fs.countOpLocked(); fail {
+		fs.crashed = crash || fs.crashed
+		return ErrInjected
+	}
+	if int(size) < len(f.d.data) {
+		f.d.data = f.d.data[:size]
+	}
+	if f.d.synced > len(f.d.data) {
+		f.d.synced = len(f.d.data)
+	}
+	return nil
+}
+
+func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrInjected
+	}
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *simFile) Size() (int64, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrInjected
+	}
+	return int64(len(f.d.data)), nil
+}
+
+func (f *simFile) Close() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrInjected
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSimWriteReadBack(t *testing.T) {
+	fs := NewSim(1)
+	f, err := fs.Open("a.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if n, err := f.Write([]byte(" world")); n != 6 || err != nil {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	buf := make([]byte, 11)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello world" {
+		t.Fatalf("read back %q", buf)
+	}
+	if sz, _ := f.Size(); sz != 11 {
+		t.Fatalf("size %d", sz)
+	}
+}
+
+// A crash armed at a byte offset tears the triggering write at exactly that
+// offset, and everything afterwards fails with ErrInjected.
+func TestSimCrashAtBytes(t *testing.T) {
+	fs := NewSim(1)
+	fs.CrashAtBytes(7)
+	f, _ := fs.Open("a.log")
+	if n, err := f.Write([]byte("abcde")); n != 5 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("fghij"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+}
+
+// KeepSynced: only fsync-acknowledged bytes survive the crash.
+func TestSimAfterCrashKeepSynced(t *testing.T) {
+	fs := NewSim(1)
+	f, _ := fs.Open("a.log")
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-lost"))
+	fs.CrashNow()
+
+	fs2 := fs.AfterCrash()
+	f2, err := fs2.Open("a.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f2.Size()
+	buf := make([]byte, sz)
+	f2.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("survived %q, want %q", buf, "durable")
+	}
+}
+
+// KeepRandomPrefix: the synced bytes always survive; the unsynced tail
+// survives as some prefix (page-cache writeback order for appends).
+func TestSimAfterCrashKeepRandomPrefix(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		fs := NewSim(seed)
+		fs.SetKeep(KeepRandomPrefix)
+		f, _ := fs.Open("a.log")
+		f.Write([]byte("durable"))
+		f.Sync()
+		f.Write([]byte("maybe"))
+		fs.CrashNow()
+
+		f2, _ := fs.AfterCrash().Open("a.log")
+		sz, _ := f2.Size()
+		buf := make([]byte, sz)
+		if sz > 0 {
+			f2.ReadAt(buf, 0)
+		}
+		if !bytes.HasPrefix(buf, []byte("durable")) {
+			t.Fatalf("seed %d: synced bytes lost: %q", seed, buf)
+		}
+		if !bytes.HasPrefix([]byte("durablemaybe"), buf) {
+			t.Fatalf("seed %d: survivor %q is not a prefix", seed, buf)
+		}
+	}
+}
+
+// FailAtCalls injects a one-shot error without crashing: the op fails, the
+// filesystem keeps working afterwards.
+func TestSimFailAtCalls(t *testing.T) {
+	fs := NewSim(1)
+	fs.FailAtCalls(2)
+	f, _ := fs.Open("a.log")
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second op should fail: %v", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("fs should survive a non-crash fault: %v", err)
+	}
+	sz, _ := f.Size()
+	if sz != int64(len("one")+len("three")) {
+		t.Fatalf("size %d", sz)
+	}
+}
+
+// A sync that crashes acknowledges nothing: bytes written before it are
+// still part of the unsynced tail and die with KeepSynced.
+func TestSimCrashOnSync(t *testing.T) {
+	fs := NewSim(1)
+	f, _ := fs.Open("a.log")
+	f.Write([]byte("abc"))
+	fs.CrashAtCalls(2) // next counted op is the sync
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: %v", err)
+	}
+	f2, _ := fs.AfterCrash().Open("a.log")
+	if sz, _ := f2.Size(); sz != 0 {
+		t.Fatalf("unacknowledged bytes survived a KeepSynced crash: %d", sz)
+	}
+}
+
+func TestSimTruncate(t *testing.T) {
+	fs := NewSim(1)
+	f, _ := fs.Open("a.log")
+	f.Write([]byte("0123456789"))
+	f.Sync()
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	if sz != 4 {
+		t.Fatalf("size %d after truncate", sz)
+	}
+	// Appends land at the new end, and the durable watermark shrank too.
+	f.Write([]byte("AB"))
+	buf := make([]byte, 6)
+	f.ReadAt(buf, 0)
+	if string(buf) != "0123AB" {
+		t.Fatalf("after truncate+append: %q", buf)
+	}
+	fs.CrashNow()
+	f2, _ := fs.AfterCrash().Open("a.log")
+	if sz, _ := f2.Size(); sz != 4 {
+		t.Fatalf("durable watermark after truncate: %d", sz)
+	}
+}
+
+// The Disk adapter honors the same contract (append, read-at, truncate).
+func TestDiskAdapter(t *testing.T) {
+	path := t.TempDir() + "/d.log"
+	f, err := Disk.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Write([]byte("abcdef"))
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("XYZ"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := f.Size()
+	if err != nil || sz != 6 {
+		t.Fatalf("size %d err %v", sz, err)
+	}
+	buf := make([]byte, 6)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcXYZ" {
+		t.Fatalf("disk contents %q", buf)
+	}
+}

@@ -14,7 +14,9 @@ package netproto
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -22,6 +24,11 @@ import (
 	"monetlite/internal/mtypes"
 	"monetlite/internal/vec"
 )
+
+// ErrTooLarge is returned by ReadRequestLimit when a request line exceeds the
+// size limit. The oversized line has been consumed, so the connection can
+// reply with an error and keep serving instead of dropping the client.
+var ErrTooLarge = errors.New("netproto: statement exceeds size limit")
 
 // Request kinds.
 const (
@@ -49,17 +56,44 @@ func WriteRequest(w *bufio.Writer, kind byte, sql string) error {
 	return w.WriteByte('\n')
 }
 
-// ReadRequest parses one request line.
+// ReadRequest parses one request line with no size limit.
 func ReadRequest(r *bufio.Reader) (byte, string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return 0, "", err
+	return ReadRequestLimit(r, 0)
+}
+
+// ReadRequestLimit parses one request line, capping it at max bytes (0 means
+// unlimited). An oversized line is drained to its terminating newline and
+// reported as ErrTooLarge — a recoverable protocol error, not a broken
+// stream — so a rogue statement cannot balloon server memory or desync the
+// connection.
+func ReadRequestLimit(r *bufio.Reader, max int) (byte, string, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if max > 0 && len(line) > max {
+			// Drain the remainder of the oversized line, then fail softly.
+			for err == bufio.ErrBufferFull {
+				_, err = r.ReadSlice('\n')
+			}
+			if err != nil && err != bufio.ErrBufferFull {
+				return 0, "", err
+			}
+			return 0, "", ErrTooLarge
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			return 0, "", err
+		}
+		break
 	}
-	line = strings.TrimRight(line, "\r\n")
-	if len(line) < 2 || line[1] != ' ' {
-		return 0, "", fmt.Errorf("netproto: malformed request %q", line)
+	s := strings.TrimRight(string(line), "\r\n")
+	if len(s) < 2 || s[1] != ' ' {
+		return 0, "", fmt.Errorf("netproto: malformed request %q", s)
 	}
-	return line[0], line[2:], nil
+	return s[0], s[2:], nil
 }
 
 // TextValue renders a value for the text protocol.
@@ -84,8 +118,26 @@ func TextValue(v mtypes.Value) string {
 //	            payload (fixed width raw values / uvarint-prefixed strings)
 // ---------------------------------------------------------------------------
 
+// EncodeColumns renders a columnar result to a standalone payload. Encoding
+// fully before writing means a serialization error (an unsupported column
+// kind, say) surfaces before any status byte hits the wire — the server can
+// still send a clean error reply instead of tearing the connection down
+// mid-payload.
+func EncodeColumns(names []string, cols []*vec.Vector) ([]byte, error) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeColumns(w, names, cols); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // WriteColumns streams a columnar result.
 func WriteColumns(w *bufio.Writer, names []string, cols []*vec.Vector) error {
+	return writeColumns(w, names, cols)
+}
+
+func writeColumns(w *bufio.Writer, names []string, cols []*vec.Vector) error {
 	nrows := 0
 	if len(cols) > 0 {
 		nrows = cols[0].Len()
@@ -170,12 +222,20 @@ func WriteColumns(w *bufio.Writer, names []string, cols []*vec.Vector) error {
 // ReadColumns parses a binary columnar payload (after its "C" status line
 // has been consumed by the caller into ncols/nrows).
 func ReadColumns(r *bufio.Reader, ncols, nrows int) ([]string, []*vec.Vector, error) {
+	// Allocation sanity: the shape comes off the wire, so bound it before
+	// make() turns a corrupt header into an OOM.
+	if ncols < 0 || nrows < 0 || ncols > 1<<20 {
+		return nil, nil, fmt.Errorf("netproto: invalid result shape %d cols x %d rows", ncols, nrows)
+	}
 	names := make([]string, ncols)
 	cols := make([]*vec.Vector, ncols)
 	for i := 0; i < ncols; i++ {
 		nameLen, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, nil, err
+		}
+		if nameLen > 1<<20 {
+			return nil, nil, fmt.Errorf("netproto: column name length %d exceeds limit", nameLen)
 		}
 		nameBuf := make([]byte, nameLen)
 		if _, err := io.ReadFull(r, nameBuf); err != nil {
@@ -238,6 +298,9 @@ func ReadColumns(r *bufio.Reader, ncols, nrows int) ([]string, []*vec.Vector, er
 				sl, err := binary.ReadUvarint(r)
 				if err != nil {
 					return nil, nil, err
+				}
+				if sl > 1<<30 {
+					return nil, nil, fmt.Errorf("netproto: string length %d exceeds limit", sl)
 				}
 				sb := make([]byte, sl)
 				if _, err := io.ReadFull(r, sb); err != nil {

@@ -4,14 +4,26 @@
 // engine (a MonetDB-like server) or the volcano row store (a
 // PostgreSQL/MariaDB-like server), so benchmarks isolate the transport and
 // architecture variables.
+//
+// Robustness model: every query runs under a context derived from its
+// connection, which is derived from the server. Server.Close cancels the
+// root, aborting in-flight queries before waiting for connections to drain;
+// a client that disconnects mid-query cancels just its own connection's
+// context (a dedicated reader goroutine notices the EOF while the query is
+// still executing). Per-connection read/write deadlines bound how long a
+// silent peer can pin a connection, and request lines are size-capped so a
+// rogue statement cannot balloon server memory.
 package server
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"monetlite"
 	"monetlite/internal/mtypes"
@@ -20,31 +32,68 @@ import (
 	"monetlite/internal/vec"
 )
 
-// Backend abstracts the engine behind the socket.
+// Backend abstracts the engine behind the socket. The context carries query
+// cancellation: it is cancelled when the client disconnects, when the server
+// shuts down, or when the per-query timeout expires.
 type Backend interface {
-	Exec(sql string) (int64, error)
+	Exec(ctx context.Context, sql string) (int64, error)
 	// QueryRows returns a row-major result (text protocol).
-	QueryRows(sql string) (cols []string, rows [][]mtypes.Value, err error)
+	QueryRows(ctx context.Context, sql string) (cols []string, rows [][]mtypes.Value, err error)
 	// QueryCols returns a columnar result (binary protocol).
-	QueryCols(sql string) (names []string, data []*vec.Vector, err error)
+	QueryCols(ctx context.Context, sql string) (names []string, data []*vec.Vector, err error)
+}
+
+// Options tune the server's protective limits. The zero value of any field
+// selects its default; a negative duration disables that deadline.
+type Options struct {
+	// ReadTimeout bounds the wait for the next request line (default 10m).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush (default 1m).
+	WriteTimeout time.Duration
+	// QueryTimeout bounds each query's execution (default: none).
+	QueryTimeout time.Duration
+	// MaxStatement caps the request line length in bytes (default 1 MiB).
+	// Oversized statements get an error reply, not a dropped connection.
+	MaxStatement int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 10 * time.Minute
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = time.Minute
+	}
+	if o.MaxStatement == 0 {
+		o.MaxStatement = 1 << 20
+	}
+	return o
 }
 
 // Server accepts connections and serves the wire protocols.
 type Server struct {
 	backend Backend
+	opts    Options
 	ln      net.Listener
 	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
+
+	baseCtx context.Context // root of every connection/query context
+	cancel  context.CancelFunc
 }
 
-// Serve starts listening on addr (e.g. "127.0.0.1:0").
+// Serve starts listening on addr (e.g. "127.0.0.1:0") with default options.
 func Serve(addr string, backend Backend) (*Server, error) {
+	return ServeOptions(addr, backend, Options{})
+}
+
+// ServeOptions starts listening with explicit limits.
+func ServeOptions(addr string, backend Backend, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{backend: backend, ln: ln}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{backend: backend, opts: opts.withDefaults(), ln: ln, baseCtx: ctx, cancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,11 +102,11 @@ func Serve(addr string, backend Backend) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for active connections to drain.
+// Close stops the listener, cancels every in-flight query, and waits for
+// active connections to wind down. Queries abort at their next interrupt
+// check (one chunk of work), so Close returns promptly even mid-scan.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.cancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -78,56 +127,124 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// request is one framed client request, or the read error that ended the
+// stream. A netproto.ErrTooLarge is recoverable (the line was drained); any
+// other error is terminal.
+type request struct {
+	kind byte
+	sql  string
+	err  error
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	connCtx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	// Watchdog: when the connection's context dies — server shutdown, client
+	// disconnect, or normal exit — close the socket so any blocked read or
+	// write returns immediately.
+	go func() {
+		<-connCtx.Done()
+		conn.Close()
+	}()
+
 	r := bufio.NewReaderSize(conn, 1<<20)
 	w := bufio.NewWriterSize(conn, 1<<20)
-	for {
-		kind, sql, err := netproto.ReadRequest(r)
-		if err != nil {
-			return
-		}
-		switch kind {
-		case netproto.ReqExec:
-			n, err := s.backend.Exec(sql)
-			if err != nil {
-				fmt.Fprintf(w, "E %s\n", oneLine(err))
-			} else {
-				fmt.Fprintf(w, "OK %d\n", n)
+
+	// Reader goroutine: decouples framing from execution so a client that
+	// hangs up mid-query is noticed while the query still runs — the EOF
+	// cancels connCtx and the engine aborts at its next interrupt check.
+	reqs := make(chan request, 8)
+	go func() {
+		defer close(reqs)
+		for {
+			if s.opts.ReadTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 			}
-		case netproto.ReqQueryText:
-			cols, rows, err := s.backend.QueryRows(sql)
-			if err != nil {
-				fmt.Fprintf(w, "E %s\n", oneLine(err))
-				break
-			}
-			fmt.Fprintf(w, "R %d %d\n", len(cols), len(rows))
-			w.WriteString(strings.Join(cols, "\t"))
-			w.WriteByte('\n')
-			for _, row := range rows {
-				for i, v := range row {
-					if i > 0 {
-						w.WriteByte('\t')
-					}
-					w.WriteString(netproto.TextValue(v))
-				}
-				w.WriteByte('\n')
-			}
-		case netproto.ReqQueryBinary:
-			names, data, err := s.backend.QueryCols(sql)
-			if err != nil {
-				fmt.Fprintf(w, "E %s\n", oneLine(err))
-				break
-			}
-			if err := netproto.WriteColumns(w, names, data); err != nil {
+			kind, sql, err := netproto.ReadRequestLimit(r, s.opts.MaxStatement)
+			select {
+			case reqs <- request{kind: kind, sql: sql, err: err}:
+			case <-connCtx.Done():
 				return
 			}
-		default:
-			fmt.Fprintf(w, "E unknown request %q\n", kind)
+			if err != nil && !errors.Is(err, netproto.ErrTooLarge) {
+				cancel() // terminal: abort any in-flight query
+				return
+			}
+		}
+	}()
+
+	for rq := range reqs {
+		if rq.err != nil {
+			if !errors.Is(rq.err, netproto.ErrTooLarge) {
+				return
+			}
+			fmt.Fprintf(w, "E %s\n", oneLine(rq.err))
+		} else {
+			s.serveRequest(connCtx, w, rq)
+		}
+		if connCtx.Err() != nil {
+			return
+		}
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// serveRequest executes one request under the per-query context and writes
+// the response into w (not yet flushed). Backend errors — including
+// mid-result serialization failures, which encode before any byte hits the
+// wire — become clean "E" replies.
+func (s *Server) serveRequest(connCtx context.Context, w *bufio.Writer, rq request) {
+	ctx := connCtx
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(connCtx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+	switch rq.kind {
+	case netproto.ReqExec:
+		n, err := s.backend.Exec(ctx, rq.sql)
+		if err != nil {
+			fmt.Fprintf(w, "E %s\n", oneLine(err))
+		} else {
+			fmt.Fprintf(w, "OK %d\n", n)
+		}
+	case netproto.ReqQueryText:
+		cols, rows, err := s.backend.QueryRows(ctx, rq.sql)
+		if err != nil {
+			fmt.Fprintf(w, "E %s\n", oneLine(err))
+			return
+		}
+		fmt.Fprintf(w, "R %d %d\n", len(cols), len(rows))
+		w.WriteString(strings.Join(cols, "\t"))
+		w.WriteByte('\n')
+		for _, row := range rows {
+			for i, v := range row {
+				if i > 0 {
+					w.WriteByte('\t')
+				}
+				w.WriteString(netproto.TextValue(v))
+			}
+			w.WriteByte('\n')
+		}
+	case netproto.ReqQueryBinary:
+		names, data, err := s.backend.QueryCols(ctx, rq.sql)
+		var payload []byte
+		if err == nil {
+			payload, err = netproto.EncodeColumns(names, data)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "E %s\n", oneLine(err))
+			return
+		}
+		w.Write(payload)
+	default:
+		fmt.Fprintf(w, "E unknown request %q\n", rq.kind)
 	}
 }
 
@@ -152,17 +269,17 @@ func NewColumnarBackend(db *monetlite.Database) *ColumnarBackend {
 }
 
 // Exec implements Backend.
-func (b *ColumnarBackend) Exec(sql string) (int64, error) {
+func (b *ColumnarBackend) Exec(ctx context.Context, sql string) (int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.conn.Exec(sql)
+	return b.conn.ExecContext(ctx, sql)
 }
 
 // QueryRows implements Backend (row-major conversion for the text protocol).
-func (b *ColumnarBackend) QueryRows(sql string) ([]string, [][]mtypes.Value, error) {
+func (b *ColumnarBackend) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	res, err := b.conn.Query(sql)
+	res, err := b.conn.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,10 +295,10 @@ func (b *ColumnarBackend) QueryRows(sql string) ([]string, [][]mtypes.Value, err
 }
 
 // QueryCols implements Backend (native columnar transfer).
-func (b *ColumnarBackend) QueryCols(sql string) ([]string, []*vec.Vector, error) {
+func (b *ColumnarBackend) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	res, err := b.conn.Query(sql)
+	res, err := b.conn.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -208,17 +325,25 @@ func NewRowstoreBackend(db *rowstore.DB) *RowstoreBackend {
 	return &RowstoreBackend{DB: db}
 }
 
-// Exec implements Backend.
-func (b *RowstoreBackend) Exec(sql string) (int64, error) {
+// Exec implements Backend. The row store has no internal interrupt checks
+// (it is the simple oracle baseline), so cancellation is honored only at
+// statement start.
+func (b *RowstoreBackend) Exec(ctx context.Context, sql string) (int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	return b.DB.Exec(sql)
 }
 
 // QueryRows implements Backend.
-func (b *RowstoreBackend) QueryRows(sql string) ([]string, [][]mtypes.Value, error) {
+func (b *RowstoreBackend) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	res, err := b.DB.Query(sql)
 	if err != nil {
 		return nil, nil, err
@@ -229,9 +354,12 @@ func (b *RowstoreBackend) QueryRows(sql string) ([]string, [][]mtypes.Value, err
 // QueryCols implements Backend by transposing rows (a row store has no
 // native columnar path — the conversion cost is part of what Figure 6
 // measures for SQLite).
-func (b *RowstoreBackend) QueryCols(sql string) ([]string, []*vec.Vector, error) {
+func (b *RowstoreBackend) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	res, err := b.DB.Query(sql)
 	if err != nil {
 		return nil, nil, err

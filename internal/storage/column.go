@@ -115,6 +115,32 @@ func (c *Column) Append(vals *vec.Vector) (int, error) {
 	return c.data.Len(), nil
 }
 
+// TruncateTo discards physical rows beyond n. Crash recovery needs this: a
+// checkpoint that died after writing column files but before the catalog
+// leaves columns longer than the cataloged row count, and WAL replay would
+// then re-append rows that are already present. The survivor is deep-copied
+// so that later appends never write through leftover slice capacity into
+// read-only mapped memory.
+func (c *Column) TruncateTo(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.loaded {
+		if err := c.loadLocked(); err != nil {
+			return err
+		}
+	}
+	if c.data.Len() <= n {
+		return nil
+	}
+	c.data = c.data.Slice(0, n).Clone()
+	if len(c.offs) > n {
+		// Orphaned heap entries are harmless (the heap dedups), but the offset
+		// array must stay parallel to the string array.
+		c.offs = append([]uint32(nil), c.offs[:n]...)
+	}
+	return nil
+}
+
 // Release drops any file mapping (database shutdown). The column must not be
 // used afterwards.
 func (c *Column) Release() error {

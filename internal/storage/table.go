@@ -160,6 +160,22 @@ func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion,
 	return tv, nil
 }
 
+// RecoverTruncate trims every column back to the cataloged row count. WAL
+// replay calls it once per table before re-applying appends, so column files
+// written ahead of the catalog by a crashed checkpoint don't make replayed
+// appends land twice (or fail the length check).
+func (t *Table) RecoverTruncate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.Version().NRows
+	for _, c := range t.cols {
+		if err := c.TruncateTo(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Delete marks rows deleted and publishes a new version. Hash indexes,
 // imprints and order indexes are destroyed (paper: indexes do not survive
 // deletes/updates).

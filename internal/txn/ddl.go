@@ -80,10 +80,15 @@ func (m *Manager) CreateOrderIndex(table, col string) error {
 	return nil
 }
 
-// Checkpoint persists the store and truncates the WAL.
+// Checkpoint folds the log into a storage snapshot and truncates the WAL,
+// bounding replay length. In-memory stores persist nothing, so their WAL (if
+// any — the crash fuzzer wires one) must be kept whole.
 func (m *Manager) Checkpoint() error {
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
+	if m.store.InMemory() {
+		return nil
+	}
 	if err := m.store.Checkpoint(); err != nil {
 		return err
 	}
@@ -93,59 +98,94 @@ func (m *Manager) Checkpoint() error {
 	return nil
 }
 
-// ReplayWAL applies committed WAL transactions to a freshly opened store
-// (crash recovery).
-func ReplayWAL(store *storage.Store, path string) error {
-	return wal.Replay(path, func(recs []wal.Record, version uint64) error {
-		for _, rec := range recs {
-			switch rec.Kind {
-			case wal.KindCreateTable:
-				var meta storage.TableMeta
-				if err := wal.MetaFromJSON(rec.MetaJS, &meta); err != nil {
+// replayer applies committed WAL groups to a store, defending against the
+// two states a crash mid-checkpoint can leave behind:
+//
+//   - crash after catalog.json, before the WAL reset: groups the checkpoint
+//     already folded in replay again → skipped by the version guard;
+//   - crash after some column files, before catalog.json: columns are
+//     physically longer than the cataloged row count and replayed appends
+//     would land twice → each appended-to table is truncated back to its
+//     cataloged length first.
+type replayer struct {
+	store    *storage.Store
+	prepared map[string]bool // tables already RecoverTruncate'd this replay
+}
+
+func (r *replayer) applyGroup(recs []wal.Record, version uint64) error {
+	if version <= r.store.Version() {
+		return nil // already in the checkpoint this store was opened from
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case wal.KindCreateTable:
+			var meta storage.TableMeta
+			if err := wal.MetaFromJSON(rec.MetaJS, &meta); err != nil {
+				return err
+			}
+			if _, err := r.store.CreateTable(meta); err != nil {
+				return err
+			}
+			r.prepared[meta.Name] = true // fresh table, nothing to truncate
+		case wal.KindDropTable:
+			if err := r.store.DropTable(rec.Table); err != nil {
+				return err
+			}
+			delete(r.prepared, rec.Table)
+		case wal.KindAppend:
+			tbl, ok := r.store.Get(rec.Table)
+			if !ok {
+				return fmt.Errorf("txn: replay append to missing table %q", rec.Table)
+			}
+			if !r.prepared[rec.Table] {
+				if err := tbl.RecoverTruncate(); err != nil {
 					return err
 				}
-				if _, err := store.CreateTable(meta); err != nil {
+				r.prepared[rec.Table] = true
+			}
+			// WAL vectors carry kind+scale only; restore full column types
+			// from the catalog so decimals keep precision metadata.
+			for i := range rec.Cols {
+				rec.Cols[i].Typ = tbl.Meta.Cols[i].Typ
+			}
+			if _, err := tbl.Append(rec.Cols, version); err != nil {
+				return err
+			}
+		case wal.KindDelete:
+			tbl, ok := r.store.Get(rec.Table)
+			if !ok {
+				return fmt.Errorf("txn: replay delete on missing table %q", rec.Table)
+			}
+			if _, _, err := tbl.Delete(rec.RowIDs, version); err != nil {
+				return err
+			}
+		case wal.KindOrderIndex:
+			tbl, ok := r.store.Get(rec.Table)
+			if !ok {
+				return fmt.Errorf("txn: replay order index on missing table %q", rec.Table)
+			}
+			if ci := tbl.Meta.ColIndex(rec.Col); ci >= 0 {
+				if err := tbl.CreateOrderIndex(ci); err != nil {
 					return err
-				}
-			case wal.KindDropTable:
-				if err := store.DropTable(rec.Table); err != nil {
-					return err
-				}
-			case wal.KindAppend:
-				tbl, ok := store.Get(rec.Table)
-				if !ok {
-					return fmt.Errorf("txn: replay append to missing table %q", rec.Table)
-				}
-				// WAL vectors carry kind+scale only; restore full column types
-				// from the catalog so decimals keep precision metadata.
-				for i := range rec.Cols {
-					rec.Cols[i].Typ = tbl.Meta.Cols[i].Typ
-				}
-				if _, err := tbl.Append(rec.Cols, version); err != nil {
-					return err
-				}
-			case wal.KindDelete:
-				tbl, ok := store.Get(rec.Table)
-				if !ok {
-					return fmt.Errorf("txn: replay delete on missing table %q", rec.Table)
-				}
-				if _, _, err := tbl.Delete(rec.RowIDs, version); err != nil {
-					return err
-				}
-			case wal.KindOrderIndex:
-				tbl, ok := store.Get(rec.Table)
-				if !ok {
-					return fmt.Errorf("txn: replay order index on missing table %q", rec.Table)
-				}
-				if ci := tbl.Meta.ColIndex(rec.Col); ci >= 0 {
-					if err := tbl.CreateOrderIndex(ci); err != nil {
-						return err
-					}
 				}
 			}
 		}
-		for ; store.Version() < version; store.BumpVersion() {
-		}
-		return nil
-	})
+	}
+	for ; r.store.Version() < version; r.store.BumpVersion() {
+	}
+	return nil
+}
+
+// ReplayWAL applies committed WAL transactions from a log file to a freshly
+// opened store (crash recovery without an open log handle).
+func ReplayWAL(store *storage.Store, path string) error {
+	r := &replayer{store: store, prepared: map[string]bool{}}
+	return wal.Replay(path, r.applyGroup)
+}
+
+// ReplayLog applies committed WAL transactions through an already-open (and
+// therefore already tail-repaired) log handle — the startup path.
+func ReplayLog(store *storage.Store, log *wal.Log) error {
+	r := &replayer{store: store, prepared: map[string]bool{}}
+	return log.Replay(r.applyGroup)
 }

@@ -1,0 +1,281 @@
+package txn
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"monetlite/internal/storage"
+	"monetlite/internal/wal"
+)
+
+// A crash between the storage checkpoint and the WAL reset leaves the whole
+// log on disk even though the catalog already contains its effects. Replay
+// must skip those groups (version guard) instead of double-applying them —
+// and still apply groups committed after the checkpoint.
+func TestReplaySkipsCheckpointedGroups(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2, 3))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint the store but "crash" before the WAL reset.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// One more commit lands after the checkpoint: only in the WAL.
+	tx2 := m.Begin()
+	tx2.Append("t", batch(4))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	st.Close()
+
+	st2, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatalf("replay over a checkpointed prefix must not fail: %v", err)
+	}
+	tbl, ok := st2.Get("t")
+	if !ok {
+		t.Fatal("table lost")
+	}
+	tv := tbl.Version()
+	if tv.NRows != 4 {
+		t.Fatalf("rows after replay = %d, want 4 (3 checkpointed + 1 replayed, none doubled)", tv.NRows)
+	}
+	col, _ := tv.Col(0)
+	if col.I32[0] != 1 || col.I32[3] != 4 {
+		t.Fatalf("replayed data: %v", col.I32)
+	}
+}
+
+// A crash mid-checkpoint — after some column files were rewritten but before
+// catalog.json — leaves columns physically longer than the cataloged row
+// count. Replayed appends must not land twice: replay truncates each table
+// back to its cataloged length first.
+func TestReplayTruncatesColumnsAheadOfCatalog(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	catPath := filepath.Join(dir, "catalog.json")
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2, 3))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil { // clean checkpoint: 3 rows on disk, WAL empty
+		t.Fatal(err)
+	}
+	tx2 := m.Begin()
+	tx2.Append("t", batch(4, 5))
+	if err := tx2.Commit(); err != nil { // only in the WAL
+		t.Fatal(err)
+	}
+	oldCat, err := os.ReadFile(catPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint's column writes complete, then "crash" before the
+	// catalog rename: restore the previous catalog over the new one.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(catPath, oldCat, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	st.Close()
+
+	st2, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatalf("replay over columns written ahead of the catalog must not fail: %v", err)
+	}
+	tbl, _ := st2.Get("t")
+	tv := tbl.Version()
+	if tv.NRows != 5 {
+		t.Fatalf("rows after replay = %d, want 5", tv.NRows)
+	}
+	col, _ := tv.Col(0)
+	for i, want := range []int32{1, 2, 3, 4, 5} {
+		if col.I32[i] != want {
+			t.Fatalf("replayed data: %v", col.I32[:5])
+		}
+	}
+}
+
+// Concurrent committers on disjoint tables: all commits must succeed, be
+// visible, and be durable across a reopen. Run under -race in CI to exercise
+// the group-commit leader/follower handoff.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+
+	const committers = 8
+	const commitsEach = 20
+	for i := 0; i < committers; i++ {
+		mt := meta()
+		mt.Name = fmt.Sprintf("t%d", i)
+		if err := m.CreateTable(mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			for j := 0; j < commitsEach; j++ {
+				tx := m.Begin()
+				if err := tx.Append(name, batch(int32(j))); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	for i := 0; i < committers; i++ {
+		v, _ := m.Begin().View(fmt.Sprintf("t%d", i))
+		if v.NumRows() != commitsEach {
+			t.Fatalf("table t%d has %d rows, want %d", i, v.NumRows(), commitsEach)
+		}
+	}
+	// Durability: a crash right now (no checkpoint) must preserve everything.
+	log.Close()
+	st.Close()
+	st2, _ := storage.Open(dir)
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < committers; i++ {
+		tbl, ok := st2.Get(fmt.Sprintf("t%d", i))
+		if !ok || tbl.Version().NRows != commitsEach {
+			t.Fatalf("table t%d lost rows across reopen", i)
+		}
+	}
+}
+
+// Auto-checkpoint: once the WAL crosses the configured size, a commit folds
+// it into the storage snapshot and truncates it.
+func TestAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	m.SetAutoCheckpoint(1) // any commit crosses the threshold
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2, 3))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if log.Size() != 0 {
+		t.Fatalf("WAL size %d after auto-checkpoint, want 0", log.Size())
+	}
+	// The data is in the storage snapshot, not the (now empty) log.
+	log.Close()
+	st.Close()
+	st2, _ := storage.Open(dir)
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := st2.Get("t")
+	if !ok || tbl.Version().NRows != 3 {
+		t.Fatal("auto-checkpointed data lost")
+	}
+}
+
+// benchCommit measures commit latency with the given number of concurrent
+// committers, with group commit on (shared fsync) or off (one fsync each).
+// Committers write disjoint tables so optimistic validation never aborts.
+func benchCommit(b *testing.B, committers int, group bool) {
+	dir := b.TempDir()
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(filepath.Join(dir, "wal.log"))
+	log.SetGroupCommit(group)
+	m := NewManager(st, log)
+	for i := 0; i < committers; i++ {
+		mt := meta()
+		mt.Name = fmt.Sprintf("t%d", i)
+		if err := m.CreateTable(mt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		n := b.N / committers
+		if i < b.N%committers {
+			n++
+		}
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			for j := 0; j < n; j++ {
+				tx := m.Begin()
+				tx.Append(name, batch(int32(j)))
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	log.Close()
+	st.Close()
+}
+
+// BenchmarkCommitThroughput is the group-commit headline number: at 8
+// concurrent committers, batching into one fsync (group-c8) must beat one
+// fsync per transaction (solo-c8) by >= 2x.
+func BenchmarkCommitThroughput(b *testing.B) {
+	b.Run("group-c1", func(b *testing.B) { benchCommit(b, 1, true) })
+	b.Run("group-c8", func(b *testing.B) { benchCommit(b, 8, true) })
+	b.Run("solo-c8", func(b *testing.B) { benchCommit(b, 8, false) })
+}

@@ -5,15 +5,22 @@
 // Writes are buffered locally and become visible to the transaction's own
 // reads through overlay Views. At Commit, validation checks that no other
 // transaction has committed writes to the same tables since the snapshot was
-// taken; on conflict the transaction aborts with ErrWriteConflict. Validation
-// and apply run under a global commit lock, writes reach the WAL (with fsync)
-// before they are applied in memory.
+// taken; on conflict the transaction aborts with ErrWriteConflict.
+//
+// Durability uses group commit: validation, WAL buffering and the in-memory
+// apply run under a global commit lock, but the fsync happens after the lock
+// is released, through wal.SyncTo's leader/follower handoff — concurrent
+// committers share one fsync instead of queueing for one each. Commit only
+// returns nil once its commit marker is durable, so the acknowledged prefix
+// of commits always survives a crash; markers are written in apply order, so
+// whatever unacknowledged suffix survives is still a clean prefix.
 package txn
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"monetlite/internal/storage"
 	"monetlite/internal/vec"
@@ -32,11 +39,36 @@ type Manager struct {
 	store    *storage.Store
 	log      *wal.Log // nil for in-memory databases
 	commitMu sync.Mutex
+
+	ckptBytes     atomic.Int64 // WAL size that triggers auto-checkpoint (0 = off)
+	checkpointing atomic.Bool
 }
 
 // NewManager wires a manager to a store and optional WAL.
 func NewManager(store *storage.Store, log *wal.Log) *Manager {
 	return &Manager{store: store, log: log}
+}
+
+// SetAutoCheckpoint makes commits fold the WAL into a storage snapshot
+// whenever the log grows past n bytes, keeping replay length bounded.
+// n <= 0 disables auto-checkpointing.
+func (m *Manager) SetAutoCheckpoint(n int64) { m.ckptBytes.Store(n) }
+
+// maybeCheckpoint runs a checkpoint if the WAL crossed the configured size.
+// Called after a successful commit, outside the commit lock; the CAS keeps
+// concurrent committers from piling up behind one checkpoint.
+func (m *Manager) maybeCheckpoint() {
+	limit := m.ckptBytes.Load()
+	if m.log == nil || limit <= 0 || m.log.Size() < limit {
+		return
+	}
+	if !m.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	defer m.checkpointing.Store(false)
+	// Best-effort: the triggering commit is already durable in the WAL. A
+	// failed checkpoint just leaves the log long; a later commit retries.
+	_ = m.Checkpoint()
 }
 
 // Store exposes the underlying store.
@@ -238,7 +270,9 @@ func (t *Txn) Rollback() error {
 	return nil
 }
 
-// Commit validates and applies the buffered writes atomically.
+// Commit validates and applies the buffered writes atomically. It returns
+// nil only once the commit is durable (its WAL commit marker is fsynced);
+// with concurrent committers the fsync is shared via group commit.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -250,6 +284,27 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	m := t.mgr
+	seq, err := t.commitApply()
+	if err != nil {
+		return err
+	}
+	if m.log != nil {
+		// Durability barrier, outside the commit lock: other committers can
+		// validate and apply while this fsync is in flight, and the leader
+		// among the waiters syncs for all of them.
+		if err := m.log.SyncTo(seq); err != nil {
+			return err
+		}
+		m.maybeCheckpoint()
+	}
+	return nil
+}
+
+// commitApply validates, writes the WAL records and commit marker (buffered,
+// not yet durable), and applies the mutations in memory — all under the
+// global commit lock. It returns the WAL sequence to sync to.
+func (t *Txn) commitApply() (uint64, error) {
+	m := t.mgr
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
 
@@ -257,10 +312,10 @@ func (t *Txn) Commit() error {
 	for name := range t.pend {
 		tbl, ok := m.store.Get(name)
 		if !ok {
-			return fmt.Errorf("txn: table %q dropped concurrently: %w", name, ErrWriteConflict)
+			return 0, fmt.Errorf("txn: table %q dropped concurrently: %w", name, ErrWriteConflict)
 		}
 		if tbl.Version() != t.snap[name] {
-			return ErrWriteConflict
+			return 0, ErrWriteConflict
 		}
 	}
 
@@ -302,35 +357,39 @@ func (t *Txn) Commit() error {
 		muts = append(muts, mut)
 	}
 
-	// WAL first (with fsync via Commit), then in-memory apply.
+	// WAL records and commit marker first (buffered — the fsync happens in
+	// Commit after the lock is released), then the in-memory apply. Markers
+	// hit the log in apply order, so a crash can only lose a suffix.
+	var seq uint64
 	if m.log != nil {
 		for _, mut := range muts {
 			if mut.appends != nil && mut.appends[0].Len() > 0 {
 				if err := m.log.Append(wal.Record{Kind: wal.KindAppend, Table: mut.tbl.Meta.Name, Cols: mut.appends}); err != nil {
-					return err
+					return 0, err
 				}
 			}
 			if len(mut.baseDel) > 0 {
 				if err := m.log.Append(wal.Record{Kind: wal.KindDelete, Table: mut.tbl.Meta.Name, RowIDs: mut.baseDel}); err != nil {
-					return err
+					return 0, err
 				}
 			}
 		}
-		if err := m.log.Commit(version); err != nil {
-			return err
+		var err error
+		if seq, err = m.log.AppendCommit(version); err != nil {
+			return 0, err
 		}
 	}
 	for _, mut := range muts {
 		if mut.appends != nil && mut.appends[0].Len() > 0 {
 			if _, err := mut.tbl.Append(mut.appends, version); err != nil {
-				return err
+				return 0, err
 			}
 		}
 		if len(mut.baseDel) > 0 {
 			if _, _, err := mut.tbl.Delete(mut.baseDel, version); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
-	return nil
+	return seq, nil
 }

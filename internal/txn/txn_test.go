@@ -221,7 +221,7 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	log, err := wal.Open(walPath)
+	log, _, err := wal.Open(walPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	dir := t.TempDir()
 	walPath := filepath.Join(dir, "wal.log")
 	st, _ := storage.Open(dir)
-	log, _ := wal.Open(walPath)
+	log, _, _ := wal.Open(walPath)
 	m := NewManager(st, log)
 	m.CreateTable(meta())
 	tx := m.Begin()
@@ -297,7 +297,7 @@ func TestDDLReplay(t *testing.T) {
 	dir := t.TempDir()
 	walPath := filepath.Join(dir, "wal.log")
 	st, _ := storage.Open(dir)
-	log, _ := wal.Open(walPath)
+	log, _, _ := wal.Open(walPath)
 	m := NewManager(st, log)
 	m.CreateTable(meta())
 	m.CreateOrderIndex("t", "a")

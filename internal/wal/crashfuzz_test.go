@@ -1,0 +1,361 @@
+// Crash-point fuzzer: the kill-replay-verify harness for WAL durability.
+//
+// Each trial runs a randomized create/append/delete/index/drop workload
+// against a transaction manager whose WAL lives on a simulated filesystem
+// (faultfs.SimFS) armed to crash at a random byte offset or operation count.
+// When the crash fires, the trial reopens the post-crash file image, runs
+// recovery, and differentially verifies the surviving state against an
+// in-memory oracle that snapshotted the database after every commit attempt:
+//
+//   - KeepSynced (only fsynced bytes survive): recovery must yield EXACTLY
+//     the acknowledged prefix of commits — nothing acked is lost, nothing
+//     unacked appears;
+//   - KeepRandomPrefix (some unsynced tail survives): recovery must yield
+//     snapshot N for some acked <= N <= attempted — an unacknowledged commit
+//     whose marker survived may legitimately be recovered, but recovery can
+//     never invent state or tear a transaction in half.
+//
+// In every trial, opening the damaged log must succeed (torn tails are
+// repaired, never fatal) and a second open of the repaired image must report
+// a clean log.
+package wal_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"monetlite/internal/faultfs"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/storage"
+	"monetlite/internal/txn"
+	"monetlite/internal/vec"
+	"monetlite/internal/wal"
+)
+
+const fuzzWALPath = "wal.log"
+
+// ---------------------------------------------------------------------------
+// Oracle model.
+// ---------------------------------------------------------------------------
+
+type modelTable struct {
+	rows []int32 // physical rows, in append order
+	dels map[int]bool
+	idx  bool // order index requested on column a
+}
+
+type model struct {
+	tables map[string]*modelTable
+	names  []string // creation order (deterministic iteration for the rng)
+}
+
+func newModel() *model { return &model{tables: map[string]*modelTable{}} }
+
+func (m *model) clone() *model {
+	out := &model{tables: make(map[string]*modelTable, len(m.tables)), names: append([]string(nil), m.names...)}
+	for name, t := range m.tables {
+		nt := &modelTable{rows: append([]int32(nil), t.rows...), dels: make(map[int]bool, len(t.dels)), idx: t.idx}
+		for r := range t.dels {
+			nt.dels[r] = true
+		}
+		out.tables[name] = nt
+	}
+	return out
+}
+
+func (m *model) dropName(name string) {
+	delete(m.tables, name)
+	for i, n := range m.names {
+		if n == name {
+			m.names = append(m.names[:i], m.names[i+1:]...)
+			break
+		}
+	}
+}
+
+// fingerprint canonicalizes a model state for differential comparison.
+func (m *model) fingerprint() string {
+	var b strings.Builder
+	for _, name := range m.names {
+		t := m.tables[name]
+		fmt.Fprintf(&b, "[%s idx=%v ", name, t.idx)
+		for i, v := range t.rows {
+			if t.dels[i] {
+				b.WriteString("x,")
+			} else {
+				fmt.Fprintf(&b, "%d:s%d,", v, v)
+			}
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// storeFingerprint canonicalizes a recovered store the same way. Table order
+// follows the model's creation order so the strings are comparable; a table
+// set mismatch shows up as a leftover/missing entry.
+func storeFingerprint(st *storage.Store, order []string) (string, error) {
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, name := range order {
+		tbl, ok := st.Get(name)
+		if !ok {
+			continue
+		}
+		seen[name] = true
+		tv := tbl.Version()
+		fmt.Fprintf(&b, "[%s idx=%v ", name, tbl.HasOrderIndex(0))
+		col0, err := tv.Col(0)
+		if err != nil {
+			return "", err
+		}
+		col1, err := tv.Col(1)
+		if err != nil {
+			return "", err
+		}
+		for i := 0; i < tv.NRows; i++ {
+			if tv.Dels.Get(int32(i)) {
+				b.WriteString("x,")
+			} else {
+				fmt.Fprintf(&b, "%d:%s,", col0.I32[i], col1.Str[i])
+			}
+		}
+		b.WriteString("]")
+	}
+	for _, name := range st.TableNames() {
+		if !seen[name] {
+			fmt.Fprintf(&b, "[EXTRA %s]", name)
+		}
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Workload.
+// ---------------------------------------------------------------------------
+
+func fuzzMeta(name string) storage.TableMeta {
+	return storage.TableMeta{Name: name, Cols: []storage.ColDef{
+		{Name: "a", Typ: mtypes.Int},
+		{Name: "b", Typ: mtypes.Varchar},
+	}}
+}
+
+func fuzzBatch(vals []int32) []*vec.Vector {
+	a := vec.New(mtypes.Int, len(vals))
+	copy(a.I32, vals)
+	b := vec.New(mtypes.Varchar, len(vals))
+	for i, v := range vals {
+		b.Str[i] = fmt.Sprintf("s%d", v)
+	}
+	return []*vec.Vector{a, b}
+}
+
+// fuzzRun drives one deterministic workload against mgr, recording an oracle
+// snapshot per commit attempt. It stops at the first error (the injected
+// crash) and reports how many commits were acknowledged and how many were
+// attempted. snaps[i] is the oracle state after the i-th attempted commit
+// (snaps[0] = empty database).
+func fuzzRun(rng *rand.Rand, mgr *txn.Manager, steps int) (snaps []*model, acked int) {
+	cur := newModel()
+	snaps = []*model{cur.clone()}
+	nextID := 0
+	for i := 0; i < steps; i++ {
+		next := cur.clone()
+		var apply func() error
+		roll := rng.Intn(100)
+		switch {
+		case roll < 10 || len(cur.names) == 0: // create table
+			name := fmt.Sprintf("t%d", nextID)
+			nextID++
+			next.tables[name] = &modelTable{dels: map[int]bool{}}
+			next.names = append(next.names, name)
+			apply = func() error { return mgr.CreateTable(fuzzMeta(name)) }
+		case roll < 15 && len(cur.names) > 1: // drop table
+			name := cur.names[rng.Intn(len(cur.names))]
+			next.dropName(name)
+			apply = func() error { return mgr.DropTable(name) }
+		case roll < 20: // create order index
+			name := cur.names[rng.Intn(len(cur.names))]
+			next.tables[name].idx = true
+			apply = func() error { return mgr.CreateOrderIndex(name, "a") }
+		case roll < 35: // delete up to 3 live rows
+			name := cur.names[rng.Intn(len(cur.names))]
+			t := next.tables[name]
+			var live []int
+			for r := range t.rows {
+				if !t.dels[r] {
+					live = append(live, r)
+				}
+			}
+			if len(live) == 0 {
+				continue // nothing to delete; skip the step
+			}
+			var ids []int32
+			for k := 0; k < 1+rng.Intn(3) && len(live) > 0; k++ {
+				j := rng.Intn(len(live))
+				t.dels[live[j]] = true
+				ids = append(ids, int32(live[j]))
+				live = append(live[:j], live[j+1:]...)
+			}
+			apply = func() error {
+				tx := mgr.Begin()
+				if _, err := tx.Delete(name, ids); err != nil {
+					return err
+				}
+				return tx.Commit()
+			}
+		default: // append 1..8 rows
+			name := cur.names[rng.Intn(len(cur.names))]
+			t := next.tables[name]
+			vals := make([]int32, 1+rng.Intn(8))
+			for k := range vals {
+				vals[k] = rng.Int31n(10000)
+			}
+			t.rows = append(t.rows, vals...)
+			apply = func() error {
+				tx := mgr.Begin()
+				if err := tx.Append(name, fuzzBatch(vals)); err != nil {
+					return err
+				}
+				return tx.Commit()
+			}
+		}
+		snaps = append(snaps, next)
+		if err := apply(); err != nil {
+			return snaps, acked // crash fired mid-commit: attempted, not acked
+		}
+		acked++
+		cur = next
+	}
+	return snaps, acked
+}
+
+// ---------------------------------------------------------------------------
+// Trials.
+// ---------------------------------------------------------------------------
+
+type fuzzArm int
+
+const (
+	armNone fuzzArm = iota // run to completion, then hard-kill
+	armBytes
+	armCalls
+)
+
+func runTrial(t *testing.T, seed int64, arm fuzzArm, keep faultfs.CrashKeep) {
+	t.Helper()
+	const steps = 40
+
+	// Dry run: same workload, no faults — bounds the crash-point ranges.
+	dry := faultfs.NewSim(seed)
+	dryLog, _, err := wal.OpenFS(dry, fuzzWALPath)
+	if err != nil {
+		t.Fatalf("seed %d: dry open: %v", seed, err)
+	}
+	fuzzRun(rand.New(rand.NewSource(seed)), txn.NewManager(storage.NewMemory(), dryLog), steps)
+	totalBytes, totalCalls := dry.WrittenBytes(), dry.Calls()
+	dryLog.Close()
+
+	// Armed run.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	fs := faultfs.NewSim(seed)
+	fs.SetKeep(keep)
+	var armed string
+	switch arm {
+	case armBytes:
+		off := rng.Int63n(totalBytes + 1)
+		fs.CrashAtBytes(off)
+		armed = fmt.Sprintf("bytes=%d/%d", off, totalBytes)
+	case armCalls:
+		n := 1 + rng.Intn(totalCalls)
+		fs.CrashAtCalls(n)
+		armed = fmt.Sprintf("calls=%d/%d", n, totalCalls)
+	case armNone:
+		armed = "kill-at-end"
+	}
+	log, _, err := wal.OpenFS(fs, fuzzWALPath)
+	if err != nil {
+		t.Fatalf("seed %d %s: armed open: %v", seed, armed, err)
+	}
+	snaps, acked := fuzzRun(rand.New(rand.NewSource(seed)), txn.NewManager(storage.NewMemory(), log), steps)
+	attempted := len(snaps) - 1
+	if !fs.Crashed() {
+		fs.CrashNow() // crash point beyond the workload: hard-kill at the end
+	}
+
+	// Recovery on the post-crash image. Never fatal, whatever the damage.
+	img := fs.AfterCrash()
+	rlog, rep, err := wal.OpenFS(img, fuzzWALPath)
+	if err != nil {
+		t.Fatalf("seed %d %s: recovery open failed: %v", seed, armed, err)
+	}
+	st := storage.NewMemory()
+	if err := txn.ReplayLog(st, rlog); err != nil {
+		t.Fatalf("seed %d %s: replay failed (report %+v): %v", seed, armed, rep, err)
+	}
+
+	// Differential verify against the oracle snapshots.
+	lo := acked
+	if keep == faultfs.KeepRandomPrefix {
+		// An unsynced marker may have survived: any attempted prefix is legal.
+	} else {
+		attempted = acked // KeepSynced: exactly the acknowledged prefix
+	}
+	matched := -1
+	var got string
+	for n := lo; n <= attempted; n++ {
+		want := snaps[n].fingerprint()
+		g, err := storeFingerprint(st, snaps[n].names)
+		if err != nil {
+			t.Fatalf("seed %d %s: reading recovered store: %v", seed, armed, err)
+		}
+		got = g
+		if g == want {
+			matched = n
+			break
+		}
+	}
+	if matched < 0 {
+		t.Fatalf("seed %d %s: recovered state matches no snapshot in [%d,%d] (acked=%d)\nreport: %+v\ngot:  %s\nwant: %s",
+			seed, armed, lo, attempted, acked, rep, got, snaps[acked].fingerprint())
+	}
+	rlog.Close()
+
+	// A second open of the repaired image must find a clean log.
+	rlog2, rep2, err := wal.OpenFS(img, fuzzWALPath)
+	if err != nil {
+		t.Fatalf("seed %d %s: second open: %v", seed, armed, err)
+	}
+	if rep2.Truncated != 0 || rep2.Tail != "" {
+		t.Fatalf("seed %d %s: repair was not durable: %+v", seed, armed, rep2)
+	}
+	rlog2.Close()
+}
+
+// TestCrashFuzz is the acceptance harness: >= 200 randomized crash-point
+// trials in full mode (~60 with -short), covering byte-offset and call-count
+// crash points under both survival policies.
+func TestCrashFuzz(t *testing.T) {
+	trials := 252
+	if testing.Short() {
+		trials = 60
+	}
+	for i := 0; i < trials; i++ {
+		seed := int64(1000 + i)
+		arm := armBytes
+		switch i % 6 {
+		case 2, 5:
+			arm = armCalls
+		case 4:
+			arm = armNone
+		}
+		keep := faultfs.KeepSynced
+		if i%3 == 1 {
+			keep = faultfs.KeepRandomPrefix
+		}
+		runTrial(t, seed, arm, keep)
+	}
+}

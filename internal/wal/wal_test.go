@@ -24,7 +24,7 @@ func sampleCols() []*vec.Vector {
 
 func TestAppendCommitReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, err := Open(path)
+	l, _, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestAppendCommitReplay(t *testing.T) {
 // Crash injection: an uncommitted tail (no commit marker) must be ignored.
 func TestReplayIgnoresUncommittedTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, _ := Open(path)
+	l, _, _ := Open(path)
 	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
 	l.Commit(1)
 	// Uncommitted writes followed by "crash" (close without commit).
@@ -106,7 +106,7 @@ func TestReplayIgnoresUncommittedTail(t *testing.T) {
 // Crash injection: a torn record (truncated mid-payload) stops replay cleanly.
 func TestReplayTruncatedRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, _ := Open(path)
+	l, _, _ := Open(path)
 	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
 	l.Commit(1)
 	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
@@ -130,7 +130,7 @@ func TestReplayTruncatedRecord(t *testing.T) {
 // Crash injection: bit corruption in the tail is detected by CRC.
 func TestReplayCorruptTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, _ := Open(path)
+	l, _, _ := Open(path)
 	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
 	l.Commit(1)
 	l.Append(Record{Kind: KindDelete, Table: "t", RowIDs: []int32{1}})
@@ -151,7 +151,7 @@ func TestReplayCorruptTail(t *testing.T) {
 
 func TestResetTruncates(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, _ := Open(path)
+	l, _, _ := Open(path)
 	l.Append(Record{Kind: KindDropTable, Table: "t"})
 	l.Commit(1)
 	if err := l.Reset(); err != nil {
@@ -180,7 +180,7 @@ func TestReplayMissingFile(t *testing.T) {
 
 func TestOrderIndexRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	l, _ := Open(path)
+	l, _, _ := Open(path)
 	l.Append(Record{Kind: KindOrderIndex, Table: "t", Col: "a"})
 	l.Commit(1)
 	l.Close()
@@ -188,5 +188,128 @@ func TestOrderIndexRecord(t *testing.T) {
 	Replay(path, func(recs []Record, v uint64) error { got = recs[0]; return nil })
 	if got.Kind != KindOrderIndex || got.Table != "t" || got.Col != "a" {
 		t.Fatalf("order index record: %+v", got)
+	}
+}
+
+// Regression for the startup-recovery gap: a torn tail used to persist
+// forever because Open appended write-only and never repaired the file. Open
+// must truncate back to the last committed frame and report what it removed.
+func TestOpenRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, rep, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed != 0 || rep.Truncated != 0 || rep.Tail != "" {
+		t.Fatalf("fresh log report: %+v", rep)
+	}
+	l.Append(Record{Kind: KindCreateTable, MetaJS: []byte(`{"Name":"t"}`)})
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	if err := l.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Crash artifact: half a frame of garbage at the tail.
+	committed, _ := os.ReadFile(path)
+	torn := append(append([]byte(nil), committed...), 0x13, 0x37, 0x00, 0x00, 0xAB)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Committed != 1 || rep2.Version != 1 {
+		t.Fatalf("report after torn tail: %+v", rep2)
+	}
+	if rep2.Truncated != 5 || rep2.Tail == "" {
+		t.Fatalf("torn tail not repaired: %+v", rep2)
+	}
+	if data, _ := os.ReadFile(path); len(data) != len(committed) {
+		t.Fatalf("file is %d bytes, want %d (tail must be physically removed)", len(data), len(committed))
+	}
+	// The repaired log accepts new commits, and replay sees a clean history.
+	l2.Append(Record{Kind: KindDelete, Table: "t", RowIDs: []int32{0}})
+	if err := l2.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	var versions []uint64
+	if err := Replay(path, func(recs []Record, v uint64) error {
+		versions = append(versions, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0] != 1 || versions[1] != 2 {
+		t.Fatalf("replayed versions %v, want [1 2]", versions)
+	}
+}
+
+// A tail whose frames are intact but that never reached its commit marker is
+// truncated the same way (uncommitted writes of a crashed transaction).
+func TestOpenTruncatesUncommittedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := Open(path)
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Commit(1)
+	l.Append(Record{Kind: KindAppend, Table: "t", Cols: sampleCols()})
+	l.Close() // flushes the uncommitted record, simulating a crash pre-marker
+
+	_, rep, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed != 1 || rep.Truncated == 0 || rep.Tail == "" {
+		t.Fatalf("uncommitted tail not repaired: %+v", rep)
+	}
+}
+
+// Log.Replay reads the repaired log through the same handle Open returned.
+func TestLogReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := Open(path)
+	l.Append(Record{Kind: KindDropTable, Table: "t"})
+	l.Commit(7)
+	l.Close()
+
+	l2, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := l2.Replay(func(recs []Record, v uint64) error { got = v; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("replayed version %d, want 7", got)
+	}
+	l2.Close()
+}
+
+// AppendCommit/SyncTo: sequences are monotone, and a sync for a later
+// sequence makes earlier ones durable for free (single-file fsync order).
+func TestGroupCommitSequences(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := Open(path)
+	defer l.Close()
+	s1, err := l.AppendCommit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := l.AppendCommit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1+1 {
+		t.Fatalf("sequences %d, %d", s1, s2)
+	}
+	if err := l.SyncTo(s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncTo(s1); err != nil { // already durable: no second fsync path needed
+		t.Fatal(err)
 	}
 }
