@@ -49,7 +49,8 @@ func (c *Conn) QueryContext(ctx context.Context, sql string, args ...any) (*Resu
 	if c.db.isClosed() {
 		return nil, ErrClosed
 	}
-	stmt, err := sqlparse.ParseOne(sql)
+	key := normalizeSQL(sql)
+	stmt, err := c.parseOneCached(key, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -59,8 +60,22 @@ func (c *Conn) QueryContext(ctx context.Context, sql string, args ...any) (*Resu
 	}
 	c.ctx = ctx
 	defer func() { c.ctx = nil }()
-	res, _, err := c.run(stmt, params)
+	res, _, err := c.runKeyed(stmt, params, key)
 	return res, err
+}
+
+// parseOneCached parses a single statement through the database's parse
+// cache. ASTs are read-only to the binder, so cache hits share the node tree.
+func (c *Conn) parseOneCached(key, sql string) (sqlparse.Statement, error) {
+	if st, ok := c.db.pc.getParse(key); ok {
+		return st, nil
+	}
+	st, err := sqlparse.ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.db.pc.putParse(key, st)
+	return st, nil
 }
 
 // Exec executes one or more semicolon-separated SQL statements, returning
@@ -76,9 +91,19 @@ func (c *Conn) ExecContext(ctx context.Context, sql string, args ...any) (int64,
 	if c.db.isClosed() {
 		return 0, ErrClosed
 	}
-	stmts, err := sqlparse.Parse(sql)
-	if err != nil {
-		return 0, err
+	key := normalizeSQL(sql)
+	var stmts []sqlparse.Statement
+	if st, ok := c.db.pc.getParse(key); ok {
+		stmts = []sqlparse.Statement{st}
+	} else {
+		var err error
+		stmts, err = sqlparse.Parse(sql)
+		if err != nil {
+			return 0, err
+		}
+		if len(stmts) == 1 {
+			c.db.pc.putParse(key, stmts[0])
+		}
 	}
 	params, err := toParams(args)
 	if err != nil {
@@ -136,6 +161,12 @@ func (c *Conn) InTransaction() bool { return c.tx != nil }
 // run dispatches one parsed statement. It returns a result (SELECT) and/or
 // an affected-row count.
 func (c *Conn) run(stmt sqlparse.Statement, params []mtypes.Value) (*Result, int64, error) {
+	return c.runKeyed(stmt, params, "")
+}
+
+// runKeyed is run with a plan-cache key: when pcKey is non-empty and the
+// statement is plan-cache eligible, the bound plan is reused/stored under it.
+func (c *Conn) runKeyed(stmt sqlparse.Statement, params []mtypes.Value, pcKey string) (*Result, int64, error) {
 	// Transaction control first.
 	switch stmt.(type) {
 	case *sqlparse.BeginStmt:
@@ -158,7 +189,10 @@ func (c *Conn) run(stmt sqlparse.Statement, params []mtypes.Value) (*Result, int
 		return nil, 0, c.db.mgr.CreateTable(meta)
 	case *sqlparse.DropTableStmt:
 		err := c.db.mgr.DropTable(x.Name)
-		if x.IfExists && err != nil {
+		if x.IfExists && errors.Is(err, storage.ErrNoSuchTable) {
+			// IF EXISTS forgives only the table being absent. WAL append or
+			// commit failures mean the drop may not be durable and must
+			// surface — swallowing them here silently corrupted recovery.
 			return nil, 0, nil
 		}
 		return nil, 0, err
@@ -167,12 +201,26 @@ func (c *Conn) run(stmt sqlparse.Statement, params []mtypes.Value) (*Result, int
 	}
 
 	// DML/queries run inside the explicit transaction or an autocommit one.
+	//
+	// Plan-cache eligibility: autocommit only (an explicit transaction's
+	// snapshot can predate a concurrent DDL, so its catalog view may not
+	// match the current schema version the cache keys on) and param-free only
+	// (parameters bind as constants inside the plan). The schema version is
+	// read before Begin: monotonicity then guarantees a cached plan is served
+	// only while no DDL has happened since before its snapshot was taken.
+	if c.tx != nil || len(params) != 0 {
+		pcKey = ""
+	}
+	schema := uint64(0)
+	if pcKey != "" {
+		schema = c.db.store.SchemaVersion()
+	}
 	tx := c.tx
 	auto := tx == nil
 	if auto {
 		tx = c.db.mgr.Begin()
 	}
-	res, n, err := c.runInTxn(stmt, tx, params)
+	res, n, err := c.runInTxn(stmt, tx, params, pcKey, schema)
 	if err != nil {
 		if auto {
 			tx.Rollback()
@@ -203,15 +251,34 @@ func (c *Conn) engine(tx *txn.Txn) *exec.Engine {
 	return e
 }
 
-func (c *Conn) runInTxn(stmt sqlparse.Statement, tx *txn.Txn, params []mtypes.Value) (*Result, int64, error) {
+func (c *Conn) runInTxn(stmt sqlparse.Statement, tx *txn.Txn, params []mtypes.Value, pcKey string, schema uint64) (*Result, int64, error) {
 	cat := snapshotCatalog{tx}
 	switch x := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		q, err := plan.BindSelect(cat, x, params)
-		if err != nil {
-			return nil, 0, err
+		var q *plan.BoundQuery
+		cached := false
+		if pcKey != "" {
+			q, cached = c.db.pc.getPlan(pcKey, schema)
 		}
-		er, err := c.engine(tx).Execute(q.Plan)
+		eng := c.engine(tx)
+		if pcKey != "" {
+			if cached {
+				eng.Trace.Emit("sql.plancache", "hit")
+			} else {
+				eng.Trace.Emit("sql.plancache", "miss")
+			}
+		}
+		if !cached {
+			var err error
+			q, err = plan.BindSelect(cat, x, params)
+			if err != nil {
+				return nil, 0, err
+			}
+			if pcKey != "" {
+				c.db.pc.putPlan(pcKey, q, schema)
+			}
+		}
+		er, err := eng.Execute(q.Plan)
 		if err != nil {
 			return nil, 0, err
 		}

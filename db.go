@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"monetlite/internal/faultfs"
 	"monetlite/internal/storage"
 	"monetlite/internal/txn"
 	"monetlite/internal/wal"
@@ -54,6 +55,10 @@ type Config struct {
 	// this size, bounding recovery replay time (0 = only checkpoint on Close
 	// or explicit Checkpoint calls).
 	WALCheckpointBytes int64
+	// WALFS overrides the filesystem the write-ahead log is opened on
+	// (nil = the real disk). Fault-injection tests wire a faultfs.SimFS here
+	// to prove I/O errors surface instead of being swallowed.
+	WALFS faultfs.FS
 }
 
 // DefaultConfig returns the standard configuration.
@@ -69,6 +74,7 @@ type Database struct {
 	log   *wal.Log
 	mgr   *txn.Manager
 	rec   wal.RecoveryReport
+	pc    *planCache
 
 	mu     sync.Mutex
 	closed bool
@@ -92,7 +98,11 @@ func Open(dir string, cfg ...Config) (*Database, error) {
 	// to the last committed frame) so replay and all later appends work on a
 	// clean file, and reports what recovery found.
 	walPath := filepath.Join(dir, "wal.log")
-	log, rec, err := wal.Open(walPath)
+	walFS := c.WALFS
+	if walFS == nil {
+		walFS = faultfs.Disk
+	}
+	log, rec, err := wal.OpenFS(walFS, walPath)
 	if err != nil {
 		st.Close()
 		return nil, fmt.Errorf("monetlite: %w", err)
@@ -102,7 +112,7 @@ func Open(dir string, cfg ...Config) (*Database, error) {
 		st.Close()
 		return nil, fmt.Errorf("monetlite: recovering WAL: %w", err)
 	}
-	db := &Database{cfg: c, store: st, log: log, rec: *rec}
+	db := &Database{cfg: c, store: st, log: log, rec: *rec, pc: newPlanCache()}
 	db.mgr = txn.NewManager(st, log)
 	db.mgr.SetAutoCheckpoint(c.WALCheckpointBytes)
 	return db, nil
@@ -121,7 +131,7 @@ func OpenInMemory(cfg ...Config) (*Database, error) {
 		c = cfg[0]
 	}
 	st := storage.NewMemory()
-	db := &Database{cfg: c, store: st}
+	db := &Database{cfg: c, store: st, pc: newPlanCache()}
 	db.mgr = txn.NewManager(st, nil)
 	return db, nil
 }

@@ -1,0 +1,48 @@
+package monetlite
+
+import (
+	"errors"
+	"testing"
+
+	"monetlite/internal/faultfs"
+	"monetlite/internal/storage"
+)
+
+// DROP TABLE IF EXISTS must forgive exactly one error — the table being
+// absent. It used to swallow every error, including WAL I/O failures, which
+// left the drop half-applied in memory while reporting success.
+
+func TestDropTableIfExistsMissingTableIsSilent(t *testing.T) {
+	db, err := OpenInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c := db.Connect()
+	if _, err := c.Exec(`DROP TABLE IF EXISTS nope`); err != nil {
+		t.Fatalf("IF EXISTS on a missing table must be silent, got %v", err)
+	}
+	// Without IF EXISTS the same drop errors, and with the sentinel.
+	_, err = c.Exec(`DROP TABLE nope`)
+	if !errors.Is(err, storage.ErrNoSuchTable) {
+		t.Fatalf("want ErrNoSuchTable, got %v", err)
+	}
+}
+
+func TestDropTableIfExistsSurfacesWALFault(t *testing.T) {
+	sim := faultfs.NewSim(1)
+	db, err := Open(t.TempDir(), Config{Parallel: true, WALFS: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Connect()
+	if _, err := c.Exec(`CREATE TABLE victim (a INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next WAL operation: the drop's log append/commit breaks while
+	// the table exists, so IF EXISTS has no business suppressing the error.
+	sim.FailAtCalls(sim.Calls() + 1)
+	if _, err := c.Exec(`DROP TABLE IF EXISTS victim`); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("WAL fault during DROP TABLE IF EXISTS must surface, got %v", err)
+	}
+}

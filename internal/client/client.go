@@ -8,6 +8,7 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -40,6 +41,14 @@ func Dial(addr string) (*Client, error) {
 // Close shuts the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// ServerError is an error reply ("E ...") from the server: the statement
+// failed, but the reply was read in full and the connection is still in
+// sync — the next request can be sent normally. Transport failures are
+// returned as ordinary errors and mean the connection is dead.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
 func (c *Client) statusLine() (string, error) {
 	line, err := c.r.ReadString('\n')
 	if err != nil {
@@ -47,7 +56,7 @@ func (c *Client) statusLine() (string, error) {
 	}
 	line = strings.TrimRight(line, "\r\n")
 	if strings.HasPrefix(line, "E ") {
-		return "", fmt.Errorf("server: %s", line[2:])
+		return "", &ServerError{Msg: line[2:]}
 	}
 	return line, nil
 }
@@ -73,7 +82,11 @@ func (c *Client) Exec(sql string) (int64, error) {
 
 // ExecBatch pipelines many statements in one round trip (clients batch
 // INSERTs this way; the per-statement overhead still dominates bulk loads —
-// Figure 5's socket rows).
+// Figure 5's socket rows). The first statement error is returned, but every
+// pipelined status line is still drained: returning early used to leave the
+// remaining replies buffered, desyncing every later request on the
+// connection. Only a transport error (the connection itself is broken)
+// aborts the drain.
 func (c *Client) ExecBatch(stmts []string) error {
 	for _, s := range stmts {
 		if err := netproto.WriteRequest(c.w, netproto.ReqExec, s); err != nil {
@@ -83,12 +96,21 @@ func (c *Client) ExecBatch(stmts []string) error {
 	if err := c.w.Flush(); err != nil {
 		return err
 	}
+	var firstErr error
 	for range stmts {
-		if _, err := c.statusLine(); err != nil {
-			return err
+		_, err := c.statusLine()
+		if err == nil {
+			continue
+		}
+		var se *ServerError
+		if !errors.As(err, &se) {
+			return err // transport failure: nothing more will arrive
+		}
+		if firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // QueryText runs a query over the row-oriented text protocol: the result
@@ -114,13 +136,24 @@ func (c *Client) QueryText(sql string) (cols []string, rows [][]string, err erro
 		return nil, nil, err
 	}
 	cols = strings.Split(strings.TrimRight(hdr, "\r\n"), "\t")
+	for i := range cols {
+		cols[i] = netproto.UnescapeText(cols[i])
+	}
 	rows = make([][]string, 0, nrows)
 	for i := 0; i < nrows; i++ {
 		ln, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, nil, err
 		}
-		rows = append(rows, strings.Split(strings.TrimRight(ln, "\r\n"), "\t"))
+		cells := strings.Split(strings.TrimRight(ln, "\r\n"), "\t")
+		for k := range cells {
+			// A whole-cell `\N` is the NULL marker (a literal backslash-N
+			// value arrives as `\\N`); everything else decodes its escapes.
+			if cells[k] != netproto.NullText {
+				cells[k] = netproto.UnescapeText(cells[k])
+			}
+		}
+		rows = append(rows, cells)
 	}
 	return cols, rows, nil
 }

@@ -40,6 +40,7 @@ import (
 	"monetlite/internal/plan"
 	"monetlite/internal/storage"
 	"monetlite/internal/vec"
+	"monetlite/internal/workpool"
 )
 
 // TableSource is the engine's view of one table (a transaction snapshot).
@@ -68,10 +69,16 @@ type Engine struct {
 	Timeout    time.Duration
 	Ctx        context.Context // optional; cancellation aborts the query
 	Trace      *mal.Program    // optional MAL trace for EXPLAIN / tests
+	// Pool is the shared worker budget mitosis fan-outs draw from (nil =
+	// workpool.Global). Each Execute registers one query lease, so N
+	// concurrent queries split the budget fairly instead of each spawning a
+	// full GOMAXPROCS fan-out.
+	Pool *workpool.Pool
 
 	deadline time.Time
 	subCache *subplanCache
 	stats    *execStats
+	lease    *workpool.Lease
 
 	// testJoinChunkRows, when >0, overrides the MitosisJoin chunk size so
 	// tests can force multi-chunk parallel probes on small inputs.
@@ -184,6 +191,17 @@ func (e *Engine) materialize(b *batch) *batch {
 func (e *Engine) Execute(n plan.Node) (*Result, error) {
 	e.subCache = &subplanCache{m: map[plan.Node]mtypes.Value{}}
 	e.stats = &execStats{}
+	if e.Parallel && e.lease == nil {
+		pool := e.Pool
+		if pool == nil {
+			pool = workpool.Global
+		}
+		e.lease = pool.Register()
+		defer func() {
+			e.lease.Close()
+			e.lease = nil
+		}()
+	}
 	if e.Timeout > 0 {
 		e.deadline = time.Now().Add(e.Timeout)
 	} else {
@@ -217,6 +235,50 @@ func (e *Engine) chunkEngine() *Engine {
 		subCache:   e.subCache,
 		stats:      e.stats,
 	}
+}
+
+// runTasks executes task(0..n-1) using the shared worker pool: the calling
+// goroutine always works, plus up to n-1 borrowed workers granted by
+// admission control (fewer under concurrency — the pool caps each query at
+// its fair share of GOMAXPROCS). Workers pull task indexes from a shared
+// counter, so chunk outputs still land in their per-index slots and the
+// coordinator's chunk-order merge stays bit-identical to the serial path no
+// matter how many workers were granted. Returns only after every task
+// finished (barrier).
+func (e *Engine) runTasks(n int, task func(i int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	granted := n - 1
+	if e.lease != nil {
+		granted = e.lease.Acquire(n - 1)
+		defer e.lease.Release(granted)
+	}
+	e.Trace.EmitVoid("optimizer.admission",
+		fmt.Sprintf("%d workers / %d tasks", granted+1, n))
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < granted; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
 }
 
 // checkInterrupt reports whether the query should abort: the context was

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"monetlite/internal/mal"
 	"monetlite/internal/mtypes"
@@ -257,30 +256,24 @@ func (jp *joinProber) probeChunks(keys []*vec.Vector, n int,
 	probe func(vec.JoinTable, []*vec.Vector) ([]int32, []int32)) ([]int32, []int32, error) {
 	type pairs struct{ p, b []int32 }
 	outs := make([]pairs, jp.cp.Chunks)
-	var wg sync.WaitGroup
-	for ci := 0; ci < jp.cp.Chunks; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			if jp.e.checkInterrupt() != nil {
-				return
-			}
-			lo, hi := jp.cp.Bounds(ci, n)
-			if lo >= hi {
-				return
-			}
-			sliced := make([]*vec.Vector, len(keys))
-			for i, k := range keys {
-				sliced[i] = k.Slice(lo, hi)
-			}
-			p, b := probe(jp.tbl, sliced)
-			for i := range p {
-				p[i] += int32(lo)
-			}
-			outs[ci] = pairs{p, b}
-		}(ci)
-	}
-	wg.Wait()
+	jp.e.runTasks(jp.cp.Chunks, func(ci int) {
+		if jp.e.checkInterrupt() != nil {
+			return
+		}
+		lo, hi := jp.cp.Bounds(ci, n)
+		if lo >= hi {
+			return
+		}
+		sliced := make([]*vec.Vector, len(keys))
+		for i, k := range keys {
+			sliced[i] = k.Slice(lo, hi)
+		}
+		p, b := probe(jp.tbl, sliced)
+		for i := range p {
+			p[i] += int32(lo)
+		}
+		outs[ci] = pairs{p, b}
+	})
 	if err := jp.e.checkInterrupt(); err != nil {
 		return nil, nil, err
 	}
@@ -578,66 +571,60 @@ func (e *Engine) parallelGlobalAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, 
 		err      error
 	}
 	outs := make([]chunkOut, cp.Chunks)
-	var wg sync.WaitGroup
-	for ci := 0; ci < cp.Chunks; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			ce := e.chunkEngine()
-			// Worker-start interrupt check: a filterless scan never reaches
-			// scanRange's per-conjunct check, so cancellation surfaces here.
-			if err := ce.checkInterrupt(); err != nil {
-				outs[ci] = chunkOut{err: err}
-				return
-			}
-			lo, hi := cp.Bounds(ci, nrows)
-			cands, cols, err := ce.scanRange(scan, src, lo, hi)
-			if err != nil {
-				outs[ci] = chunkOut{err: err}
-				return
-			}
-			// Selection view: aggregate arguments are evaluated densely over
-			// the survivors; non-referenced columns are never gathered.
-			cb := newSelBatch(cols, cands)
-			memo := newMemo(ce)
-			co := chunkOut{partials: make([]*vec.Vector, len(x.Aggs))}
-			co.count = int64(cb.n)
-			for ai, a := range x.Aggs {
-				var vals *vec.Vector
-				if a.Arg != nil {
-					vals, err = memo.evalVec(a.Arg, cb)
-					if err != nil {
-						outs[ci] = chunkOut{err: err}
-						return
-					}
-				}
-				switch a.Kind {
-				case vec.AggMedian:
-					co.partials[ai] = vals // blocking: merge raw values
-				case vec.AggAvg:
-					// Decompose AVG into SUM and COUNT partials (merged
-					// serially after the parallel phase).
-					sum, err := vec.Aggregate(vec.AggSum, vals, make([]int32, cb.n), 1)
-					if err != nil {
-						outs[ci] = chunkOut{err: err}
-						return
-					}
-					cnt, _ := vec.Aggregate(vec.AggCount, vals, make([]int32, cb.n), 1)
-					co.partials[ai] = sumCountPair(sum, cnt)
-				default:
-					gd := make([]int32, cb.n)
-					p, err := vec.Aggregate(a.Kind, vals, gd, 1)
-					if err != nil {
-						outs[ci] = chunkOut{err: err}
-						return
-					}
-					co.partials[ai] = p
+	e.runTasks(cp.Chunks, func(ci int) {
+		ce := e.chunkEngine()
+		// Worker-start interrupt check: a filterless scan never reaches
+		// scanRange's per-conjunct check, so cancellation surfaces here.
+		if err := ce.checkInterrupt(); err != nil {
+			outs[ci] = chunkOut{err: err}
+			return
+		}
+		lo, hi := cp.Bounds(ci, nrows)
+		cands, cols, err := ce.scanRange(scan, src, lo, hi)
+		if err != nil {
+			outs[ci] = chunkOut{err: err}
+			return
+		}
+		// Selection view: aggregate arguments are evaluated densely over
+		// the survivors; non-referenced columns are never gathered.
+		cb := newSelBatch(cols, cands)
+		memo := newMemo(ce)
+		co := chunkOut{partials: make([]*vec.Vector, len(x.Aggs))}
+		co.count = int64(cb.n)
+		for ai, a := range x.Aggs {
+			var vals *vec.Vector
+			if a.Arg != nil {
+				vals, err = memo.evalVec(a.Arg, cb)
+				if err != nil {
+					outs[ci] = chunkOut{err: err}
+					return
 				}
 			}
-			outs[ci] = co
-		}(ci)
-	}
-	wg.Wait()
+			switch a.Kind {
+			case vec.AggMedian:
+				co.partials[ai] = vals // blocking: merge raw values
+			case vec.AggAvg:
+				// Decompose AVG into SUM and COUNT partials (merged
+				// serially after the parallel phase).
+				sum, err := vec.Aggregate(vec.AggSum, vals, make([]int32, cb.n), 1)
+				if err != nil {
+					outs[ci] = chunkOut{err: err}
+					return
+				}
+				cnt, _ := vec.Aggregate(vec.AggCount, vals, make([]int32, cb.n), 1)
+				co.partials[ai] = sumCountPair(sum, cnt)
+			default:
+				gd := make([]int32, cb.n)
+				p, err := vec.Aggregate(a.Kind, vals, gd, 1)
+				if err != nil {
+					outs[ci] = chunkOut{err: err}
+					return
+				}
+				co.partials[ai] = p
+			}
+		}
+		outs[ci] = co
+	})
 	for _, o := range outs {
 		if o.err != nil {
 			return nil, true, o.err
@@ -735,76 +722,70 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 		err      error
 	}
 	outs := make([]chunkOut, cp.Chunks)
-	var wg sync.WaitGroup
-	for ci := 0; ci < cp.Chunks; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			ce := e.chunkEngine()
-			// Worker-start interrupt check (see parallelGlobalAgg).
-			if err := ce.checkInterrupt(); err != nil {
+	e.runTasks(cp.Chunks, func(ci int) {
+		ce := e.chunkEngine()
+		// Worker-start interrupt check (see parallelGlobalAgg).
+		if err := ce.checkInterrupt(); err != nil {
+			outs[ci] = chunkOut{err: err}
+			return
+		}
+		lo, hi := cp.Bounds(ci, nrows)
+		cands, cols, err := ce.scanRange(scan, src, lo, hi)
+		if err != nil {
+			outs[ci] = chunkOut{err: err}
+			return
+		}
+		// Selection view: keys and aggregate arguments are evaluated
+		// densely over the survivors (see parallelGlobalAgg).
+		cb := newSelBatch(cols, cands)
+		memo := newMemo(ce)
+		keys := make([]*vec.Vector, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			if keys[i], err = memo.evalVec(g, cb); err != nil {
 				outs[ci] = chunkOut{err: err}
 				return
 			}
-			lo, hi := cp.Bounds(ci, nrows)
-			cands, cols, err := ce.scanRange(scan, src, lo, hi)
-			if err != nil {
-				outs[ci] = chunkOut{err: err}
-				return
-			}
-			// Selection view: keys and aggregate arguments are evaluated
-			// densely over the survivors (see parallelGlobalAgg).
-			cb := newSelBatch(cols, cands)
-			memo := newMemo(ce)
-			keys := make([]*vec.Vector, len(x.GroupBy))
-			for i, g := range x.GroupBy {
-				if keys[i], err = memo.evalVec(g, cb); err != nil {
+		}
+		gids, ngroups, reprs := vec.GroupBy(keys, nil)
+		co := chunkOut{
+			keys:     make([]*vec.Vector, len(keys)),
+			partials: make([][]*vec.Vector, len(x.Aggs)),
+			ngroups:  ngroups,
+		}
+		for i, kv := range keys {
+			co.keys[i] = vec.Gather(kv, reprs)
+		}
+		for ai, a := range x.Aggs {
+			var vals *vec.Vector
+			if a.Arg != nil {
+				if vals, err = memo.evalVec(a.Arg, cb); err != nil {
 					outs[ci] = chunkOut{err: err}
 					return
 				}
 			}
-			gids, ngroups, reprs := vec.GroupBy(keys, nil)
-			co := chunkOut{
-				keys:     make([]*vec.Vector, len(keys)),
-				partials: make([][]*vec.Vector, len(x.Aggs)),
-				ngroups:  ngroups,
-			}
-			for i, kv := range keys {
-				co.keys[i] = vec.Gather(kv, reprs)
-			}
-			for ai, a := range x.Aggs {
-				var vals *vec.Vector
-				if a.Arg != nil {
-					if vals, err = memo.evalVec(a.Arg, cb); err != nil {
-						outs[ci] = chunkOut{err: err}
-						return
-					}
-				}
-				if a.Kind == vec.AggAvg {
-					sum, err := vec.Aggregate(vec.AggSum, vals, gids, ngroups)
-					if err != nil {
-						outs[ci] = chunkOut{err: err}
-						return
-					}
-					cnt, err := vec.Aggregate(vec.AggCount, vals, gids, ngroups)
-					if err != nil {
-						outs[ci] = chunkOut{err: err}
-						return
-					}
-					co.partials[ai] = []*vec.Vector{sum, cnt}
-					continue
-				}
-				p, err := vec.Aggregate(a.Kind, vals, gids, ngroups)
+			if a.Kind == vec.AggAvg {
+				sum, err := vec.Aggregate(vec.AggSum, vals, gids, ngroups)
 				if err != nil {
 					outs[ci] = chunkOut{err: err}
 					return
 				}
-				co.partials[ai] = []*vec.Vector{p}
+				cnt, err := vec.Aggregate(vec.AggCount, vals, gids, ngroups)
+				if err != nil {
+					outs[ci] = chunkOut{err: err}
+					return
+				}
+				co.partials[ai] = []*vec.Vector{sum, cnt}
+				continue
 			}
-			outs[ci] = co
-		}(ci)
-	}
-	wg.Wait()
+			p, err := vec.Aggregate(a.Kind, vals, gids, ngroups)
+			if err != nil {
+				outs[ci] = chunkOut{err: err}
+				return
+			}
+			co.partials[ai] = []*vec.Vector{p}
+		}
+		outs[ci] = co
+	})
 	for _, o := range outs {
 		if o.err != nil {
 			return nil, true, o.err

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sync"
 
 	"monetlite/internal/index"
 	"monetlite/internal/mal"
@@ -58,18 +57,12 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 		err   error
 	}
 	parts := make([]part, cp.Chunks)
-	var wg sync.WaitGroup
-	for ci := 0; ci < cp.Chunks; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			ce := e.chunkEngine()
-			lo, hi := cp.Bounds(ci, nrows)
-			cands, _, err := ce.scanRange(x, src, lo, hi)
-			parts[ci] = part{cands: cands, lo: lo, hi: hi, err: err}
-		}(ci)
-	}
-	wg.Wait()
+	e.runTasks(cp.Chunks, func(ci int) {
+		ce := e.chunkEngine()
+		lo, hi := cp.Bounds(ci, nrows)
+		cands, _, err := ce.scanRange(x, src, lo, hi)
+		parts[ci] = part{cands: cands, lo: lo, hi: hi, err: err}
+	})
 	total := 0
 	allNil := true
 	for _, p := range parts {

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sync"
 
 	"monetlite/internal/mal"
 	"monetlite/internal/plan"
@@ -105,18 +104,12 @@ func (e *Engine) parallelSortOrder(keys []vec.SortKey, n int, cp mal.ChunkPlan) 
 			runs = append(runs, order[lo:hi])
 		}
 	}
-	var wg sync.WaitGroup
-	for _, run := range runs {
-		wg.Add(1)
-		go func(run []int32) {
-			defer wg.Done()
-			if e.checkInterrupt() != nil {
-				return
-			}
-			cs.Sort(run)
-		}(run)
-	}
-	wg.Wait()
+	e.runTasks(len(runs), func(i int) {
+		if e.checkInterrupt() != nil {
+			return
+		}
+		cs.Sort(runs[i])
+	})
 	if err := e.checkInterrupt(); err != nil {
 		return nil, err
 	}
@@ -155,19 +148,13 @@ func (e *Engine) execTopN(x *plan.TopN) (*batch, error) {
 		e.Trace.Emit("algebra.topn", fmt.Sprintf("%d keys", len(keys)), fmt.Sprintf("k=%d of %d", k, in.n))
 	} else {
 		runs := make([][]int32, cp.Chunks)
-		var wg sync.WaitGroup
-		for ci := 0; ci < cp.Chunks; ci++ {
-			wg.Add(1)
-			go func(ci int) {
-				defer wg.Done()
-				if e.checkInterrupt() != nil {
-					return // cancelled: leave the run empty, coordinator bails
-				}
-				lo, hi := cp.Bounds(ci, in.n)
-				runs[ci] = cs.TopK(lo, hi, k)
-			}(ci)
-		}
-		wg.Wait()
+		e.runTasks(cp.Chunks, func(ci int) {
+			if e.checkInterrupt() != nil {
+				return // cancelled: leave the run empty, coordinator bails
+			}
+			lo, hi := cp.Bounds(ci, in.n)
+			runs[ci] = cs.TopK(lo, hi, k)
+		})
 		if err := e.checkInterrupt(); err != nil {
 			return nil, err
 		}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sync"
 
 	"monetlite/internal/mal"
 	"monetlite/internal/mtypes"
@@ -136,15 +135,9 @@ func (e *Engine) execWindow(x *plan.Window) (*batch, error) {
 	}
 	if len(ranges) > 1 {
 		e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (window)", len(ranges)))
-		var wg sync.WaitGroup
-		for _, r := range ranges {
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				compute(lo, hi)
-			}(r[0], r[1])
-		}
-		wg.Wait()
+		e.runTasks(len(ranges), func(i int) {
+			compute(ranges[i][0], ranges[i][1])
+		})
 		e.Trace.Emit("algebra.window", fmt.Sprintf("%d parts", nparts),
 			fmt.Sprintf("%d calls", len(x.Calls)), fmt.Sprintf("parallel %d part-groups", len(ranges)))
 	} else {

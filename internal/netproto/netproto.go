@@ -37,13 +37,67 @@ const (
 	ReqQueryBinary = 'B' // query, response: binary columnar payload
 )
 
-// NullText is the text-protocol rendering of NULL.
+// NullText is the text-protocol rendering of NULL. A literal backslash-N
+// string value escapes to `\\N` on the wire, so a cell that is exactly `\N`
+// is unambiguously NULL.
 const NullText = "\\N"
 
-// WriteRequest sends one request line.
+// textEscaper protects the text protocol's framing characters. Tab separates
+// cells and newline terminates rows/requests, so values containing them are
+// escaped rather than corrupted; backslash escapes itself to keep decoding
+// unambiguous.
+var textEscaper = strings.NewReplacer(
+	"\\", "\\\\", "\t", "\\t", "\n", "\\n", "\r", "\\r")
+
+// EscapeText renders a string safely for a tab-separated, line-oriented
+// frame. Strings without framing characters pass through unchanged.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "\\\t\n\r") {
+		return s
+	}
+	return textEscaper.Replace(s)
+}
+
+// UnescapeText reverses EscapeText. Unknown escape sequences pass through
+// verbatim so the decoder never loses bytes on malformed input.
+func UnescapeText(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch != '\\' || i+1 == len(s) {
+			b.WriteByte(ch)
+			continue
+		}
+		i++
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// WriteRequest sends one request line. Newlines and backslashes in the SQL
+// are escaped (the protocol is line-oriented), and ReadRequestLimit reverses
+// the escaping — multi-line statements and string literals containing
+// newlines round-trip intact instead of being flattened to spaces.
 func WriteRequest(w *bufio.Writer, kind byte, sql string) error {
-	// The protocol is line-oriented: statements must not contain newlines.
-	sql = strings.ReplaceAll(sql, "\n", " ")
+	if strings.ContainsAny(sql, "\\\n\r") {
+		sql = strings.NewReplacer("\\", "\\\\", "\n", "\\n", "\r", "\\r").Replace(sql)
+	}
 	if err := w.WriteByte(kind); err != nil {
 		return err
 	}
@@ -93,21 +147,18 @@ func ReadRequestLimit(r *bufio.Reader, max int) (byte, string, error) {
 	if len(s) < 2 || s[1] != ' ' {
 		return 0, "", fmt.Errorf("netproto: malformed request %q", s)
 	}
-	return s[0], s[2:], nil
+	return s[0], UnescapeText(s[2:]), nil
 }
 
-// TextValue renders a value for the text protocol.
+// TextValue renders a value for the text protocol. Framing characters in
+// string values are escaped (see EscapeText) so tabs and newlines inside
+// varchar data survive the round trip — the old code replaced them with
+// spaces, silently corrupting the result.
 func TextValue(v mtypes.Value) string {
 	if v.Null {
 		return NullText
 	}
-	s := v.String()
-	// Tabs/newlines would break framing; they cannot occur in the paper's
-	// workloads, but replace defensively.
-	if strings.ContainsAny(s, "\t\n") {
-		s = strings.NewReplacer("\t", " ", "\n", " ").Replace(s)
-	}
-	return s
+	return EscapeText(v.String())
 }
 
 // ---------------------------------------------------------------------------

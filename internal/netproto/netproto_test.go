@@ -22,7 +22,9 @@ func TestRequestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != ReqQueryText || sql != "SELECT * FROM t" {
+	// Newlines in the SQL text survive the line framing exactly — they used
+	// to be silently replaced with spaces, which corrupted string literals.
+	if kind != ReqQueryText || sql != "SELECT *\nFROM t" {
 		t.Fatalf("round trip: %c %q", kind, sql)
 	}
 }
@@ -37,11 +39,46 @@ func TestTextValue(t *testing.T) {
 	if TextValue(mtypes.NullValue(mtypes.Int)) != NullText {
 		t.Fatal("null rendering")
 	}
-	if TextValue(mtypes.NewString("a\tb\nc")) != "a b c" {
-		t.Fatal("framing characters must be stripped")
+	if got := TextValue(mtypes.NewString("a\tb\nc")); got != `a\tb\nc` {
+		t.Fatalf("framing characters must be escaped, got %q", got)
 	}
 	if TextValue(mtypes.NewDecimal(10, 2, 150)) != "1.50" {
 		t.Fatal("decimal rendering")
+	}
+}
+
+func TestEscapeTextRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		"a\tb",
+		"line1\nline2",
+		"cr\rhere",
+		`back\slash`,
+		`\N`,  // the literal two-char string, not the NULL marker
+		`\\t`, // escapes of escapes
+		"mixed\t\\\n\r\\N end",
+	}
+	for _, s := range cases {
+		esc := EscapeText(s)
+		if strings.ContainsAny(esc, "\t\n\r") {
+			t.Fatalf("EscapeText(%q) = %q still holds framing bytes", s, esc)
+		}
+		if got := UnescapeText(esc); got != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, esc, got)
+		}
+	}
+	// The whole-cell NULL marker stays distinguishable from a literal
+	// backslash-N value: the latter escapes its backslash.
+	if EscapeText(`\N`) == NullText {
+		t.Fatal("literal \\N must not collide with the NULL marker")
+	}
+	// Unknown escapes pass through verbatim rather than erroring.
+	if got := UnescapeText(`a\qb`); got != `a\qb` {
+		t.Fatalf("unknown escape: %q", got)
+	}
+	if got := UnescapeText(`trailing\`); got != `trailing\` {
+		t.Fatalf("trailing backslash: %q", got)
 	}
 }
 

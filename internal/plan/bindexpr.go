@@ -368,6 +368,14 @@ func makeBinOp(op string, l, r Expr) (Expr, error) {
 		default:
 			ar = vec.OpMod
 		}
+		// An untyped NULL (bare NULL literal or nil parameter) adopts the
+		// other operand's type; otherwise a nil bound to a numeric column
+		// fails the numeric check below as a spurious VARCHAR.
+		if n, ok := retypeNullConst(l, r.Type()); ok {
+			l = n
+		} else if n, ok := retypeNullConst(r, l.Type()); ok {
+			r = n
+		}
 		lt, rt := l.Type(), r.Type()
 		if !lt.IsNumeric() && lt.Kind != mtypes.KDate || !rt.IsNumeric() && rt.Kind != mtypes.KDate {
 			return nil, fmt.Errorf("plan: cannot apply %s to %s and %s", op, lt, rt)
@@ -378,9 +386,27 @@ func makeBinOp(op string, l, r Expr) (Expr, error) {
 	return nil, fmt.Errorf("plan: unknown operator %q", op)
 }
 
+// retypeNullConst rewrites an untyped NULL constant — a bare NULL literal or
+// a nil query parameter, both of which bind as a VARCHAR null — to carry the
+// type `to`, so NULL participates in comparisons and arithmetic against any
+// column kind. Non-null constants and already-typed expressions are left
+// alone.
+func retypeNullConst(e Expr, to mtypes.Type) (Expr, bool) {
+	c, ok := e.(*Const)
+	if !ok || !c.Val.Null || c.Val.Typ.Kind != mtypes.KVarchar || to.Kind == mtypes.KVarchar {
+		return e, false
+	}
+	return &Const{Val: mtypes.NullValue(to)}, true
+}
+
 // alignComparable validates a comparison's operand types, casting string
 // constants to dates when compared against DATE columns.
 func alignComparable(l, r Expr) (Expr, Expr, error) {
+	if n, ok := retypeNullConst(l, r.Type()); ok {
+		l = n
+	} else if n, ok := retypeNullConst(r, l.Type()); ok {
+		r = n
+	}
 	lt, rt := l.Type(), r.Type()
 	if lt.Kind == mtypes.KDate && rt.Kind == mtypes.KVarchar {
 		if c, ok := r.(*Const); ok && !c.Val.Null {

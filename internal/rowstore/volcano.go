@@ -173,9 +173,14 @@ type scanIter struct {
 }
 
 func (v *volcano) buildScan(x *plan.Scan) (iterator, error) {
+	// Hold the read lock across the tree walk: concurrent writers mutate the
+	// tree under the write lock, and per-connection server sessions now run
+	// queries concurrently (the old shared backend mutex used to hide this).
+	// Payload slices are immutable once inserted, so materializing them here
+	// lets Next() run lock-free.
 	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
 	t, ok := v.db.tables[x.Table]
-	v.db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("rowstore: no such table %q", x.Table)
 	}

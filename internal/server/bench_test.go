@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"monetlite"
+	"monetlite/internal/client"
+)
+
+// BenchmarkServerQPS measures end-to-end query throughput of the columnar
+// server at 1, 8 and 64 concurrent clients — the serving-path scalability
+// claim of this PR in benchmark form. ns/op here is wall-clock time divided
+// by total queries, i.e. the inverse of QPS: with per-connection sessions the
+// 8-client figure must not be worse than the 1-client figure (the old shared
+// backend mutex made them equal at best). p99 per-query latency is reported
+// alongside, since admission control trades a little tail latency for
+// throughput.
+func BenchmarkServerQPS(b *testing.B) {
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := Serve("127.0.0.1:0", NewColumnarBackend(db))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	boot, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := boot.Exec(`CREATE TABLE bench (a INTEGER, s VARCHAR)`); err != nil {
+		b.Fatal(err)
+	}
+	stmts := make([]string, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		stmts = append(stmts, fmt.Sprintf("INSERT INTO bench VALUES (%d, 'row-%d')", i, i))
+	}
+	if err := boot.ExecBatch(stmts); err != nil {
+		b.Fatal(err)
+	}
+	boot.Close()
+
+	const query = `SELECT count(*), sum(a) FROM bench WHERE a < 768`
+
+	for _, nc := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("c%d", nc), func(b *testing.B) {
+			clients := make([]*client.Client, nc)
+			for i := range clients {
+				cl, err := client.Dial(srv.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				clients[i] = cl
+			}
+			lats := make([][]time.Duration, nc)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := range clients {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					cl := clients[i]
+					for {
+						if next.Add(1) > int64(b.N) {
+							return
+						}
+						t0 := time.Now()
+						_, rows, err := cl.QueryText(query)
+						if err != nil || len(rows) != 1 {
+							b.Errorf("query: %v rows=%d", err, len(rows))
+							return
+						}
+						lats[i] = append(lats[i], time.Since(t0))
+					}
+				}(i)
+			}
+			wg.Wait()
+			b.StopTimer()
+			var all []time.Duration
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			if len(all) > 0 {
+				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+				p99 := all[len(all)*99/100]
+				b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+			}
+		})
+	}
+}

@@ -47,7 +47,7 @@ func (b *blockingBackend) QueryCols(ctx context.Context, sql string) ([]string, 
 // the backend.
 func TestCloseCancelsInFlightQuery(t *testing.T) {
 	backend := newBlockingBackend()
-	srv, err := Serve("127.0.0.1:0", backend)
+	srv, err := Serve("127.0.0.1:0", Shared(backend))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,9 +87,22 @@ type signalBackend struct {
 	started chan struct{}
 }
 
-func (b *signalBackend) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
-	b.once.Do(func() { close(b.started) })
-	return b.Backend.QueryRows(ctx, sql)
+func (b *signalBackend) NewSession() (Session, error) {
+	s, err := b.Backend.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &signalSession{Session: s, b: b}, nil
+}
+
+type signalSession struct {
+	Session
+	b *signalBackend
+}
+
+func (s *signalSession) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
+	s.b.once.Do(func() { close(s.b.started) })
+	return s.Session.QueryRows(ctx, sql)
 }
 
 // A long scan on the real columnar engine aborts within the deadline when
@@ -191,7 +204,7 @@ func (b *badColsBackend) QueryCols(ctx context.Context, sql string) ([]string, [
 // the connection stays usable (the old path dropped the connection).
 func TestBinaryEncodeErrorCleanReply(t *testing.T) {
 	backend := &badColsBackend{}
-	srv, err := Serve("127.0.0.1:0", backend)
+	srv, err := Serve("127.0.0.1:0", Shared(backend))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +252,7 @@ func TestReadDeadlineReapsIdleConn(t *testing.T) {
 // A client disconnecting mid-query cancels that query.
 func TestClientDisconnectAbortsQuery(t *testing.T) {
 	backend := newBlockingBackend()
-	srv, err := Serve("127.0.0.1:0", backend)
+	srv, err := Serve("127.0.0.1:0", Shared(backend))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"monetlite"
@@ -32,16 +33,66 @@ import (
 	"monetlite/internal/vec"
 )
 
-// Backend abstracts the engine behind the socket. The context carries query
-// cancellation: it is cancelled when the client disconnects, when the server
-// shuts down, or when the per-query timeout expires.
-type Backend interface {
+// Queryer is the execution surface of one client's stream of statements. The
+// context carries query cancellation: it is cancelled when the client
+// disconnects, when the server shuts down, or when the per-query timeout
+// expires.
+type Queryer interface {
 	Exec(ctx context.Context, sql string) (int64, error)
 	// QueryRows returns a row-major result (text protocol).
 	QueryRows(ctx context.Context, sql string) (cols []string, rows [][]mtypes.Value, err error)
 	// QueryCols returns a columnar result (binary protocol).
 	QueryCols(ctx context.Context, sql string) (names []string, data []*vec.Vector, err error)
 }
+
+// Session is one connection's execution context on the backend. Each served
+// connection gets its own Session and uses it from a single goroutine, so
+// sessions need no internal locking — this is what lets N clients execute
+// concurrently instead of serializing on one shared backend mutex.
+type Session interface {
+	Queryer
+	Close() error
+}
+
+// Backend abstracts the engine behind the socket as a session factory.
+type Backend interface {
+	NewSession() (Session, error)
+}
+
+// Shared adapts a single Queryer into a Backend whose sessions all share it
+// behind one mutex — the pre-session serialized behavior. Tests use it to
+// wire simple scripted backends; real deployments use the per-session
+// ColumnarBackend/RowstoreBackend.
+func Shared(q Queryer) Backend { return &sharedBackend{q: q} }
+
+type sharedBackend struct {
+	mu sync.Mutex
+	q  Queryer
+}
+
+func (b *sharedBackend) NewSession() (Session, error) { return &sharedSession{b: b}, nil }
+
+type sharedSession struct{ b *sharedBackend }
+
+func (s *sharedSession) Exec(ctx context.Context, sql string) (int64, error) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.b.q.Exec(ctx, sql)
+}
+
+func (s *sharedSession) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.b.q.QueryRows(ctx, sql)
+}
+
+func (s *sharedSession) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.b.q.QueryCols(ctx, sql)
+}
+
+func (s *sharedSession) Close() error { return nil }
 
 // Options tune the server's protective limits. The zero value of any field
 // selects its default; a negative duration disables that deadline.
@@ -79,6 +130,31 @@ type Server struct {
 
 	baseCtx context.Context // root of every connection/query context
 	cancel  context.CancelFunc
+
+	conns       atomic.Int64 // connected clients
+	inFlight    atomic.Int64 // requests executing right now
+	maxInFlight atomic.Int64 // high-water mark of inFlight
+	requests    atomic.Int64 // requests served, cumulative
+}
+
+// Stats is a point-in-time snapshot of the server's concurrency gauges. The
+// overlap tests use MaxInFlight to prove two clients' queries actually ran
+// at the same time rather than serializing on a shared backend lock.
+type Stats struct {
+	Conns       int64 // currently connected clients
+	InFlight    int64 // requests executing right now
+	MaxInFlight int64 // high-water mark of concurrent requests
+	Requests    int64 // requests served, cumulative
+}
+
+// Stats returns the server's concurrency gauges.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:       s.conns.Load(),
+		InFlight:    s.inFlight.Load(),
+		MaxInFlight: s.maxInFlight.Load(),
+		Requests:    s.requests.Load(),
+	}
 }
 
 // Serve starts listening on addr (e.g. "127.0.0.1:0") with default options.
@@ -138,6 +214,16 @@ type request struct {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.conns.Add(1)
+	defer s.conns.Add(-1)
+	// Per-connection session: each client executes on its own backend
+	// session, so concurrent clients overlap instead of serializing.
+	sess, err := s.backend.NewSession()
+	if err != nil {
+		fmt.Fprintf(conn, "E %s\n", oneLine(err))
+		return
+	}
+	defer sess.Close()
 	connCtx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	// Watchdog: when the connection's context dies — server shutdown, client
@@ -181,7 +267,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			fmt.Fprintf(w, "E %s\n", oneLine(rq.err))
 		} else {
-			s.serveRequest(connCtx, w, rq)
+			s.serveRequest(connCtx, sess, w, rq)
 		}
 		if connCtx.Err() != nil {
 			return
@@ -199,7 +285,16 @@ func (s *Server) serveConn(conn net.Conn) {
 // the response into w (not yet flushed). Backend errors — including
 // mid-result serialization failures, which encode before any byte hits the
 // wire — become clean "E" replies.
-func (s *Server) serveRequest(connCtx context.Context, w *bufio.Writer, rq request) {
+func (s *Server) serveRequest(connCtx context.Context, sess Session, w *bufio.Writer, rq request) {
+	s.requests.Add(1)
+	cur := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	for {
+		max := s.maxInFlight.Load()
+		if cur <= max || s.maxInFlight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
 	ctx := connCtx
 	if s.opts.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -208,20 +303,25 @@ func (s *Server) serveRequest(connCtx context.Context, w *bufio.Writer, rq reque
 	}
 	switch rq.kind {
 	case netproto.ReqExec:
-		n, err := s.backend.Exec(ctx, rq.sql)
+		n, err := sess.Exec(ctx, rq.sql)
 		if err != nil {
 			fmt.Fprintf(w, "E %s\n", oneLine(err))
 		} else {
 			fmt.Fprintf(w, "OK %d\n", n)
 		}
 	case netproto.ReqQueryText:
-		cols, rows, err := s.backend.QueryRows(ctx, rq.sql)
+		cols, rows, err := sess.QueryRows(ctx, rq.sql)
 		if err != nil {
 			fmt.Fprintf(w, "E %s\n", oneLine(err))
 			return
 		}
 		fmt.Fprintf(w, "R %d %d\n", len(cols), len(rows))
-		w.WriteString(strings.Join(cols, "\t"))
+		for i, name := range cols {
+			if i > 0 {
+				w.WriteByte('\t')
+			}
+			w.WriteString(netproto.EscapeText(name))
+		}
 		w.WriteByte('\n')
 		for _, row := range rows {
 			for i, v := range row {
@@ -233,7 +333,7 @@ func (s *Server) serveRequest(connCtx context.Context, w *bufio.Writer, rq reque
 			w.WriteByte('\n')
 		}
 	case netproto.ReqQueryBinary:
-		names, data, err := s.backend.QueryCols(ctx, rq.sql)
+		names, data, err := sess.QueryCols(ctx, rq.sql)
 		var payload []byte
 		if err == nil {
 			payload, err = netproto.EncodeColumns(names, data)
@@ -257,29 +357,39 @@ func oneLine(err error) string {
 // ---------------------------------------------------------------------------
 
 // ColumnarBackend serves an embedded monetlite database over the socket
-// (the MonetDB-server configuration).
+// (the MonetDB-server configuration). Each served connection gets its own
+// monetlite.Conn — connections are the paper's cheap "dummy clients", so one
+// per socket costs nothing and lets queries from different clients execute
+// concurrently (the engine's transaction manager provides isolation, the
+// shared worker pool provides admission control).
 type ColumnarBackend struct {
-	mu   sync.Mutex
+	db *monetlite.Database
+}
+
+// NewColumnarBackend wraps a database.
+func NewColumnarBackend(db *monetlite.Database) *ColumnarBackend {
+	return &ColumnarBackend{db: db}
+}
+
+// NewSession implements Backend: one engine connection per client.
+func (b *ColumnarBackend) NewSession() (Session, error) {
+	return &columnarSession{conn: b.db.Connect()}, nil
+}
+
+type columnarSession struct {
 	conn *monetlite.Conn
 }
 
-// NewColumnarBackend wraps a database connection.
-func NewColumnarBackend(db *monetlite.Database) *ColumnarBackend {
-	return &ColumnarBackend{conn: db.Connect()}
+func (s *columnarSession) Close() error { return nil }
+
+func (s *columnarSession) Exec(ctx context.Context, sql string) (int64, error) {
+	return s.conn.ExecContext(ctx, sql)
 }
 
-// Exec implements Backend.
-func (b *ColumnarBackend) Exec(ctx context.Context, sql string) (int64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.conn.ExecContext(ctx, sql)
-}
-
-// QueryRows implements Backend (row-major conversion for the text protocol).
-func (b *ColumnarBackend) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	res, err := b.conn.QueryContext(ctx, sql)
+// QueryRows converts to row-major form for the text protocol. The conversion
+// runs on the connection's goroutine, outside any shared lock.
+func (s *columnarSession) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
+	res, err := s.conn.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -294,11 +404,9 @@ func (b *ColumnarBackend) QueryRows(ctx context.Context, sql string) ([]string, 
 	return res.Names(), rows, nil
 }
 
-// QueryCols implements Backend (native columnar transfer).
-func (b *ColumnarBackend) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	res, err := b.conn.QueryContext(ctx, sql)
+// QueryCols returns the native columnar result (binary protocol).
+func (s *columnarSession) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
+	res, err := s.conn.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -314,9 +422,10 @@ func resultValue(res *monetlite.Result, col, row int) mtypes.Value {
 }
 
 // RowstoreBackend serves the volcano row store (the PostgreSQL/MariaDB
-// configuration: row-major storage, execution and transfer).
+// configuration: row-major storage, execution and transfer). The row store
+// has no per-connection state and locks internally (readers share, writers
+// exclude), so sessions call straight into the shared DB.
 type RowstoreBackend struct {
-	mu sync.Mutex
 	DB *rowstore.DB
 }
 
@@ -325,42 +434,44 @@ func NewRowstoreBackend(db *rowstore.DB) *RowstoreBackend {
 	return &RowstoreBackend{DB: db}
 }
 
-// Exec implements Backend. The row store has no internal interrupt checks
-// (it is the simple oracle baseline), so cancellation is honored only at
-// statement start.
-func (b *RowstoreBackend) Exec(ctx context.Context, sql string) (int64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// NewSession implements Backend.
+func (b *RowstoreBackend) NewSession() (Session, error) {
+	return &rowstoreSession{db: b.DB}, nil
+}
+
+type rowstoreSession struct {
+	db *rowstore.DB
+}
+
+func (s *rowstoreSession) Close() error { return nil }
+
+// Exec honors cancellation only at statement start: the row store is the
+// simple oracle baseline and has no internal interrupt checks.
+func (s *rowstoreSession) Exec(ctx context.Context, sql string) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return b.DB.Exec(sql)
+	return s.db.Exec(sql)
 }
 
-// QueryRows implements Backend.
-func (b *RowstoreBackend) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+func (s *rowstoreSession) QueryRows(ctx context.Context, sql string) ([]string, [][]mtypes.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	res, err := b.DB.Query(sql)
+	res, err := s.db.Query(sql)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Cols, res.Rows, nil
 }
 
-// QueryCols implements Backend by transposing rows (a row store has no
-// native columnar path — the conversion cost is part of what Figure 6
-// measures for SQLite).
-func (b *RowstoreBackend) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// QueryCols transposes rows (a row store has no native columnar path — the
+// conversion cost is part of what Figure 6 measures for SQLite).
+func (s *rowstoreSession) QueryCols(ctx context.Context, sql string) ([]string, []*vec.Vector, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	res, err := b.DB.Query(sql)
+	res, err := s.db.Query(sql)
 	if err != nil {
 		return nil, nil, err
 	}

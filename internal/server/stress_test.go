@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"monetlite"
+	"monetlite/internal/client"
+	"monetlite/internal/rowstore"
+)
+
+func joinValues(vals []string) string { return strings.Join(vals, "),(") }
+
+// stressClients is the fan-out of the concurrency harness: enough clients
+// that requests must overlap on the server for the run to finish in
+// reasonable time, and more than GOMAXPROCS on small CI machines so the
+// worker pool's admission control is exercised too.
+const stressClients = 8
+
+const stressIters = 40
+
+// writeStmts is client k's deterministic write script: a private table, a
+// stream of inserts, and periodic deletes. Each client owns its table, so
+// the final state is deterministic regardless of interleaving — that is
+// what makes a serial replay a valid oracle.
+func writeStmts(k int) []string {
+	tbl := fmt.Sprintf("w%d", k)
+	stmts := []string{fmt.Sprintf("CREATE TABLE %s (v INTEGER)", tbl)}
+	for i := 0; i < stressIters; i++ {
+		stmts = append(stmts, fmt.Sprintf("INSERT INTO %s VALUES (%d)", tbl, (i*31+k*7)%997))
+		if i%10 == 9 {
+			stmts = append(stmts, fmt.Sprintf("DELETE FROM %s WHERE v %% 5 = %d", tbl, k%5))
+		}
+	}
+	return stmts
+}
+
+// serveStress runs the mixed read/write workload against srv with
+// stressClients concurrent connections and returns the per-client final
+// table snapshots (SELECT v ... ORDER BY v over the text protocol).
+func serveStress(t *testing.T, srv *Server) [][][]string {
+	t.Helper()
+
+	// Shared read-only table: every client checks the same aggregate, so a
+	// torn read under concurrency shows up as a wrong sum. Big enough that a
+	// full-table ORDER BY read takes real time — the overlap proof below
+	// relies on all clients issuing one simultaneously.
+	// On a single-CPU box two requests only interleave when one is preempted
+	// mid-execution (the ~10ms async-preemption quantum), so the read must
+	// comfortably outlast that quantum.
+	const refRows = 32768
+	setup, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(`CREATE TABLE ref (a INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := 0
+	for lo := 0; lo < refRows; lo += 512 {
+		var sb []string
+		for i := lo; i < lo+512; i++ {
+			sb = append(sb, strconv.Itoa(i))
+			wantSum += i
+		}
+		if _, err := setup.Exec("INSERT INTO ref VALUES (" +
+			joinValues(sb) + ")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setup.Close()
+
+	snaps := make([][][]string, stressClients)
+	errs := make([]error, stressClients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for k := 0; k < stressClients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cl, err := client.Dial(srv.Addr())
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			defer cl.Close()
+			<-start
+			// All clients fire this full-table read at the same instant: each
+			// takes long enough (scan + sort + text encoding of refRows×8
+			// cells) that the server must have >1 request in flight.
+			_, big, err := cl.QueryText(`SELECT a, a, a, a, a, a, a, a FROM ref ORDER BY a DESC`)
+			if err != nil {
+				errs[k] = fmt.Errorf("big read: %w", err)
+				return
+			}
+			if len(big) != refRows || big[0][7] != strconv.Itoa(refRows-1) {
+				errs[k] = fmt.Errorf("big read: %d rows, first %v", len(big), big[0])
+				return
+			}
+			stmts := writeStmts(k)
+			for i, s := range stmts {
+				if _, err := cl.Exec(s); err != nil {
+					errs[k] = fmt.Errorf("stmt %d %q: %w", i, s, err)
+					return
+				}
+				// Interleave reads of the shared table with the writes.
+				if i%3 == 0 {
+					_, rows, err := cl.QueryText(`SELECT sum(a) FROM ref`)
+					if err != nil {
+						errs[k] = fmt.Errorf("ref read: %w", err)
+						return
+					}
+					if len(rows) != 1 || rows[0][0] != strconv.Itoa(wantSum) {
+						errs[k] = fmt.Errorf("ref sum: got %v, want %d", rows, wantSum)
+						return
+					}
+				}
+			}
+			_, snap, err := cl.QueryText(fmt.Sprintf("SELECT v FROM w%d ORDER BY v", k))
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			snaps[k] = snap
+		}(k)
+	}
+	close(start)
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", k, err)
+		}
+	}
+	return snaps
+}
+
+// serialOracle replays every client's write script one statement at a time
+// on a fresh single-client server and returns the same per-table snapshots.
+func serialOracle(t *testing.T) [][][]string {
+	t.Helper()
+	db, err := monetlite.OpenInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := Serve("127.0.0.1:0", NewColumnarBackend(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	snaps := make([][][]string, stressClients)
+	for k := 0; k < stressClients; k++ {
+		for _, s := range writeStmts(k) {
+			if _, err := cl.Exec(s); err != nil {
+				t.Fatalf("oracle %q: %v", s, err)
+			}
+		}
+		_, snap, err := cl.QueryText(fmt.Sprintf("SELECT v FROM w%d ORDER BY v", k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[k] = snap
+	}
+	return snaps
+}
+
+// TestConcurrentServingDifferential drives both server backends with
+// stressClients concurrent mixed read/write clients and checks (a) every
+// client's final table matches a serial replay of its script (differential
+// oracle), and (b) the server actually overlapped request execution
+// (MaxInFlight > 1) — the point of per-connection sessions. Run under -race
+// in CI, this is also the data-race canary for the whole serving path.
+func TestConcurrentServingDifferential(t *testing.T) {
+	oracle := serialOracle(t)
+
+	t.Run("columnar", func(t *testing.T) {
+		db, err := monetlite.OpenInMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		srv, err := Serve("127.0.0.1:0", NewColumnarBackend(db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		snaps := serveStress(t, srv)
+		for k := range snaps {
+			if !reflect.DeepEqual(snaps[k], oracle[k]) {
+				t.Errorf("client %d diverged from serial oracle:\n got %v\nwant %v", k, snaps[k], oracle[k])
+			}
+		}
+		st := srv.Stats()
+		if st.MaxInFlight < 2 {
+			t.Errorf("requests never overlapped: MaxInFlight=%d", st.MaxInFlight)
+		}
+		if st.InFlight != 0 {
+			t.Errorf("in-flight gauge leaked: %d", st.InFlight)
+		}
+	})
+
+	t.Run("rowstore", func(t *testing.T) {
+		rdb, err := rowstore.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rdb.Close()
+		srv, err := Serve("127.0.0.1:0", NewRowstoreBackend(rdb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		snaps := serveStress(t, srv)
+		for k := range snaps {
+			if !reflect.DeepEqual(snaps[k], oracle[k]) {
+				t.Errorf("client %d diverged from serial oracle:\n got %v\nwant %v", k, snaps[k], oracle[k])
+			}
+		}
+		if st := srv.Stats(); st.MaxInFlight < 2 {
+			t.Errorf("requests never overlapped: MaxInFlight=%d", st.MaxInFlight)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"monetlite/internal/client"
+	"monetlite/internal/netproto"
+)
+
+// Varchar values containing the text protocol's framing characters (tab,
+// newline) or its escape character (backslash) used to be silently mangled:
+// TextValue replaced tabs/newlines with spaces, and WriteRequest did the
+// same to the SQL text itself. Both sides now escape on encode and decode
+// on read, so arbitrary strings round-trip exactly.
+func TestTextProtocolPreservesControlCharacters(t *testing.T) {
+	_, cl := startColumnar(t)
+	if _, err := cl.Exec(`CREATE TABLE esc (a INTEGER, s VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"plain",
+		"tab\there",
+		"line1\nline2",
+		`back\slash`,
+		`\N`, // literal two-character string, not the NULL marker
+		"cr\rhere",
+	}
+	for i, s := range want {
+		// Raw control bytes inside the SQL string literal exercise the
+		// request framing too: the statement itself spans lines on the wire.
+		sql := "INSERT INTO esc VALUES (" + strconv.Itoa(i) + ", '" + s + "')"
+		if _, err := cl.Exec(sql); err != nil {
+			t.Fatalf("insert %q: %v", s, err)
+		}
+	}
+	if _, err := cl.Exec("INSERT INTO esc VALUES (" + strconv.Itoa(len(want)) + ", NULL)"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rows, err := cl.QueryText(`SELECT s FROM esc ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want)+1 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want)+1)
+	}
+	for i, s := range want {
+		if rows[i][0] != s {
+			t.Fatalf("row %d: got %q, want %q", i, rows[i][0], s)
+		}
+	}
+	// A true NULL arrives as the whole-cell marker.
+	if rows[len(want)][0] != netproto.NullText {
+		t.Fatalf("NULL cell: got %q, want %q", rows[len(want)][0], netproto.NullText)
+	}
+
+	// Filtering on a value with an embedded newline proves the stored bytes
+	// are exact, not just the display path.
+	_, match, err := cl.QueryText("SELECT a FROM esc WHERE s = 'line1\nline2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(match) != 1 || match[0][0] != "2" {
+		t.Fatalf("newline predicate matched %v", match)
+	}
+}
+
+// A failing statement in the middle of a pipelined batch used to return
+// immediately, leaving the remaining status replies buffered on the socket;
+// every later request then read a stale reply (desync). ExecBatch now drains
+// all replies and reports the first server error, keeping the connection
+// usable.
+func TestExecBatchMidErrorKeepsConnectionInSync(t *testing.T) {
+	_, cl := startColumnar(t)
+	if _, err := cl.Exec(`CREATE TABLE bt (a INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	err := cl.ExecBatch([]string{
+		`INSERT INTO bt VALUES (1)`,
+		`INSERT INTO no_such_table VALUES (1)`,
+		`INSERT INTO bt VALUES (2)`,
+		`INSERT INTO also_missing VALUES (9)`,
+		`INSERT INTO bt VALUES (3)`,
+	})
+	if err == nil {
+		t.Fatal("mid-batch failure must surface")
+	}
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *client.ServerError, got %T: %v", err, err)
+	}
+	if !strings.Contains(se.Msg, "no_such_table") {
+		t.Fatalf("first error should be reported, got %q", se.Msg)
+	}
+
+	// The connection is still in sync: the next requests see their own
+	// replies, not the leftovers of the failed batch.
+	_, rows, err := cl.QueryText(`SELECT a FROM bt ORDER BY a`)
+	if err != nil {
+		t.Fatalf("connection desynced after batch error: %v", err)
+	}
+	if len(rows) != 3 || rows[0][0] != "1" || rows[2][0] != "3" {
+		t.Fatalf("statements after the failure should still apply: %v", rows)
+	}
+	if n, err := cl.Exec(`INSERT INTO bt VALUES (4)`); err != nil || n != 1 {
+		t.Fatalf("exec after batch error: %d %v", n, err)
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -16,7 +17,17 @@ type Store struct {
 	dir     string
 	tables  map[string]*Table
 	version uint64
+	// schemaVersion counts DDL changes only (create/drop table). Data commits
+	// leave it alone, so cached query plans — which depend on table metadata
+	// but not contents — stay valid across ordinary writes and are invalidated
+	// exactly when the catalog shape changes.
+	schemaVersion uint64
 }
+
+// ErrNoSuchTable reports a catalog lookup miss. DropTable wraps it so callers
+// can distinguish "table absent" (ignorable under IF EXISTS) from real I/O or
+// WAL failures (never ignorable).
+var ErrNoSuchTable = errors.New("storage: no such table")
 
 // NewMemory creates an in-memory store.
 func NewMemory() *Store {
@@ -59,6 +70,13 @@ func (s *Store) BumpVersion() uint64 {
 	return s.version
 }
 
+// SchemaVersion returns the DDL-only catalog version (see schemaVersion).
+func (s *Store) SchemaVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.schemaVersion
+}
+
 // CreateTable adds a new empty table to the catalog.
 func (s *Store) CreateTable(meta TableMeta) (*Table, error) {
 	if len(meta.Cols) == 0 {
@@ -78,6 +96,7 @@ func (s *Store) CreateTable(meta TableMeta) (*Table, error) {
 	}
 	t := NewMemoryTable(meta)
 	s.tables[meta.Name] = t
+	s.schemaVersion++
 	return t, nil
 }
 
@@ -87,9 +106,10 @@ func (s *Store) DropTable(name string) error {
 	defer s.mu.Unlock()
 	t, ok := s.tables[name]
 	if !ok {
-		return fmt.Errorf("storage: no such table %q", name)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	delete(s.tables, name)
+	s.schemaVersion++
 	for i := range t.cols {
 		t.cols[i].Release()
 		if s.dir != "" {

@@ -1,0 +1,68 @@
+package monetlite
+
+import (
+	"testing"
+)
+
+// Nil query parameters used to bind as VARCHAR nulls regardless of the
+// target type, so any comparison or arithmetic against a non-varchar column
+// failed to plan ("cannot compare INTEGER with VARCHAR"). The binder now
+// retypes untyped NULL constants to the other operand's type.
+func TestNullParamAcrossColumnKinds(t *testing.T) {
+	db, err := OpenInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c := db.Connect()
+	if _, err := c.Exec(`CREATE TABLE nt (
+		i INTEGER, b BIGINT, d DOUBLE, v VARCHAR, bo BOOLEAN,
+		dt DATE, dec DECIMAL(9,2))`); err != nil {
+		t.Fatal(err)
+	}
+	// Nil binds insert typed NULLs into every column kind.
+	if _, err := c.Exec(`INSERT INTO nt VALUES (?,?,?,?,?,?,?)`,
+		nil, nil, nil, nil, nil, nil, nil); err != nil {
+		t.Fatalf("INSERT with nil params: %v", err)
+	}
+	if _, err := c.Exec(`INSERT INTO nt VALUES (1, 2, 1.5, 'x', TRUE, DATE '2024-01-02', 3.25)`); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, col := range []string{"i", "b", "d", "v", "bo", "dt", "dec"} {
+		// A NULL comparison is never true: zero rows, not a plan error.
+		res, err := c.Query(`SELECT count(*) FROM nt WHERE `+col+` = ?`, nil)
+		if err != nil {
+			t.Fatalf("WHERE %s = NULL param: %v", col, err)
+		}
+		if got := res.Column(0).AsInts()[0]; got != 0 {
+			t.Fatalf("WHERE %s = NULL matched %d rows, want 0", col, got)
+		}
+		// IS NULL still sees the inserted NULL row.
+		res, err = c.Query(`SELECT count(*) FROM nt WHERE ` + col + ` IS NULL`)
+		if err != nil {
+			t.Fatalf("WHERE %s IS NULL: %v", col, err)
+		}
+		if got := res.Column(0).AsInts()[0]; got != 1 {
+			t.Fatalf("WHERE %s IS NULL matched %d rows, want 1", col, got)
+		}
+	}
+
+	// NULL arithmetic plans and yields NULL (previously "cannot apply + to
+	// VARCHAR and INTEGER").
+	res, err := c.Query(`SELECT i + ? FROM nt WHERE i = 1`, nil)
+	if err != nil {
+		t.Fatalf("i + NULL param: %v", err)
+	}
+	if !res.Column(0).IsNull(0) {
+		t.Fatalf("i + NULL = %v, want NULL", res.Column(0).Value(0))
+	}
+	// Bare NULL literal takes the same path.
+	res, err = c.Query(`SELECT count(*) FROM nt WHERE i = NULL`)
+	if err != nil {
+		t.Fatalf("i = NULL literal: %v", err)
+	}
+	if got := res.Column(0).AsInts()[0]; got != 0 {
+		t.Fatalf("i = NULL matched %d rows, want 0", got)
+	}
+}

@@ -1,0 +1,141 @@
+package monetlite
+
+import (
+	"strings"
+	"sync"
+
+	"monetlite/internal/plan"
+	"monetlite/internal/sqlparse"
+)
+
+// planCache is the per-database statement cache: normalized SQL text maps to
+// a parsed AST (always) and, for cacheable statements, to a fully bound and
+// optimized plan. It is the embedded analogue of a server's prepared-statement
+// cache — the original MonetDB spends a large fraction of short-query latency
+// in its SQL front end, and MonetDBLite inherits that parser; caching the
+// bound plan removes parse+bind+optimize from the hot path entirely.
+//
+// Soundness:
+//
+//   - Parse entries are pure syntax, shared freely and never invalidated.
+//     Binding reads the AST without mutating it, so one AST serves any number
+//     of concurrent binds.
+//   - Plan entries depend on catalog shape (table/column metadata), so each is
+//     stamped with the store's DDL-only schema version; a lookup whose stamp
+//     is stale counts as an invalidation and rebinds. Data commits do not
+//     touch the schema version, so plans survive ordinary writes.
+//   - Plans bind positional parameters as constants, so only param-free
+//     statements get plan entries. Parameterized statements still skip the
+//     parser via the parse cache.
+//   - Executed plans are read-only to the engine (the differential suite runs
+//     the same plan through serial and parallel engines), so one cached plan
+//     can be executing on several connections at once.
+type planCache struct {
+	mu    sync.Mutex
+	parse map[string]sqlparse.Statement
+	plans map[string]cachedPlan
+
+	hits          int64
+	misses        int64
+	invalidations int64
+}
+
+type cachedPlan struct {
+	q      *plan.BoundQuery
+	schema uint64 // storage.Store.SchemaVersion() at bind time
+}
+
+// planCacheMax bounds each map. Statement texts in a workload are few; the cap
+// only guards against unbounded growth from generated SQL.
+const planCacheMax = 512
+
+func newPlanCache() *planCache {
+	return &planCache{
+		parse: make(map[string]sqlparse.Statement),
+		plans: make(map[string]cachedPlan),
+	}
+}
+
+// normalizeSQL canonicalizes a statement text for cache keying: surrounding
+// whitespace and a trailing semicolon never change meaning.
+func normalizeSQL(sql string) string {
+	s := strings.TrimSpace(sql)
+	s = strings.TrimSuffix(s, ";")
+	return strings.TrimSpace(s)
+}
+
+// getParse returns the cached AST for key, if any.
+func (pc *planCache) getParse(key string) (sqlparse.Statement, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	st, ok := pc.parse[key]
+	return st, ok
+}
+
+func (pc *planCache) putParse(key string, st sqlparse.Statement) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.parse) >= planCacheMax {
+		for k := range pc.parse {
+			delete(pc.parse, k)
+			break
+		}
+	}
+	pc.parse[key] = st
+}
+
+// getPlan returns the cached bound plan for key if its schema stamp still
+// matches, recording a hit. A stale entry is dropped and recorded as an
+// invalidation; absence is a miss.
+func (pc *planCache) getPlan(key string, schema uint64) (*plan.BoundQuery, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	cp, ok := pc.plans[key]
+	if !ok {
+		pc.misses++
+		return nil, false
+	}
+	if cp.schema != schema {
+		delete(pc.plans, key)
+		pc.invalidations++
+		pc.misses++
+		return nil, false
+	}
+	pc.hits++
+	return cp.q, true
+}
+
+func (pc *planCache) putPlan(key string, q *plan.BoundQuery, schema uint64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.plans) >= planCacheMax {
+		for k := range pc.plans {
+			delete(pc.plans, k)
+			break
+		}
+	}
+	pc.plans[key] = cachedPlan{q: q, schema: schema}
+}
+
+// PlanCacheStats is a snapshot of the statement-cache counters.
+type PlanCacheStats struct {
+	ParseEntries  int   // cached ASTs
+	PlanEntries   int   // cached bound plans
+	Hits          int64 // plan lookups served from cache
+	Misses        int64 // plan lookups that had to bind
+	Invalidations int64 // plan entries dropped for a stale schema version
+}
+
+// PlanCacheStats reports the database's statement-cache counters.
+func (db *Database) PlanCacheStats() PlanCacheStats {
+	pc := db.pc
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{
+		ParseEntries:  len(pc.parse),
+		PlanEntries:   len(pc.plans),
+		Hits:          pc.hits,
+		Misses:        pc.misses,
+		Invalidations: pc.invalidations,
+	}
+}

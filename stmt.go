@@ -1,0 +1,79 @@
+package monetlite
+
+import (
+	"context"
+
+	"monetlite/internal/sqlparse"
+)
+
+// Stmt is a prepared statement: the SQL text is parsed once at Prepare time
+// and re-executed with fresh parameter bindings. Param-free SELECTs
+// additionally reuse the database's bound-plan cache across executions (and
+// across connections preparing the same text), so repeated execution skips
+// parse, bind and optimize entirely — the paper's motivation for keeping the
+// client inside the server process is exactly this kind of per-call overhead.
+//
+// A Stmt is bound to the connection that prepared it and shares its
+// concurrency rules: one goroutine at a time.
+type Stmt struct {
+	c   *Conn
+	key string // normalized text, the plan-cache key
+	ast sqlparse.Statement
+}
+
+// Prepare parses a single SQL statement for repeated execution.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	if c.db.isClosed() {
+		return nil, ErrClosed
+	}
+	key := normalizeSQL(sql)
+	ast, err := c.parseOneCached(key, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, key: key, ast: ast}, nil
+}
+
+// Query executes the prepared statement with the given parameter bindings.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
+	if s.c.db.isClosed() {
+		return nil, ErrClosed
+	}
+	params, err := toParams(args)
+	if err != nil {
+		return nil, err
+	}
+	s.c.ctx = ctx
+	defer func() { s.c.ctx = nil }()
+	res, _, err := s.c.runKeyed(s.ast, params, s.key)
+	return res, err
+}
+
+// Exec executes the prepared statement and returns the affected-row count.
+func (s *Stmt) Exec(args ...any) (int64, error) {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation.
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) (int64, error) {
+	if s.c.db.isClosed() {
+		return 0, ErrClosed
+	}
+	params, err := toParams(args)
+	if err != nil {
+		return 0, err
+	}
+	s.c.ctx = ctx
+	defer func() { s.c.ctx = nil }()
+	_, n, err := s.c.runKeyed(s.ast, params, s.key)
+	return n, err
+}
+
+// Close releases the statement. The parse and plan caches are shared at the
+// database level, so Close has nothing to free; it exists for API symmetry.
+func (s *Stmt) Close() error { return nil }
