@@ -27,6 +27,23 @@ func (c snapshotCatalog) TableRows(name string) int64 {
 	return int64(v.NumRows())
 }
 
+// ColStats serves per-column statistics to the cost-based optimizer
+// (plan.StatsProvider). Stats follow the same validity rule as the secondary
+// indexes: only clean snapshots (no transaction-local writes) of the current
+// table version are served, so estimates never describe rows the snapshot
+// cannot see.
+func (c snapshotCatalog) ColStats(name string, ci int) (storage.ColStats, bool) {
+	v, ok := c.tx.View(name)
+	if !ok || !v.Clean() {
+		return storage.ColStats{}, false
+	}
+	st := v.Table().StatsFor(v.Base, ci)
+	if st == nil {
+		return storage.ColStats{}, false
+	}
+	return *st, true
+}
+
 // execCatalog adapts a transaction to the executor's Catalog interface.
 type execCatalog struct{ tx *txn.Txn }
 

@@ -27,6 +27,11 @@ type Conn struct {
 	// TraceMAL is set (EXPLAIN-style introspection and tests).
 	TraceMAL  bool
 	LastTrace *mal.Program
+
+	// NoJoinReorder keeps the written join order (predicates still push
+	// down). A debugging/baseline knob: queries bound with it bypass the
+	// plan cache, which stores only fully optimized plans.
+	NoJoinReorder bool
 }
 
 // ErrTxnOpen is returned by BEGIN when a transaction is already open.
@@ -208,19 +213,20 @@ func (c *Conn) runKeyed(stmt sqlparse.Statement, params []mtypes.Value, pcKey st
 	// (parameters bind as constants inside the plan). The schema version is
 	// read before Begin: monotonicity then guarantees a cached plan is served
 	// only while no DDL has happened since before its snapshot was taken.
-	if c.tx != nil || len(params) != 0 {
+	if c.tx != nil || len(params) != 0 || c.NoJoinReorder {
 		pcKey = ""
 	}
-	schema := uint64(0)
+	schema, stats := uint64(0), uint64(0)
 	if pcKey != "" {
 		schema = c.db.store.SchemaVersion()
+		stats = c.db.store.StatsVersion()
 	}
 	tx := c.tx
 	auto := tx == nil
 	if auto {
 		tx = c.db.mgr.Begin()
 	}
-	res, n, err := c.runInTxn(stmt, tx, params, pcKey, schema)
+	res, n, err := c.runInTxn(stmt, tx, params, pcKey, schema, stats)
 	if err != nil {
 		if auto {
 			tx.Rollback()
@@ -251,14 +257,14 @@ func (c *Conn) engine(tx *txn.Txn) *exec.Engine {
 	return e
 }
 
-func (c *Conn) runInTxn(stmt sqlparse.Statement, tx *txn.Txn, params []mtypes.Value, pcKey string, schema uint64) (*Result, int64, error) {
+func (c *Conn) runInTxn(stmt sqlparse.Statement, tx *txn.Txn, params []mtypes.Value, pcKey string, schema, stats uint64) (*Result, int64, error) {
 	cat := snapshotCatalog{tx}
 	switch x := stmt.(type) {
 	case *sqlparse.SelectStmt:
 		var q *plan.BoundQuery
 		cached := false
 		if pcKey != "" {
-			q, cached = c.db.pc.getPlan(pcKey, schema)
+			q, cached = c.db.pc.getPlan(pcKey, schema, stats)
 		}
 		eng := c.engine(tx)
 		if pcKey != "" {
@@ -270,12 +276,12 @@ func (c *Conn) runInTxn(stmt sqlparse.Statement, tx *txn.Txn, params []mtypes.Va
 		}
 		if !cached {
 			var err error
-			q, err = plan.BindSelect(cat, x, params)
+			q, err = plan.BindSelectWith(cat, x, params, plan.OptOpts{NoJoinReorder: c.NoJoinReorder})
 			if err != nil {
 				return nil, 0, err
 			}
 			if pcKey != "" {
-				c.db.pc.putPlan(pcKey, q, schema)
+				c.db.pc.putPlan(pcKey, q, schema, stats)
 			}
 		}
 		er, err := eng.Execute(q.Plan)

@@ -14,8 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
+	"monetlite/internal/client"
 	"monetlite/internal/frame"
 	"monetlite/internal/rowstore"
 	"monetlite/internal/tpch"
@@ -50,12 +52,15 @@ type Cell struct {
 	Seconds  float64
 	TimedOut bool
 	OOM      bool
+	Skipped  bool // system has no implementation of this query
 	Err      error
 }
 
 // String renders the cell like the paper ("T", "E", or seconds).
 func (c Cell) String() string {
 	switch {
+	case c.Skipped:
+		return "-"
 	case c.TimedOut:
 		return "T"
 	case c.OOM:
@@ -75,7 +80,7 @@ func timeIt(runs int, fn func() error) Cell {
 		runs = 1
 	}
 	// Cold run.
-	if cell := classify(fn()); cell.Err != nil || cell.TimedOut || cell.OOM {
+	if cell := classify(fn()); cell.Err != nil || cell.TimedOut || cell.OOM || cell.Skipped {
 		return cell
 	}
 	times := make([]float64, 0, runs)
@@ -102,17 +107,32 @@ func timeOnce(fn func() error) Cell {
 	return cell
 }
 
+// ErrSkip marks a query a system has no implementation for; it renders as
+// "-" and is excluded from totals rather than reported as a failure.
+var ErrSkip = errors.New("bench: query not implemented for this system")
+
 func classify(err error) Cell {
 	switch {
 	case err == nil:
 		return Cell{}
+	case errors.Is(err, ErrSkip):
+		return Cell{Skipped: true}
 	case errors.Is(err, frame.ErrOOM):
 		return Cell{OOM: true, Err: err}
-	case errors.Is(err, rowstore.ErrTimeout), isEngineTimeout(err):
+	case errors.Is(err, rowstore.ErrTimeout), isEngineTimeout(err),
+		isWireTimeout(err):
 		return Cell{TimedOut: true, Err: err}
 	default:
 		return Cell{Err: err}
 	}
+}
+
+// isWireTimeout recognizes a timeout that crossed the socket protocol:
+// server error replies carry only text, so the typed sentinel is gone by the
+// time the client sees it.
+func isWireTimeout(err error) bool {
+	var se *client.ServerError
+	return errors.As(err, &se) && strings.Contains(se.Msg, "timeout")
 }
 
 // Row is one labelled series of cells (a bar of a figure, a row of a table).

@@ -207,6 +207,9 @@ func (e *Engine) Execute(n plan.Node) (*Result, error) {
 	} else {
 		e.deadline = time.Time{}
 	}
+	if plan.HasJoin(n) {
+		e.Trace.EmitVoid("optimizer.joinorder", plan.JoinTreeString(n))
+	}
 	b, err := e.exec(n)
 	if err != nil {
 		return nil, err
@@ -303,30 +306,54 @@ func (e *Engine) exec(n plan.Node) (*batch, error) {
 	if err := e.checkInterrupt(); err != nil {
 		return nil, err
 	}
+	var b *batch
+	var err error
+	est := int64(0)
+	label := ""
 	switch x := n.(type) {
 	case *plan.Scan:
-		return e.execScan(x)
+		b, err = e.execScan(x)
+		est, label = x.Est, "scan "+x.Table
 	case *plan.Filter:
-		return e.execFilter(x)
+		b, err = e.execFilter(x)
+		est, label = x.Est, "filter"
 	case *plan.Project:
-		return e.execProject(x)
+		b, err = e.execProject(x)
 	case *plan.Join:
-		return e.execJoin(x)
+		b, err = e.execJoin(x)
+		est, label = x.Est, "join "+x.Kind.String()
 	case *plan.Aggregate:
-		return e.execAggregate(x)
+		b, err = e.execAggregate(x)
+		est, label = x.Est, "aggregate"
 	case *plan.Sort:
-		return e.execSort(x)
+		b, err = e.execSort(x)
 	case *plan.TopN:
-		return e.execTopN(x)
+		b, err = e.execTopN(x)
 	case *plan.Limit:
-		return e.execLimit(x)
+		b, err = e.execLimit(x)
 	case *plan.Distinct:
-		return e.execDistinct(x)
+		b, err = e.execDistinct(x)
 	case *plan.Window:
-		return e.execWindow(x)
+		b, err = e.execWindow(x)
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}
+	// Estimated-vs-actual cardinality per costed operator: the raw material
+	// for plan-quality tests and q-error analysis. Est == 0 means the plan
+	// was never annotated (hand-built plans in unit tests).
+	if err == nil && est > 0 {
+		e.Trace.EmitVoid("optimizer.cardinality",
+			fmt.Sprintf("%s: est %d actual %d", label, est, b.liveRows()))
+	}
+	return b, err
+}
+
+// liveRows counts the rows a batch represents (honoring its candidate list).
+func (b *batch) liveRows() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
 }
 
 // execFilter refines the input's candidate list conjunct by conjunct — the

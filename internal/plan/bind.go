@@ -45,12 +45,18 @@ type (
 
 // BindSelect binds a parsed SELECT into an optimized logical plan.
 func BindSelect(cat Catalog, sel *sqlparse.SelectStmt, params []mtypes.Value) (*BoundQuery, error) {
+	return BindSelectWith(cat, sel, params, OptOpts{})
+}
+
+// BindSelectWith is BindSelect with explicit optimizer options (e.g. the
+// written-order baseline used by plan-quality tests).
+func BindSelectWith(cat Catalog, sel *sqlparse.SelectStmt, params []mtypes.Value, opts OptOpts) (*BoundQuery, error) {
 	b := &binder{cat: cat, params: params}
 	n, err := b.bindSelect(sel, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &BoundQuery{Plan: Optimize(cat, n)}, nil
+	return &BoundQuery{Plan: OptimizeWith(cat, n, opts)}, nil
 }
 
 // BindInsert binds an INSERT statement.
@@ -821,6 +827,45 @@ func (pa *postAggBinder) rebindScalar(ast sqlparse.Expr) (Expr, error) {
 			return nil, err
 		}
 		return &BetweenExpr{E: e, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case *sqlparse.LikeExpr:
+		e, err := pa.rebind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := pa.b.bindExpr(x.Pattern, pa.s)
+		if err != nil {
+			return nil, err
+		}
+		pc, ok := pat.(*Const)
+		if !ok || pc.Val.Typ.Kind != mtypes.KVarchar {
+			return nil, fmt.Errorf("plan: LIKE pattern must be a string constant")
+		}
+		return &LikeExpr{E: e, Pattern: pc.Val.S, Not: x.Not}, nil
+	case *sqlparse.InExpr:
+		if x.Subquery != nil {
+			return nil, fmt.Errorf("plan: IN (subquery) not supported in aggregate context")
+		}
+		e, err := pa.rebind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		var vals []mtypes.Value
+		for _, item := range x.List {
+			ie, err := pa.b.bindExpr(item, pa.s)
+			if err != nil {
+				return nil, err
+			}
+			c, ok := FoldConst(ie).(*Const)
+			if !ok {
+				return nil, fmt.Errorf("plan: IN list elements must be constants")
+			}
+			vals = append(vals, c.Val)
+		}
+		return &InListExpr{E: e, Vals: vals, Not: x.Not}, nil
+	case *sqlparse.SubqueryExpr:
+		// HAVING ... > (SELECT ...): an uncorrelated scalar subquery binds to
+		// a subplan constant evaluated once per query (Q11's threshold).
+		return pa.b.bindExpr(ast, pa.s)
 	case *sqlparse.FuncCall:
 		return nil, fmt.Errorf("plan: unsupported function %q in aggregate context", x.Name)
 	}

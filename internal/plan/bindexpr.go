@@ -760,12 +760,36 @@ func (b *binder) bindExists(outerPlan Node, s *scope, sub *sqlparse.SelectStmt, 
 
 // bindInSubquery turns expr [NOT] IN (SELECT col ...) into a semi/anti join.
 func (b *binder) bindInSubquery(outerPlan Node, s *scope, x *sqlparse.InExpr) (Node, error) {
+	if len(x.Subquery.Items) != 1 || x.Subquery.Items[0].Star {
+		return nil, fmt.Errorf("plan: IN subquery must select exactly one column")
+	}
+	// Uncorrelated subqueries get the full binder (GROUP BY, HAVING and
+	// nested subqueries allowed) and join on the single output column.
+	if !selectIsCorrelated(x.Subquery, s, b) {
+		outerE, err := b.bindExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		subPlan, err := b.bindSelect(x.Subquery, nil)
+		if err != nil {
+			return nil, err
+		}
+		sch := subPlan.Schema()
+		kind := JoinSemi
+		if x.Not {
+			kind = JoinAnti
+		}
+		return &Join{
+			Kind:  kind,
+			Left:  outerPlan,
+			Right: subPlan,
+			EquiL: []Expr{outerE},
+			EquiR: []Expr{&ColRef{Slot: 0, Typ: sch[0].Typ, Name: sch[0].Name}},
+		}, nil
+	}
 	parts, err := b.bindSubqueryParts(x.Subquery, s)
 	if err != nil {
 		return nil, err
-	}
-	if len(x.Subquery.Items) != 1 || x.Subquery.Items[0].Star {
-		return nil, fmt.Errorf("plan: IN subquery must select exactly one column")
 	}
 	innerCol, err := b.bindExpr(x.Subquery.Items[0].Expr, parts.s)
 	if err != nil {
@@ -826,9 +850,8 @@ func (b *binder) bindScalarSubqueryCmp(outerPlan Node, s *scope, lhs sqlparse.Ex
 	if len(sub.Items) != 1 {
 		return nil, fmt.Errorf("plan: scalar subquery must select exactly one expression")
 	}
-	fc, isAgg := isAggCall(sub.Items[0].Expr)
-	if !isAgg {
-		return nil, fmt.Errorf("plan: correlated scalar subqueries must compute a single aggregate")
+	if !containsAgg(sub.Items[0].Expr) {
+		return nil, fmt.Errorf("plan: correlated scalar subqueries must compute an aggregate")
 	}
 	parts, err := b.bindSubqueryParts(sub, s)
 	if err != nil {
@@ -840,16 +863,15 @@ func (b *binder) bindScalarSubqueryCmp(outerPlan Node, s *scope, lhs sqlparse.Ex
 	if len(parts.residual) > 0 {
 		return nil, fmt.Errorf("plan: non-equality correlation in scalar subqueries is not supported")
 	}
-	// Build the grouped aggregate keyed by the inner correlation columns.
-	var aggArg Expr
-	kind := aggNames[fc.Name]
-	if fc.Star {
-		kind = vec.AggCountStar
-	} else {
-		aggArg, err = b.bindExpr(fc.Args[0], parts.s)
-		if err != nil {
-			return nil, err
-		}
+	// Build the grouped aggregate keyed by the inner correlation columns. The
+	// item may be an expression over aggregate calls (Q17's 0.2*avg(...)):
+	// each call becomes an output of the Aggregate and the surrounding
+	// expression is rebuilt over the join-output slots where those land.
+	nOuter := len(s.cols)
+	var aggs []AggCall
+	r, err := b.bindCorrAggItem(sub.Items[0].Expr, parts.s, &aggs, nOuter+len(parts.corrInner))
+	if err != nil {
+		return nil, err
 	}
 	names := make([]string, len(parts.corrInner))
 	for i := range names {
@@ -858,7 +880,7 @@ func (b *binder) bindScalarSubqueryCmp(outerPlan Node, s *scope, lhs sqlparse.Ex
 	agg := &Aggregate{
 		Input:   parts.plan,
 		GroupBy: parts.corrInner,
-		Aggs:    []AggCall{{Kind: kind, Arg: aggArg, Name: fc.Name}},
+		Aggs:    aggs,
 		Names:   names,
 	}
 	// Join outer with the grouped result on the correlation keys.
@@ -867,15 +889,11 @@ func (b *binder) bindScalarSubqueryCmp(outerPlan Node, s *scope, lhs sqlparse.Ex
 		equiR[i] = &ColRef{Slot: i, Typ: g.Type(), Name: names[i]}
 	}
 	j := &Join{Kind: JoinInner, Left: outerPlan, Right: agg, EquiL: parts.corrOuter, EquiR: equiR}
-	// Filter: outerExpr CMP aggResult (agg result is the last right column).
+	// Filter: outerExpr CMP the rebuilt item expression.
 	l, err := b.bindExpr(lhs, s)
 	if err != nil {
 		return nil, err
 	}
-	nOuter := len(s.cols)
-	aggSlot := nOuter + len(parts.corrInner)
-	aggSch := agg.Schema()
-	r := &ColRef{Slot: aggSlot, Typ: aggSch[len(aggSch)-1].Typ, Name: fc.Name}
 	pred, err := makeBinOp(op, l, r)
 	if err != nil {
 		return nil, err
@@ -889,6 +907,84 @@ func (b *binder) bindScalarSubqueryCmp(outerPlan Node, s *scope, lhs sqlparse.Ex
 		out[i] = ColInfo{Qual: c.qual, Name: c.name, Typ: c.typ}
 	}
 	return &Project{Input: filtered, Exprs: exprs, Out: out}, nil
+}
+
+// bindCorrAggItem binds the select item of a correlated scalar subquery.
+// Every aggregate call is appended to aggs (its argument bound over the inner
+// scope) and replaced by a ColRef to the join-output slot base+k where the
+// k-th aggregate result will sit; the rest of the expression must be built
+// from constants so it stays valid above the Aggregate.
+func (b *binder) bindCorrAggItem(ast sqlparse.Expr, inner *scope, aggs *[]AggCall, base int) (Expr, error) {
+	if fc, ok := isAggCall(ast); ok {
+		var arg Expr
+		kind := aggNames[fc.Name]
+		if fc.Star {
+			kind = vec.AggCountStar
+		} else {
+			if len(fc.Args) != 1 {
+				return nil, fmt.Errorf("plan: aggregate %s takes one argument", fc.Name)
+			}
+			var err error
+			arg, err = b.bindExpr(fc.Args[0], inner)
+			if err != nil {
+				return nil, err
+			}
+		}
+		call := AggCall{Kind: kind, Arg: arg, Name: fc.Name}
+		slot := base + len(*aggs)
+		*aggs = append(*aggs, call)
+		return &ColRef{Slot: slot, Typ: aggType(call), Name: fc.Name}, nil
+	}
+	if !containsAgg(ast) {
+		e, err := b.bindExpr(ast, inner)
+		if err != nil {
+			return nil, err
+		}
+		constOK := true
+		WalkExpr(e, func(x Expr) bool {
+			switch x.(type) {
+			case *ColRef, *outerRef, *AggRef:
+				constOK = false
+			}
+			return constOK
+		})
+		if !constOK {
+			return nil, fmt.Errorf("plan: correlated scalar subquery item must combine aggregates and constants")
+		}
+		return e, nil
+	}
+	switch x := ast.(type) {
+	case *sqlparse.BinaryExpr:
+		l, err := b.bindCorrAggItem(x.L, inner, aggs, base)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindCorrAggItem(x.R, inner, aggs, base)
+		if err != nil {
+			return nil, err
+		}
+		return makeBinOp(x.Op, l, r)
+	case *sqlparse.UnaryExpr:
+		e, err := b.bindCorrAggItem(x.E, inner, aggs, base)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return &NotExpr{E: e}, nil
+		}
+		return &FuncExpr{Kind: FuncNeg, Args: []Expr{e}, Typ: e.Type()}, nil
+	case *sqlparse.CastExpr:
+		e, err := b.bindCorrAggItem(x.E, inner, aggs, base)
+		if err != nil {
+			return nil, err
+		}
+		to, err := typeFromAST(x.TypeName, x.Prec, x.Scale, x.Width)
+		if err != nil {
+			return nil, err
+		}
+		return &CastExpr{E: e, To: to}, nil
+	}
+	return nil, fmt.Errorf("plan: unsupported expression %T over aggregate in scalar subquery", ast)
 }
 
 // selectIsCorrelated reports whether sub references columns of s.

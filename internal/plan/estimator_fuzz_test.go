@@ -1,0 +1,282 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+)
+
+// fuzzCat is a synthetic one-table catalog with statistics computed by the
+// real storage sampler, so the fuzzer exercises the estimator against the
+// same ColStats the engine serves.
+type fuzzCat struct {
+	meta  *storage.TableMeta
+	rows  [][]mtypes.Value
+	stats []storage.ColStats
+}
+
+func (c *fuzzCat) TableMeta(name string) (*storage.TableMeta, bool) {
+	if name != c.meta.Name {
+		return nil, false
+	}
+	return c.meta, true
+}
+func (c *fuzzCat) TableRows(string) int64 { return int64(len(c.rows)) }
+func (c *fuzzCat) ColStats(_ string, ci int) (storage.ColStats, bool) {
+	return c.stats[ci], true
+}
+
+// genFuzzTable builds nRows rows over five columns with distinct shapes:
+// uniform int, skewed int, uniform double, low-cardinality string, and a
+// nullable int. Stats come from storage.ComputeColStats on the real vectors.
+func genFuzzTable(rng *rand.Rand, nRows int) *fuzzCat {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	meta := &storage.TableMeta{Name: "t", Cols: []storage.ColDef{
+		{Name: "u", Typ: mtypes.Int},
+		{Name: "s", Typ: mtypes.Int},
+		{Name: "d", Typ: mtypes.Double},
+		{Name: "w", Typ: mtypes.Varchar},
+		{Name: "n", Typ: mtypes.Int},
+	}}
+	rows := make([][]mtypes.Value, nRows)
+	vecs := []*vec.Vector{
+		vec.New(mtypes.Int, nRows),
+		vec.New(mtypes.Int, nRows),
+		vec.New(mtypes.Double, nRows),
+		vec.New(mtypes.Varchar, nRows),
+		vec.New(mtypes.Int, nRows),
+	}
+	ndv := 1 + rng.Intn(200)
+	for i := 0; i < nRows; i++ {
+		u := int64(rng.Intn(ndv))
+		sk := int64(rng.Intn(rng.Intn(50) + 1)) // skewed toward 0
+		d := rng.Float64() * 1000
+		w := words[rng.Intn(len(words))]
+		row := []mtypes.Value{
+			mtypes.NewInt(mtypes.Int, u),
+			mtypes.NewInt(mtypes.Int, sk),
+			mtypes.NewDouble(d),
+			mtypes.NewString(w),
+		}
+		vecs[0].I32[i] = int32(u)
+		vecs[1].I32[i] = int32(sk)
+		vecs[2].F64[i] = d
+		vecs[3].Str[i] = w
+		if rng.Intn(4) == 0 {
+			vecs[4].SetNull(i)
+			row = append(row, mtypes.NullValue(mtypes.Int))
+		} else {
+			v := int64(rng.Intn(30))
+			vecs[4].I32[i] = int32(v)
+			row = append(row, mtypes.NewInt(mtypes.Int, v))
+		}
+		rows[i] = row
+	}
+	c := &fuzzCat{meta: meta, rows: rows}
+	for _, v := range vecs {
+		c.stats = append(c.stats, *storage.ComputeColStats(v))
+	}
+	return c
+}
+
+func fuzzScan(c *fuzzCat) *Scan {
+	sc := &Scan{Table: "t"}
+	for i, col := range c.meta.Cols {
+		sc.Cols = append(sc.Cols, i)
+		sc.Out = append(sc.Out, ColInfo{Qual: "t", Name: col.Name, Typ: col.Typ})
+	}
+	return sc
+}
+
+// genPredicate draws one atomic predicate over a random column.
+func genPredicate(rng *rand.Rand, c *fuzzCat) Expr {
+	ci := rng.Intn(len(c.meta.Cols))
+	col := &ColRef{Slot: ci, Typ: c.meta.Cols[ci].Typ, Name: c.meta.Cols[ci].Name}
+	randConst := func() Expr {
+		switch c.meta.Cols[ci].Typ.Kind {
+		case mtypes.KDouble:
+			return &Const{Val: mtypes.NewDouble(rng.Float64() * 1200)}
+		case mtypes.KVarchar:
+			words := []string{"alpha", "beta", "gamma", "delta", "omega"}
+			return &Const{Val: mtypes.NewString(words[rng.Intn(len(words))])}
+		default:
+			return &Const{Val: mtypes.NewInt(mtypes.Int, int64(rng.Intn(250)-10))}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &BinOp{Kind: BinCmp, Cmp: vec.CmpEq, L: col, R: randConst(), Typ: mtypes.Bool}
+	case 1:
+		ops := []vec.CmpOp{vec.CmpLt, vec.CmpLe, vec.CmpGt, vec.CmpGe, vec.CmpNe}
+		return &BinOp{Kind: BinCmp, Cmp: ops[rng.Intn(len(ops))], L: col, R: randConst(), Typ: mtypes.Bool}
+	case 2:
+		return &BetweenExpr{E: col, Lo: randConst(), Hi: randConst()}
+	case 3:
+		k := 1 + rng.Intn(5)
+		vals := make([]mtypes.Value, k)
+		for i := range vals {
+			vals[i] = randConst().(*Const).Val
+		}
+		return &InListExpr{E: col, Vals: vals, Not: rng.Intn(4) == 0}
+	case 4:
+		return &IsNullExpr{E: col, Not: rng.Intn(2) == 0}
+	default:
+		sc := c.meta.Cols[3]
+		scol := &ColRef{Slot: 3, Typ: sc.Typ, Name: sc.Name}
+		pats := []string{"al%", "be%", "%ta", "%amm%", "ome%"}
+		return &LikeExpr{E: scol, Pattern: pats[rng.Intn(len(pats))]}
+	}
+}
+
+// trueCard counts rows where the predicate evaluates to (non-null) true,
+// using the volcano row interpreter as ground truth.
+func trueCard(t *testing.T, c *fuzzCat, p Expr) int {
+	t.Helper()
+	n := 0
+	for _, row := range c.rows {
+		v, err := EvalRow(p, &EvalCtx{Row: row})
+		if err != nil {
+			t.Fatalf("EvalRow(%s): %v", ExprString(p), err)
+		}
+		if !v.Null && v.I != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEstimatorProperties fuzzes randomized tables and predicates, asserting
+// the estimator's structural guarantees: estimates stay within [0, rows],
+// sampled NDV never exceeds the row count, and adding a conjunct never
+// increases the estimate. q-errors against the true cardinality are logged,
+// and for single predicates over the uniform column (exactly the homogeneity
+// the independence model assumes) the q-error must stay bounded.
+func TestEstimatorProperties(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nRows := 500 + rng.Intn(3000)
+		c := genFuzzTable(rng, nRows)
+		rows := float64(nRows)
+
+		for ci, st := range c.stats {
+			if st.NDV > int64(nRows) {
+				t.Fatalf("seed %d col %d: ndv %d > rows %d", seed, ci, st.NDV, nRows)
+			}
+			if st.Rows != int64(nRows) || st.NullCount > st.Rows {
+				t.Fatalf("seed %d col %d: bad stats %+v", seed, ci, st)
+			}
+		}
+
+		var qWorst float64
+		var qSum float64
+		var qN int
+		for iter := 0; iter < 150; iter++ {
+			nConj := 1 + rng.Intn(3)
+			var conj Expr
+			prev := rows
+			for k := 0; k < nConj; k++ {
+				p := genPredicate(rng, c)
+				if conj == nil {
+					conj = p
+				} else {
+					conj = &BinOp{Kind: BinAnd, L: conj, R: p, Typ: mtypes.Bool}
+				}
+				est := EstimateCard(c, &Filter{Input: fuzzScan(c), Pred: conj})
+				if est < 0 || est > rows+0.5 {
+					t.Fatalf("seed %d iter %d: estimate %g outside [0, %d] for %s",
+						seed, iter, est, nRows, ExprString(conj))
+				}
+				// Monotone: a conjunction can only narrow the result.
+				if est > prev+1e-6 {
+					t.Fatalf("seed %d iter %d: adding a conjunct raised the estimate %g -> %g for %s",
+						seed, iter, prev, est, ExprString(conj))
+				}
+				prev = est
+			}
+			truth := trueCard(t, c, conj)
+			q := math.Max(prev, 1) / math.Max(float64(truth), 1)
+			if q < 1 {
+				q = 1 / q
+			}
+			qSum += q
+			qN++
+			if q > qWorst {
+				qWorst = q
+			}
+		}
+		t.Logf("seed %d: rows=%d mean q-error %.2f worst %.2f", seed, nRows, qSum/float64(qN), qWorst)
+
+		// Uniform column, single equality/range predicates: the estimator's
+		// model matches the data generator, so q-error must stay small.
+		for iter := 0; iter < 60; iter++ {
+			col := &ColRef{Slot: 0, Typ: mtypes.Int, Name: "u"}
+			hi := int64(c.stats[0].Max.I)
+			var p Expr
+			if iter%2 == 0 {
+				p = &BinOp{Kind: BinCmp, Cmp: vec.CmpEq, L: col,
+					R: &Const{Val: mtypes.NewInt(mtypes.Int, int64(rng.Intn(int(hi+1))))}, Typ: mtypes.Bool}
+			} else {
+				p = &BinOp{Kind: BinCmp, Cmp: vec.CmpLe, L: col,
+					R: &Const{Val: mtypes.NewInt(mtypes.Int, int64(rng.Intn(int(hi+1))))}, Typ: mtypes.Bool}
+			}
+			est := EstimateCard(c, &Filter{Input: fuzzScan(c), Pred: p})
+			truth := trueCard(t, c, p)
+			q := math.Max(est, 1) / math.Max(float64(truth), 1)
+			if q < 1 {
+				q = 1 / q
+			}
+			if q > 10 {
+				t.Fatalf("seed %d: uniform-column q-error %.1f (est %g, true %d) for %s",
+					seed, q, est, truth, ExprString(p))
+			}
+		}
+	}
+}
+
+// TestEstimatorJoinAndAggBounds pins the non-leaf propagation rules on a
+// deterministic table: joins never exceed the cross product, aggregates
+// never exceed their input, and annotateEst stamps every node.
+func TestEstimatorJoinAndAggBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := genFuzzTable(rng, 2000)
+	rows := float64(len(c.rows))
+
+	l, r := fuzzScan(c), fuzzScan(c)
+	join := &Join{
+		Kind:  JoinInner,
+		Left:  l,
+		Right: r,
+		EquiL: []Expr{&ColRef{Slot: 0, Typ: mtypes.Int, Name: "u"}},
+		EquiR: []Expr{&ColRef{Slot: 0, Typ: mtypes.Int, Name: "u"}},
+	}
+	jc := EstimateCard(c, join)
+	if jc <= 0 || jc > rows*rows {
+		t.Fatalf("join estimate %g outside (0, %g]", jc, rows*rows)
+	}
+	agg := &Aggregate{
+		Input:   join,
+		GroupBy: []Expr{&ColRef{Slot: 0, Typ: mtypes.Int, Name: "u"}},
+		Names:   []string{"u"},
+		Aggs:    []AggCall{{Kind: vec.AggCountStar, Name: "count"}},
+	}
+	ac := EstimateCard(c, agg)
+	if ac <= 0 || ac > jc {
+		t.Fatalf("aggregate estimate %g outside (0, join %g]", ac, jc)
+	}
+
+	annotateEst(c, agg)
+	for _, n := range []struct {
+		name string
+		est  int64
+	}{{"join", join.Est}, {"agg", agg.Est}, {"scan", l.Est}} {
+		if n.est < 1 {
+			t.Fatalf("annotateEst left %s unstamped: %d", n.name, n.est)
+		}
+	}
+	_ = fmt.Sprintf
+}

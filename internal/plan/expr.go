@@ -24,6 +24,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"monetlite/internal/mtypes"
 	"monetlite/internal/vec"
@@ -330,7 +331,18 @@ func ExprString(e Expr) string {
 		}
 		return fmt.Sprintf("%s%s LIKE '%s'", ExprString(x.E), neg, x.Pattern)
 	case *InListExpr:
-		return fmt.Sprintf("%s IN [%d values]", ExprString(x.E), len(x.Vals))
+		var sb strings.Builder
+		for i, v := range x.Vals {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.String())
+		}
+		neg := ""
+		if x.Not {
+			neg = " NOT"
+		}
+		return fmt.Sprintf("%s%s IN (%s)", ExprString(x.E), neg, sb.String())
 	case *BetweenExpr:
 		if x.LoExcl || x.HiExcl {
 			loOp, hiOp := ">=", "<="
@@ -344,13 +356,33 @@ func ExprString(e Expr) string {
 		}
 		return fmt.Sprintf("%s BETWEEN %s AND %s", ExprString(x.E), ExprString(x.Lo), ExprString(x.Hi))
 	case *CaseExpr:
-		return "CASE..."
+		// Render the full shape: these strings key the executor's per-batch
+		// CSE cache, so two different CASE expressions must not collide.
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		for _, w := range x.Whens {
+			fmt.Fprintf(&sb, " WHEN %s THEN %s", ExprString(w.Cond), ExprString(w.Result))
+		}
+		if x.Else != nil {
+			fmt.Fprintf(&sb, " ELSE %s", ExprString(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
 	case *FuncExpr:
-		return fmt.Sprintf("func%d(...)", x.Kind)
+		var sb strings.Builder
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ExprString(a))
+		}
+		return fmt.Sprintf("func%d(%s)", x.Kind, sb.String())
 	case *CastExpr:
 		return fmt.Sprintf("CAST(%s AS %s)", ExprString(x.E), x.To)
 	case *SubplanExpr:
-		return "(scalar subquery)"
+		// The plan pointer distinguishes different scalar subqueries; the
+		// same subplan instance still hits the CSE cache.
+		return fmt.Sprintf("(scalar subquery %p)", x.Plan)
 	case *AggRef:
 		return fmt.Sprintf("agg#%d", x.Slot)
 	default:

@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// permCost prices a left-deep permutation with the same C_out model the DP
+// and greedy paths share: the sum of every intermediate (and final) result
+// cardinality. Base relations are free, matching dpJoinOrder.
+func permCost(g *joinGraph, perm []int) float64 {
+	set := uint(1) << perm[0]
+	card := g.cards[perm[0]]
+	cost := 0.0
+	for _, j := range perm[1:] {
+		card = g.extendCard(card, set, j)
+		set |= 1 << j
+		cost += card
+	}
+	return cost
+}
+
+// corpusGraph builds one of the named small-graph shapes whose optimal
+// left-deep order greedy provably finds (well-separated cardinalities, one
+// clearly best extension at every step).
+func corpusGraph(shape string) *joinGraph {
+	switch shape {
+	case "chain": // dim(10) - mid(1e3) - fact(1e6), key joins along the chain
+		g := newJoinGraph([]float64{1e6, 1e3, 10})
+		g.addEdge(0, 1, 1e-3)
+		g.addEdge(1, 2, 1e-1)
+		return g
+	case "star":
+		// fact(1e6) in the center, three filtered dims. The dims are big
+		// enough that a dim x dim cross product (which the DP may exploit
+		// on tiny dimensions) always loses to following the key edges.
+		g := newJoinGraph([]float64{1e6, 1e3, 2e3, 4e3})
+		g.addEdge(0, 1, 1e-4)
+		g.addEdge(0, 2, 1e-4)
+		g.addEdge(0, 3, 1e-4)
+		return g
+	case "snowflake": // star with one dim refining into a sub-dimension
+		g := newJoinGraph([]float64{1e6, 1e3, 50, 1e4})
+		g.addEdge(0, 1, 1e-3)
+		g.addEdge(1, 2, 1.0/50)
+		g.addEdge(0, 3, 1e-4)
+		return g
+	case "clique": // every pair joinable, cardinalities force one order
+		g := newJoinGraph([]float64{1e5, 1e3, 10, 1e4})
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				g.addEdge(a, b, 1e-3)
+			}
+		}
+		return g
+	}
+	panic("unknown shape " + shape)
+}
+
+// TestDPGreedyAgreeOnCorpus is the agreement corpus: on these shapes the
+// greedy heuristic is optimal, so the DP (exact) and greedy paths must
+// produce cost-identical orders — and, since the costs are well-separated,
+// the identical permutation. A divergence means one of the two shared-cost
+// helpers (cardOfSet/extendCard) regressed for one path only.
+func TestDPGreedyAgreeOnCorpus(t *testing.T) {
+	for _, shape := range []string{"chain", "star", "snowflake", "clique"} {
+		g := corpusGraph(shape)
+		dp := dpJoinOrder(g)
+		gr := greedyJoinOrder(g)
+		dc, gc := permCost(g, dp), permCost(g, gr)
+		if dc != gc {
+			t.Errorf("%s: dp cost %g (perm %v) != greedy cost %g (perm %v)",
+				shape, dc, dp, gc, gr)
+			continue
+		}
+		if !reflect.DeepEqual(dp, gr) {
+			t.Errorf("%s: equal cost but different perms: dp %v greedy %v", shape, dp, gr)
+		}
+	}
+}
+
+// TestDPNeverWorseThanGreedy fuzzes random join graphs: the exact DP must
+// never price worse than the heuristic under the shared cost model, and
+// both must return valid permutations.
+func TestDPNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 500; iter++ {
+		n := 2 + rng.Intn(7)
+		cards := make([]float64, n)
+		for i := range cards {
+			cards[i] = math10(rng, 1, 6)
+		}
+		g := newJoinGraph(cards)
+		// Random spanning tree keeps the graph connected; extra edges at
+		// random make some instances cyclic.
+		for i := 1; i < n; i++ {
+			g.addEdge(i, rng.Intn(i), math10(rng, -5, -1))
+		}
+		for e := rng.Intn(n); e > 0; e-- {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.addEdge(a, b, math10(rng, -5, -1))
+			}
+		}
+		dp := dpJoinOrder(g)
+		gr := greedyJoinOrder(g)
+		for _, perm := range [][]int{dp, gr} {
+			seen := make([]bool, n)
+			for _, j := range perm {
+				if j < 0 || j >= n || seen[j] {
+					t.Fatalf("iter %d: invalid permutation %v", iter, perm)
+				}
+				seen[j] = true
+			}
+		}
+		dc, gc := permCost(g, dp), permCost(g, gr)
+		if dc > gc*(1+1e-9) {
+			t.Fatalf("iter %d: dp cost %g worse than greedy %g (dp %v greedy %v, cards %v)",
+				iter, dc, gc, dp, gr, cards)
+		}
+	}
+}
+
+// math10 returns a random power-of-ten-ish magnitude in [10^lo, 10^hi].
+func math10(rng *rand.Rand, lo, hi int) float64 {
+	exp := lo + rng.Intn(hi-lo+1)
+	m := 1.0
+	for ; exp > 0; exp-- {
+		m *= 10
+	}
+	for ; exp < 0; exp++ {
+		m /= 10
+	}
+	return m * (0.5 + rng.Float64())
+}

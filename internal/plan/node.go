@@ -32,12 +32,16 @@ type Scan struct {
 	Cols    []int
 	Out     Schema
 	Filters []Expr
+	// Est is the optimizer's output-cardinality estimate (0 = unannotated);
+	// the executor traces it against the actual row count.
+	Est int64
 }
 
 // Filter keeps rows satisfying Pred.
 type Filter struct {
 	Input Node
 	Pred  Expr
+	Est   int64 // optimizer cardinality estimate (0 = unannotated)
 }
 
 // Project computes output columns from input rows.
@@ -72,6 +76,7 @@ type Join struct {
 	EquiL    []Expr // over left schema
 	EquiR    []Expr // over right schema, positionally matching EquiL
 	Residual Expr   // over concatenated schema; nil if none
+	Est      int64  // optimizer cardinality estimate (0 = unannotated)
 }
 
 // AggCall is one aggregate computation.
@@ -89,6 +94,7 @@ type Aggregate struct {
 	GroupBy []Expr
 	Aggs    []AggCall
 	Names   []string // group column names
+	Est     int64    // optimizer cardinality estimate (0 = unannotated)
 }
 
 // SortSpec is one sort key over the input schema.
@@ -326,6 +332,42 @@ func (n *Window) Schema() Schema {
 
 // Children returns the single input.
 func (n *Window) Children() []Node { return []Node{n.Input} }
+
+// JoinTreeString renders the join nesting of a plan as a parenthesized
+// expression over base-table names — e.g. "((customer * orders) * lineitem)"
+// — collapsing row-shape nodes (filters, projections, sorts…). Inner joins
+// print as "*"; other kinds print their name ("(a SEMI b)"). Plan-shape
+// golden tests pin the optimizer's chosen join order against this rendering.
+func JoinTreeString(n Node) string {
+	switch x := n.(type) {
+	case *Scan:
+		return x.Table
+	case *Join:
+		op := " * "
+		if x.Kind != JoinInner {
+			op = " " + x.Kind.String() + " "
+		}
+		return "(" + JoinTreeString(x.Left) + op + JoinTreeString(x.Right) + ")"
+	}
+	if ch := n.Children(); len(ch) == 1 {
+		return JoinTreeString(ch[0])
+	}
+	return "?"
+}
+
+// HasJoin reports whether the plan contains any Join node (used to decide
+// whether a join-order trace line is worth emitting).
+func HasJoin(n Node) bool {
+	if _, ok := n.(*Join); ok {
+		return true
+	}
+	for _, c := range n.Children() {
+		if HasJoin(c) {
+			return true
+		}
+	}
+	return false
+}
 
 // PlanString renders an indented plan tree (for EXPLAIN and plan-shape tests).
 func PlanString(n Node) string {

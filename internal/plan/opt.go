@@ -8,17 +8,29 @@ import (
 	"monetlite/internal/vec"
 )
 
+// OptOpts tunes the optimizer. The zero value is the default (full
+// cost-based optimization).
+type OptOpts struct {
+	// NoJoinReorder keeps the written join order (predicates are still
+	// pushed down and attached). Used as the baseline in plan-quality tests.
+	NoJoinReorder bool
+}
+
 // Optimize applies the relational-level optimizations the paper describes
 // (§3.1): constant folding happened at bind time; this pass performs join
 // ordering over cross-join regions, filter pushdown into scans, and
 // projection pruning so scans only touch the columns a query needs (the
 // column-store advantage the evaluation leans on).
-func Optimize(cat Catalog, n Node) Node {
+func Optimize(cat Catalog, n Node) Node { return OptimizeWith(cat, n, OptOpts{}) }
+
+// OptimizeWith is Optimize with explicit options.
+func OptimizeWith(cat Catalog, n Node, opts OptOpts) Node {
 	// Fuse first: the binder's Limit(Sort(…)) / Limit(Project(Sort(…)))
 	// shapes are still intact here, and the later passes then see (and are
 	// exercised on) the TopN node like any other operator.
 	n = fuseTopN(n)
-	n = optimizeJoins(cat, n)
+	n = sinkSemiFilters(n)
+	n = optimizeJoins(cat, n, opts)
 	n, _ = pruneNode(n, allRequired(len(n.Schema())))
 	// Last, after pushdown has landed every single-table conjunct in its
 	// scan: merge one-sided range pairs so imprints see both bounds at once.
@@ -26,6 +38,9 @@ func Optimize(cat Catalog, n Node) Node {
 	// With shapes final, mark Window nodes whose input is already ordered
 	// compatibly so they skip their physical sort.
 	n = elideWindowSorts(n)
+	// Stamp cardinality estimates on the final shapes; the executor traces
+	// them against actuals (optimizer.cardinality in the MAL trace).
+	annotateEst(cat, n)
 	return n
 }
 
@@ -41,35 +56,80 @@ func allRequired(n int) []bool {
 // Join ordering + filter pushdown.
 // ---------------------------------------------------------------------------
 
+// sinkSemiFilters pushes Filters through semi/anti joins into their left
+// input. A semi/anti join's output schema and slot space are exactly its left
+// input's, so any predicate above commutes with the join; sinking it lets the
+// join-ordering region below see the predicate (a query that writes an IN
+// subquery before its join conjuncts — TPC-H Q18's shape — would otherwise
+// leave an unordered cross product under the semi join).
+func sinkSemiFilters(n Node) Node {
+	switch x := n.(type) {
+	case *Filter:
+		x.Input = sinkSemiFilters(x.Input)
+		if j, ok := x.Input.(*Join); ok && (j.Kind == JoinSemi || j.Kind == JoinAnti) {
+			j.Left = sinkSemiFilters(&Filter{Input: j.Left, Pred: x.Pred})
+			return j
+		}
+		return x
+	case *Join:
+		x.Left = sinkSemiFilters(x.Left)
+		x.Right = sinkSemiFilters(x.Right)
+		return x
+	case *Project:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	case *Aggregate:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	case *Sort:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	case *Limit:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	case *TopN:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	case *Distinct:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	case *Window:
+		x.Input = sinkSemiFilters(x.Input)
+		return x
+	default:
+		return n
+	}
+}
+
 // optimizeJoins walks the plan; every maximal Filter/inner-Join region is
 // re-planned: predicates are collected, single-relation conjuncts are pushed
 // into scans, equi predicates drive a greedy smallest-first join order.
-func optimizeJoins(cat Catalog, n Node) Node {
+func optimizeJoins(cat Catalog, n Node, opts OptOpts) Node {
 	switch x := n.(type) {
 	case *Scan:
 		return x
 	case *Filter, *Join:
-		return replanRegion(cat, n)
+		return replanRegion(cat, n, opts)
 	case *Project:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	case *Aggregate:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	case *Sort:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	case *Limit:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	case *TopN:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	case *Distinct:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	case *Window:
-		x.Input = optimizeJoins(cat, x.Input)
+		x.Input = optimizeJoins(cat, x.Input, opts)
 		return x
 	default:
 		return n
@@ -85,22 +145,22 @@ type region struct {
 
 // collectRegion flattens Filters and INNER joins. Semi/anti/left joins and
 // everything else become leaves (their insides are optimized recursively).
-func collectRegion(cat Catalog, n Node, offset int, r *region) {
+func collectRegion(cat Catalog, n Node, offset int, r *region, opts OptOpts) {
 	switch x := n.(type) {
 	case *Filter:
-		collectRegion(cat, x.Input, offset, r)
+		collectRegion(cat, x.Input, offset, r, opts)
 		for _, c := range splitBoundConjuncts(x.Pred) {
 			r.preds = append(r.preds, MapSlots(c, func(s int) int { return s + offset }))
 		}
 	case *Join:
 		if x.Kind != JoinInner {
-			r.leaves = append(r.leaves, optimizeNonInnerJoin(cat, x))
+			r.leaves = append(r.leaves, optimizeNonInnerJoin(cat, x, opts))
 			r.starts = append(r.starts, offset)
 			return
 		}
 		nLeft := len(x.Left.Schema())
-		collectRegion(cat, x.Left, offset, r)
-		collectRegion(cat, x.Right, offset+nLeft, r)
+		collectRegion(cat, x.Left, offset, r, opts)
+		collectRegion(cat, x.Right, offset+nLeft, r, opts)
 		for i := range x.EquiL {
 			l := MapSlots(x.EquiL[i], func(s int) int { return s + offset })
 			rr := MapSlots(x.EquiR[i], func(s int) int { return s + offset + nLeft })
@@ -110,35 +170,122 @@ func collectRegion(cat Catalog, n Node, offset int, r *region) {
 			r.preds = append(r.preds, MapSlots(x.Residual, func(s int) int { return s + offset }))
 		}
 	default:
-		r.leaves = append(r.leaves, optimizeJoinsInside(cat, n))
+		r.leaves = append(r.leaves, optimizeJoinsInside(cat, n, opts))
 		r.starts = append(r.starts, offset)
 	}
 }
 
 // optimizeJoinsInside recurses into non-region nodes (derived tables etc.).
-func optimizeJoinsInside(cat Catalog, n Node) Node {
+func optimizeJoinsInside(cat Catalog, n Node, opts OptOpts) Node {
 	switch x := n.(type) {
 	case *Scan:
 		return x
 	default:
-		return optimizeJoins(cat, x)
+		return optimizeJoins(cat, x, opts)
 	}
 }
 
-func optimizeNonInnerJoin(cat Catalog, j *Join) Node {
-	j.Left = optimizeJoins(cat, j.Left)
-	j.Right = optimizeJoins(cat, j.Right)
+func optimizeNonInnerJoin(cat Catalog, j *Join, opts OptOpts) Node {
+	j.Left = optimizeJoins(cat, j.Left, opts)
+	j.Right = optimizeJoins(cat, j.Right, opts)
 	return j
 }
 
-func replanRegion(cat Catalog, n Node) Node {
+func replanRegion(cat Catalog, n Node, opts OptOpts) Node {
 	r := &region{}
-	collectRegion(cat, n, 0, r)
+	collectRegion(cat, n, 0, r, opts)
+	// OR predicates whose branches share conjuncts (TPC-H Q19's shape) are
+	// factored so the common part — often the join condition itself — becomes
+	// a separate conjunct that can serve as an equi edge or be pushed down.
+	var preds []Expr
+	for _, p := range r.preds {
+		preds = append(preds, hoistOrCommonConjuncts(p)...)
+	}
+	r.preds = preds
 	if len(r.leaves) == 1 && onlySingleLeafPreds(r) {
 		// No join ordering to do: push predicates and return.
 		return attachPreds(r.leaves[0], r.preds)
 	}
-	return orderJoins(cat, n, r)
+	return orderJoins(cat, n, r, opts)
+}
+
+// hoistOrCommonConjuncts rewrites (A ∧ B1) ∨ (A ∧ B2) … into A ∧ (B1 ∨ B2 …)
+// when every OR branch shares the conjunct A (structural equality). In SQL's
+// three-valued WHERE semantics the forms reject the same rows. Returns the
+// original predicate unsplit when no conjunct is common to all branches.
+func hoistOrCommonConjuncts(p Expr) []Expr {
+	branches := splitOrBranches(p)
+	if len(branches) < 2 {
+		return []Expr{p}
+	}
+	conjs := make([][]Expr, len(branches))
+	for i, b := range branches {
+		conjs[i] = splitBoundConjuncts(b)
+	}
+	var common []Expr
+	for _, c := range conjs[0] {
+		inAll := true
+		for _, other := range conjs[1:] {
+			found := false
+			for _, oc := range other {
+				if exprEqual(c, oc) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			common = append(common, c)
+		}
+	}
+	if len(common) == 0 {
+		return []Expr{p}
+	}
+	// Rebuild each branch without the common conjuncts.
+	var rest Expr
+	restNeeded := false
+	for i, cs := range conjs {
+		var branch Expr
+		for _, c := range cs {
+			skip := false
+			for _, cm := range common {
+				if exprEqual(c, cm) {
+					skip = true
+					break
+				}
+			}
+			if !skip {
+				branch = andExpr(branch, c)
+			}
+		}
+		if branch == nil {
+			// One branch was exactly the common part: the OR adds nothing.
+			restNeeded = false
+			break
+		}
+		if i == 0 {
+			rest = branch
+			restNeeded = true
+		} else {
+			rest = &BinOp{Kind: BinOr, L: rest, R: branch, Typ: mtypes.Bool}
+		}
+	}
+	out := common
+	if restNeeded {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func splitOrBranches(e Expr) []Expr {
+	if bo, ok := e.(*BinOp); ok && bo.Kind == BinOr {
+		return append(splitOrBranches(bo.L), splitOrBranches(bo.R)...)
+	}
+	return []Expr{e}
 }
 
 func onlySingleLeafPreds(r *region) bool { return len(r.leaves) == 1 }
@@ -175,39 +322,13 @@ func (r *region) predLeaves(p Expr) map[int]bool {
 	return leaves
 }
 
-// estimate guesses a leaf's post-filter cardinality for greedy ordering.
-func estimate(cat Catalog, n Node, filters int) float64 {
-	var base float64
-	switch x := n.(type) {
-	case *Scan:
-		base = float64(cat.TableRows(x.Table))
-		filters += len(x.Filters)
-	case *Aggregate:
-		base = estimate(cat, x.Input, 0) / 10
-	case *Filter:
-		base = estimate(cat, x.Input, filters+1)
-	case *Join:
-		base = estimate(cat, x.Left, 0)
-	case *Project:
-		base = estimate(cat, x.Input, filters)
-	case *Window:
-		base = estimate(cat, x.Input, filters) // row-preserving
-	default:
-		base = 1000
-	}
-	for i := 0; i < filters; i++ {
-		base *= 0.25
-	}
-	if base < 1 {
-		base = 1
-	}
-	return base
-}
-
-// orderJoins greedily builds a left-deep join tree, smallest relation first,
-// following equi-join edges; the output is wrapped in a Project restoring
-// the region's original slot order so parents are unaffected.
-func orderJoins(cat Catalog, orig Node, r *region) Node {
+// orderJoins builds a left-deep join tree over the region: leaf
+// cardinalities come from the shared estimator (EstimateCard), equi
+// predicates between leaf pairs become selectivity-weighted graph edges, and
+// chooseJoinOrder (exact DP up to dpMaxLeaves relations, cost-greedy above)
+// picks the sequence. The output is wrapped in a Project restoring the
+// region's original slot order so parents are unaffected.
+func orderJoins(cat Catalog, orig Node, r *region, opts OptOpts) Node {
 	nLeaves := len(r.leaves)
 	// Assign single-leaf predicates to their leaf.
 	leafPreds := make([][]Expr, nLeaves)
@@ -223,15 +344,46 @@ func orderJoins(cat Catalog, orig Node, r *region) Node {
 		}
 	}
 	// Push single-leaf predicates (remapped to leaf-local slots).
+	est := newEstimator(cat)
 	leaves := make([]Node, nLeaves)
-	ests := make([]float64, nLeaves)
+	g := newJoinGraph(make([]float64, nLeaves))
 	for i, leaf := range r.leaves {
 		var local []Expr
 		for _, p := range leafPreds[i] {
 			local = append(local, MapSlots(p, func(s int) int { return s - r.starts[i] }))
 		}
 		leaves[i] = attachPreds(leaf, local)
-		ests[i] = estimate(cat, leaves[i], 0)
+		g.cards[i] = est.card(leaves[i])
+	}
+	// Two-leaf equi predicates become graph edges weighted by the estimated
+	// key selectivity (1/max ndv, PK-FK fallback).
+	for _, p := range joinPreds {
+		if !isEquiPred(p) {
+			continue
+		}
+		ls := r.predLeaves(p)
+		if len(ls) != 2 {
+			continue
+		}
+		var ab []int
+		for l := range ls {
+			ab = append(ab, l)
+		}
+		sort.Ints(ab)
+		a, b := ab[0], ab[1]
+		bo := p.(*BinOp)
+		ea, eb := bo.L, bo.R
+		if la := r.predLeaves(ea); !la[a] {
+			ea, eb = eb, ea
+		}
+		localA := MapSlots(ea, func(s int) int { return s - r.starts[a] })
+		localB := MapSlots(eb, func(s int) int { return s - r.starts[b] })
+		g.addEdge(a, b, est.equiPairSel(leaves[a], leaves[b], localA, localB, g.cards[a], g.cards[b]))
+	}
+
+	perm := chooseJoinOrder(g)
+	if opts.NoJoinReorder {
+		perm = identityPerm(nLeaves)
 	}
 
 	done := make([]bool, nLeaves)
@@ -239,36 +391,7 @@ func orderJoins(cat Catalog, orig Node, r *region) Node {
 	// newPos[leaf] = slot offset of the leaf in the built plan.
 	newPos := make([]int, nLeaves)
 
-	// connected reports whether predicate p only touches finished leaves+cand.
-	connectable := func(p Expr, cand int) bool {
-		for l := range r.predLeaves(p) {
-			if l != cand && !done[l] {
-				return false
-			}
-		}
-		return true
-	}
-	hasEdge := func(cand int) bool {
-		for pi, p := range joinPreds {
-			if usedPred[pi] {
-				continue
-			}
-			ls := r.predLeaves(p)
-			if ls[cand] && connectable(p, cand) && isEquiPred(p) {
-				return true
-			}
-		}
-		return false
-	}
-
-	// Start with the smallest leaf that participates in some equi edge
-	// (fall back to smallest overall).
-	start := -1
-	for i := 0; i < nLeaves; i++ {
-		if start < 0 || ests[i] < ests[start] {
-			start = i
-		}
-	}
+	start := perm[0]
 	cur := leaves[start]
 	done[start] = true
 	newPos[start] = 0
@@ -282,22 +405,7 @@ func orderJoins(cat Catalog, orig Node, r *region) Node {
 	}
 
 	for count := 1; count < nLeaves; count++ {
-		// Choose the next leaf: smallest connected; else smallest remaining.
-		next := -1
-		nextConnected := false
-		for i := 0; i < nLeaves; i++ {
-			if done[i] {
-				continue
-			}
-			conn := hasEdge(i)
-			switch {
-			case next < 0, conn && !nextConnected, conn == nextConnected && ests[i] < ests[next]:
-				if next < 0 || conn || !nextConnected {
-					next = i
-					nextConnected = conn
-				}
-			}
-		}
+		next := perm[count]
 		rightNode := leaves[next]
 		nRight := len(rightNode.Schema())
 		newPos[next] = curWidth

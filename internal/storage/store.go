@@ -77,6 +77,21 @@ func (s *Store) SchemaVersion() uint64 {
 	return s.schemaVersion
 }
 
+// StatsVersion summarizes the statistics epochs of every table (plus the
+// schema version, so created/dropped tables move it too). Cost-based plans
+// cached by the plan cache are stamped with this value: when any table's
+// contents change materially (Table.StatsEpoch), the stamp goes stale and the
+// plan is re-optimized against fresh statistics.
+func (s *Store) StatsVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.schemaVersion
+	for _, t := range s.tables {
+		v += t.StatsEpoch()
+	}
+	return v
+}
+
 // CreateTable adds a new empty table to the catalog.
 func (s *Store) CreateTable(meta TableMeta) (*Table, error) {
 	if len(meta.Cols) == 0 {

@@ -72,6 +72,8 @@ type colIndexes struct {
 	order        *index.OrderIndex
 	orderRows    int
 	orderWanted  bool // CREATE ORDER INDEX was issued; rebuild lazily
+	stats        *ColStats
+	statsRows    int
 }
 
 // Table is a mutable table: current version pointer, physical columns and
@@ -84,6 +86,11 @@ type Table struct {
 	cols []*Column
 	cur  atomic.Pointer[TableVersion]
 	idx  []colIndexes
+
+	// Statistics staleness tracking (see StatsEpoch): epoch counter plus the
+	// row count at the last epoch bump.
+	statsEpoch     uint64
+	statsRowsStamp int
 }
 
 func newTable(meta TableMeta) *Table {
@@ -155,6 +162,12 @@ func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion,
 			}
 		}
 	}
+	// Cached per-column stats describe the pre-append snapshot; drop them so
+	// the next StatsFor recomputes over the grown column.
+	for i := range t.idx {
+		t.idx[i].stats = nil
+	}
+	t.noteRowsChanged(old.NRows+n, false)
 	tv := &TableVersion{Version: commitVersion, NRows: old.NRows + n, Dels: old.Dels, table: t}
 	t.publish(tv)
 	return tv, nil
@@ -197,7 +210,11 @@ func (t *Table) Delete(rowids []int32, commitVersion uint64) (*TableVersion, int
 		t.idx[i].imprints = nil
 		t.idx[i].hash = nil
 		t.idx[i].order = nil
+		t.idx[i].stats = nil
 	}
+	// Any delete is a material stats change: min/max and ndv can shift in
+	// ways appends cannot, so the epoch always bumps.
+	t.noteRowsChanged(old.NRows, true)
 	tv := &TableVersion{Version: commitVersion, NRows: old.NRows, Dels: dels, table: t}
 	t.publish(tv)
 	return tv, n, nil

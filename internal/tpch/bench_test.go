@@ -1,0 +1,28 @@
+package tpch
+
+import "testing"
+
+// BenchmarkTPCHQ5 is the bench-baseline gate's end-to-end optimizer probe:
+// Q5 joins six tables, so its hot-run time moves if the cost model starts
+// picking a worse join order (the per-kernel benchmarks would not notice).
+func BenchmarkTPCHQ5(b *testing.B) {
+	db, _, err := NewDatabase(0.025, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	conn := db.Connect()
+	if _, err := conn.Query(Queries[5]); err != nil { // warm (index builds)
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := conn.Query(Queries[5])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumRows() == 0 {
+			b.Fatal("Q5 returned no rows")
+		}
+	}
+}

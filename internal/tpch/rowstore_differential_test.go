@@ -58,7 +58,7 @@ func boxCell(col any, r int, typ mtypes.Type) mtypes.Value {
 
 // The volcano row engine executes the same bound plans with a completely
 // different storage layout and execution model: agreement with the columnar
-// engine on all ten TPC-H queries is the second leg of the differential
+// engine on all 22 TPC-H queries is the second leg of the differential
 // triangle (frame library being the third).
 func TestRowstoreMatchesColumnarEngine(t *testing.T) {
 	if testing.Short() {

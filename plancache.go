@@ -24,6 +24,12 @@ import (
 //     stamped with the store's DDL-only schema version; a lookup whose stamp
 //     is stale counts as an invalidation and rebinds. Data commits do not
 //     touch the schema version, so plans survive ordinary writes.
+//   - Plan entries also depend on the column statistics the cost-based
+//     optimizer read (join orders, build-side choices), so each carries the
+//     store's stats version too. The stats version only moves on material
+//     data change (first rows, growth past the epoch thresholds, deletes),
+//     so steady-state workloads keep their plans while a bulk load or big
+//     delete forces re-optimization against fresh statistics.
 //   - Plans bind positional parameters as constants, so only param-free
 //     statements get plan entries. Parameterized statements still skip the
 //     parser via the parse cache.
@@ -43,6 +49,7 @@ type planCache struct {
 type cachedPlan struct {
 	q      *plan.BoundQuery
 	schema uint64 // storage.Store.SchemaVersion() at bind time
+	stats  uint64 // storage.Store.StatsVersion() at bind time
 }
 
 // planCacheMax bounds each map. Statement texts in a workload are few; the cap
@@ -84,10 +91,10 @@ func (pc *planCache) putParse(key string, st sqlparse.Statement) {
 	pc.parse[key] = st
 }
 
-// getPlan returns the cached bound plan for key if its schema stamp still
-// matches, recording a hit. A stale entry is dropped and recorded as an
-// invalidation; absence is a miss.
-func (pc *planCache) getPlan(key string, schema uint64) (*plan.BoundQuery, bool) {
+// getPlan returns the cached bound plan for key if both its schema and its
+// stats stamps still match, recording a hit. A stale entry is dropped and
+// recorded as an invalidation; absence is a miss.
+func (pc *planCache) getPlan(key string, schema, stats uint64) (*plan.BoundQuery, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	cp, ok := pc.plans[key]
@@ -95,7 +102,7 @@ func (pc *planCache) getPlan(key string, schema uint64) (*plan.BoundQuery, bool)
 		pc.misses++
 		return nil, false
 	}
-	if cp.schema != schema {
+	if cp.schema != schema || cp.stats != stats {
 		delete(pc.plans, key)
 		pc.invalidations++
 		pc.misses++
@@ -105,7 +112,7 @@ func (pc *planCache) getPlan(key string, schema uint64) (*plan.BoundQuery, bool)
 	return cp.q, true
 }
 
-func (pc *planCache) putPlan(key string, q *plan.BoundQuery, schema uint64) {
+func (pc *planCache) putPlan(key string, q *plan.BoundQuery, schema, stats uint64) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if len(pc.plans) >= planCacheMax {
@@ -114,7 +121,7 @@ func (pc *planCache) putPlan(key string, q *plan.BoundQuery, schema uint64) {
 			break
 		}
 	}
-	pc.plans[key] = cachedPlan{q: q, schema: schema}
+	pc.plans[key] = cachedPlan{q: q, schema: schema, stats: stats}
 }
 
 // PlanCacheStats is a snapshot of the statement-cache counters.
@@ -123,7 +130,7 @@ type PlanCacheStats struct {
 	PlanEntries   int   // cached bound plans
 	Hits          int64 // plan lookups served from cache
 	Misses        int64 // plan lookups that had to bind
-	Invalidations int64 // plan entries dropped for a stale schema version
+	Invalidations int64 // plan entries dropped for a stale schema or stats version
 }
 
 // PlanCacheStats reports the database's statement-cache counters.

@@ -87,6 +87,41 @@ func TestPlanCacheInvalidatedByDDL(t *testing.T) {
 	}
 }
 
+// A cached plan embeds cost-based decisions (join order, build sides) made
+// against the column statistics at bind time. A material data change moves
+// the store's stats version, which must invalidate the cached plan so the
+// next execution re-optimizes — before plans carried a stats stamp, this
+// test failed with a hit where the invalidation is expected.
+func TestPlanCacheInvalidatedByStatsChange(t *testing.T) {
+	db, c := planCacheDB(t)
+	const q = `SELECT a FROM pc WHERE a > 1`
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.PlanCacheStats()
+	if before.Hits < 1 {
+		t.Fatalf("warmup should have cached the plan: %+v", before)
+	}
+	// Grow the table past the stats-epoch threshold (>=20% of the rows the
+	// last epoch was stamped at), moving StatsVersion without any DDL.
+	if _, err := c.Exec(`INSERT INTO pc VALUES (4, 'w'), (5, 'v'), (6, 'u')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 5 {
+		t.Fatalf("after insert: %d rows, want 5", res.NumRows())
+	}
+	after := db.PlanCacheStats()
+	if after.Invalidations != before.Invalidations+1 {
+		t.Fatalf("stats change did not invalidate the cached plan: before %+v after %+v", before, after)
+	}
+}
+
 func TestPlanCacheSkipsParamsAndTransactions(t *testing.T) {
 	db, c := planCacheDB(t)
 	// Parameterized: params bind as plan constants, so the plan must not be
