@@ -87,3 +87,13 @@ func (s viewSource) OrderIdx(ci int) *index.OrderIndex {
 	}
 	return s.v.Table().OrderFor(s.v.Base, ci)
 }
+
+// EncodedCol returns the column's compressed physical form when the snapshot
+// is clean (a transaction-local overlay appends rows the encoding does not
+// cover, so overlaid views read raw).
+func (s viewSource) EncodedCol(ci int) *vec.Encoded {
+	if !s.v.Clean() {
+		return nil
+	}
+	return s.v.Table().EncodedFor(s.v.Base, ci)
+}

@@ -33,16 +33,23 @@ import (
 	"strconv"
 )
 
-// Entry is one benchmark measurement in a snapshot file.
+// Entry is one benchmark measurement in a snapshot file. BytesPerRow is
+// optional: benchmarks that measure storage compression report it via
+// b.ReportMetric(…, "bytes/row") and the gate then guards the compression
+// ratio the same way it guards latency.
 type Entry struct {
 	Op          string  `json:"op"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerRow float64 `json:"bytes_per_row,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 // "BenchmarkScanFilterProject/CandidateList-4  5  3051704 ns/op  687 MB/s  4411537 B/op  126 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
+
+// bytesRow matches the custom compression metric, e.g. "49.70 bytes/row".
+var bytesRow = regexp.MustCompile(`\s([0-9.]+) bytes/row`)
 
 func parse(r *os.File) ([]Entry, error) {
 	best := map[string]*Entry{}
@@ -61,13 +68,20 @@ func parse(r *os.File) ([]Entry, error) {
 		if m[3] != "" {
 			allocs, _ = strconv.ParseInt(m[3], 10, 64)
 		}
+		var bpr float64
+		if bm := bytesRow.FindStringSubmatch(sc.Text()); bm != nil {
+			bpr, _ = strconv.ParseFloat(bm[1], 64)
+		}
 		e, ok := best[m[1]]
 		if !ok {
-			best[m[1]] = &Entry{Op: m[1], NsPerOp: ns, AllocsPerOp: allocs}
+			best[m[1]] = &Entry{Op: m[1], NsPerOp: ns, AllocsPerOp: allocs, BytesPerRow: bpr}
 			continue
 		}
 		e.NsPerOp = min(e.NsPerOp, ns)
 		e.AllocsPerOp = min(e.AllocsPerOp, allocs)
+		if bpr > 0 && (e.BytesPerRow == 0 || bpr < e.BytesPerRow) {
+			e.BytesPerRow = bpr
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -145,6 +159,7 @@ func compare(baselinePath, currentPath string, tol float64) int {
 		}
 		check(op, "ns/op", b.NsPerOp, c.NsPerOp)
 		check(op, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp))
+		check(op, "bytes/row", b.BytesPerRow, c.BytesPerRow)
 	}
 	for op := range cur {
 		if _, ok := base[op]; !ok {

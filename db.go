@@ -153,6 +153,40 @@ func (db *Database) Checkpoint() error {
 	return db.mgr.Checkpoint()
 }
 
+// EncodeColumns compresses every column of every table that benefits from
+// an encoding (dictionary, frame-of-reference, or RLE — see
+// docs/STORAGE_FORMAT.md), returning the number of columns now encoded.
+// Checkpoints do this automatically for large columns; this call forces the
+// decision immediately, regardless of size, so queries run on encoded data
+// and the next checkpoint persists the compressed form.
+func (db *Database) EncodeColumns() (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	return db.store.EncodeAll()
+}
+
+// ColFootprint reports one column's resident storage size next to what the
+// same rows would cost raw — the measurement behind the README's bytes/row
+// table and the CI compression gate.
+type ColFootprint = storage.ColFootprint
+
+// TableFootprint measures the storage footprint of every column of a table.
+func (db *Database) TableFootprint(name string) ([]ColFootprint, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tbl, ok := db.store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("monetlite: %w: %s", storage.ErrNoSuchTable, name)
+	}
+	return tbl.Footprint()
+}
+
 // InMemory reports whether this database discards its data on Close.
 func (db *Database) InMemory() bool { return db.store.InMemory() }
 

@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+)
+
+// Encoded-execution differential fuzzer: the same logical table is built
+// twice — once compressed (Table.EncodeColumns), once raw — and every query
+// must return identical results from both, under both the serial and the
+// parallel engine. The raw table is the oracle; the encoded runs exercise
+// filters on FOR/dict codes, dict-code group-by keys and dict-code sort keys.
+
+var encFuzzCities = []string{
+	"amsterdam", "berlin", "cairo", "denver", "eindhoven", "florence",
+	"geneva", "hamburg",
+}
+
+// buildEncFuzzPair returns (encoded, raw) catalogs over identical data:
+//
+//	id INT      0..n-1                      → FOR
+//	a  INT      small domain, 10% NULL      → FOR
+//	b  BIGINT   huge base + small range     → FOR
+//	s  VARCHAR  8 cities, 10% NULL          → dict
+//	d  DOUBLE   random                      → stays raw (mixed-batch case)
+func buildEncFuzzPair(t *testing.T, rng *rand.Rand, n int, allowDeletes bool) (memCatalog, memCatalog, int) {
+	t.Helper()
+	meta := storage.TableMeta{Name: "t", Cols: []storage.ColDef{
+		{Name: "id", Typ: mtypes.Int},
+		{Name: "a", Typ: mtypes.Int},
+		{Name: "b", Typ: mtypes.BigInt},
+		{Name: "s", Typ: mtypes.Varchar},
+		{Name: "d", Typ: mtypes.Double},
+	}}
+	idv := vec.New(mtypes.Int, n)
+	av := vec.New(mtypes.Int, n)
+	bv := vec.New(mtypes.BigInt, n)
+	sv := vec.New(mtypes.Varchar, n)
+	dv := vec.New(mtypes.Double, n)
+	for i := 0; i < n; i++ {
+		idv.I32[i] = int32(i)
+		if rng.Intn(10) == 0 {
+			av.SetNull(i)
+		} else {
+			av.I32[i] = int32(rng.Intn(20))
+		}
+		bv.I64[i] = 1_000_000_000_000 + int64(rng.Intn(5000))
+		if rng.Intn(10) == 0 {
+			sv.SetNull(i)
+		} else {
+			sv.Str[i] = encFuzzCities[rng.Intn(len(encFuzzCities))]
+		}
+		dv.F64[i] = float64(rng.Intn(1000)) / 8
+	}
+	cols := []*vec.Vector{idv, av, bv, sv, dv}
+	mkTable := func() *storage.Table {
+		tbl := storage.NewMemoryTable(meta)
+		clones := make([]*vec.Vector, len(cols))
+		for i, c := range cols {
+			clones[i] = c.Clone()
+		}
+		if _, err := tbl.Append(clones, 1); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	encTbl, rawTbl := mkTable(), mkTable()
+	// Sometimes delete a random slice of rows (from both tables): encoded
+	// kernels must respect candidate lists exactly like the raw kernels.
+	if allowDeletes && n > 10 && rng.Intn(2) == 0 {
+		var dead []int32
+		for i := 0; i < n; i++ {
+			if rng.Intn(6) == 0 {
+				dead = append(dead, int32(i))
+			}
+		}
+		if _, _, err := encTbl.Delete(dead, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rawTbl.Delete(dead, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nEnc, err := encTbl.EncodeColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return memCatalog{"t": encTbl}, memCatalog{"t": rawTbl}, nEnc
+}
+
+// encFuzzQueries renders the query set with fresh random constants.
+func encFuzzQueries(rng *rand.Rand, n int) []string {
+	city := encFuzzCities[rng.Intn(len(encFuzzCities))]
+	lo, hi := rng.Intn(20), rng.Intn(20)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	idLo := rng.Intn(n + 1)
+	idHi := idLo + rng.Intn(n+1-idLo)
+	return []string{
+		fmt.Sprintf("SELECT id, a, s FROM t WHERE a < %d", rng.Intn(22)),
+		fmt.Sprintf("SELECT count(*), sum(b), min(id), max(a) FROM t WHERE a BETWEEN %d AND %d", lo, hi),
+		"SELECT s, count(*), sum(a), avg(d) FROM t GROUP BY s ORDER BY s",
+		"SELECT s, count(*) FROM t GROUP BY s", // group order itself must match
+		"SELECT id, s FROM t ORDER BY s, id LIMIT 25",
+		"SELECT s FROM t ORDER BY s DESC, id LIMIT 17",
+		fmt.Sprintf("SELECT s, count(*) FROM t WHERE b >= %d GROUP BY s ORDER BY s", 1_000_000_000_000+rng.Intn(5000)),
+		fmt.Sprintf("SELECT id FROM t WHERE s = '%s' ORDER BY id", city),
+		fmt.Sprintf("SELECT id FROM t WHERE s > '%s' ORDER BY id DESC LIMIT 30", city),
+		fmt.Sprintf("SELECT a, count(*) FROM t WHERE id BETWEEN %d AND %d GROUP BY a ORDER BY a", idLo, idHi),
+		fmt.Sprintf("SELECT d FROM t WHERE a = %d ORDER BY id", rng.Intn(20)),
+		fmt.Sprintf("SELECT count(*) FROM t WHERE a <> %d AND id >= %d", rng.Intn(20), idLo),
+	}
+}
+
+func runEncFuzzQuery(t *testing.T, cat memCatalog, q string, parallel bool) [][]string {
+	t.Helper()
+	e := &Engine{Cat: cat, Parallel: parallel, MaxThreads: 4}
+	res, err := e.Execute(planFor(t, cat, q))
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	rows := make([][]string, res.NumRows())
+	for i := range rows {
+		row := make([]string, len(res.Cols))
+		for c := range res.Cols {
+			row[c] = res.Cols[c].Value(i).String()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestEncodedExecutionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 12; iter++ {
+		n := []int{1, 7, 60, 500, 1500, 2500}[rng.Intn(6)]
+		encCat, rawCat, nEnc := buildEncFuzzPair(t, rng, n, true)
+		if n >= 60 && nEnc < 4 {
+			t.Fatalf("iter %d n=%d: only %d columns encoded, want ≥4 (id,a,b,s)", iter, n, nEnc)
+		}
+		for _, q := range encFuzzQueries(rng, n) {
+			oracle := runEncFuzzQuery(t, rawCat, q, false)
+			for _, mode := range []struct {
+				cat      memCatalog
+				parallel bool
+				name     string
+			}{
+				{encCat, false, "encoded-serial"},
+				{encCat, true, "encoded-parallel"},
+				{rawCat, true, "raw-parallel"},
+			} {
+				got := runEncFuzzQuery(t, mode.cat, q, mode.parallel)
+				if len(got) != len(oracle) {
+					t.Fatalf("iter %d n=%d %s %q: %d rows vs oracle %d",
+						iter, n, mode.name, q, len(got), len(oracle))
+				}
+				for r := range got {
+					for c := range got[r] {
+						if got[r][c] != oracle[r][c] {
+							t.Fatalf("iter %d n=%d %s %q: cell (%d,%d) %q vs oracle %q",
+								iter, n, mode.name, q, r, c, got[r][c], oracle[r][c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncodedExecutionTrace proves the encoded paths actually fire — results
+// matching the oracle is not enough if the engine silently decoded
+// everything. Each encoded kernel leaves a distinct MAL-trace marker.
+func TestEncodedExecutionTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// No deletes: a candidate-list scan densifies at the projection below
+	// the sort, which (correctly) drops the dict sort-key fast path.
+	encCat, rawCat, nEnc := buildEncFuzzPair(t, rng, 2048, false)
+	if nEnc < 4 {
+		t.Fatalf("only %d columns encoded", nEnc)
+	}
+	run := func(cat memCatalog, q string) string {
+		trace := &mal.Program{}
+		e := &Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}
+		if _, err := e.Execute(planFor(t, cat, q)); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return trace.String()
+	}
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		// Scan announces which columns are compressed.
+		{"SELECT count(*) FROM t WHERE a < 10",
+			[]string{"optimizer.encoding", "a=for(", "encoded for(", "algebra.thetaselect"}},
+		// BETWEEN runs as a range select on FOR codes.
+		{"SELECT count(*) FROM t WHERE a BETWEEN 3 AND 9",
+			[]string{"algebra.rangeselect", "encoded for("}},
+		// Varchar equality runs on dict codes.
+		{"SELECT count(*) FROM t WHERE s = 'berlin'",
+			[]string{"algebra.thetaselect", "encoded dict("}},
+		// GROUP BY on a dict varchar feeds codes to the grouping kernel.
+		{"SELECT s, count(*) FROM t GROUP BY s",
+			[]string{"group.group", "dict codes"}},
+		// ORDER BY on a dict varchar sorts codes, not strings.
+		{"SELECT id, s FROM t ORDER BY s, id LIMIT 10",
+			[]string{"sort keys: 1 dict codes"}},
+	}
+	for _, tc := range cases {
+		out := run(encCat, tc.q)
+		for _, w := range tc.want {
+			if !strings.Contains(out, w) {
+				t.Fatalf("%q: marker %q missing from trace:\n%s", tc.q, w, out)
+			}
+		}
+		// The raw oracle table must not take any encoded path.
+		rawOut := run(rawCat, tc.q)
+		for _, w := range []string{"encoded ", "dict codes"} {
+			if strings.Contains(rawOut, w) {
+				t.Fatalf("%q: raw table trace has encoded marker %q:\n%s", tc.q, w, rawOut)
+			}
+		}
+	}
+}

@@ -53,6 +53,11 @@ type TableSource interface {
 	Imprints(ci int) *index.Imprints
 	HashIdx(ci int) *index.HashIndex
 	OrderIdx(ci int) *index.OrderIndex
+	// EncodedCol returns the column's compressed physical form when one
+	// covers this snapshot (nil otherwise). Unlike the index accessors it is
+	// not an optional acceleration structure but the storage representation
+	// itself, so it is not gated by Engine.NoIndexes.
+	EncodedCol(ci int) *vec.Encoded
 }
 
 // Catalog resolves table names to sources for one execution.
@@ -149,6 +154,13 @@ type batch struct {
 	cols []*vec.Vector
 	sel  []int32 // nil = all rows; else strictly increasing row ids into cols
 	n    int
+	// enc, when non-nil, carries the compressed form of base-table columns
+	// (slot-indexed, parallel to cols; nil entries = raw only). enc[i] covers
+	// at least cols[i].Len() rows starting at table row 0, so it is only set
+	// on batches whose columns are the [0, nrows) base vectors — scan output
+	// and the selection views derived from it. materialize and any dense
+	// rewrite drop it: decode-at-breaker.
+	enc []*vec.Encoded
 }
 
 func newBatch(cols []*vec.Vector) *batch {
@@ -376,15 +388,79 @@ func (e *Engine) execFilter(x *plan.Filter) (*batch, error) {
 		if err := e.checkInterrupt(); err != nil {
 			return nil, err
 		}
-		sel, err = e.refineFilter(f, in.cols, width, sel)
-		if err != nil {
-			return nil, err
+		if encSel, ok := e.refineFilterEncoded(f, in, width, sel); ok {
+			sel = encSel
+		} else {
+			sel, err = e.refineFilter(f, in.cols, width, sel)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if sel != nil && len(sel) == 0 {
 			break // all-false: no later conjunct can resurrect a row
 		}
 	}
-	return newSelBatch(in.cols, sel), nil
+	out := newSelBatch(in.cols, sel)
+	out.enc = in.enc
+	return out, nil
+}
+
+// refineFilterEncoded evaluates one conjunct directly on a batch's
+// compressed columns when the predicate shape and encoding allow it
+// (comparison or BETWEEN against a constant). ok=false means the caller
+// should take the raw refineFilter path.
+func (e *Engine) refineFilterEncoded(f plan.Expr, in *batch, width int, cands []int32) ([]int32, bool) {
+	if in.enc == nil {
+		return nil, false
+	}
+	enc := func(cr *plan.ColRef) *vec.Encoded {
+		if cr.Slot < 0 || cr.Slot >= len(in.enc) {
+			return nil
+		}
+		return in.enc[cr.Slot]
+	}
+	switch p := f.(type) {
+	case *plan.BinOp:
+		if p.Kind != plan.BinCmp {
+			return nil, false
+		}
+		cr, op := (*plan.ColRef)(nil), p.Cmp
+		var val mtypes.Value
+		if l, ok := p.L.(*plan.ColRef); ok {
+			if c, ok := p.R.(*plan.Const); ok {
+				cr, val = l, c.Val
+			}
+		} else if r, ok := p.R.(*plan.ColRef); ok {
+			if c, ok := p.L.(*plan.Const); ok {
+				cr, op, val = r, p.Cmp.Flip(), c.Val
+			}
+		}
+		if cr == nil {
+			return nil, false
+		}
+		en := enc(cr)
+		if en == nil {
+			return nil, false
+		}
+		if sel, ok := en.SelCmpWindow(op, val, cands, 0, width); ok {
+			e.Trace.Emit("algebra.thetaselect", "encoded "+en.Describe(), op.String())
+			return sel, true
+		}
+	case *plan.BetweenExpr:
+		if cr, ok := p.E.(*plan.ColRef); ok && !p.Not {
+			if lo, hi, ok := constBounds(p); ok {
+				en := enc(cr)
+				if en == nil {
+					return nil, false
+				}
+				if sel, ok := en.SelRangeWindow(lo, hi, !p.LoExcl, !p.HiExcl, cands, 0, width); ok {
+					e.Trace.Emit("algebra.rangeselect", "encoded "+en.Describe())
+					return sel, true
+				}
+			}
+		}
+	}
+	return nil, false
 }
 
 func (e *Engine) execProject(x *plan.Project) (*batch, error) {
@@ -422,7 +498,31 @@ func (e *Engine) execProject(x *plan.Project) (*batch, error) {
 	} else {
 		e.Trace.Emit("bat.project", fmt.Sprintf("%d exprs", len(x.Exprs)))
 	}
-	return &batch{cols: out, n: in.n}, nil
+	b := &batch{cols: out, n: in.n}
+	b.enc = projectEncodings(x.Exprs, in)
+	return b, nil
+}
+
+// projectEncodings carries a batch's compressed forms through a projection.
+// Only bare column references keep their encoding, and only when the input
+// has no candidate list: a selection view densifies the output vectors, which
+// breaks the positional row ↔ code alignment the encoded kernels rely on.
+func projectEncodings(exprs []plan.Expr, in *batch) []*vec.Encoded {
+	if in.enc == nil || in.sel != nil {
+		return nil
+	}
+	var encs []*vec.Encoded
+	for i, ex := range exprs {
+		cr, ok := ex.(*plan.ColRef)
+		if !ok || cr.Slot < 0 || cr.Slot >= len(in.enc) || in.enc[cr.Slot] == nil {
+			continue
+		}
+		if encs == nil {
+			encs = make([]*vec.Encoded, len(exprs))
+		}
+		encs[i] = in.enc[cr.Slot]
+	}
+	return encs
 }
 
 func (e *Engine) execLimit(x *plan.Limit) (*batch, error) {
@@ -441,7 +541,9 @@ func (e *Engine) execLimit(x *plan.Limit) (*batch, error) {
 	e.Trace.Emit("bat.slice", fmt.Sprintf("%d..%d", lo, hi))
 	if in.sel != nil {
 		// A limit over a selection view just slices the candidate list.
-		return newSelBatch(in.cols, in.sel[lo:hi]), nil
+		out := newSelBatch(in.cols, in.sel[lo:hi])
+		out.enc = in.enc
+		return out, nil
 	}
 	out := make([]*vec.Vector, len(in.cols))
 	for i, c := range in.cols {

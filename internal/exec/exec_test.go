@@ -35,6 +35,9 @@ func (s memSource) HashIdx(ci int) *index.HashIndex {
 func (s memSource) OrderIdx(ci int) *index.OrderIndex {
 	return s.tbl.OrderFor(s.tbl.Version(), ci)
 }
+func (s memSource) EncodedCol(ci int) *vec.Encoded {
+	return s.tbl.EncodedFor(s.tbl.Version(), ci)
+}
 
 type memCatalog map[string]*storage.Table
 

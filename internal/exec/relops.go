@@ -463,8 +463,26 @@ func (e *Engine) aggregateBatch(x *plan.Aggregate, in *batch) (*batch, error) {
 	ngroups := 1
 	var reprs []int32
 	if len(x.GroupBy) > 0 {
+		width := in.n
+		if len(in.cols) > 0 {
+			width = in.cols[0].Len()
+		}
 		keys := make([]*vec.Vector, len(x.GroupBy))
+		// Dictionary-coded varchar keys group on their integer codes: the
+		// sorted dictionary makes codes↔strings a bijection, so group ids,
+		// counts and first-appearance order are identical to grouping on the
+		// strings — only the representatives are decoded, after grouping.
+		dictKeys := make([]*vec.Encoded, len(x.GroupBy))
+		nDict := 0
 		for i, g := range x.GroupBy {
+			if cr, ok := g.(*plan.ColRef); ok && in.enc != nil && cr.Slot < len(in.enc) {
+				if en := in.enc[cr.Slot]; en != nil && en.Enc == vec.EncDict {
+					keys[i] = en.CodesI32(0, width, in.sel)
+					dictKeys[i] = en
+					nDict++
+					continue
+				}
+			}
 			kv, err := memo.evalVec(g, in)
 			if err != nil {
 				return nil, err
@@ -472,10 +490,19 @@ func (e *Engine) aggregateBatch(x *plan.Aggregate, in *batch) (*batch, error) {
 			keys[i] = kv
 		}
 		gids, ngroups, reprs = vec.GroupBy(keys, nil)
-		e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups", len(keys), ngroups))
+		if nDict > 0 {
+			e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups", len(keys), ngroups),
+				fmt.Sprintf("%d dict codes", nDict))
+		} else {
+			e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups", len(keys), ngroups))
+		}
 		out := make([]*vec.Vector, 0, len(x.GroupBy)+len(x.Aggs))
-		for _, kv := range keys {
-			out = append(out, vec.Gather(kv, reprs))
+		for i, kv := range keys {
+			g := vec.Gather(kv, reprs)
+			if dictKeys[i] != nil {
+				g = dictKeys[i].DecodeCodes(g)
+			}
+			out = append(out, g)
 		}
 		aggCols, err := e.computeAggs(x, in, memo, gids, ngroups)
 		if err != nil {
@@ -715,6 +742,21 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d chunks (grouped)", cp.Chunks))
 	skip0, tot0 := e.imprintsCounters()
 
+	// Dictionary-coded varchar keys group on integer codes in every chunk;
+	// the same dictionary backs all chunks, so the merge phase concatenates
+	// and re-groups code vectors directly and decodes only the final
+	// representatives (see aggregateBatch).
+	dictKeys := make([]*vec.Encoded, len(x.GroupBy))
+	nDict := 0
+	for i, g := range x.GroupBy {
+		if cr, ok := g.(*plan.ColRef); ok {
+			if en := src.EncodedCol(scan.Cols[cr.Slot]); en != nil && en.Enc == vec.EncDict {
+				dictKeys[i] = en
+				nDict++
+			}
+		}
+	}
+
 	type chunkOut struct {
 		keys     []*vec.Vector   // key columns at the chunk's group representatives
 		partials [][]*vec.Vector // per agg: one partial, or [SUM, COUNT] for AVG
@@ -741,6 +783,10 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 		memo := newMemo(ce)
 		keys := make([]*vec.Vector, len(x.GroupBy))
 		for i, g := range x.GroupBy {
+			if dictKeys[i] != nil {
+				keys[i] = dictKeys[i].CodesI32(lo, hi, cands)
+				continue
+			}
 			if keys[i], err = memo.evalVec(g, cb); err != nil {
 				outs[ci] = chunkOut{err: err}
 				return
@@ -810,11 +856,20 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 		gidMaps[ci] = gGids[off : off+outs[ci].ngroups]
 		off += outs[ci].ngroups
 	}
-	e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups (parallel merge)", len(allKeys), ngroups))
+	if nDict > 0 {
+		e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups (parallel merge)", len(allKeys), ngroups),
+			fmt.Sprintf("%d dict codes", nDict))
+	} else {
+		e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups (parallel merge)", len(allKeys), ngroups))
+	}
 
 	outCols := make([]*vec.Vector, 0, len(allKeys)+len(x.Aggs))
-	for _, kv := range allKeys {
-		outCols = append(outCols, vec.Gather(kv, gReprs))
+	for i, kv := range allKeys {
+		g := vec.Gather(kv, gReprs)
+		if dictKeys[i] != nil {
+			g = dictKeys[i].DecodeCodes(g)
+		}
+		outCols = append(outCols, g)
 	}
 	collect := func(ai, j int) []*vec.Vector {
 		ps := make([]*vec.Vector, cp.Chunks)

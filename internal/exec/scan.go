@@ -37,12 +37,15 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 			}
 		}
 	}
+	encs := e.scanEncoded(x, src)
 	if cp.Chunks <= 1 {
 		cands, cols, err := e.scanRange(x, src, 0, nrows)
 		if err != nil {
 			return nil, err
 		}
-		return newSelBatch(cols, cands), nil
+		b := newSelBatch(cols, cands)
+		b.enc = encs
+		return b, nil
 	}
 
 	// Mitosis: chunked parallel scan+filter; the workers produce per-window
@@ -88,7 +91,9 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 	}
 	if allNil {
 		// Every row of every chunk survived: the merged list is "all rows".
-		return newBatch(cols), nil
+		b := newBatch(cols)
+		b.enc = encs
+		return b, nil
 	}
 	merged := make([]int32, 0, total)
 	for _, p := range parts {
@@ -104,7 +109,36 @@ func (e *Engine) execScan(x *plan.Scan) (*batch, error) {
 	}
 	e.emitImprintsDelta(skip0, tot0)
 	e.Trace.Emit("bat.mergecand", fmt.Sprintf("%d cands", len(merged)))
-	return newSelBatch(cols, merged), nil
+	b := newSelBatch(cols, merged)
+	b.enc = encs
+	return b, nil
+}
+
+// scanEncoded collects the compressed forms of the scanned columns (nil when
+// none is encoded) and emits one coordinator-level trace line naming them —
+// chunk engines have no trace, so this is where encoded execution becomes
+// visible in EXPLAIN output.
+func (e *Engine) scanEncoded(x *plan.Scan, src TableSource) []*vec.Encoded {
+	var encs []*vec.Encoded
+	desc := ""
+	for i, ci := range x.Cols {
+		en := src.EncodedCol(ci)
+		if en == nil {
+			continue
+		}
+		if encs == nil {
+			encs = make([]*vec.Encoded, len(x.Cols))
+		}
+		encs[i] = en
+		if desc != "" {
+			desc += " "
+		}
+		desc += src.Meta().Cols[ci].Name + "=" + en.Describe()
+	}
+	if encs != nil {
+		e.Trace.EmitVoid("optimizer.encoding", desc)
+	}
+	return encs
 }
 
 // imprintsCounters snapshots the per-query imprint pruning totals; paired
@@ -308,6 +342,16 @@ func (e *Engine) refineFilter(f plan.Expr, cols []*vec.Vector, width int, cands 
 func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, op vec.CmpOp, val mtypes.Value, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	col := cols[cr.Slot]
 	tableCol := x.Cols[cr.Slot]
+	// Encoded columns evaluate the predicate on codes without decoding (dict
+	// predicates become code-range tests, FOR predicates code arithmetic, RLE
+	// predicates per-run tests). The encoding is the physical data, not an
+	// optional index, so this path is not gated by NoIndexes.
+	if en := src.EncodedCol(tableCol); en != nil {
+		if sel, ok := en.SelCmpWindow(op, val, cands, rowLo, rowHi); ok {
+			e.Trace.Emit("algebra.thetaselect", "encoded "+en.Describe(), op.String())
+			return sel, nil
+		}
+	}
 	fullScan := rowLo == 0 && rowHi == src.NumRows()
 	if !e.NoIndexes && !val.Null {
 		switch op {
@@ -343,6 +387,12 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, loI, hiI bool, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	col := cols[cr.Slot]
 	tableCol := x.Cols[cr.Slot]
+	if en := src.EncodedCol(tableCol); en != nil {
+		if sel, ok := en.SelRangeWindow(lo, hi, loI, hiI, cands, rowLo, rowHi); ok {
+			e.Trace.Emit("algebra.rangeselect", "encoded "+en.Describe())
+			return sel, nil
+		}
+	}
 	fullScan := rowLo == 0 && rowHi == src.NumRows()
 	if !e.NoIndexes {
 		if fullScan {

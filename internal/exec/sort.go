@@ -19,10 +19,16 @@ import (
 // serial join path.
 
 // sortKeys evaluates the ORDER BY key expressions over the input batch.
-func (e *Engine) sortKeys(specs []plan.SortSpec, in *batch) ([]vec.SortKey, error) {
+// pre, when non-nil, carries pre-computed key vectors (dictionary codes from
+// encodedSortKeys) that replace the expression evaluation slot-for-slot.
+func (e *Engine) sortKeys(specs []plan.SortSpec, in *batch, pre []*vec.Vector) ([]vec.SortKey, error) {
 	memo := newMemo(e)
 	keys := make([]vec.SortKey, len(specs))
 	for i, k := range specs {
+		if pre != nil && pre[i] != nil {
+			keys[i] = vec.SortKey{Vec: pre[i], Desc: k.Desc}
+			continue
+		}
 		kv, err := memo.evalVecN(k.E, in, in.n)
 		if err != nil {
 			return nil, err
@@ -30,6 +36,45 @@ func (e *Engine) sortKeys(specs []plan.SortSpec, in *batch) ([]vec.SortKey, erro
 		keys[i] = vec.SortKey{Vec: kv, Desc: k.Desc}
 	}
 	return keys, nil
+}
+
+// encodedSortKeys pre-computes dictionary-code key vectors for ORDER BY keys
+// that are bare references to dict-encoded varchar columns. It must run
+// before materialize (which drops the batch's encoded forms); the code
+// vectors are dense over the survivors, so they stay row-aligned with the
+// materialized batch. The sorted dictionary makes code order identical to
+// string order — code 0 (NULL) sorts below every code exactly like the
+// varchar kernel's null code — so the permutation is unchanged; the sort
+// just compares small ints instead of strings.
+func (e *Engine) encodedSortKeys(specs []plan.SortSpec, in *batch) []*vec.Vector {
+	if in.enc == nil {
+		return nil
+	}
+	width := in.n
+	if len(in.cols) > 0 {
+		width = in.cols[0].Len()
+	}
+	var pre []*vec.Vector
+	n := 0
+	for i, k := range specs {
+		cr, ok := k.E.(*plan.ColRef)
+		if !ok || cr.Slot < 0 || cr.Slot >= len(in.enc) {
+			continue
+		}
+		en := in.enc[cr.Slot]
+		if en == nil || en.Enc != vec.EncDict {
+			continue
+		}
+		if pre == nil {
+			pre = make([]*vec.Vector, len(specs))
+		}
+		pre[i] = en.CodesI32(0, width, in.sel)
+		n++
+	}
+	if pre != nil {
+		e.Trace.EmitVoid("optimizer.encoding", fmt.Sprintf("sort keys: %d dict codes", n))
+	}
+	return pre
 }
 
 // sortChunkPlan decides the run layout for a parallel sort over n rows.
@@ -53,8 +98,9 @@ func (e *Engine) execSort(x *plan.Sort) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	pre := e.encodedSortKeys(x.Keys, in)
 	in = e.materialize(in) // sort is a pipeline breaker (order gathers positionally)
-	keys, err := e.sortKeys(x.Keys, in)
+	keys, err := e.sortKeys(x.Keys, in, pre)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +173,9 @@ func (e *Engine) execTopN(x *plan.TopN) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	pre := e.encodedSortKeys(x.Keys, in)
 	in = e.materialize(in) // same breaker as Sort: heap indexes are positional
-	keys, err := e.sortKeys(x.Keys, in)
+	keys, err := e.sortKeys(x.Keys, in, pre)
 	if err != nil {
 		return nil, err
 	}

@@ -148,6 +148,17 @@ func Uint32s(b []byte) ([]uint32, error) {
 	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4), nil
 }
 
+// Uint64s reinterprets b as []uint64 without copying (bit-packed code words).
+func Uint64s(b []byte) ([]uint64, error) {
+	if err := alignCheck(b, 8); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), nil
+}
+
 // BytesOfInt32s exposes a typed slice's backing memory as bytes (write path).
 func BytesOfInt32s(xs []int32) []byte {
 	if len(xs) == 0 {
@@ -194,4 +205,12 @@ func BytesOfUint32s(xs []uint32) []byte {
 		return nil
 	}
 	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*4)
+}
+
+// BytesOfUint64s exposes a typed slice's backing memory as bytes.
+func BytesOfUint64s(xs []uint64) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*8)
 }

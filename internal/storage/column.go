@@ -33,6 +33,13 @@ type Column struct {
 	heap   *strheap.Heap
 	offs   []uint32 // varchar: offsets into heap, parallel to data.Str
 
+	// enc is the compressed representation when one exists (see encode.go).
+	// Invariant: when both enc and data are non-nil, data is enc's decoded
+	// form for the first enc.N rows (the decode cache); mutations nil enc.
+	// After loading an encoded (MLC2) file, data may be nil until a caller
+	// needs raw values.
+	enc *vec.Encoded
+
 	path    string // non-empty when file-backed and not yet loaded
 	mapping *pagemap.Mapping
 }
@@ -57,13 +64,41 @@ func FileColumn(typ mtypes.Type, path string) *Column {
 func (c *Column) Load() (*vec.Vector, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.loaded {
-		return c.data, nil
+	return c.loadDataLocked()
+}
+
+// loadDataLocked ensures the raw data vector is resident, decoding the
+// compressed form on first demand when the column was loaded from an
+// encoded (MLC2) file. Caller holds c.mu.
+func (c *Column) loadDataLocked() (*vec.Vector, error) {
+	if !c.loaded {
+		if err := c.loadLocked(); err != nil {
+			return nil, err
+		}
 	}
-	if err := c.loadLocked(); err != nil {
-		return nil, err
+	if c.data == nil && c.enc != nil {
+		c.data = c.enc.Decode()
 	}
 	return c.data, nil
+}
+
+// decayLocked drops the compressed form before a mutation. A varchar column
+// decoded from an encoded file has no heap yet (readers never need one), so
+// the heap and offset array are rebuilt here from the decoded strings.
+// Caller holds c.mu with c.data resident.
+func (c *Column) decayLocked() {
+	c.enc = nil
+	if c.Typ.Kind == mtypes.KVarchar && c.heap == nil {
+		c.heap = strheap.New()
+		c.offs = make([]uint32, 0, len(c.data.Str))
+		for _, s := range c.data.Str {
+			if s == vec.StrNull {
+				c.offs = append(c.offs, c.heap.PutNull())
+			} else {
+				c.offs = append(c.offs, c.heap.Put(s))
+			}
+		}
+	}
 }
 
 // Loaded reports whether the column data is resident (for tests and stats).
@@ -80,11 +115,10 @@ func (c *Column) Loaded() bool {
 func (c *Column) Append(vals *vec.Vector) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.loaded {
-		if err := c.loadLocked(); err != nil {
-			return 0, err
-		}
+	if _, err := c.loadDataLocked(); err != nil {
+		return 0, err
 	}
+	c.decayLocked()
 	if c.Typ.Kind == mtypes.KVarchar {
 		for _, s := range vals.Str {
 			if s == vec.StrNull {
@@ -124,14 +158,13 @@ func (c *Column) Append(vals *vec.Vector) (int, error) {
 func (c *Column) TruncateTo(n int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.loaded {
-		if err := c.loadLocked(); err != nil {
-			return err
-		}
+	if _, err := c.loadDataLocked(); err != nil {
+		return err
 	}
 	if c.data.Len() <= n {
 		return nil
 	}
+	c.decayLocked()
 	c.data = c.data.Slice(0, n).Clone()
 	if len(c.offs) > n {
 		// Orphaned heap entries are harmless (the heap dedups), but the offset
@@ -150,6 +183,7 @@ func (c *Column) Release() error {
 	c.data = nil
 	c.heap = nil
 	c.offs = nil
+	c.enc = nil
 	if c.mapping != nil {
 		err := c.mapping.Close()
 		c.mapping = nil
@@ -172,13 +206,13 @@ func (c *Column) loadLocked() error {
 	if err != nil {
 		return fmt.Errorf("storage: loading column %s: %w", c.path, err)
 	}
-	data, heap, offs, err := decodeColumnFile(c.Typ, m.Bytes())
+	data, heap, offs, enc, err := decodeColumnFile(c.Typ, m.Bytes())
 	if err != nil {
 		m.Close()
 		return fmt.Errorf("storage: decoding column %s: %w", c.path, err)
 	}
 	c.mapping = m
-	c.data, c.heap, c.offs = data, heap, offs
+	c.data, c.heap, c.offs, c.enc = data, heap, offs, enc
 	c.loaded = true
 	return nil
 }

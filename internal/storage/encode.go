@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// Compressed physical columns (ROADMAP item 3). A Column may carry a
+// vec.Encoded form alongside (or instead of) its raw vector: dictionary
+// codes for low-NDV varchars, frame-of-reference bit-packing for the
+// integer family, run-length pairs for clustered data. The encoding is the
+// *storage representation*, not a secondary index — it is chosen here (at
+// explicit EncodeColumns calls and at checkpoint time, driven by ColStats),
+// persisted in the MLC2 column format (persist.go), loaded lazily, and
+// handed to the executor through Table.EncodedFor so filters, group-by and
+// sort can run directly on codes. Any mutation (append, truncate) decays
+// the column back to its raw form; the decoded vector doubles as a cache so
+// operators that need raw values never decode twice.
+
+// checkpointEncodeMinRows is the row floor below which Checkpoint leaves
+// columns raw: tiny tables gain nothing and the fixed per-file overhead of
+// the encoded format would dominate.
+const checkpointEncodeMinRows = 1024
+
+// EncodedForm returns the column's compressed representation, or nil when
+// the column is raw. The result is immutable.
+func (c *Column) EncodedForm() *vec.Encoded {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc
+}
+
+// encode compresses the column if its resident data covers exactly n rows
+// and an encoding pays for itself (vec.EncodeColumn's size hysteresis).
+// ndvHint forwards the stats estimate to skip hopeless dictionary attempts.
+func (c *Column) encode(n int, ndvHint int) (vec.Encoding, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.enc != nil && c.enc.N >= n {
+		return c.enc.Enc, nil
+	}
+	data, err := c.loadDataLocked()
+	if err != nil {
+		return vec.EncNone, err
+	}
+	if data.Len() != n {
+		return vec.EncNone, nil // physical rows beyond the snapshot: stay raw
+	}
+	e := vec.EncodeColumn(data, ndvHint)
+	if e == nil {
+		return vec.EncNone, nil
+	}
+	c.enc = e
+	return e.Enc, nil
+}
+
+// EncodedFor returns the compressed form of column ci when it covers
+// snapshot tv, nil otherwise. Unlike the secondary indexes (which require
+// the current, delete-free version), the encoding is the physical data
+// itself: append-only arrays make any row-prefix window valid for older
+// snapshots, and deleted rows are excluded by the executor's candidate
+// lists exactly as they are on the raw path.
+func (t *Table) EncodedFor(tv *TableVersion, ci int) *vec.Encoded {
+	e := t.cols[ci].EncodedForm()
+	if e == nil || e.N < tv.NRows {
+		return nil
+	}
+	return e
+}
+
+// EncodeColumns compresses every column of the current snapshot (stats-
+// driven: the cached ColStats NDV estimate pre-screens dictionary
+// candidates). It returns how many columns now hold an encoded form.
+func (t *Table) EncodeColumns() (int, error) {
+	tv := t.Version()
+	encoded := 0
+	for ci := range t.cols {
+		hint := 0
+		if t.Meta.Cols[ci].Typ.Kind == mtypes.KVarchar {
+			if st := t.StatsFor(tv, ci); st != nil {
+				hint = int(st.NDV)
+			}
+		}
+		enc, err := t.cols[ci].encode(tv.NRows, hint)
+		if err != nil {
+			return encoded, err
+		}
+		if enc != vec.EncNone {
+			encoded++
+		}
+	}
+	return encoded, nil
+}
+
+// EncodeAll compresses the columns of every table in the store. Returns the
+// total number of encoded columns.
+func (s *Store) EncodeAll() (int, error) {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, name := range s.tableNamesLocked() {
+		tables = append(tables, s.tables[name])
+	}
+	s.mu.RUnlock()
+	total := 0
+	for _, t := range tables {
+		n, err := t.EncodeColumns()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ColFootprint reports one column's storage footprint for the bytes/row
+// measurements (README table, cmd/benchgate's EncodedBytesPerRow entry).
+type ColFootprint struct {
+	Name     string
+	Enc      vec.Encoding
+	Bytes    int64 // resident representation: encoded size when encoded
+	RawBytes int64 // what the same rows cost in the raw (MLC1) layout
+}
+
+// Footprint measures every column of the current snapshot.
+func (t *Table) Footprint() ([]ColFootprint, error) {
+	tv := t.Version()
+	out := make([]ColFootprint, len(t.cols))
+	for ci, c := range t.cols {
+		fp := ColFootprint{Name: t.Meta.Cols[ci].Name}
+		c.mu.Lock()
+		if c.enc != nil {
+			fp.Enc = c.enc.Enc
+			fp.Bytes = c.enc.SizeBytes()
+			fp.RawBytes = c.enc.RawSizeBytes()
+			c.mu.Unlock()
+			out[ci] = fp
+			continue
+		}
+		data, err := c.loadDataLocked()
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		data = data.Slice(0, min(data.Len(), tv.NRows))
+		if c.Typ.Kind == mtypes.KVarchar {
+			fp.RawBytes = 4 * int64(data.Len())
+			if c.heap != nil {
+				fp.RawBytes += int64(len(c.heap.Bytes()))
+			}
+		} else {
+			fp.RawBytes = vec.RawBytes(data)
+		}
+		fp.Bytes = fp.RawBytes
+		c.mu.Unlock()
+		out[ci] = fp
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"monetlite/internal/mtypes"
+	"monetlite/internal/vec"
+)
+
+// Compressed-column lifecycle tests: encode selection, MLC2 persistence,
+// MLC1 (pre-compression format) compatibility, and decay on mutation.
+
+func encTestMeta() TableMeta {
+	return TableMeta{
+		Name: "t",
+		Cols: []ColDef{
+			{Name: "a", Typ: mtypes.Int},     // 0..n-1 → FOR
+			{Name: "b", Typ: mtypes.Varchar}, // 3 distinct values → dict
+			{Name: "c", Typ: mtypes.Double},  // constant → RLE
+			{Name: "d", Typ: mtypes.Double},  // unique doubles → stays raw
+		},
+	}
+}
+
+func encTestBatch(n, base int) []*vec.Vector {
+	a := vec.New(mtypes.Int, n)
+	b := vec.New(mtypes.Varchar, n)
+	c := vec.New(mtypes.Double, n)
+	d := vec.New(mtypes.Double, n)
+	for i := 0; i < n; i++ {
+		a.I32[i] = int32(base + i)
+		if (base+i)%13 == 0 {
+			b.SetNull(i)
+		} else {
+			b.Str[i] = []string{"red", "green", "blue"}[(base+i)%3]
+		}
+		c.F64[i] = 2.5
+		d.F64[i] = float64(base+i) + 0.25
+	}
+	return []*vec.Vector{a, b, c, d}
+}
+
+func verifyEncTable(t *testing.T, tbl *Table, n int) {
+	t.Helper()
+	tv := tbl.Version()
+	if tv.NRows != n {
+		t.Fatalf("rows = %d, want %d", tv.NRows, n)
+	}
+	a, err := tv.Col(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := tv.Col(1)
+	c, _ := tv.Col(2)
+	d, _ := tv.Col(3)
+	for i := 0; i < n; i++ {
+		if a.I32[i] != int32(i) {
+			t.Fatalf("a[%d] = %d", i, a.I32[i])
+		}
+		if i%13 == 0 {
+			if !b.IsNull(i) {
+				t.Fatalf("b[%d] should be NULL, got %q", i, b.Str[i])
+			}
+		} else if b.Str[i] != []string{"red", "green", "blue"}[i%3] {
+			t.Fatalf("b[%d] = %q", i, b.Str[i])
+		}
+		if c.F64[i] != 2.5 || d.F64[i] != float64(i)+0.25 {
+			t.Fatalf("c[%d]=%v d[%d]=%v", i, c.F64[i], i, d.F64[i])
+		}
+	}
+}
+
+func colFileMagic(t *testing.T, dir, table, col string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("%s.%s.col", table, col)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b[:4])
+}
+
+// Explicitly encoded columns persist in the MLC2 format and read back — both
+// the values and the encoded form itself (no re-encode needed after reopen).
+func TestEncodedCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := s.CreateTable(encTestMeta())
+	const n = 2000
+	tbl.Append(encTestBatch(n, 0), s.BumpVersion())
+	nEnc, err := tbl.EncodeColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nEnc < 3 {
+		t.Fatalf("encoded %d columns, want ≥3 (a,b,c)", nEnc)
+	}
+	wantEnc := map[string]vec.Encoding{"a": vec.EncFOR, "b": vec.EncDict, "c": vec.EncRLE}
+	for ci, cd := range tbl.Meta.Cols {
+		if want, ok := wantEnc[cd.Name]; ok {
+			e := tbl.cols[ci].EncodedForm()
+			if e == nil || e.Enc != want {
+				t.Fatalf("col %s: encoding %v, want %v", cd.Name, e, want)
+			}
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for col, want := range map[string]string{"a": "MLC2", "b": "MLC2", "c": "MLC2", "d": "MLC1"} {
+		if got := colFileMagic(t, dir, "t", col); got != want {
+			t.Fatalf("col %s file magic %q, want %q", col, got, want)
+		}
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tbl2, ok := s2.Get("t")
+	if !ok {
+		t.Fatal("table lost")
+	}
+	if tbl2.cols[0].Loaded() {
+		t.Fatal("encoded columns must still load lazily")
+	}
+	verifyEncTable(t, tbl2, n)
+	// Loading an MLC2 file restores the encoded form itself.
+	for ci, cd := range tbl2.Meta.Cols {
+		want, enc := wantEnc[cd.Name], tbl2.cols[ci].EncodedForm()
+		if cd.Name == "d" {
+			if enc != nil {
+				t.Fatalf("raw col d came back encoded: %s", enc.Describe())
+			}
+			continue
+		}
+		if enc == nil || enc.Enc != want || enc.N != n {
+			t.Fatalf("col %s: encoded form not restored (%v)", cd.Name, enc)
+		}
+	}
+	if tbl2.EncodedFor(tbl2.Version(), 1) == nil {
+		t.Fatal("EncodedFor should serve the reloaded dict column")
+	}
+}
+
+// Checkpoint auto-encodes large columns without an explicit EncodeColumns
+// call; small tables stay in the raw MLC1 format (per-file overhead would
+// dominate).
+func TestCheckpointAutoEncode(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	big, _ := s.CreateTable(TableMeta{Name: "big", Cols: encTestMeta().Cols})
+	big.Append(encTestBatch(checkpointEncodeMinRows+100, 0), s.BumpVersion())
+	small, _ := s.CreateTable(TableMeta{Name: "small", Cols: encTestMeta().Cols})
+	small.Append(encTestBatch(100, 0), s.BumpVersion())
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if got := colFileMagic(t, dir, "big", "a"); got != "MLC2" {
+		t.Fatalf("big.a: %q, want auto-encoded MLC2", got)
+	}
+	for _, col := range []string{"a", "b", "c", "d"} {
+		if got := colFileMagic(t, dir, "small", col); got != "MLC1" {
+			t.Fatalf("small.%s: %q, want raw MLC1", col, got)
+		}
+	}
+	s2, _ := Open(dir)
+	defer s2.Close()
+	b2, _ := s2.Get("big")
+	verifyEncTable(t, b2, checkpointEncodeMinRows+100)
+}
+
+// A database written before the compression era (every column file MLC1,
+// including large ones) opens and queries identically, and the next
+// checkpoint upgrades it to MLC2 in place.
+func TestOldFormatCompat(t *testing.T) {
+	dir := t.TempDir()
+	const n = 2000
+	s, _ := Open(dir)
+	tbl, _ := s.CreateTable(encTestMeta())
+	tbl.Append(encTestBatch(n, 0), s.BumpVersion())
+	if err := s.Checkpoint(); err != nil { // writes MLC2 for a,b,c
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Rewrite every column file in the old raw format, straight through the
+	// MLC1 writer (byte-identical to what the pre-compression code produced).
+	scratch := NewMemoryTable(encTestMeta())
+	scratch.Append(encTestBatch(n, 0), 1)
+	for ci, cd := range scratch.Meta.Cols {
+		c := scratch.cols[ci]
+		path := filepath.Join(dir, fmt.Sprintf("t.%s.col", cd.Name))
+		if err := writeColumnFile(path, cd.Typ, c.data, c.heap, c.offs); err != nil {
+			t.Fatal(err)
+		}
+		if got := colFileMagic(t, dir, "t", cd.Name); got != "MLC1" {
+			t.Fatalf("rewrite left %q", got)
+		}
+	}
+
+	s2, _ := Open(dir)
+	tbl2, ok := s2.Get("t")
+	if !ok {
+		t.Fatal("table lost")
+	}
+	verifyEncTable(t, tbl2, n)
+	for ci := range tbl2.Meta.Cols {
+		if e := tbl2.cols[ci].EncodedForm(); e != nil {
+			t.Fatalf("MLC1 column %d loaded with an encoded form", ci)
+		}
+	}
+	// Upgrade path: the next checkpoint re-encodes the large columns.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if got := colFileMagic(t, dir, "t", "a"); got != "MLC2" {
+		t.Fatalf("checkpoint did not upgrade: %q", got)
+	}
+	s3, _ := Open(dir)
+	defer s3.Close()
+	tbl3, _ := s3.Get("t")
+	verifyEncTable(t, tbl3, n)
+}
+
+// Mutations decay a column to raw: appends after encoding must produce
+// correct data, drop the stale encoded form, and re-encode cleanly.
+func TestEncodedColumnDecayOnAppend(t *testing.T) {
+	s := NewMemory()
+	tbl, _ := s.CreateTable(encTestMeta())
+	tbl.Append(encTestBatch(500, 0), s.BumpVersion())
+	if _, err := tbl.EncodeColumns(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.EncodedFor(tbl.Version(), 0) == nil {
+		t.Fatal("col a should be encoded")
+	}
+	tbl.Append(encTestBatch(500, 500), s.BumpVersion())
+	for ci := range tbl.Meta.Cols {
+		if e := tbl.cols[ci].EncodedForm(); e != nil {
+			t.Fatalf("col %d kept stale encoding across append", ci)
+		}
+	}
+	verifyEncTable(t, tbl, 1000)
+	if _, err := tbl.EncodeColumns(); err != nil {
+		t.Fatal(err)
+	}
+	e := tbl.EncodedFor(tbl.Version(), 1)
+	if e == nil || e.N != 1000 {
+		t.Fatalf("re-encode after append: %v", e)
+	}
+	verifyEncTable(t, tbl, 1000)
+}
+
+// The encoding covers any older snapshot as a row-prefix window (append-only
+// arrays), but never a snapshot with more rows than were encoded.
+func TestEncodedForSnapshotWindows(t *testing.T) {
+	s := NewMemory()
+	tbl, _ := s.CreateTable(encTestMeta())
+	tbl.Append(encTestBatch(300, 0), s.BumpVersion())
+	tvOld := tbl.Version()
+	tbl.Append(encTestBatch(300, 300), s.BumpVersion())
+	if _, err := tbl.EncodeColumns(); err != nil {
+		t.Fatal(err)
+	}
+	e := tbl.EncodedFor(tvOld, 0)
+	if e == nil || e.N != 600 {
+		t.Fatal("encoding should cover the older (prefix) snapshot")
+	}
+	// A decoded prefix matches the old snapshot's data.
+	dec := e.Decode().Slice(0, tvOld.NRows)
+	old, _ := tvOld.Col(0)
+	for i := 0; i < tvOld.NRows; i++ {
+		if dec.I32[i] != old.I32[i] {
+			t.Fatalf("prefix row %d: %d vs %d", i, dec.I32[i], old.I32[i])
+		}
+	}
+	// Snapshot beyond the encoded range: stale encoding is never served.
+	tbl.cols[0].mu.Lock()
+	tbl.cols[0].enc = vec.EncodeColumn(old, 0) // 300-row form
+	tbl.cols[0].mu.Unlock()
+	if tbl.EncodedFor(tbl.Version(), 0) != nil {
+		t.Fatal("600-row snapshot served a 300-row encoding")
+	}
+}
+
+// Footprint reports the compressed and raw sizes the README/bench gate use;
+// encoded columns must actually be smaller.
+func TestFootprintShrinks(t *testing.T) {
+	s := NewMemory()
+	tbl, _ := s.CreateTable(encTestMeta())
+	tbl.Append(encTestBatch(4000, 0), s.BumpVersion())
+	if _, err := tbl.EncodeColumns(); err != nil {
+		t.Fatal(err)
+	}
+	fps, err := tbl.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range fps {
+		switch fp.Name {
+		case "a", "b", "c":
+			if fp.Enc == vec.EncNone || fp.Bytes*2 > fp.RawBytes {
+				t.Fatalf("%s: enc=%s %d/%d bytes, want ≥2x smaller", fp.Name, fp.Enc, fp.Bytes, fp.RawBytes)
+			}
+		case "d":
+			if fp.Enc != vec.EncNone || fp.Bytes != fp.RawBytes {
+				t.Fatalf("d: enc=%s %d/%d bytes, want raw", fp.Enc, fp.Bytes, fp.RawBytes)
+			}
+		}
+	}
+}

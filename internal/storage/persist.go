@@ -13,8 +13,13 @@ import (
 	"monetlite/internal/vec"
 )
 
-// Column file format (native endianness, like MonetDB's on-disk BATs —
-// database directories are not portable across byte orders):
+// Column file formats (native endianness, like MonetDB's on-disk BATs —
+// database directories are not portable across byte orders). The full spec
+// lives in docs/STORAGE_FORMAT.md; both versions share a 16-byte header
+// that keeps the payload 8-byte aligned so mapped files can be
+// reinterpreted as typed slices in place.
+//
+// MLC1 — raw columns:
 //
 //	offset 0:  magic "MLC1"
 //	offset 4:  kind (uint8), scale (uint8), reserved (2 bytes)
@@ -23,9 +28,19 @@ import (
 //	           varchar:     offsets (count * 4 bytes), heapLen (uint64),
 //	                        heap bytes
 //
-// The 16-byte header keeps the value array 8-byte aligned so mapped files can
-// be reinterpreted as typed slices in place.
+// MLC2 — encoded columns (byte 6 of the header selects the encoding):
+//
+//	offset 0:  magic "MLC2"
+//	offset 4:  kind (uint8), scale (uint8), enc (uint8), reserved (1 byte)
+//	offset 8:  count (uint64)
+//	offset 16: encoding-specific body (see writeEncodedColumnFile)
+//
+// Readers dispatch on the magic: a database written before compression
+// existed contains only MLC1 files and opens unchanged, and columns that
+// don't benefit from encoding keep being written as MLC1.
 const columnMagic = "MLC1"
+
+const columnMagicV2 = "MLC2"
 
 const columnHeaderSize = 16
 
@@ -98,11 +113,299 @@ func writeColumnFile(path string, typ mtypes.Type, data *vec.Vector, heap *strhe
 	return os.Rename(tmp, path)
 }
 
-// decodeColumnFile reconstructs a column from mapped file bytes. Fixed-width
-// payloads are typed views straight into the mapping (zero-copy); varchar
-// strings alias the mapped heap bytes.
-func decodeColumnFile(typ mtypes.Type, b []byte) (*vec.Vector, *strheap.Heap, []uint32, error) {
-	if len(b) < columnHeaderSize || string(b[:4]) != columnMagic {
+// writeEncodedColumnFile persists a compressed column atomically in the
+// MLC2 format. Encoding-specific bodies (all integers little-endian):
+//
+//	dict: dictCount u64, codeWidth u64, wordCount u64,
+//	      code words (wordCount * 8 bytes, starting at offset 40),
+//	      then dictCount entries of {len u32, bytes} in sorted order
+//	for:  base u64 (int64 bits), codeMax u64, codeWidth u64, wordCount u64,
+//	      code words (starting at offset 48)
+//	rle:  runCount u64, run ends (runCount * 4 bytes, int32, exclusive),
+//	      zero padding to the next 8-byte boundary,
+//	      run values: fixed-width raw payload, or {len u32, bytes} per run
+//	      for varchar (NULL runs store the sentinel byte 0x80)
+func writeEncodedColumnFile(path string, typ mtypes.Type, e *vec.Encoded) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error { f.Close(); return err }
+	h := make([]byte, columnHeaderSize)
+	copy(h, columnMagicV2)
+	h[4] = byte(typ.Kind)
+	h[5] = byte(typ.Scale)
+	h[6] = byte(e.Enc)
+	binary.LittleEndian.PutUint64(h[8:], uint64(e.N))
+	if _, err := f.Write(h); err != nil {
+		return fail(err)
+	}
+	var u64buf [8]byte
+	putU64 := func(x uint64) error {
+		binary.LittleEndian.PutUint64(u64buf[:], x)
+		_, err := f.Write(u64buf[:])
+		return err
+	}
+	switch e.Enc {
+	case vec.EncDict:
+		if err := putU64(uint64(len(e.Dict))); err != nil {
+			return fail(err)
+		}
+		if err := putU64(uint64(e.Codes.Width)); err != nil {
+			return fail(err)
+		}
+		if err := putU64(uint64(len(e.Codes.Words))); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(pagemap.BytesOfUint64s(e.Codes.Words)); err != nil {
+			return fail(err)
+		}
+		var lenBuf [4]byte
+		for _, s := range e.Dict {
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+			if _, err := f.Write(lenBuf[:]); err != nil {
+				return fail(err)
+			}
+			if _, err := f.Write([]byte(s)); err != nil {
+				return fail(err)
+			}
+		}
+	case vec.EncFOR:
+		if err := putU64(uint64(e.Base)); err != nil {
+			return fail(err)
+		}
+		if err := putU64(e.CodeMax); err != nil {
+			return fail(err)
+		}
+		if err := putU64(uint64(e.Codes.Width)); err != nil {
+			return fail(err)
+		}
+		if err := putU64(uint64(len(e.Codes.Words))); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(pagemap.BytesOfUint64s(e.Codes.Words)); err != nil {
+			return fail(err)
+		}
+	case vec.EncRLE:
+		nruns := len(e.RunEnds)
+		if err := putU64(uint64(nruns)); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(pagemap.BytesOfInt32s(e.RunEnds)); err != nil {
+			return fail(err)
+		}
+		if nruns%2 != 0 {
+			if _, err := f.Write([]byte{0, 0, 0, 0}); err != nil {
+				return fail(err)
+			}
+		}
+		if typ.Kind == mtypes.KVarchar {
+			var lenBuf [4]byte
+			for _, s := range e.RunVals.Str {
+				binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+				if _, err := f.Write(lenBuf[:]); err != nil {
+					return fail(err)
+				}
+				if _, err := f.Write([]byte(s)); err != nil {
+					return fail(err)
+				}
+			}
+		} else {
+			var payload []byte
+			switch typ.Kind {
+			case mtypes.KBool, mtypes.KTinyInt:
+				payload = pagemap.BytesOfInt8s(e.RunVals.I8)
+			case mtypes.KSmallInt:
+				payload = pagemap.BytesOfInt16s(e.RunVals.I16)
+			case mtypes.KInt, mtypes.KDate:
+				payload = pagemap.BytesOfInt32s(e.RunVals.I32)
+			case mtypes.KBigInt, mtypes.KDecimal:
+				payload = pagemap.BytesOfInt64s(e.RunVals.I64)
+			case mtypes.KDouble:
+				payload = pagemap.BytesOfFloat64s(e.RunVals.F64)
+			default:
+				return fail(fmt.Errorf("storage: cannot persist rle kind %d", typ.Kind))
+			}
+			if _, err := f.Write(payload); err != nil {
+				return fail(err)
+			}
+		}
+	default:
+		return fail(fmt.Errorf("storage: unknown encoding %d", e.Enc))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// decodeEncodedColumnFile reconstructs a compressed column from mapped MLC2
+// bytes. Bit-packed code words and RLE payloads are typed views straight
+// into the mapping (zero-copy); dictionary entries and varchar run values
+// are copied out (they are small by construction).
+func decodeEncodedColumnFile(typ mtypes.Type, b []byte) (*vec.Encoded, error) {
+	count := int(binary.LittleEndian.Uint64(b[8:]))
+	enc := vec.Encoding(b[6])
+	body := b[columnHeaderSize:]
+	need := func(n int) error {
+		if len(body) < n {
+			return fmt.Errorf("truncated %s column body", enc)
+		}
+		return nil
+	}
+	e := &vec.Encoded{Typ: typ, Enc: enc, N: count}
+	switch enc {
+	case vec.EncDict:
+		if err := need(24); err != nil {
+			return nil, err
+		}
+		dictCount := int(binary.LittleEndian.Uint64(body[0:]))
+		width := int(binary.LittleEndian.Uint64(body[8:]))
+		wordCount := int(binary.LittleEndian.Uint64(body[16:]))
+		if err := need(24 + 8*wordCount); err != nil {
+			return nil, err
+		}
+		words, err := pagemap.Uint64s(body[24 : 24+8*wordCount])
+		if err != nil {
+			return nil, err
+		}
+		dict := make([]string, dictCount)
+		pos := 24 + 8*wordCount
+		for i := range dict {
+			if err := need(pos + 4); err != nil {
+				return nil, err
+			}
+			sl := int(binary.LittleEndian.Uint32(body[pos:]))
+			pos += 4
+			if err := need(pos + sl); err != nil {
+				return nil, err
+			}
+			dict[i] = string(body[pos : pos+sl])
+			pos += sl
+		}
+		e.Codes = vec.NewPackedInts(words, width, count)
+		e.CodeMax = uint64(dictCount)
+		e.Dict = dict
+	case vec.EncFOR:
+		if err := need(32); err != nil {
+			return nil, err
+		}
+		e.Base = int64(binary.LittleEndian.Uint64(body[0:]))
+		e.CodeMax = binary.LittleEndian.Uint64(body[8:])
+		width := int(binary.LittleEndian.Uint64(body[16:]))
+		wordCount := int(binary.LittleEndian.Uint64(body[24:]))
+		if err := need(32 + 8*wordCount); err != nil {
+			return nil, err
+		}
+		words, err := pagemap.Uint64s(body[32 : 32+8*wordCount])
+		if err != nil {
+			return nil, err
+		}
+		e.Codes = vec.NewPackedInts(words, width, count)
+	case vec.EncRLE:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		nruns := int(binary.LittleEndian.Uint64(body[0:]))
+		if err := need(8 + 4*nruns); err != nil {
+			return nil, err
+		}
+		runEnds, err := pagemap.Int32s(body[8 : 8+4*nruns])
+		if err != nil {
+			return nil, err
+		}
+		pos := 8 + 4*nruns
+		if nruns%2 != 0 {
+			pos += 4
+		}
+		rv := &vec.Vector{Typ: typ}
+		if typ.Kind == mtypes.KVarchar {
+			rv.Str = make([]string, nruns)
+			for i := range rv.Str {
+				if err := need(pos + 4); err != nil {
+					return nil, err
+				}
+				sl := int(binary.LittleEndian.Uint32(body[pos:]))
+				pos += 4
+				if err := need(pos + sl); err != nil {
+					return nil, err
+				}
+				rv.Str[i] = string(body[pos : pos+sl])
+				pos += sl
+			}
+		} else {
+			w := 8
+			switch typ.Kind {
+			case mtypes.KBool, mtypes.KTinyInt:
+				w = 1
+			case mtypes.KSmallInt:
+				w = 2
+			case mtypes.KInt, mtypes.KDate:
+				w = 4
+			}
+			if err := need(pos + w*nruns); err != nil {
+				return nil, err
+			}
+			payload := body[pos : pos+w*nruns]
+			switch typ.Kind {
+			case mtypes.KBool, mtypes.KTinyInt:
+				rv.I8, err = pagemap.Int8s(payload)
+			case mtypes.KSmallInt:
+				rv.I16, err = pagemap.Int16s(payload)
+			case mtypes.KInt, mtypes.KDate:
+				rv.I32, err = pagemap.Int32s(payload)
+			case mtypes.KBigInt, mtypes.KDecimal:
+				rv.I64, err = pagemap.Int64s(payload)
+			case mtypes.KDouble:
+				rv.F64, err = pagemap.Float64s(payload)
+			default:
+				return nil, fmt.Errorf("unsupported rle kind %d", typ.Kind)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.RunVals = rv
+		e.RunEnds = runEnds
+		if nruns > 0 && int(runEnds[nruns-1]) != count {
+			return nil, fmt.Errorf("rle run ends inconsistent with row count")
+		}
+	default:
+		return nil, fmt.Errorf("unknown column encoding %d", b[6])
+	}
+	return e, nil
+}
+
+// decodeColumnFile reconstructs a column from mapped file bytes, dispatching
+// on the format magic. Raw (MLC1) files yield a data vector (fixed-width
+// payloads are typed views straight into the mapping; varchar strings alias
+// the mapped heap bytes). Encoded (MLC2) files yield only the compressed
+// form — the data vector is decoded lazily on first raw access.
+func decodeColumnFile(typ mtypes.Type, b []byte) (*vec.Vector, *strheap.Heap, []uint32, *vec.Encoded, error) {
+	if len(b) < columnHeaderSize {
+		return nil, nil, nil, nil, fmt.Errorf("bad column file header")
+	}
+	if string(b[:4]) == columnMagicV2 {
+		if mtypes.Kind(b[4]) != typ.Kind {
+			return nil, nil, nil, nil, fmt.Errorf("column kind mismatch: file %d, catalog %d", b[4], typ.Kind)
+		}
+		enc, err := decodeEncodedColumnFile(typ, b)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return nil, nil, nil, enc, nil
+	}
+	data, heap, offs, err := decodeRawColumnFile(typ, b)
+	return data, heap, offs, nil, err
+}
+
+// decodeRawColumnFile handles the MLC1 (raw) format.
+func decodeRawColumnFile(typ mtypes.Type, b []byte) (*vec.Vector, *strheap.Heap, []uint32, error) {
+	if string(b[:4]) != columnMagic {
 		return nil, nil, nil, fmt.Errorf("bad column file header")
 	}
 	if mtypes.Kind(b[4]) != typ.Kind {
@@ -292,6 +595,35 @@ func (s *Store) Checkpoint() error {
 				// Never touched since load: on-disk state is already current.
 				c.mu.Unlock()
 				continue
+			}
+			if c.data == nil && c.enc != nil && c.enc.N != tv.NRows {
+				// Encoded resident form doesn't match the snapshot (possible
+				// after crash recovery): decode so the raw path below applies.
+				if _, err := c.loadDataLocked(); err != nil {
+					c.mu.Unlock()
+					return err
+				}
+			}
+			if c.enc == nil && c.data != nil && tv.NRows >= checkpointEncodeMinRows &&
+				c.data.Len() >= tv.NRows {
+				// Checkpoint is where encodings are (re)chosen: try to compress
+				// the snapshot's rows and cache the result for the executor.
+				if e := vec.EncodeColumn(c.data.Slice(0, tv.NRows), 0); e != nil {
+					c.enc = e
+				}
+			}
+			if c.enc != nil && c.enc.N == tv.NRows {
+				err := writeEncodedColumnFile(s.columnPath(name, cd.Name), cd.Typ, c.enc)
+				c.mu.Unlock()
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if c.Typ.Kind == mtypes.KVarchar && c.heap == nil {
+				// Decoded-from-encoded column without a heap: rebuild it for
+				// the raw write (also drops the now-stale encoded form).
+				c.decayLocked()
 			}
 			data, heap, offs := c.data.Slice(0, tv.NRows), c.heap, c.offs
 			if c.Typ.Kind == mtypes.KVarchar {

@@ -1,0 +1,804 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"monetlite/internal/mtypes"
+)
+
+// Compressed column encodings (ROADMAP item 3, paper §appendix on string
+// heaps). A column's physical form can be one of three encodings chosen by
+// size estimation over the actual data:
+//
+//   - EncDict: varchar values become bit-packed codes over a *sorted*
+//     dictionary. Because the dictionary is sorted, every ordered comparison
+//     against a constant becomes a code-range test, group-by keys hash the
+//     integer codes instead of strings, and sort can order by code.
+//   - EncFOR: integer-family values become frame-of-reference codes
+//     (value - min + 1) bit-packed to the width of the observed range.
+//     Range and equality predicates evaluate directly on the codes.
+//   - EncRLE: sorted/clustered columns of any kind become (run value,
+//     run end) pairs; predicates are evaluated once per run and the
+//     matching runs expand to row ids.
+//
+// All three reserve a NULL representation: Dict and FOR use code 0, RLE
+// carries the kind's null sentinel in its run values. Decode() rebuilds the
+// exact raw vector (modulo NaN-payload canonicalization for doubles, which
+// the package invariants already require), and the windowed selection
+// kernels mirror SelCmp/SelRange semantics bit-for-bit — the raw-slice
+// kernels stay on as the differential oracle (encoding_test.go).
+
+// Encoding identifies a column's physical representation.
+type Encoding uint8
+
+const (
+	EncNone Encoding = iota
+	EncDict
+	EncFOR
+	EncRLE
+)
+
+// String names the encoding as it appears in trace lines and the on-disk
+// format spec (docs/STORAGE_FORMAT.md).
+func (e Encoding) String() string {
+	switch e {
+	case EncDict:
+		return "dict"
+	case EncFOR:
+		return "for"
+	case EncRLE:
+		return "rle"
+	}
+	return "none"
+}
+
+// DictMaxCard caps dictionary cardinality: columns with more distinct values
+// fall back to FOR/RLE/none. 2^16 codes keep the packed width at most 17
+// bits and mirror the string heap's dedup threshold.
+const DictMaxCard = 1 << 16
+
+// PackedInts is a bit-packed array of n unsigned integers of a fixed width
+// (1..64 bits), stored little-endian within and across 64-bit words.
+type PackedInts struct {
+	Width int // bits per value
+	N     int
+	Words []uint64
+	mask  uint64
+}
+
+// NewPackedInts wraps existing words (e.g. mapped from disk) as a packed
+// array.
+func NewPackedInts(words []uint64, width, n int) PackedInts {
+	return PackedInts{Width: width, N: n, Words: words, mask: widthMask(width)}
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}
+
+// PackUints bit-packs vals at the given width. Values must fit in width bits.
+func PackUints(vals []uint64, width int) PackedInts {
+	nbits := uint64(len(vals)) * uint64(width)
+	words := make([]uint64, (nbits+63)/64)
+	for i, v := range vals {
+		bit := uint64(i) * uint64(width)
+		w, off := bit>>6, bit&63
+		words[w] |= v << off
+		if off+uint64(width) > 64 {
+			words[w+1] |= v >> (64 - off)
+		}
+	}
+	return NewPackedInts(words, width, len(vals))
+}
+
+// Get returns value i. Values may straddle a word boundary.
+func (p PackedInts) Get(i int) uint64 {
+	bit := uint64(i) * uint64(p.Width)
+	w, off := bit>>6, bit&63
+	v := p.Words[w] >> off
+	if off+uint64(p.Width) > 64 {
+		v |= p.Words[w+1] << (64 - off)
+	}
+	return v & p.mask
+}
+
+// Bytes returns the packed payload size.
+func (p PackedInts) Bytes() int64 { return int64(len(p.Words)) * 8 }
+
+// Encoded is a compressed physical column. Exactly the fields of the active
+// encoding are populated:
+//
+//	EncDict: Codes (0 = NULL, k = Dict[k-1]), CodeMax = len(Dict), Dict sorted
+//	EncFOR:  Codes (0 = NULL, k = Base+k-1), CodeMax = range+1, Base = min
+//	EncRLE:  RunVals (null sentinels allowed), RunEnds exclusive, last == N
+type Encoded struct {
+	Typ mtypes.Type
+	Enc Encoding
+	N   int
+
+	Codes   PackedInts
+	CodeMax uint64
+	Dict    []string
+	Base    int64
+
+	RunVals *Vector
+	RunEnds []int32
+}
+
+// Describe renders a short human-readable form for trace lines.
+func (e *Encoded) Describe() string {
+	switch e.Enc {
+	case EncDict:
+		return fmt.Sprintf("dict(%d,%db)", len(e.Dict), e.Codes.Width)
+	case EncFOR:
+		return fmt.Sprintf("for(base=%d,%db)", e.Base, e.Codes.Width)
+	case EncRLE:
+		return fmt.Sprintf("rle(%d runs)", len(e.RunEnds))
+	}
+	return "none"
+}
+
+// SizeBytes returns the encoded payload size (what the representation costs
+// in memory and on disk, excluding file headers).
+func (e *Encoded) SizeBytes() int64 {
+	switch e.Enc {
+	case EncDict:
+		sz := e.Codes.Bytes()
+		for _, s := range e.Dict {
+			sz += int64(len(s)) + 4
+		}
+		return sz
+	case EncFOR:
+		return e.Codes.Bytes() + 16
+	case EncRLE:
+		return rawPayloadBytes(e.RunVals) + 4*int64(len(e.RunEnds))
+	}
+	return 0
+}
+
+// RawSizeBytes returns the size the same rows would occupy unencoded (the
+// MLC1 representation: fixed payloads, or offsets + deduplicated heap for
+// varchar). The compression ratio reported by benches is RawSizeBytes /
+// SizeBytes.
+func (e *Encoded) RawSizeBytes() int64 {
+	if e.Typ.Kind == mtypes.KVarchar {
+		var heap int64 = 2 // the heap's NULL entry
+		switch e.Enc {
+		case EncDict:
+			for _, s := range e.Dict {
+				heap += int64(len(s)) + 1 // uvarint length (1 byte for short strings)
+			}
+		case EncRLE:
+			seen := map[string]struct{}{}
+			for _, s := range e.RunVals.Str {
+				if s == StrNull {
+					continue
+				}
+				if _, ok := seen[s]; !ok {
+					seen[s] = struct{}{}
+					heap += int64(len(s)) + 1
+				}
+			}
+		}
+		return 4*int64(e.N) + heap
+	}
+	return int64(e.N) * int64(kindPayloadWidth(e.Typ.Kind))
+}
+
+func kindPayloadWidth(k mtypes.Kind) int {
+	switch k {
+	case mtypes.KBool, mtypes.KTinyInt:
+		return 1
+	case mtypes.KSmallInt:
+		return 2
+	case mtypes.KInt, mtypes.KDate:
+		return 4
+	}
+	return 8
+}
+
+// RawBytes returns the unencoded payload size of v: fixed-width values, or
+// per-string bytes plus a 4-byte offset each for varchar (no heap dedup).
+func RawBytes(v *Vector) int64 { return rawPayloadBytes(v) }
+
+func rawPayloadBytes(v *Vector) int64 {
+	if v.Typ.Kind == mtypes.KVarchar {
+		var sz int64
+		for _, s := range v.Str {
+			sz += int64(len(s)) + 4
+		}
+		return sz
+	}
+	return int64(v.Len()) * int64(kindPayloadWidth(v.Typ.Kind))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding choice.
+// ---------------------------------------------------------------------------
+
+// EncodeColumn picks the cheapest encoding for v by measured size, or nil
+// when no encoding saves at least a third over the raw representation (the
+// hysteresis keeps borderline columns raw — decode costs are not free).
+// ndvHint, when > 0, is a distinct-count estimate (storage's ColStats) used
+// to skip hopeless dictionary attempts without scanning.
+func EncodeColumn(v *Vector, ndvHint int) *Encoded {
+	n := v.Len()
+	if n == 0 {
+		return nil
+	}
+	var raw int64
+	var candidates []*Encoded
+	switch v.Typ.Kind {
+	case mtypes.KVarchar:
+		dict, heapBytes := encodeDict(v, ndvHint)
+		raw = 4*int64(n) + heapBytes
+		if dict != nil {
+			candidates = append(candidates, dict)
+		}
+		if rle := encodeRLE(v); rle != nil {
+			candidates = append(candidates, rle)
+		}
+	case mtypes.KDouble:
+		raw = int64(n) * 8
+		if rle := encodeRLE(v); rle != nil {
+			candidates = append(candidates, rle)
+		}
+	default:
+		raw = int64(n) * int64(kindPayloadWidth(v.Typ.Kind))
+		if f := encodeFOR(v); f != nil {
+			candidates = append(candidates, f)
+		}
+		if rle := encodeRLE(v); rle != nil {
+			candidates = append(candidates, rle)
+		}
+	}
+	var best *Encoded
+	for _, c := range candidates {
+		if best == nil || c.SizeBytes() < best.SizeBytes() {
+			best = c
+		}
+	}
+	if best == nil || best.SizeBytes()*3 > raw*2 {
+		return nil
+	}
+	return best
+}
+
+// encodeDict builds a sorted-dictionary encoding of a varchar column. It
+// also returns the deduplicated heap size of the values it saw (for the raw
+// size estimate); on abort (cardinality above DictMaxCard) the heap size
+// falls back to the offsets-dominated floor.
+func encodeDict(v *Vector, ndvHint int) (*Encoded, int64) {
+	n := len(v.Str)
+	if ndvHint > DictMaxCard+DictMaxCard/2 {
+		return nil, 4 * int64(n)
+	}
+	seen := make(map[string]uint64, min(n, DictMaxCard))
+	var heapBytes int64 = 2
+	for _, s := range v.Str {
+		if s == StrNull {
+			continue
+		}
+		if _, ok := seen[s]; !ok {
+			if len(seen) >= DictMaxCard {
+				return nil, heapBytes
+			}
+			seen[s] = 0
+			heapBytes += int64(len(s)) + 1
+		}
+	}
+	if len(seen) == 0 {
+		return nil, heapBytes // all NULL: RLE covers it
+	}
+	dict := make([]string, 0, len(seen))
+	for s := range seen {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	for i, s := range dict {
+		seen[s] = uint64(i + 1)
+	}
+	codes := make([]uint64, n)
+	for i, s := range v.Str {
+		if s != StrNull {
+			codes[i] = seen[s]
+		}
+	}
+	width := bits.Len64(uint64(len(dict)))
+	return &Encoded{
+		Typ: v.Typ, Enc: EncDict, N: n,
+		Codes: PackUints(codes, width), CodeMax: uint64(len(dict)), Dict: dict,
+	}, heapBytes
+}
+
+// forMaxRange caps the FOR code width at 56 bits; wider ranges cannot
+// compress an 8-byte value meaningfully and risk CodeMax overflow.
+const forMaxRange = 1 << 56
+
+// encodeFOR builds a frame-of-reference encoding of an integer-family
+// column: code = value - min + 1 (0 reserved for NULL), bit-packed.
+func encodeFOR(v *Vector) *Encoded {
+	xs := AsInts64(v)
+	var lo, hi int64
+	any := false
+	for _, x := range xs {
+		if x == mtypes.NullInt64 {
+			continue
+		}
+		if !any {
+			lo, hi, any = x, x, true
+		} else if x < lo {
+			lo = x
+		} else if x > hi {
+			hi = x
+		}
+	}
+	if !any {
+		return nil // all NULL: RLE covers it
+	}
+	rangeU := uint64(hi) - uint64(lo) // two's-complement wrap-safe for hi >= lo
+	if rangeU >= forMaxRange {
+		return nil
+	}
+	codeMax := rangeU + 1
+	width := bits.Len64(codeMax)
+	codes := make([]uint64, len(xs))
+	for i, x := range xs {
+		if x != mtypes.NullInt64 {
+			codes[i] = uint64(x) - uint64(lo) + 1
+		}
+	}
+	return &Encoded{
+		Typ: v.Typ, Enc: EncFOR, N: len(xs),
+		Codes: PackUints(codes, width), CodeMax: codeMax, Base: lo,
+	}
+}
+
+// encodeRLE builds a run-length encoding: one (value, exclusive end) pair
+// per maximal run of equal values. NULL runs keep the kind's sentinel as the
+// run value; for doubles every NaN payload is one NULL run value (the
+// package-level canonicalization invariant).
+func encodeRLE(v *Vector) *Encoded {
+	n := v.Len()
+	if n == 0 {
+		return nil
+	}
+	runVals := NewCap(v.Typ, 16)
+	var runEnds []int32
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i < n && rleEqual(v, i-1, i) {
+			continue
+		}
+		runVals.AppendValue(v.Value(start))
+		runEnds = append(runEnds, int32(i))
+		start = i
+	}
+	return &Encoded{Typ: v.Typ, Enc: EncRLE, N: n, RunVals: runVals, RunEnds: runEnds}
+}
+
+func rleEqual(v *Vector, i, j int) bool {
+	if v.Typ.Kind == mtypes.KDouble {
+		a, b := v.F64[i], v.F64[j]
+		return a == b || (mtypes.IsNullF64(a) && mtypes.IsNullF64(b))
+	}
+	switch v.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		return v.I8[i] == v.I8[j]
+	case mtypes.KSmallInt:
+		return v.I16[i] == v.I16[j]
+	case mtypes.KInt, mtypes.KDate:
+		return v.I32[i] == v.I32[j]
+	case mtypes.KBigInt, mtypes.KDecimal:
+		return v.I64[i] == v.I64[j]
+	}
+	return v.Str[i] == v.Str[j]
+}
+
+// ---------------------------------------------------------------------------
+// Decode.
+// ---------------------------------------------------------------------------
+
+// Decode materializes the exact raw vector the encoding was built from.
+// Dictionary decode shares the dictionary's string backing (no byte copies).
+func (e *Encoded) Decode() *Vector {
+	out := New(e.Typ, e.N)
+	switch e.Enc {
+	case EncDict:
+		for i := 0; i < e.N; i++ {
+			if c := e.Codes.Get(i); c == 0 {
+				out.Str[i] = StrNull
+			} else {
+				out.Str[i] = e.Dict[c-1]
+			}
+		}
+	case EncFOR:
+		for i := 0; i < e.N; i++ {
+			if c := e.Codes.Get(i); c == 0 {
+				out.SetNull(i)
+			} else {
+				e.setInt(out, i, int64(uint64(e.Base)+c-1))
+			}
+		}
+	case EncRLE:
+		start := 0
+		for r, end := range e.RunEnds {
+			e.fillRun(out, start, int(end), r)
+			start = int(end)
+		}
+	}
+	return out
+}
+
+func (e *Encoded) setInt(out *Vector, i int, x int64) {
+	switch e.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		out.I8[i] = int8(x)
+	case mtypes.KSmallInt:
+		out.I16[i] = int16(x)
+	case mtypes.KInt, mtypes.KDate:
+		out.I32[i] = int32(x)
+	default:
+		out.I64[i] = x
+	}
+}
+
+func (e *Encoded) fillRun(out *Vector, lo, hi, run int) {
+	switch e.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		fill(out.I8[lo:hi], e.RunVals.I8[run])
+	case mtypes.KSmallInt:
+		fill(out.I16[lo:hi], e.RunVals.I16[run])
+	case mtypes.KInt, mtypes.KDate:
+		fill(out.I32[lo:hi], e.RunVals.I32[run])
+	case mtypes.KBigInt, mtypes.KDecimal:
+		fill(out.I64[lo:hi], e.RunVals.I64[run])
+	case mtypes.KDouble:
+		fill(out.F64[lo:hi], e.RunVals.F64[run])
+	case mtypes.KVarchar:
+		fill(out.Str[lo:hi], e.RunVals.Str[run])
+	}
+}
+
+func fill[T any](dst []T, v T) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Windowed selection kernels (execution on encoded data).
+// ---------------------------------------------------------------------------
+
+// SelCmpWindow evaluates `value op val` over encoded rows [lo, hi) without
+// decoding, honoring the usual candidate-list contract (cands are relative
+// to lo; nil = all rows in the window; NULL never matches). ok reports
+// whether the encoding could evaluate the predicate — on false the caller
+// must fall back to the raw kernels (e.g. a float constant against FOR
+// codes, where SelCmp switches to float comparison semantics).
+func (e *Encoded) SelCmpWindow(op CmpOp, val mtypes.Value, cands []int32, lo, hi int) ([]int32, bool) {
+	if val.Null {
+		return []int32{}, true
+	}
+	switch e.Enc {
+	case EncDict:
+		if val.Typ.Kind != mtypes.KVarchar {
+			return nil, false
+		}
+		i := sort.SearchStrings(e.Dict, val.S)
+		found := i < len(e.Dict) && e.Dict[i] == val.S
+		k := len(e.Dict)
+		var loC, hiC uint64
+		switch op {
+		case CmpEq:
+			if !found {
+				return []int32{}, true
+			}
+			loC, hiC = uint64(i+1), uint64(i+1)
+		case CmpNe:
+			t := uint64(0)
+			if found {
+				t = uint64(i + 1)
+			}
+			return e.selCodeNotEq(t, cands, lo, hi), true
+		case CmpLt:
+			loC, hiC = 1, uint64(i)
+		case CmpLe:
+			loC, hiC = 1, uint64(i)
+			if found {
+				hiC++
+			}
+		case CmpGt:
+			loC, hiC = uint64(i+1), uint64(k)
+			if found {
+				loC++
+			}
+		default: // CmpGe
+			loC, hiC = uint64(i+1), uint64(k)
+		}
+		return e.selCodeRange(loC, hiC, cands, lo, hi), true
+	case EncFOR:
+		c, ok := e.forConst(val)
+		if !ok {
+			return nil, false
+		}
+		var hasL, hasU bool
+		var l, u int64
+		switch op {
+		case CmpEq:
+			hasL, hasU, l, u = true, true, c, c
+		case CmpNe:
+			if loC, inRange := e.forCode(c); inRange {
+				return e.selCodeNotEq(loC, cands, lo, hi), true
+			}
+			return e.selCodeNotEq(0, cands, lo, hi), true
+		case CmpLt:
+			if c == math.MinInt64 {
+				return []int32{}, true
+			}
+			hasU, u = true, c-1
+		case CmpLe:
+			hasU, u = true, c
+		case CmpGt:
+			if c == math.MaxInt64 {
+				return []int32{}, true
+			}
+			hasL, l = true, c+1
+		default: // CmpGe
+			hasL, l = true, c
+		}
+		loC, hiC, empty := e.forCodeBounds(hasL, l, hasU, u)
+		if empty {
+			return []int32{}, true
+		}
+		return e.selCodeRange(loC, hiC, cands, lo, hi), true
+	case EncRLE:
+		runs := SelCmp(e.RunVals, op, val, nil)
+		return e.expandRuns(runs, cands, lo, hi), true
+	}
+	return nil, false
+}
+
+// SelRangeWindow is the BETWEEN analogue of SelCmpWindow.
+func (e *Encoded) SelRangeWindow(loV, hiV mtypes.Value, loIncl, hiIncl bool, cands []int32, lo, hi int) ([]int32, bool) {
+	if loV.Null || hiV.Null {
+		return []int32{}, true
+	}
+	switch e.Enc {
+	case EncDict:
+		// Mirrors SelRange's varchar arm: bounds are taken as strings.
+		iLo := sort.SearchStrings(e.Dict, loV.S)
+		foundLo := iLo < len(e.Dict) && e.Dict[iLo] == loV.S
+		loC := uint64(iLo + 1)
+		if !loIncl && foundLo {
+			loC++
+		}
+		iHi := sort.SearchStrings(e.Dict, hiV.S)
+		foundHi := iHi < len(e.Dict) && e.Dict[iHi] == hiV.S
+		hiC := uint64(iHi)
+		if hiIncl && foundHi {
+			hiC++
+		}
+		return e.selCodeRange(loC, hiC, cands, lo, hi), true
+	case EncFOR:
+		l, okL := e.forConst(loV)
+		u, okU := e.forConst(hiV)
+		if !okL || !okU {
+			return nil, false
+		}
+		if !loIncl {
+			if l == math.MaxInt64 {
+				return []int32{}, true
+			}
+			l++
+		}
+		if !hiIncl {
+			if u == math.MinInt64 {
+				return []int32{}, true
+			}
+			u--
+		}
+		loC, hiC, empty := e.forCodeBounds(true, l, true, u)
+		if empty {
+			return []int32{}, true
+		}
+		return e.selCodeRange(loC, hiC, cands, lo, hi), true
+	case EncRLE:
+		runs := SelRange(e.RunVals, loV, hiV, loIncl, hiIncl, nil)
+		return e.expandRuns(runs, cands, lo, hi), true
+	}
+	return nil, false
+}
+
+// forConst coerces a comparison constant into the FOR column's physical
+// int64 domain, mirroring SelCmp's coercion exactly — including the narrow
+// integer truncation the typed raw kernels perform. ok=false means the raw
+// kernel would compare in the float domain (or the constant kind is not
+// integer-comparable) and the caller must fall back.
+func (e *Encoded) forConst(val mtypes.Value) (int64, bool) {
+	switch val.Typ.Kind {
+	case mtypes.KDouble, mtypes.KVarchar:
+		return 0, false
+	}
+	c := val.I
+	if e.Typ.Kind == mtypes.KDecimal {
+		if val.Typ.Kind == mtypes.KDecimal {
+			if val.Typ.Scale != e.Typ.Scale {
+				c = mtypes.RescaleDecimal(c, val.Typ.Scale, e.Typ.Scale)
+			}
+		} else {
+			c = c * mtypes.Pow10[e.Typ.Scale]
+		}
+	}
+	// Match the raw kernels' narrowing conversions (int8(x) etc. wrap).
+	switch e.Typ.Kind {
+	case mtypes.KBool, mtypes.KTinyInt:
+		c = int64(int8(c))
+	case mtypes.KSmallInt:
+		c = int64(int16(c))
+	case mtypes.KInt, mtypes.KDate:
+		c = int64(int32(c))
+	}
+	return c, true
+}
+
+// forCode maps a domain value to its code if it falls inside [Base, Max].
+func (e *Encoded) forCode(x int64) (uint64, bool) {
+	maxV := int64(uint64(e.Base) + e.CodeMax - 1)
+	if x < e.Base || x > maxV {
+		return 0, false
+	}
+	return uint64(x) - uint64(e.Base) + 1, true
+}
+
+// forCodeBounds converts an inclusive value interval (open sides flagged
+// off) into an inclusive code interval, clamped to the encoded domain.
+func (e *Encoded) forCodeBounds(hasL bool, l int64, hasU bool, u int64) (loC, hiC uint64, empty bool) {
+	maxV := int64(uint64(e.Base) + e.CodeMax - 1)
+	loC = 1
+	if hasL {
+		if l > maxV {
+			return 0, 0, true
+		}
+		if l > e.Base {
+			loC = uint64(l) - uint64(e.Base) + 1
+		}
+	}
+	hiC = e.CodeMax
+	if hasU {
+		if u < e.Base {
+			return 0, 0, true
+		}
+		if u < maxV {
+			hiC = uint64(u) - uint64(e.Base) + 1
+		}
+	}
+	if loC > hiC {
+		return 0, 0, true
+	}
+	return loC, hiC, false
+}
+
+// selCodeRange selects window rows whose code lies in [loC, hiC]; code 0
+// (NULL) never matches since loC >= 1.
+func (e *Encoded) selCodeRange(loC, hiC uint64, cands []int32, lo, hi int) []int32 {
+	out := make([]int32, 0, NumCands(hi-lo, cands)/2+8)
+	if loC > hiC || loC == 0 {
+		return out
+	}
+	if cands == nil {
+		for g := lo; g < hi; g++ {
+			if c := e.Codes.Get(g); c >= loC && c <= hiC {
+				out = append(out, int32(g-lo))
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if c := e.Codes.Get(lo + int(i)); c >= loC && c <= hiC {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selCodeNotEq selects window rows whose code is neither 0 (NULL) nor t.
+func (e *Encoded) selCodeNotEq(t uint64, cands []int32, lo, hi int) []int32 {
+	out := make([]int32, 0, NumCands(hi-lo, cands)/2+8)
+	if cands == nil {
+		for g := lo; g < hi; g++ {
+			if c := e.Codes.Get(g); c != 0 && c != t {
+				out = append(out, int32(g-lo))
+			}
+		}
+		return out
+	}
+	for _, i := range cands {
+		if c := e.Codes.Get(lo + int(i)); c != 0 && c != t {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// expandRuns turns a sorted list of matching run indexes into window-relative
+// row candidates intersected with cands.
+func (e *Encoded) expandRuns(matchRuns []int32, cands []int32, lo, hi int) []int32 {
+	match := make([]bool, len(e.RunEnds))
+	for _, r := range matchRuns {
+		match[r] = true
+	}
+	out := make([]int32, 0, NumCands(hi-lo, cands)/2+8)
+	if cands == nil {
+		start := 0
+		for r, end := range e.RunEnds {
+			s, t := max(start, lo), min(int(end), hi)
+			if match[r] {
+				for g := s; g < t; g++ {
+					out = append(out, int32(g-lo))
+				}
+			}
+			start = int(end)
+			if start >= hi {
+				break
+			}
+		}
+		return out
+	}
+	r := 0
+	for _, i := range cands {
+		g := lo + int(i)
+		for r < len(e.RunEnds) && int(e.RunEnds[r]) <= g {
+			r++
+		}
+		if r < len(e.RunEnds) && match[r] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Code extraction for group-by and sort.
+// ---------------------------------------------------------------------------
+
+// CodesI32 returns the dictionary codes of window rows [lo, hi) as an INT
+// vector, dense over sel (window-relative candidates; nil = all rows).
+// Code 0 represents NULL and — because the dictionary is sorted — the codes
+// order, group and compare exactly like the strings they stand for: NULL (0)
+// below everything, ties identical. Only valid for EncDict (codes fit i32).
+func (e *Encoded) CodesI32(lo, hi int, sel []int32) *Vector {
+	var out *Vector
+	if sel == nil {
+		out = New(mtypes.Int, hi-lo)
+		for g := lo; g < hi; g++ {
+			out.I32[g-lo] = int32(e.Codes.Get(g))
+		}
+		return out
+	}
+	out = New(mtypes.Int, len(sel))
+	for k, i := range sel {
+		out.I32[k] = int32(e.Codes.Get(lo + int(i)))
+	}
+	return out
+}
+
+// DecodeCodes maps an INT vector of dictionary codes (as produced by
+// CodesI32, possibly gathered) back to the varchar values.
+func (e *Encoded) DecodeCodes(codes *Vector) *Vector {
+	out := New(e.Typ, codes.Len())
+	for i, c := range codes.I32 {
+		if c == 0 {
+			out.Str[i] = StrNull
+		} else {
+			out.Str[i] = e.Dict[c-1]
+		}
+	}
+	return out
+}
