@@ -42,6 +42,7 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerRow float64 `json:"bytes_per_row,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
@@ -50,6 +51,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 
 // bytesRow matches the custom compression metric, e.g. "49.70 bytes/row".
 var bytesRow = regexp.MustCompile(`\s([0-9.]+) bytes/row`)
+
+// p99Ns matches the custom tail-latency metric reported by
+// BenchmarkMixedWorkload, e.g. "1489645 p99-ns" — the gate guards reader
+// tail latency under concurrent writers the same way it guards ns/op.
+var p99Ns = regexp.MustCompile(`\s([0-9.]+) p99-ns`)
 
 func parse(r *os.File) ([]Entry, error) {
 	best := map[string]*Entry{}
@@ -72,15 +78,22 @@ func parse(r *os.File) ([]Entry, error) {
 		if bm := bytesRow.FindStringSubmatch(sc.Text()); bm != nil {
 			bpr, _ = strconv.ParseFloat(bm[1], 64)
 		}
+		var p99 float64
+		if pm := p99Ns.FindStringSubmatch(sc.Text()); pm != nil {
+			p99, _ = strconv.ParseFloat(pm[1], 64)
+		}
 		e, ok := best[m[1]]
 		if !ok {
-			best[m[1]] = &Entry{Op: m[1], NsPerOp: ns, AllocsPerOp: allocs, BytesPerRow: bpr}
+			best[m[1]] = &Entry{Op: m[1], NsPerOp: ns, AllocsPerOp: allocs, BytesPerRow: bpr, P99Ns: p99}
 			continue
 		}
 		e.NsPerOp = min(e.NsPerOp, ns)
 		e.AllocsPerOp = min(e.AllocsPerOp, allocs)
 		if bpr > 0 && (e.BytesPerRow == 0 || bpr < e.BytesPerRow) {
 			e.BytesPerRow = bpr
+		}
+		if p99 > 0 && (e.P99Ns == 0 || p99 < e.P99Ns) {
+			e.P99Ns = p99
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -160,6 +173,7 @@ func compare(baselinePath, currentPath string, tol float64) int {
 		check(op, "ns/op", b.NsPerOp, c.NsPerOp)
 		check(op, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp))
 		check(op, "bytes/row", b.BytesPerRow, c.BytesPerRow)
+		check(op, "p99-ns", b.P99Ns, c.P99Ns)
 	}
 	for op := range cur {
 		if _, ok := base[op]; !ok {

@@ -1,0 +1,140 @@
+package monetlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// Date/interval arithmetic breadth: date columns shifted by integer days,
+// INTERVAL literals on either side of +, MONTH/YEAR intervals over
+// non-constant dates (the vectorized mtime.addmonths path), month-end
+// clamping, NULL propagation, and intervals in WHERE and ORDER BY positions.
+func TestDateIntervalArithmetic(t *testing.T) {
+	db := memDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE cal (id INTEGER, dt DATE)`)
+	mustExec(t, c, `INSERT INTO cal VALUES
+		(1, DATE '1995-01-31'),
+		(2, DATE '1996-02-29'),
+		(3, DATE '1998-12-01'),
+		(4, NULL)`)
+
+	cases := []struct {
+		name string
+		q    string
+		want []string
+	}{
+		{
+			// date ± integer days works directly through the arithmetic kernels.
+			"plus-int-days",
+			`SELECT id, dt + 5 FROM cal ORDER BY id`,
+			[]string{"1|1995-02-05", "2|1996-03-05", "3|1998-12-06", "4|NULL"},
+		},
+		{
+			"minus-int-days",
+			`SELECT id, dt - 31 FROM cal ORDER BY id`,
+			[]string{"1|1994-12-31", "2|1996-01-29", "3|1998-10-31", "4|NULL"},
+		},
+		{
+			"interval-day",
+			`SELECT id, dt + INTERVAL '10' DAY, dt - INTERVAL '1' DAY FROM cal ORDER BY id`,
+			[]string{"1|1995-02-10|1995-01-30", "2|1996-03-10|1996-02-28",
+				"3|1998-12-11|1998-11-30", "4|NULL|NULL"},
+		},
+		{
+			// Jan 31 + 1 month clamps to Feb 28; Feb 29 + 12 months clamps to
+			// Feb 28 of the non-leap year.
+			"interval-month-clamps",
+			`SELECT id, dt + INTERVAL '1' MONTH FROM cal ORDER BY id`,
+			[]string{"1|1995-02-28", "2|1996-03-29", "3|1999-01-01", "4|NULL"},
+		},
+		{
+			"interval-year",
+			`SELECT id, dt + INTERVAL '1' YEAR, dt - INTERVAL '2' YEAR FROM cal ORDER BY id`,
+			[]string{"1|1996-01-31|1993-01-31", "2|1997-02-28|1994-02-28",
+				"3|1999-12-01|1996-12-01", "4|NULL|NULL"},
+		},
+		{
+			// Interval literal on the left of + binds the same way.
+			"interval-on-left",
+			`SELECT id, INTERVAL '2' MONTH + dt FROM cal ORDER BY id`,
+			[]string{"1|1995-03-31", "2|1996-04-29", "3|1999-02-01", "4|NULL"},
+		},
+		{
+			// Non-constant date expression under the interval: the addend is
+			// itself computed per row first.
+			"interval-over-expression",
+			`SELECT id, (dt + 1) + INTERVAL '1' MONTH FROM cal ORDER BY id`,
+			[]string{"1|1995-03-01", "2|1996-04-01", "3|1999-01-02", "4|NULL"},
+		},
+		{
+			"interval-in-where",
+			`SELECT id FROM cal WHERE dt + INTERVAL '3' MONTH < DATE '1996-06-01' ORDER BY id`,
+			[]string{"1", "2"},
+		},
+		{
+			"date-minus-date-days",
+			`SELECT id, dt - DATE '1995-01-01' FROM cal WHERE dt IS NOT NULL ORDER BY id`,
+			[]string{"1|30", "2|424", "3|1430"},
+		},
+		{
+			"interval-in-order-by",
+			`SELECT id FROM cal WHERE dt IS NOT NULL ORDER BY dt + INTERVAL '1' YEAR DESC`,
+			[]string{"3", "2", "1"},
+		},
+	}
+	for _, tc := range cases {
+		res := mustQuery(t, c, tc.q)
+		got := resultGrid(res)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %d rows %v, want %v", tc.name, len(got), got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: row %d = %q, want %q\nall: %v", tc.name, i, got[i], tc.want[i], got)
+			}
+		}
+	}
+}
+
+// MONTH/YEAR intervals over non-constant dates lower to the vectorized
+// mtime.addmonths kernel; constant folding keeps DATE-literal arithmetic out
+// of the per-row path entirely.
+func TestDateIntervalTrace(t *testing.T) {
+	db := memDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE cal (dt DATE)`)
+	mustExec(t, c, `INSERT INTO cal VALUES (DATE '1995-01-31'), (DATE '1996-02-29')`)
+
+	c.TraceMAL = true
+	mustQuery(t, c, `SELECT dt + INTERVAL '1' MONTH FROM cal`)
+	if out := c.LastTrace.String(); !strings.Contains(out, "mtime.addmonths") {
+		t.Fatalf("column interval should use mtime.addmonths:\n%s", out)
+	}
+
+	res := mustQuery(t, c, `SELECT count(*) FROM cal WHERE dt < DATE '1995-06-01' + INTERVAL '1' MONTH`)
+	if out := c.LastTrace.String(); strings.Contains(out, "mtime.addmonths") {
+		t.Fatalf("constant DATE + INTERVAL should fold at bind time:\n%s", out)
+	}
+	if res.RowStrings(0)[0] != "1" {
+		t.Fatalf("folded filter: %v", resultGrid(res))
+	}
+}
+
+// Error shape: intervals only combine with DATE operands, and only units the
+// engine understands.
+func TestDateIntervalErrors(t *testing.T) {
+	db := memDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE cal (n INTEGER, dt DATE)`)
+	mustExec(t, c, `INSERT INTO cal VALUES (1, DATE '1995-01-01')`)
+
+	if _, err := c.Query(`SELECT n + INTERVAL '1' MONTH FROM cal`); err == nil {
+		t.Fatal("integer + INTERVAL MONTH should fail to bind")
+	} else if !strings.Contains(err.Error(), "DATE operand") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := c.Query(`SELECT dt + INTERVAL '1' HOUR FROM cal`); err == nil {
+		t.Fatal("INTERVAL HOUR should be rejected")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"monetlite/internal/delta"
 	"monetlite/internal/faultfs"
 	"monetlite/internal/storage"
 	"monetlite/internal/txn"
@@ -59,6 +60,16 @@ type Config struct {
 	// (nil = the real disk). Fault-injection tests wire a faultfs.SimFS here
 	// to prove I/O errors surface instead of being swallowed.
 	WALFS faultfs.FS
+	// DeltaMergeRows is the delta size (pending appended rows per table) at
+	// which the background merger folds the delta into the indexed base
+	// (0 = default, see delta.DefaultPolicy).
+	DeltaMergeRows int
+	// DeltaMergeRatio additionally triggers a merge once the delta exceeds
+	// this fraction of the base (0 = default).
+	DeltaMergeRatio float64
+	// NoDeltaMerge disables the background merger entirely; deltas then fold
+	// only on checkpoint or an explicit MergeDeltas call (ablation studies).
+	NoDeltaMerge bool
 }
 
 // DefaultConfig returns the standard configuration.
@@ -115,7 +126,25 @@ func Open(dir string, cfg ...Config) (*Database, error) {
 	db := &Database{cfg: c, store: st, log: log, rec: *rec, pc: newPlanCache()}
 	db.mgr = txn.NewManager(st, log)
 	db.mgr.SetAutoCheckpoint(c.WALCheckpointBytes)
+	db.startMerger()
 	return db, nil
+}
+
+// startMerger applies the configured merge policy and, unless disabled,
+// starts the background delta merger. Called only after WAL replay so the
+// merger never observes a half-recovered store.
+func (db *Database) startMerger() {
+	p := delta.DefaultPolicy()
+	if db.cfg.DeltaMergeRows > 0 {
+		p.MinRows = db.cfg.DeltaMergeRows
+	}
+	if db.cfg.DeltaMergeRatio > 0 {
+		p.Ratio = db.cfg.DeltaMergeRatio
+	}
+	db.mgr.SetMergePolicy(p)
+	if !db.cfg.NoDeltaMerge {
+		db.mgr.StartMerger()
+	}
 }
 
 // Recovery reports what WAL recovery found when the database was opened:
@@ -133,6 +162,7 @@ func OpenInMemory(cfg ...Config) (*Database, error) {
 	st := storage.NewMemory()
 	db := &Database{cfg: c, store: st, pc: newPlanCache()}
 	db.mgr = txn.NewManager(st, nil)
+	db.startMerger()
 	return db, nil
 }
 
@@ -166,6 +196,43 @@ func (db *Database) EncodeColumns() (int, error) {
 		return 0, ErrClosed
 	}
 	return db.store.EncodeAll()
+}
+
+// DeltaTableStats reports one table's delta-store gauges: pending appended
+// rows, delete density, and merge activity.
+type DeltaTableStats = delta.TableStats
+
+// DeltaStats returns per-table delta-store statistics, sorted by table name.
+func (db *Database) DeltaStats() []DeltaTableStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	return db.mgr.DeltaStats()
+}
+
+// MergeDeltas immediately folds every table's pending delta into its indexed
+// base, regardless of the merge policy, and returns the number of tables
+// merged. Checkpoints do this implicitly.
+func (db *Database) MergeDeltas() (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	return db.mgr.MergeAll(true), nil
+}
+
+// MergeLog returns recent "storage.deltamerge" trace lines emitted by delta
+// merges, oldest first (bounded; older entries are dropped).
+func (db *Database) MergeLog() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	return db.mgr.MergeLog()
 }
 
 // ColFootprint reports one column's resident storage size next to what the
@@ -203,6 +270,7 @@ func (db *Database) Close() error {
 		return nil
 	}
 	db.closed = true
+	db.mgr.StopMerger()
 	var first error
 	if !db.store.InMemory() {
 		if err := db.mgr.Checkpoint(); err != nil {

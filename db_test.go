@@ -317,16 +317,29 @@ func TestTransactionsAndConflicts(t *testing.T) {
 	if res := mustQuery(t, c2, `SELECT count(*) FROM t`); res.RowStrings(0)[0] != "1" {
 		t.Fatal("commit not visible")
 	}
-	// Write-write conflict aborts.
+	// Concurrent INSERTs are disjoint row regions: both commit (the delta
+	// store validates at region level, not table level).
 	mustExec(t, c1, `BEGIN; INSERT INTO t VALUES (2)`)
 	mustExec(t, c2, `BEGIN; INSERT INTO t VALUES (3)`)
+	mustExec(t, c1, `COMMIT`)
+	mustExec(t, c2, `COMMIT`)
+	if res := mustQuery(t, c1, `SELECT count(*) FROM t`); res.RowStrings(0)[0] != "3" {
+		t.Fatal("both concurrent inserts should commit")
+	}
+	// Same-row write-write conflict still aborts: UPDATE is delete+append,
+	// so two updates of one row lose nothing silently.
+	mustExec(t, c1, `BEGIN; UPDATE t SET a = 21 WHERE a = 2`)
+	mustExec(t, c2, `BEGIN; UPDATE t SET a = 22 WHERE a = 2`)
 	mustExec(t, c1, `COMMIT`)
 	if _, err := c2.Exec(`COMMIT`); !errors.Is(err, txn.ErrWriteConflict) {
 		t.Fatalf("want conflict, got %v", err)
 	}
+	if res := mustQuery(t, c1, `SELECT count(*) FROM t WHERE a = 21`); res.RowStrings(0)[0] != "1" {
+		t.Fatal("first updater's write must survive")
+	}
 	// Rollback discards.
 	mustExec(t, c1, `BEGIN; INSERT INTO t VALUES (4); ROLLBACK`)
-	if res := mustQuery(t, c1, `SELECT count(*) FROM t`); res.RowStrings(0)[0] != "2" {
+	if res := mustQuery(t, c1, `SELECT count(*) FROM t`); res.RowStrings(0)[0] != "3" {
 		t.Fatalf("rollback: %v", resultGrid(mustQuery(t, c1, `SELECT * FROM t`)))
 	}
 }

@@ -1,0 +1,142 @@
+// Package delta holds the bookkeeping primitives of the MVCC delta store
+// (paper §3.1: an immutable columnar base plus pending insert/delete deltas
+// merged lazily at read time). The storage layer keeps the data itself —
+// append-deltas are the raw tail of the column arrays past TableVersion
+// .BaseRows, delete-deltas are the copy-on-write bitmaps — while this package
+// provides the pieces that coordinate folding deltas back into the base:
+//
+//   - Epochs: an epoch-based reclamation registry. Readers pin the global
+//     commit version their snapshot was taken at; the background merger folds
+//     a table's delta only when no reader pins an epoch older than the
+//     table's current version, so no pinned snapshot can observe the fold.
+//   - Policy: the size/ratio threshold deciding when a delta is worth
+//     folding.
+//   - State: per-table gauges and counters (delta reads, merges, merge
+//     latency) surfaced through Database stats and Server.Stats().
+package delta
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// NoPins is MinPinned's result when no reader holds a pin: every epoch is
+// reclaimable. Passing it to a merge gate force-merges regardless of readers
+// (which is always logically safe — pinned snapshots keep their own immutable
+// version structs and shared arrays — the gate is contention policy, not
+// correctness).
+const NoPins = ^uint64(0)
+
+// Epochs tracks which global commit versions are pinned by in-flight
+// readers. Pins are reference-counted: many transactions may share one
+// epoch.
+type Epochs struct {
+	mu   sync.Mutex
+	pins map[uint64]int
+}
+
+// NewEpochs creates an empty registry.
+func NewEpochs() *Epochs {
+	return &Epochs{pins: make(map[uint64]int)}
+}
+
+// PinAt registers a reader at epoch v (the store version its snapshot was
+// taken at). Every PinAt must be paired with exactly one Unpin(v).
+func (e *Epochs) PinAt(v uint64) {
+	e.mu.Lock()
+	e.pins[v]++
+	e.mu.Unlock()
+}
+
+// Unpin releases one pin at epoch v.
+func (e *Epochs) Unpin(v uint64) {
+	e.mu.Lock()
+	if n := e.pins[v]; n <= 1 {
+		delete(e.pins, v)
+	} else {
+		e.pins[v] = n - 1
+	}
+	e.mu.Unlock()
+}
+
+// MinPinned returns the oldest pinned epoch, or NoPins when no reader holds
+// a pin. A table whose current version is newer than this value still has a
+// reader that could be scanning an older generation, and the merger defers.
+func (e *Epochs) MinPinned() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	minV := uint64(NoPins)
+	for v := range e.pins {
+		if v < minV {
+			minV = v
+		}
+	}
+	return minV
+}
+
+// Pinned reports the number of distinct pinned epochs (tests and stats).
+func (e *Epochs) Pinned() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pins)
+}
+
+// Policy decides when a table's append-delta is folded into the base.
+type Policy struct {
+	// MinRows is the absolute delta-row floor: deltas smaller than this are
+	// never worth a fold (index extension has fixed costs per column).
+	MinRows int
+	// Ratio folds when deltaRows >= Ratio * baseRows, bounding the raw tail
+	// scans to a fraction of the indexed base. Ignored when <= 0.
+	Ratio float64
+}
+
+// DefaultPolicy matches MonetDB's shape: fold once the delta passes a few
+// thousand rows or outgrows a tenth of the base.
+func DefaultPolicy() Policy { return Policy{MinRows: 4096, Ratio: 0.1} }
+
+// ShouldMerge reports whether a table with the given base and delta row
+// counts is past the fold threshold.
+func (p Policy) ShouldMerge(baseRows, deltaRows int) bool {
+	if deltaRows <= 0 {
+		return false
+	}
+	if p.MinRows > 0 && deltaRows >= p.MinRows {
+		return true
+	}
+	if p.Ratio > 0 && float64(deltaRows) >= p.Ratio*float64(baseRows) && deltaRows > 0 && baseRows > 0 {
+		return true
+	}
+	return p.MinRows <= 0 && p.Ratio <= 0
+}
+
+// State carries one table's delta counters. All fields are atomics so the
+// hot paths (snapshot reads, commits) never take a lock to bump them.
+type State struct {
+	// ReadsWithDelta counts snapshot reads that observed a nonempty
+	// append-delta (the overlap proof of the mixed-workload harness).
+	ReadsWithDelta atomic.Uint64
+	// Merges counts completed delta folds; Deferred counts folds skipped
+	// because a reader pinned an older epoch.
+	Merges   atomic.Uint64
+	Deferred atomic.Uint64
+	// MergeNanos accumulates total fold latency; LastMergeNanos holds the
+	// most recent fold's latency.
+	MergeNanos     atomic.Int64
+	LastMergeNanos atomic.Int64
+}
+
+// TableStats is a point-in-time snapshot of one table's delta state.
+type TableStats struct {
+	Table          string
+	Rows           int     // visible physical rows
+	BaseRows       int     // rows covered by the merged (indexed/encoded) base
+	DeltaRows      int     // Rows - BaseRows: the raw append-delta tail
+	DeletedRows    int     // set bits in the delete bitmap
+	DeleteDensity  float64 // DeletedRows / Rows (0 for empty tables)
+	ReadsWithDelta uint64
+	Merges         uint64
+	Deferred       uint64
+	MergeNanos     int64
+	LastMergeNanos int64
+}

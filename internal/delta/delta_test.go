@@ -1,0 +1,76 @@
+package delta
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEpochsPinUnpin(t *testing.T) {
+	e := NewEpochs()
+	if got := e.MinPinned(); got != NoPins {
+		t.Fatalf("empty registry MinPinned = %d, want NoPins", got)
+	}
+	e.PinAt(5)
+	e.PinAt(3)
+	e.PinAt(3)
+	if got := e.MinPinned(); got != 3 {
+		t.Fatalf("MinPinned = %d, want 3", got)
+	}
+	e.Unpin(3)
+	if got := e.MinPinned(); got != 3 {
+		t.Fatalf("MinPinned after one of two unpins = %d, want 3", got)
+	}
+	e.Unpin(3)
+	if got := e.MinPinned(); got != 5 {
+		t.Fatalf("MinPinned = %d, want 5", got)
+	}
+	e.Unpin(5)
+	if got := e.MinPinned(); got != NoPins {
+		t.Fatalf("drained registry MinPinned = %d, want NoPins", got)
+	}
+	if e.Pinned() != 0 {
+		t.Fatalf("Pinned = %d, want 0", e.Pinned())
+	}
+}
+
+func TestEpochsConcurrent(t *testing.T) {
+	e := NewEpochs()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := uint64(g*1000 + i)
+				e.PinAt(v)
+				e.MinPinned()
+				e.Unpin(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.Pinned() != 0 {
+		t.Fatalf("leaked pins: %d", e.Pinned())
+	}
+}
+
+func TestPolicyShouldMerge(t *testing.T) {
+	cases := []struct {
+		p         Policy
+		base, dlt int
+		want      bool
+		desc      string
+	}{
+		{Policy{MinRows: 100, Ratio: 0.1}, 1000, 0, false, "empty delta never merges"},
+		{Policy{MinRows: 100, Ratio: 0.1}, 1000, 99, false, "below floor and ratio"},
+		{Policy{MinRows: 100, Ratio: 0.1}, 100000, 100, true, "floor reached"},
+		{Policy{MinRows: 1000, Ratio: 0.1}, 100, 50, true, "ratio reached"},
+		{Policy{MinRows: 1000, Ratio: 0.1}, 0, 50, false, "no base: ratio inapplicable, floor not reached"},
+		{Policy{}, 10, 1, true, "zero policy merges any nonempty delta"},
+	}
+	for _, c := range cases {
+		if got := c.p.ShouldMerge(c.base, c.dlt); got != c.want {
+			t.Errorf("%s: ShouldMerge(%d, %d) = %v, want %v", c.desc, c.base, c.dlt, got, c.want)
+		}
+	}
+}

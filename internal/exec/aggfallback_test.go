@@ -45,17 +45,23 @@ func TestGlobalDistinctAggFallsBackSerial(t *testing.T) {
 	}
 }
 
-// Grouped aggregates mixing parallel-safe (SUM/COUNT/AVG) with fallback
+// Grouped aggregates mixing parallel-safe (SUM/COUNT/AVG) with special
 // (MEDIAN, DISTINCT) kinds: results must equal the all-serial path
-// row-for-row, and the trace must show the grouped mitosis pipeline stayed
-// off — the whole Aggregate runs serial, not a partial split.
+// row-for-row. The range-chunked grouped pipeline must stay off in every
+// case (per-chunk partials would recount shared values); DISTINCT without
+// MEDIAN instead takes the hash-partitioned parallel path, while any MEDIAN
+// forces the whole aggregate serial (blocking, needs all values per group).
 func TestGroupedMixedAggFallbackMatchesSerial(t *testing.T) {
 	cat := buildTable(t, 5*mal.MinChunkRows)
-	for _, q := range []string{
-		"SELECT grp, sum(i), median(i) FROM nums GROUP BY grp ORDER BY grp",
-		"SELECT grp, count(distinct i), avg(i) FROM nums GROUP BY grp ORDER BY grp",
-		"SELECT grp, sum(i), median(i), count(distinct i), count(*) FROM nums GROUP BY grp ORDER BY grp",
+	for _, tc := range []struct {
+		q            string
+		wantParallel bool // hash-partitioned distinct path expected?
+	}{
+		{"SELECT grp, sum(i), median(i) FROM nums GROUP BY grp ORDER BY grp", false},
+		{"SELECT grp, count(distinct i), avg(i) FROM nums GROUP BY grp ORDER BY grp", true},
+		{"SELECT grp, sum(i), median(i), count(distinct i), count(*) FROM nums GROUP BY grp ORDER BY grp", false},
 	} {
+		q := tc.q
 		ser, err := (&Engine{Cat: cat, Parallel: false}).Execute(planFor(t, cat, q))
 		if err != nil {
 			t.Fatalf("%s serial: %v", q, err)
@@ -74,8 +80,12 @@ func TestGroupedMixedAggFallbackMatchesSerial(t *testing.T) {
 				t.Fatalf("%s: row %d differs\n serial:   %s\n parallel: %s", q, i, serRows[i], parRows[i])
 			}
 		}
-		if out := trace.String(); strings.Contains(out, "chunks (grouped)") {
-			t.Fatalf("%s: fallback aggregate still split the grouped pipeline:\n%s", q, out)
+		out := trace.String()
+		if strings.Contains(out, "chunks (grouped)") {
+			t.Fatalf("%s: special aggregate still split the range-chunked pipeline:\n%s", q, out)
+		}
+		if got := strings.Contains(out, "(parallel distinct)"); got != tc.wantParallel {
+			t.Fatalf("%s: parallel-distinct path used=%v, want %v:\n%s", q, got, tc.wantParallel, out)
 		}
 	}
 }

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"monetlite/internal/mal"
+	"monetlite/internal/mtypes"
+	"monetlite/internal/storage"
+	"monetlite/internal/vec"
+)
+
+// buildDistinctTable builds a randomized table for the parallel-DISTINCT
+// differential: small-cardinality keys (so groups straddle every range
+// chunk), NULLs in both keys and aggregate arguments, and a double column
+// with NaN nulls.
+func buildDistinctTable(t *testing.T, rng *rand.Rand, n int) memCatalog {
+	t.Helper()
+	tbl := storage.NewMemoryTable(storage.TableMeta{Name: "nums", Cols: []storage.ColDef{
+		{Name: "i", Typ: mtypes.Int},
+		{Name: "k", Typ: mtypes.Int},
+		{Name: "grp", Typ: mtypes.Varchar},
+		{Name: "d", Typ: mtypes.Double},
+	}})
+	iv := vec.New(mtypes.Int, n)
+	kv := vec.New(mtypes.Int, n)
+	gv := vec.New(mtypes.Varchar, n)
+	dv := vec.New(mtypes.Double, n)
+	groups := []string{"a", "b", "c", "dd", "ee"}
+	for r := 0; r < n; r++ {
+		iv.I32[r] = rng.Int31n(40)
+		if rng.Intn(20) == 0 {
+			iv.SetNull(r)
+		}
+		kv.I32[r] = rng.Int31n(4)
+		if rng.Intn(15) == 0 {
+			kv.SetNull(r)
+		}
+		gv.Str[r] = groups[rng.Intn(len(groups))]
+		if rng.Intn(12) == 0 {
+			gv.SetNull(r)
+		}
+		dv.F64[r] = float64(rng.Intn(25)) / 4
+		if rng.Intn(10) == 0 {
+			dv.SetNull(r)
+		}
+	}
+	if _, err := tbl.Append([]*vec.Vector{iv, kv, gv, dv}, 1); err != nil {
+		t.Fatal(err)
+	}
+	return memCatalog{"nums": tbl}
+}
+
+// The hash-partitioned DISTINCT aggregate must agree with the serial oracle
+// row-for-row — including row ORDER, with no ORDER BY in the query: both
+// paths number groups in first-appearance order, and the parallel merge
+// restores that order by sorting on global first row position.
+func TestParallelDistinctAggDifferential(t *testing.T) {
+	queries := []string{
+		"SELECT grp, count(distinct i) FROM nums GROUP BY grp",
+		"SELECT grp, sum(distinct i), count(*) FROM nums GROUP BY grp",
+		"SELECT grp, k, count(distinct d), avg(i) FROM nums GROUP BY grp, k",
+		"SELECT grp, count(distinct i), sum(d) FROM nums WHERE i > 10 GROUP BY grp",
+		"SELECT k, count(distinct grp), min(d), max(i) FROM nums GROUP BY k",
+		"SELECT grp, avg(distinct d), count(distinct k) FROM nums GROUP BY grp",
+	}
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(7700 + trial)))
+		n := 5*mal.MinChunkRows + rng.Intn(2*mal.MinChunkRows)
+		cat := buildDistinctTable(t, rng, n)
+		for _, q := range queries {
+			ser, err := (&Engine{Cat: cat, Parallel: false}).Execute(planFor(t, cat, q))
+			if err != nil {
+				t.Fatalf("trial %d %s serial: %v", trial, q, err)
+			}
+			trace := &mal.Program{}
+			par, err := (&Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}).Execute(planFor(t, cat, q))
+			if err != nil {
+				t.Fatalf("trial %d %s parallel: %v", trial, q, err)
+			}
+			if !strings.Contains(trace.String(), "(parallel distinct)") {
+				t.Fatalf("trial %d %s: did not take the hash-partitioned distinct path:\n%s", trial, q, trace)
+			}
+			serRows, parRows := resultRows(ser), resultRows(par)
+			if len(serRows) != len(parRows) {
+				t.Fatalf("trial %d %s: serial %d rows, parallel %d", trial, q, len(serRows), len(parRows))
+			}
+			for i := range serRows {
+				if serRows[i] != parRows[i] {
+					t.Fatalf("trial %d %s: row %d differs\n serial:   %s\n parallel: %s",
+						trial, q, i, serRows[i], parRows[i])
+				}
+			}
+		}
+	}
+}
+
+// Trace shape: the partition fan-out announces itself and runs the dedup on
+// workers; the serial engine never emits the marker. The partition count is
+// also pinned so a silent fall-through to one partition (which would be a
+// serial run in disguise) fails loudly.
+func TestParallelDistinctAggTraceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cat := buildDistinctTable(t, rng, 6*mal.MinChunkRows)
+	q := "SELECT grp, count(distinct i) FROM nums GROUP BY grp"
+
+	trace := &mal.Program{}
+	if _, err := (&Engine{Cat: cat, Parallel: true, MaxThreads: 4, Trace: trace}).Execute(planFor(t, cat, q)); err != nil {
+		t.Fatal(err)
+	}
+	out := trace.String()
+	if !strings.Contains(out, "partitions (parallel distinct)") {
+		t.Fatalf("missing partition fan-out marker:\n%s", out)
+	}
+	if strings.Contains(out, "1 partitions") {
+		t.Fatalf("degenerate single partition:\n%s", out)
+	}
+	if !strings.Contains(out, "groups (parallel distinct)") {
+		t.Fatalf("missing parallel-distinct merge marker:\n%s", out)
+	}
+	if !strings.Contains(out, "aggr.COUNT") {
+		t.Fatalf("missing aggregate instr:\n%s", out)
+	}
+
+	serTrace := &mal.Program{}
+	if _, err := (&Engine{Cat: cat, Parallel: false, Trace: serTrace}).Execute(planFor(t, cat, q)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(serTrace.String(), "parallel distinct") {
+		t.Fatalf("serial engine emitted parallel-distinct markers:\n%s", serTrace)
+	}
+}

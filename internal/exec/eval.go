@@ -344,6 +344,18 @@ func (m *memo) computeFunc(x *plan.FuncExpr, b *batch, n int) (*vec.Vector, erro
 			out.F64[i] = math.Sqrt(fs[i])
 		}
 		return out, nil
+	case plan.FuncAddMonths:
+		m.e.Trace.Emit("mtime.addmonths")
+		for i := 0; i < n; i++ {
+			d := args[0].I32[i]
+			mo := args[1].I32[i]
+			if d == mtypes.NullInt32 || mo == mtypes.NullInt32 {
+				out.I32[i] = mtypes.NullInt32
+				continue
+			}
+			out.I32[i] = mtypes.AddMonths(d, int(mo))
+		}
+		return out, nil
 	default:
 		// Fall back to the scalar evaluator per row for the rare functions.
 		for i := 0; i < n; i++ {

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"monetlite/internal/mal"
 	"monetlite/internal/mtypes"
@@ -447,6 +448,9 @@ func (e *Engine) execAggregate(x *plan.Aggregate) (*batch, error) {
 				if b, handled, err := e.parallelGroupedAgg(x, scan); handled {
 					return b, err
 				}
+				if b, handled, err := e.parallelDistinctGroupedAgg(x, scan); handled {
+					return b, err
+				}
 			}
 		}
 	}
@@ -750,7 +754,9 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 	nDict := 0
 	for i, g := range x.GroupBy {
 		if cr, ok := g.(*plan.ColRef); ok {
-			if en := src.EncodedCol(scan.Cols[cr.Slot]); en != nil && en.Enc == vec.EncDict {
+			// en.N >= nrows: a dictionary that stops short of the visible rows
+			// (unmerged append-delta) cannot produce codes for the tail.
+			if en := src.EncodedCol(scan.Cols[cr.Slot]); en != nil && en.Enc == vec.EncDict && en.N >= nrows {
 				dictKeys[i] = en
 				nDict++
 			}
@@ -907,6 +913,179 @@ func (e *Engine) parallelGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch,
 		}
 		e.Trace.Emit("aggr."+a.Kind.String(), "merged")
 		outCols = append(outCols, merged)
+	}
+	return newBatch(outCols), true, nil
+}
+
+// parallelDistinctGroupedAgg parallelizes GROUP BY queries that contain
+// DISTINCT aggregates. Range-chunked mitosis cannot handle these — a value
+// appearing in two chunks would be counted twice and per-chunk distinct sets
+// don't merge — so this path partitions rows by the group-key hash instead:
+// every row of a group lands in the same partition, each worker runs the
+// full serial group+dedup+aggregate pipeline on its partition, and the merge
+// is a pure concatenation (group sets are disjoint across partitions).
+// Restoring first-appearance group order — sorting merged groups on their
+// global first row position — makes the output bit-identical to the serial
+// path. MEDIAN still falls back to serial (blocking, unrelated to DISTINCT).
+func (e *Engine) parallelDistinctGroupedAgg(x *plan.Aggregate, scan *plan.Scan) (*batch, bool, error) {
+	anyDistinct := false
+	for _, a := range x.Aggs {
+		if a.Kind == vec.AggMedian {
+			return nil, false, nil
+		}
+		if a.Distinct {
+			anyDistinct = true
+		}
+	}
+	if !anyDistinct {
+		return nil, false, nil
+	}
+	src, ok := e.Cat.Source(scan.Table)
+	if !ok {
+		return nil, true, fmt.Errorf("exec: no such table %q", scan.Table)
+	}
+	nrows := src.NumRows()
+	cp := mal.MitosisGrouped(nrows, 8*len(scan.Cols), e.MaxThreads)
+	if cp.Chunks <= 1 {
+		return nil, false, nil
+	}
+	nparts := cp.Chunks
+
+	// Phase 1 (serial): scan, filter, and evaluate the key and argument
+	// expressions densely over the survivors. Dict-coded varchar keys group
+	// on their codes, exactly like the other grouped paths.
+	cands, cols, err := e.scanRange(scan, src, 0, nrows)
+	if err != nil {
+		return nil, true, err
+	}
+	cb := newSelBatch(cols, cands)
+	memo := newMemo(e)
+	dictKeys := make([]*vec.Encoded, len(x.GroupBy))
+	keys := make([]*vec.Vector, len(x.GroupBy))
+	for i, g := range x.GroupBy {
+		if cr, ok := g.(*plan.ColRef); ok {
+			if en := src.EncodedCol(scan.Cols[cr.Slot]); en != nil && en.Enc == vec.EncDict && en.N >= nrows {
+				keys[i] = en.CodesI32(0, nrows, cands)
+				dictKeys[i] = en
+				continue
+			}
+		}
+		if keys[i], err = memo.evalVec(g, cb); err != nil {
+			return nil, true, err
+		}
+	}
+	vals := make([]*vec.Vector, len(x.Aggs))
+	for ai, a := range x.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		if vals[ai], err = memo.evalVec(a.Arg, cb); err != nil {
+			return nil, true, err
+		}
+	}
+
+	// Partition dense rows by the fused group-key hash (the same hash
+	// GroupBy buckets on), so equal keys always co-locate.
+	hashes := vec.KeyHashes(keys, nil)
+	partRows := make([][]int32, nparts)
+	for i, h := range hashes {
+		p := int(h % uint64(nparts))
+		partRows[p] = append(partRows[p], int32(i))
+	}
+	e.Trace.EmitVoid("optimizer.mitosis", fmt.Sprintf("%d partitions (parallel distinct)", nparts))
+
+	// Phase 2 (parallel): each partition is a complete, self-contained
+	// serial aggregation — group, dedup per group, aggregate.
+	type partOut struct {
+		keys     []*vec.Vector // key columns at the partition's group reprs
+		aggs     []*vec.Vector // finished aggregates per group
+		firstPos []int32       // global dense position of each group's first row
+		ngroups  int
+		err      error
+	}
+	outs := make([]partOut, nparts)
+	e.runTasks(nparts, func(pi int) {
+		ce := e.chunkEngine()
+		if err := ce.checkInterrupt(); err != nil {
+			outs[pi] = partOut{err: err}
+			return
+		}
+		rows := partRows[pi]
+		pkeys := make([]*vec.Vector, len(keys))
+		for i, kv := range keys {
+			pkeys[i] = vec.Gather(kv, rows)
+		}
+		gids, ngroups, reprs := vec.GroupBy(pkeys, nil)
+		po := partOut{
+			keys:     make([]*vec.Vector, len(pkeys)),
+			aggs:     make([]*vec.Vector, len(x.Aggs)),
+			firstPos: make([]int32, ngroups),
+			ngroups:  ngroups,
+		}
+		for i, kv := range pkeys {
+			po.keys[i] = vec.Gather(kv, reprs)
+		}
+		for g, r := range reprs {
+			po.firstPos[g] = rows[r]
+		}
+		for ai, a := range x.Aggs {
+			var v *vec.Vector
+			if a.Arg != nil {
+				v = vec.Gather(vals[ai], rows)
+			}
+			g2, v2 := gids, v
+			if a.Distinct && a.Arg != nil {
+				g2, v2 = dedupPerGroup(gids, v)
+			}
+			res, err := vec.Aggregate(a.Kind, v2, g2, ngroups)
+			if err != nil {
+				outs[pi] = partOut{err: err}
+				return
+			}
+			po.aggs[ai] = res
+		}
+		outs[pi] = po
+	})
+	total := 0
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, true, o.err
+		}
+		total += o.ngroups
+	}
+
+	// Merge: concatenate the disjoint group sets, then permute into global
+	// first-appearance order so the result matches the serial path exactly.
+	firstPos := make([]int32, 0, total)
+	for _, o := range outs {
+		firstPos = append(firstPos, o.firstPos...)
+	}
+	perm := make([]int32, total)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return firstPos[perm[a]] < firstPos[perm[b]] })
+	e.Trace.Emit("group.group", fmt.Sprintf("%d keys -> %d groups (parallel distinct)", len(keys), total))
+
+	outCols := make([]*vec.Vector, 0, len(keys)+len(x.Aggs))
+	for i := range keys {
+		pieces := make([]*vec.Vector, nparts)
+		for pi := range outs {
+			pieces[pi] = outs[pi].keys[i]
+		}
+		g := vec.Gather(vec.Concat(pieces...), perm)
+		if dictKeys[i] != nil {
+			g = dictKeys[i].DecodeCodes(g)
+		}
+		outCols = append(outCols, g)
+	}
+	for ai, a := range x.Aggs {
+		pieces := make([]*vec.Vector, nparts)
+		for pi := range outs {
+			pieces[pi] = outs[pi].aggs[ai]
+		}
+		e.Trace.Emit("aggr."+a.Kind.String(), a.Name, "merged (parallel distinct)")
+		outCols = append(outCols, vec.Gather(vec.Concat(pieces...), perm))
 	}
 	return newBatch(outCols), true, nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"monetlite/internal/index"
 	"monetlite/internal/mal"
@@ -123,7 +124,11 @@ func (e *Engine) scanEncoded(x *plan.Scan, src TableSource) []*vec.Encoded {
 	desc := ""
 	for i, ci := range x.Cols {
 		en := src.EncodedCol(ci)
-		if en == nil {
+		if en == nil || en.N < src.NumRows() {
+			// A batch-wide encoding must cover every visible row; one that
+			// stops short (an unmerged append-delta) is still used by the
+			// window-aware filter kernels below, but downstream operators
+			// (group-by on codes, sort by code) need full coverage.
 			continue
 		}
 		if encs == nil {
@@ -345,10 +350,18 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 	// Encoded columns evaluate the predicate on codes without decoding (dict
 	// predicates become code-range tests, FOR predicates code arithmetic, RLE
 	// predicates per-run tests). The encoding is the physical data, not an
-	// optional index, so this path is not gated by NoIndexes.
-	if en := src.EncodedCol(tableCol); en != nil {
-		if sel, ok := en.SelCmpWindow(op, val, cands, rowLo, rowHi); ok {
+	// optional index, so this path is not gated by NoIndexes. An encoding may
+	// stop short of the window (unmerged append-delta): the covered prefix
+	// runs on codes and the raw tail is scanned with the plain kernel.
+	if en := src.EncodedCol(tableCol); en != nil && en.N > rowLo {
+		encHi := min(rowHi, en.N)
+		below, above := splitCands(cands, int32(encHi-rowLo))
+		if sel, ok := en.SelCmpWindow(op, val, below, rowLo, encHi); ok {
 			e.Trace.Emit("algebra.thetaselect", "encoded "+en.Describe(), op.String())
+			if encHi < rowHi {
+				tail := vec.SelCmp(col.Slice(encHi-rowLo, rowHi-rowLo), op, val, above)
+				sel = appendRebased(sel, tail, int32(encHi-rowLo))
+			}
 			return sel, nil
 		}
 	}
@@ -364,6 +377,12 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 					// candidate list would mean "all rows" to Intersect.
 					sorted := append(make([]int32, 0, len(rows)), rows...)
 					insertionSort(sorted)
+					if hr := h.Rows(); hr < rowHi {
+						// The index stops at the merged base; raw-scan the
+						// append-delta tail (already sorted above any entry).
+						tail := vec.SelCmp(col.Slice(hr, rowHi), op, val, nil)
+						sorted = appendRebased(sorted, tail, int32(hr))
+					}
 					return vec.Intersect(cands, sorted), nil
 				}
 			}
@@ -375,8 +394,8 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 					return vec.Intersect(cands, oi.SelectRange(col, lo, hi, loI, hiI)), nil
 				}
 			}
-			if im := src.Imprints(tableCol); im != nil {
-				return e.imprintSelect(im, col, lo, hi, loI, hiI, rowLo, cands, "algebra.select"), nil
+			if im := src.Imprints(tableCol); im != nil && im.Len() > rowLo {
+				return e.imprintSelect(im, col, lo, hi, loI, hiI, rowLo, rowHi, cands, "algebra.select"), nil
 			}
 		}
 	}
@@ -387,9 +406,15 @@ func (e *Engine) selectCmp(x *plan.Scan, src TableSource, cols []*vec.Vector, cr
 func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, cr *plan.ColRef, lo, hi mtypes.Value, loI, hiI bool, cands []int32, rowLo, rowHi int) ([]int32, error) {
 	col := cols[cr.Slot]
 	tableCol := x.Cols[cr.Slot]
-	if en := src.EncodedCol(tableCol); en != nil {
-		if sel, ok := en.SelRangeWindow(lo, hi, loI, hiI, cands, rowLo, rowHi); ok {
+	if en := src.EncodedCol(tableCol); en != nil && en.N > rowLo {
+		encHi := min(rowHi, en.N)
+		below, above := splitCands(cands, int32(encHi-rowLo))
+		if sel, ok := en.SelRangeWindow(lo, hi, loI, hiI, below, rowLo, encHi); ok {
 			e.Trace.Emit("algebra.rangeselect", "encoded "+en.Describe())
+			if encHi < rowHi {
+				tail := vec.SelRange(col.Slice(encHi-rowLo, rowHi-rowLo), lo, hi, loI, hiI, above)
+				sel = appendRebased(sel, tail, int32(encHi-rowLo))
+			}
 			return sel, nil
 		}
 	}
@@ -401,26 +426,65 @@ func (e *Engine) selectRange(x *plan.Scan, src TableSource, cols []*vec.Vector, 
 				return vec.Intersect(cands, oi.SelectRange(col, lo, hi, loI, hiI)), nil
 			}
 		}
-		if im := src.Imprints(tableCol); im != nil {
-			return e.imprintSelect(im, col, lo, hi, loI, hiI, rowLo, cands, "algebra.rangeselect"), nil
+		if im := src.Imprints(tableCol); im != nil && im.Len() > rowLo {
+			return e.imprintSelect(im, col, lo, hi, loI, hiI, rowLo, rowHi, cands, "algebra.rangeselect"), nil
 		}
 	}
 	e.Trace.Emit("algebra.rangeselect")
 	return vec.SelRange(col, lo, hi, loI, hiI, cands), nil
 }
 
-// imprintSelect runs one imprint-pruned range select over a (possibly
-// windowed) column slice, recording the pruning counters. Chunk engines have
-// no trace, so the per-query totals accumulated in execStats are what the
-// coordinator reports for parallel scans.
-func (e *Engine) imprintSelect(im *index.Imprints, col *vec.Vector, lo, hi mtypes.Value, loI, hiI bool, off int, cands []int32, traceOp string) []int32 {
-	sel, skipped, total := im.SelectRangeSlice(col, lo, hi, loI, hiI, off)
+// imprintSelect runs one imprint-pruned range select over the scan window
+// [rowLo, rowHi), recording the pruning counters. col is the window slice,
+// cands window-relative. Imprints may stop short of the window (they cover
+// the merged base only): the covered prefix is pruned block-wise and the
+// uncovered append-delta tail is range-scanned raw — rows past im.Len() must
+// NEVER be fed to SelectRangeSlice, whose mask iteration would silently drop
+// them. Chunk engines have no trace, so the per-query totals accumulated in
+// execStats are what the coordinator reports for parallel scans.
+func (e *Engine) imprintSelect(im *index.Imprints, col *vec.Vector, lo, hi mtypes.Value, loI, hiI bool, rowLo, rowHi int, cands []int32, traceOp string) []int32 {
+	pivot := min(rowHi, im.Len())
+	below, above := splitCands(cands, int32(pivot-rowLo))
+	sel, skipped, total := im.SelectRangeSlice(col.Slice(0, pivot-rowLo), lo, hi, loI, hiI, rowLo)
 	if e.stats != nil {
 		e.stats.imprintsBlocksSkipped.Add(int64(skipped))
 		e.stats.imprintsBlocksTotal.Add(int64(total))
 	}
 	e.Trace.Emit(traceOp, "imprints", fmt.Sprintf("%d/%d blocks skipped", skipped, total))
-	return vec.Intersect(cands, sel)
+	out := vec.Intersect(below, sel)
+	if pivot < rowHi {
+		tail := vec.SelRange(col.Slice(pivot-rowLo, rowHi-rowLo), lo, hi, loI, hiI, above)
+		out = appendRebased(out, tail, int32(pivot-rowLo))
+	}
+	return out
+}
+
+// splitCands splits a window-relative candidate list at pivot: below keeps
+// candidates < pivot in place, above holds candidates >= pivot rebased to
+// the tail (c - pivot). A nil list (= all rows) splits into nil, nil; a
+// non-nil list always yields non-nil halves, so an exhausted side stays an
+// explicit empty list rather than turning into "all rows".
+func splitCands(cands []int32, pivot int32) (below, above []int32) {
+	if cands == nil {
+		return nil, nil
+	}
+	i := sort.Search(len(cands), func(j int) bool { return cands[j] >= pivot })
+	below = cands[:i:i]
+	above = make([]int32, len(cands)-i)
+	for j, c := range cands[i:] {
+		above[j] = c - pivot
+	}
+	return below, above
+}
+
+// appendRebased appends tail-relative candidates to dst shifted back into
+// window coordinates. The tail list must be explicit (the raw kernels never
+// return nil).
+func appendRebased(dst, tail []int32, off int32) []int32 {
+	for _, c := range tail {
+		dst = append(dst, c+off)
+	}
+	return dst
 }
 
 // openRange converts a one-sided comparison into SelectRange bounds.

@@ -61,6 +61,29 @@ func (h *HashIndex) Extend(v *vec.Vector, from int) {
 	h.n = v.Len()
 }
 
+// Extended returns a new index covering all of v, sharing row-list backing
+// arrays with the receiver, which is left untouched. The background merger
+// uses this so readers holding the old index are never raced: the clone's
+// map is fresh, and appending to a shared row list writes only elements past
+// the old length, which old readers (bounded by their own slice length)
+// never read.
+func (h *HashIndex) Extended(v *vec.Vector, from int) *HashIndex {
+	nh := &HashIndex{n: h.n}
+	if h.str != nil {
+		nh.str = make(map[string][]int32, len(h.str))
+		for k, rows := range h.str {
+			nh.str[k] = rows
+		}
+	} else {
+		nh.num = make(map[int64][]int32, len(h.num))
+		for k, rows := range h.num {
+			nh.num[k] = rows
+		}
+	}
+	nh.Extend(v, from)
+	return nh
+}
+
 // Rows returns the covered row count.
 func (h *HashIndex) Rows() int { return h.n }
 

@@ -315,12 +315,25 @@ func bindDateInterval(e Expr, op string, iv *sqlparse.IntervalLit) (Expr, error)
 		}
 		return &Const{Val: mtypes.NewDate(d)}, nil
 	}
+	if e.Type().Kind != mtypes.KDate {
+		return nil, fmt.Errorf("plan: %s interval arithmetic requires a DATE operand, got %s", iv.Unit, e.Type())
+	}
 	switch iv.Unit {
 	case "DAY":
 		days := &Const{Val: mtypes.NewInt(mtypes.Int, n)}
 		return &BinOp{Kind: BinArith, Arith: vec.OpAdd, L: e, R: days, Typ: mtypes.Date}, nil
+	case "MONTH", "YEAR":
+		months := n
+		if iv.Unit == "YEAR" {
+			months *= 12
+		}
+		return &FuncExpr{
+			Kind: FuncAddMonths,
+			Args: []Expr{e, &Const{Val: mtypes.NewInt(mtypes.Int, months)}},
+			Typ:  mtypes.Date,
+		}, nil
 	default:
-		return nil, fmt.Errorf("plan: %s interval arithmetic requires a constant date", iv.Unit)
+		return nil, fmt.Errorf("plan: unsupported interval unit %s", iv.Unit)
 	}
 }
 

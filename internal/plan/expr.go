@@ -128,6 +128,10 @@ const (
 	FuncUpper
 	FuncLower
 	FuncConcat
+	// FuncAddMonths shifts a DATE by a number of months (arg 1, an integer
+	// constant folded from INTERVAL MONTH/YEAR literals), clamping the day to
+	// the target month's length.
+	FuncAddMonths
 )
 
 // FuncExpr is a scalar function application.

@@ -394,6 +394,11 @@ func evalFunc(x *FuncExpr, ctx *EvalCtx) (mtypes.Value, error) {
 			sb.WriteString(a.String())
 		}
 		return mtypes.NewString(sb.String()), nil
+	case FuncAddMonths:
+		if args[0].Null || args[1].Null {
+			return mtypes.NullValue(mtypes.Date), nil
+		}
+		return mtypes.NewDate(mtypes.AddMonths(int32(args[0].I), int(args[1].AsInt()))), nil
 	}
 	return mtypes.Value{}, fmt.Errorf("plan: unknown function kind %d", x.Kind)
 }

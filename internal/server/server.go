@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"monetlite"
+	"monetlite/internal/delta"
 	"monetlite/internal/mtypes"
 	"monetlite/internal/netproto"
 	"monetlite/internal/rowstore"
@@ -145,16 +146,31 @@ type Stats struct {
 	InFlight    int64 // requests executing right now
 	MaxInFlight int64 // high-water mark of concurrent requests
 	Requests    int64 // requests served, cumulative
+
+	// Delta holds per-table delta-store gauges (pending rows, delete
+	// density, merge count/latency) when the backend exposes them; nil for
+	// backends without a delta store (e.g. the rowstore baseline).
+	Delta []delta.TableStats
+}
+
+// deltaStatser is implemented by backends whose storage keeps per-table
+// append/delete deltas (the columnar backend).
+type deltaStatser interface {
+	DeltaStats() []delta.TableStats
 }
 
 // Stats returns the server's concurrency gauges.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Conns:       s.conns.Load(),
 		InFlight:    s.inFlight.Load(),
 		MaxInFlight: s.maxInFlight.Load(),
 		Requests:    s.requests.Load(),
 	}
+	if ds, ok := s.backend.(deltaStatser); ok {
+		st.Delta = ds.DeltaStats()
+	}
+	return st
 }
 
 // Serve starts listening on addr (e.g. "127.0.0.1:0") with default options.
@@ -374,6 +390,12 @@ func NewColumnarBackend(db *monetlite.Database) *ColumnarBackend {
 // NewSession implements Backend: one engine connection per client.
 func (b *ColumnarBackend) NewSession() (Session, error) {
 	return &columnarSession{conn: b.db.Connect()}, nil
+}
+
+// DeltaStats surfaces the embedded database's per-table delta gauges through
+// Server.Stats.
+func (b *ColumnarBackend) DeltaStats() []delta.TableStats {
+	return b.db.DeltaStats()
 }
 
 type columnarSession struct {

@@ -34,10 +34,13 @@ type Column struct {
 	offs   []uint32 // varchar: offsets into heap, parallel to data.Str
 
 	// enc is the compressed representation when one exists (see encode.go).
-	// Invariant: when both enc and data are non-nil, data is enc's decoded
-	// form for the first enc.N rows (the decode cache); mutations nil enc.
-	// After loading an encoded (MLC2) file, data may be nil until a caller
-	// needs raw values.
+	// Invariant: when both enc and data are non-nil, data's first enc.N rows
+	// are enc's decoded form; rows beyond enc.N are the append-delta, not yet
+	// folded into the encoding. Appends therefore keep enc (encoded execution
+	// windows itself at enc.N); only truncation below enc.N drops it. The
+	// background merger re-encodes and installs a full-coverage replacement
+	// via refreshEncoded. After loading an encoded (MLC2) file, data may be
+	// nil until a caller needs raw values.
 	enc *vec.Encoded
 
 	path    string // non-empty when file-backed and not yet loaded
@@ -82,12 +85,11 @@ func (c *Column) loadDataLocked() (*vec.Vector, error) {
 	return c.data, nil
 }
 
-// decayLocked drops the compressed form before a mutation. A varchar column
-// decoded from an encoded file has no heap yet (readers never need one), so
-// the heap and offset array are rebuilt here from the decoded strings.
-// Caller holds c.mu with c.data resident.
-func (c *Column) decayLocked() {
-	c.enc = nil
+// ensureHeapLocked rebuilds the varchar heap and offset array from the
+// decoded strings. A varchar column decoded from an encoded file has no heap
+// yet (readers never need one), but mutations do. Caller holds c.mu with
+// c.data resident.
+func (c *Column) ensureHeapLocked() {
 	if c.Typ.Kind == mtypes.KVarchar && c.heap == nil {
 		c.heap = strheap.New()
 		c.offs = make([]uint32, 0, len(c.data.Str))
@@ -99,6 +101,33 @@ func (c *Column) decayLocked() {
 			}
 		}
 	}
+}
+
+// LoadSlice returns the column's first n rows. The slice headers are copied
+// while holding the column lock, so a concurrent delta append — which grows
+// the shared arrays past n under the same lock — never races with the
+// reader. Sharing the underlying arrays is safe: appends write only indices
+// >= the reader's length, and a reallocating append switches to a new array.
+func (c *Column) LoadSlice(n int) (*vec.Vector, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := c.loadDataLocked()
+	if err != nil {
+		return nil, err
+	}
+	if data.Len() < n {
+		return nil, fmt.Errorf("storage: column has %d rows, snapshot wants %d", data.Len(), n)
+	}
+	return data.Slice(0, n), nil
+}
+
+// refreshEncoded installs a replacement compressed form (nil decays the
+// column to raw-only). The background merger calls this after re-encoding a
+// column whose old encoding covered only the pre-merge base.
+func (c *Column) refreshEncoded(e *vec.Encoded) {
+	c.mu.Lock()
+	c.enc = e
+	c.mu.Unlock()
 }
 
 // Loaded reports whether the column data is resident (for tests and stats).
@@ -118,7 +147,10 @@ func (c *Column) Append(vals *vec.Vector) (int, error) {
 	if _, err := c.loadDataLocked(); err != nil {
 		return 0, err
 	}
-	c.decayLocked()
+	// The compressed form survives: it keeps covering the pre-append prefix
+	// (enc.N rows) and the new rows ride in the raw delta tail until the
+	// background merger folds them in.
+	c.ensureHeapLocked()
 	if c.Typ.Kind == mtypes.KVarchar {
 		for _, s := range vals.Str {
 			if s == vec.StrNull {
@@ -164,7 +196,12 @@ func (c *Column) TruncateTo(n int) error {
 	if c.data.Len() <= n {
 		return nil
 	}
-	c.decayLocked()
+	c.ensureHeapLocked()
+	if c.enc != nil && c.enc.N > n {
+		// The encoding covers rows being discarded; it cannot be windowed
+		// down, so decay to raw.
+		c.enc = nil
+	}
 	c.data = c.data.Slice(0, n).Clone()
 	if len(c.offs) > n {
 		// Orphaned heap entries are harmless (the heap dedups), but the offset

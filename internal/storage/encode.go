@@ -43,10 +43,10 @@ func (c *Column) encode(n int, ndvHint int) (vec.Encoding, error) {
 	if err != nil {
 		return vec.EncNone, err
 	}
-	if data.Len() != n {
-		return vec.EncNone, nil // physical rows beyond the snapshot: stay raw
+	if data.Len() < n {
+		return vec.EncNone, nil // snapshot ahead of resident data: stay raw
 	}
-	e := vec.EncodeColumn(data, ndvHint)
+	e := vec.EncodeColumn(data.Slice(0, n), ndvHint)
 	if e == nil {
 		return vec.EncNone, nil
 	}
@@ -54,18 +54,16 @@ func (c *Column) encode(n int, ndvHint int) (vec.Encoding, error) {
 	return e.Enc, nil
 }
 
-// EncodedFor returns the compressed form of column ci when it covers
-// snapshot tv, nil otherwise. Unlike the secondary indexes (which require
-// the current, delete-free version), the encoding is the physical data
-// itself: append-only arrays make any row-prefix window valid for older
-// snapshots, and deleted rows are excluded by the executor's candidate
-// lists exactly as they are on the raw path.
+// EncodedFor returns the compressed form of column ci, nil when the column
+// is raw. The encoding is the physical data itself: append-only arrays make
+// any row-prefix window valid for any snapshot, and deleted rows are
+// excluded by the executor's candidate lists exactly as they are on the raw
+// path. The encoding may cover fewer rows than the snapshot (e.N < tv.NRows)
+// when an append-delta is pending — the executor windows encoded kernels at
+// e.N and raw-scans the tail — or more rows than an older snapshot sees,
+// which is harmless for the same windowing reason.
 func (t *Table) EncodedFor(tv *TableVersion, ci int) *vec.Encoded {
-	e := t.cols[ci].EncodedForm()
-	if e == nil || e.N < tv.NRows {
-		return nil
-	}
-	return e
+	return t.cols[ci].EncodedForm()
 }
 
 // EncodeColumns compresses every column of the current snapshot (stats-

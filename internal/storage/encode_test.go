@@ -234,8 +234,9 @@ func TestOldFormatCompat(t *testing.T) {
 	verifyEncTable(t, tbl3, n)
 }
 
-// Mutations decay a column to raw: appends after encoding must produce
-// correct data, drop the stale encoded form, and re-encode cleanly.
+// Appends keep the encoded form as a prefix window (the delta-store
+// contract): data must stay correct with the new rows riding raw past the
+// encoding, and a re-encode folds them in.
 func TestEncodedColumnDecayOnAppend(t *testing.T) {
 	s := NewMemory()
 	tbl, _ := s.CreateTable(encTestMeta())
@@ -248,8 +249,8 @@ func TestEncodedColumnDecayOnAppend(t *testing.T) {
 	}
 	tbl.Append(encTestBatch(500, 500), s.BumpVersion())
 	for ci := range tbl.Meta.Cols {
-		if e := tbl.cols[ci].EncodedForm(); e != nil {
-			t.Fatalf("col %d kept stale encoding across append", ci)
+		if e := tbl.cols[ci].EncodedForm(); e != nil && e.N != 500 {
+			t.Fatalf("col %d: append changed encoding coverage to %d rows", ci, e.N)
 		}
 	}
 	verifyEncTable(t, tbl, 1000)
@@ -286,12 +287,14 @@ func TestEncodedForSnapshotWindows(t *testing.T) {
 			t.Fatalf("prefix row %d: %d vs %d", i, dec.I32[i], old.I32[i])
 		}
 	}
-	// Snapshot beyond the encoded range: stale encoding is never served.
+	// Snapshot beyond the encoded range: the partial encoding is served (the
+	// executor windows encoded kernels at e.N and raw-scans the delta tail).
 	tbl.cols[0].mu.Lock()
 	tbl.cols[0].enc = vec.EncodeColumn(old, 0) // 300-row form
 	tbl.cols[0].mu.Unlock()
-	if tbl.EncodedFor(tbl.Version(), 0) != nil {
-		t.Fatal("600-row snapshot served a 300-row encoding")
+	pe := tbl.EncodedFor(tbl.Version(), 0)
+	if pe == nil || pe.N != 300 {
+		t.Fatal("600-row snapshot should see the 300-row prefix encoding")
 	}
 }
 

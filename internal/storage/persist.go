@@ -562,7 +562,12 @@ func (s *Store) loadCatalog() error {
 				dels.Set(r)
 			}
 		}
-		t.publish(&TableVersion{Version: cat.Version, NRows: tj.NRows, Dels: dels, table: t})
+		// On-disk state is always fully merged: checkpoints fold any pending
+		// append-delta into the persisted columns, so the loaded base covers
+		// every cataloged row. Delta durability between checkpoints comes from
+		// WAL replay, whose appends extend past this boundary.
+		t.baseRows = tj.NRows
+		t.publish(&TableVersion{Version: cat.Version, NRows: tj.NRows, BaseRows: tj.NRows, Dels: dels, table: t})
 		s.tables[tj.Name] = t
 	}
 	// Rebuild persisted order indexes lazily: mark them requested so the
@@ -604,10 +609,12 @@ func (s *Store) Checkpoint() error {
 					return err
 				}
 			}
-			if c.enc == nil && c.data != nil && tv.NRows >= checkpointEncodeMinRows &&
-				c.data.Len() >= tv.NRows {
+			if (c.enc == nil || c.enc.N != tv.NRows) && c.data != nil &&
+				tv.NRows >= checkpointEncodeMinRows && c.data.Len() >= tv.NRows {
 				// Checkpoint is where encodings are (re)chosen: try to compress
-				// the snapshot's rows and cache the result for the executor.
+				// the snapshot's rows and cache the result for the executor. An
+				// encoding that covers only part of the snapshot (an unmerged
+				// append-delta) is folded forward here the same way.
 				if e := vec.EncodeColumn(c.data.Slice(0, tv.NRows), 0); e != nil {
 					c.enc = e
 				}
@@ -622,8 +629,8 @@ func (s *Store) Checkpoint() error {
 			}
 			if c.Typ.Kind == mtypes.KVarchar && c.heap == nil {
 				// Decoded-from-encoded column without a heap: rebuild it for
-				// the raw write (also drops the now-stale encoded form).
-				c.decayLocked()
+				// the raw write.
+				c.ensureHeapLocked()
 			}
 			data, heap, offs := c.data.Slice(0, tv.NRows), c.heap, c.offs
 			if c.Typ.Kind == mtypes.KVarchar {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"monetlite/internal/delta"
 	"monetlite/internal/mtypes"
 	"monetlite/internal/vec"
 )
@@ -296,29 +297,53 @@ func TestIndexLifecycle(t *testing.T) {
 		t.Fatal("order index should exist")
 	}
 
-	// Append: imprints die, hash survives (extended), order dies but is
-	// rebuilt on demand because orderWanted persists.
+	// Append: the new rows land in the append-delta. Imprints and hash keep
+	// covering the 500-row base — for the old snapshot AND the new version
+	// (the executor raw-scans the uncovered tail) — and the background merge
+	// folds them forward. Order indexes die but rebuild on demand because
+	// orderWanted persists.
 	tbl.Append(testBatch(100, 500), s.BumpVersion())
 	tv2 := tbl.Version()
-	if tbl.ImprintsFor(tv, 0) != nil {
-		t.Fatal("stale snapshot must not get imprints")
+	if tv2.BaseRows != 0 || tv2.DeltaRows() != 600 {
+		// baseRows only advances at merge; this table never merged.
+		t.Fatalf("append-delta bookkeeping: base %d delta %d", tv2.BaseRows, tv2.DeltaRows())
+	}
+	if got := tbl.ImprintsFor(tv, 0); got != im {
+		t.Fatal("old snapshot should keep being served the base-covering imprints")
 	}
 	h2 := tbl.HashFor(tv2, 1)
-	if h2 == nil || h2.Rows() != 600 {
-		t.Fatalf("hash should extend on append: %v", h2)
-	}
-	if h2 != h {
-		t.Fatal("hash should be the same extended index")
+	if h2 != h || h2.Rows() != 500 {
+		t.Fatalf("append must not touch the hash index (rows %d)", h2.Rows())
 	}
 	if oi := tbl.OrderFor(tv2, 0); oi == nil || oi.Rows() != 600 {
 		t.Fatal("order index should rebuild for new version")
 	}
 
-	// Delete: everything dies; imprints/hash not served for deleted tables.
+	// Merge folds the delta: imprints and hash extend incrementally.
+	if rep, ok := tbl.MergeDelta(delta.NoPins); !ok || rep.ImprintsExtended != 1 || rep.HashExtended != 1 {
+		t.Fatalf("merge should extend imprints and hash: %+v ok=%v", rep, ok)
+	}
+	tv2 = tbl.Version()
+	if tv2.BaseRows != 600 {
+		t.Fatalf("merge should advance the base to 600, got %d", tv2.BaseRows)
+	}
+	if im2 := tbl.ImprintsFor(tv2, 0); im2 == nil || im2.Len() != 600 {
+		t.Fatal("imprints should cover the merged base")
+	}
+	if h3 := tbl.HashFor(tv2, 1); h3 == nil || h3.Rows() != 600 {
+		t.Fatal("hash should cover the merged base")
+	}
+
+	// Delete: imprints and hash survive (deleted rows are excluded by the
+	// executor's candidate lists); order indexes require delete-free
+	// snapshots and die.
 	tbl.Delete([]int32{0}, s.BumpVersion())
 	tv3 := tbl.Version()
-	if tbl.ImprintsFor(tv3, 0) != nil || tbl.HashFor(tv3, 1) != nil || tbl.OrderFor(tv3, 0) != nil {
-		t.Fatal("indexes must not be served for tables with deletes")
+	if tbl.ImprintsFor(tv3, 0) == nil || tbl.HashFor(tv3, 1) == nil {
+		t.Fatal("imprints/hash must survive deletes")
+	}
+	if tbl.OrderFor(tv3, 0) != nil {
+		t.Fatal("order index must not be served for snapshots with deletes")
 	}
 }
 
@@ -422,22 +447,27 @@ func TestImprintsMaintainedOnAppend(t *testing.T) {
 	if _, err := tbl.Append(testBatch(300, 500), s.BumpVersion()); err != nil {
 		t.Fatal(err)
 	}
-	// The old snapshot no longer serves imprints (not current)...
-	if tbl.ImprintsFor(v1, 0) != nil {
-		t.Fatal("stale snapshot still serves imprints")
-	}
-	// ...but the extended index is already installed for the new version:
-	// no rebuild, Len covers the appended rows.
+	// The append itself leaves the imprints alone: both the old snapshot and
+	// the new version are served the 500-row base coverage (the executor
+	// raw-scans the uncovered append-delta tail).
 	v2 := tbl.Version()
+	if got := tbl.ImprintsFor(v2, 0); got != im1 || got.Len() != 500 {
+		t.Fatalf("append must not touch imprints (got %v)", got)
+	}
+	// The background merge extends them copy-on-write over the delta rows.
+	if rep, ok := tbl.MergeDelta(delta.NoPins); !ok || rep.ImprintsExtended != 1 {
+		t.Fatalf("merge should extend imprints: %+v ok=%v", rep, ok)
+	}
+	v2 = tbl.Version()
 	im2 := tbl.ImprintsFor(v2, 0)
 	if im2 == nil || im2.Len() != 800 {
-		t.Fatalf("imprints not maintained across append (len %v)", im2)
+		t.Fatalf("imprints not extended by merge (len %v)", im2)
 	}
 	if im2 == im1 {
-		t.Fatal("append must produce a fresh imprints object (readers may hold the old one)")
+		t.Fatal("merge must produce a fresh imprints object (readers may hold the old one)")
 	}
 	if im1.Len() != 500 {
-		t.Fatal("append mutated the old snapshot's imprints")
+		t.Fatal("merge mutated the old snapshot's imprints")
 	}
 	col, _ := v2.Col(0)
 	lo, hi := mtypes.NewInt(mtypes.Int, 100), mtypes.NewInt(mtypes.Int, 650)
@@ -452,11 +482,13 @@ func TestImprintsMaintainedOnAppend(t *testing.T) {
 		}
 	}
 
-	// Deletes still destroy imprints (bitmap-filtered snapshots never prune).
+	// Deletes keep imprints alive: the bitmap is consumed by the executor's
+	// candidate lists, and imprint blocks that pass the mask are verified by
+	// value, so deleted rows can never leak through pruning.
 	if _, _, err := tbl.Delete([]int32{3}, s.BumpVersion()); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.ImprintsFor(tbl.Version(), 0) != nil {
-		t.Fatal("imprints served for a snapshot with deletions")
+	if tbl.ImprintsFor(tbl.Version(), 0) != im2 {
+		t.Fatal("imprints should survive deletes")
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"monetlite/internal/delta"
 )
 
 // Store is a storage-level database: a catalog of tables plus the directory
@@ -156,6 +158,18 @@ func (s *Store) tableNamesLocked() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// DeltaStats snapshots every table's delta-store gauges, sorted by table
+// name (Database.DeltaStats and Server.Stats surface these).
+func (s *Store) DeltaStats() []delta.TableStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]delta.TableStats, 0, len(s.tables))
+	for _, name := range s.tableNamesLocked() {
+		out = append(out, s.tables[name].DeltaStats())
+	}
+	return out
 }
 
 // Snapshot captures the current version of every table — the read view of a

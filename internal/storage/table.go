@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"monetlite/internal/delta"
 	"monetlite/internal/index"
 	"monetlite/internal/mtypes"
 	"monetlite/internal/vec"
@@ -33,13 +34,25 @@ func (m *TableMeta) ColIndex(name string) int {
 }
 
 // TableVersion is an immutable snapshot of a table's visible state: a row
-// count and a deletion bitmap over append-only column arrays. Reading a
-// version never blocks writers and vice versa.
+// count and a deletion bitmap over append-only column arrays, plus the
+// boundary of the merged base. Reading a version never blocks writers and
+// vice versa.
+//
+// Delta-store layout (paper §3.1): rows [0, BaseRows) are the immutable
+// base — the prefix the secondary indexes and column encodings were last
+// folded over. Rows [BaseRows, NRows) are the append-delta: recent commits'
+// raw vectors, visible to scans as an extra trailing window that indexes do
+// not cover. Dels is the delete-delta: a copy-on-write bitmap scans consume
+// directly through candidate lists, never a materialized rewrite. The
+// background merger (merge.go) folds the append-delta into the base by
+// extending indexes/encodings incrementally and republishing with
+// BaseRows = NRows.
 type TableVersion struct {
-	Version uint64 // global commit version that produced this snapshot
-	NRows   int    // visible physical rows (including deleted ones)
-	Dels    *Bitmap
-	table   *Table
+	Version  uint64 // global commit version that produced this snapshot
+	NRows    int    // visible physical rows (including deleted ones)
+	BaseRows int    // rows covered by the merged base; the tail is the delta
+	Dels     *Bitmap
+	table    *Table
 }
 
 // Meta returns the table schema.
@@ -49,13 +62,14 @@ func (tv *TableVersion) Meta() *TableMeta { return &tv.table.Meta }
 func (tv *TableVersion) Table() *Table { return tv.table }
 
 // Col loads column i and returns it truncated to this version's row count.
+// The slice header is copied under the column lock, so concurrent delta
+// appends (which grow the shared array past NRows) never race with readers.
 func (tv *TableVersion) Col(i int) (*vec.Vector, error) {
-	data, err := tv.table.cols[i].Load()
-	if err != nil {
-		return nil, err
-	}
-	return data.Slice(0, tv.NRows), nil
+	return tv.table.cols[i].LoadSlice(tv.NRows)
 }
+
+// DeltaRows returns the size of this snapshot's append-delta tail.
+func (tv *TableVersion) DeltaRows() int { return tv.NRows - tv.BaseRows }
 
 // LiveCands returns the candidate list of non-deleted rows (nil = all).
 func (tv *TableVersion) LiveCands() []int32 { return tv.Dels.LiveCands(tv.NRows) }
@@ -87,6 +101,14 @@ type Table struct {
 	cur  atomic.Pointer[TableVersion]
 	idx  []colIndexes
 
+	// baseRows is the merged-base boundary published as TableVersion
+	// .BaseRows: the prefix the indexes and encodings were last folded over
+	// (merge.go). Monotone, under t.mu.
+	baseRows int
+
+	// delta carries the table's delta-store counters (lock-free gauges).
+	delta delta.State
+
 	// Statistics staleness tracking (see StatsEpoch): epoch counter plus the
 	// row count at the last epoch bump.
 	statsEpoch     uint64
@@ -114,10 +136,36 @@ func (t *Table) publish(tv *TableVersion) { t.cur.Store(tv) }
 // Version returns the current snapshot.
 func (t *Table) Version() *TableVersion { return t.cur.Load() }
 
+// DeltaState returns the table's delta counters.
+func (t *Table) DeltaState() *delta.State { return &t.delta }
+
+// DeltaStats snapshots the table's delta gauges.
+func (t *Table) DeltaStats() delta.TableStats {
+	tv := t.Version()
+	st := delta.TableStats{
+		Table:          t.Meta.Name,
+		Rows:           tv.NRows,
+		BaseRows:       tv.BaseRows,
+		DeltaRows:      tv.NRows - tv.BaseRows,
+		DeletedRows:    tv.Dels.Count(),
+		ReadsWithDelta: t.delta.ReadsWithDelta.Load(),
+		Merges:         t.delta.Merges.Load(),
+		Deferred:       t.delta.Deferred.Load(),
+		MergeNanos:     t.delta.MergeNanos.Load(),
+		LastMergeNanos: t.delta.LastMergeNanos.Load(),
+	}
+	if tv.NRows > 0 {
+		st.DeleteDensity = float64(st.DeletedRows) / float64(tv.NRows)
+	}
+	return st
+}
+
 // Append adds a batch of rows (one vector per column, equal lengths) and
-// publishes a new version stamped with commitVersion. Index maintenance
-// follows the paper: imprints and hash indexes are extended with the new
-// rows, order indexes are dropped (they do not survive appends).
+// publishes a new version stamped with commitVersion. The new rows land in
+// the append-delta: column arrays grow in O(batch) — encodings and indexes
+// keep covering the base prefix and are folded forward later by the
+// background merger, not here. Order indexes are dropped (they do not
+// survive appends); the orderWanted flag keeps lazy rebuilds available.
 func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion, error) {
 	if len(cols) != len(t.cols) {
 		return nil, fmt.Errorf("storage: append to %s: %d columns, want %d", t.Meta.Name, len(cols), len(t.cols))
@@ -142,33 +190,9 @@ func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion,
 	}
 	for i := range t.idx {
 		t.idx[i].order = nil
-		// Imprints and hash indexes survive appends: new rows only add
-		// blocks/entries, existing ones are untouched (paper §3.1 — indexes
-		// are "maintained when data is appended").
-		if im := t.idx[i].imprints; im != nil {
-			var ext *index.Imprints
-			if data, err := t.cols[i].Load(); err == nil && t.idx[i].imprintsRows == old.NRows {
-				ext = im.Extend(data, old.NRows)
-				t.idx[i].imprintsRows = data.Len()
-			}
-			t.idx[i].imprints = ext
-		}
-		if h := t.idx[i].hash; h != nil {
-			data, err := t.cols[i].Load()
-			if err == nil && h.Rows() == old.NRows {
-				h.Extend(data, old.NRows)
-			} else {
-				t.idx[i].hash = nil
-			}
-		}
-	}
-	// Cached per-column stats describe the pre-append snapshot; drop them so
-	// the next StatsFor recomputes over the grown column.
-	for i := range t.idx {
-		t.idx[i].stats = nil
 	}
 	t.noteRowsChanged(old.NRows+n, false)
-	tv := &TableVersion{Version: commitVersion, NRows: old.NRows + n, Dels: old.Dels, table: t}
+	tv := &TableVersion{Version: commitVersion, NRows: old.NRows + n, BaseRows: t.baseRows, Dels: old.Dels, table: t}
 	t.publish(tv)
 	return tv, nil
 }
@@ -176,7 +200,9 @@ func (t *Table) Append(cols []*vec.Vector, commitVersion uint64) (*TableVersion,
 // RecoverTruncate trims every column back to the cataloged row count. WAL
 // replay calls it once per table before re-applying appends, so column files
 // written ahead of the catalog by a crashed checkpoint don't make replayed
-// appends land twice (or fail the length check).
+// appends land twice (or fail the length check). Indexes and stats are
+// dropped wholesale: truncation followed by replayed re-appends would leave
+// them describing rows that no longer exist.
 func (t *Table) RecoverTruncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -186,12 +212,21 @@ func (t *Table) RecoverTruncate() error {
 			return err
 		}
 	}
+	for i := range t.idx {
+		t.idx[i] = colIndexes{orderWanted: t.idx[i].orderWanted}
+	}
+	if t.baseRows > n {
+		t.baseRows = n
+	}
 	return nil
 }
 
-// Delete marks rows deleted and publishes a new version. Hash indexes,
-// imprints and order indexes are destroyed (paper: indexes do not survive
-// deletes/updates).
+// Delete marks rows deleted and publishes a new version. The delete-delta
+// stays a bitmap (copy-on-write, so older snapshots keep their own deletion
+// state); imprints and hash indexes survive — deleted rows are excluded by
+// the executor's candidate lists, never served by the index structures
+// themselves. Order indexes don't survive (their validity gate requires a
+// delete-free snapshot).
 func (t *Table) Delete(rowids []int32, commitVersion uint64) (*TableVersion, int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -207,15 +242,13 @@ func (t *Table) Delete(rowids []int32, commitVersion uint64) (*TableVersion, int
 		}
 	}
 	for i := range t.idx {
-		t.idx[i].imprints = nil
-		t.idx[i].hash = nil
 		t.idx[i].order = nil
 		t.idx[i].stats = nil
 	}
 	// Any delete is a material stats change: min/max and ndv can shift in
 	// ways appends cannot, so the epoch always bumps.
 	t.noteRowsChanged(old.NRows, true)
-	tv := &TableVersion{Version: commitVersion, NRows: old.NRows, Dels: dels, table: t}
+	tv := &TableVersion{Version: commitVersion, NRows: old.NRows, BaseRows: t.baseRows, Dels: dels, table: t}
 	t.publish(tv)
 	return tv, n, nil
 }
@@ -224,16 +257,20 @@ func (t *Table) Delete(rowids []int32, commitVersion uint64) (*TableVersion, int
 // Automatic index access (paper §3.1 "Automatic Indexing").
 // ---------------------------------------------------------------------------
 
-// ImprintsFor returns (building on demand) the imprints of column ci, valid
-// for snapshot tv; nil when the snapshot is stale or the type is unsupported.
+// ImprintsFor returns (building on demand) the imprints of column ci; nil
+// when unavailable. Imprints covering any row prefix are safe for any
+// snapshot: the executor windows its probes at Imprints.Len() and raw-scans
+// the uncovered delta tail, block masks are conservative (masks built over
+// extra rows only add bits, causing extra verification, never wrong skips),
+// and deleted rows are excluded by candidate-list intersection. Builds use
+// the snapshot's row prefix, which is immutable in every later version
+// (column arrays are append-only; deletes live in the bitmap), so a build
+// races safely with concurrent commits and background merges.
 func (t *Table) ImprintsFor(tv *TableVersion, ci int) *index.Imprints {
-	if tv != t.Version() || tv.Dels.Count() > 0 {
-		return nil // only current, delete-free versions use imprints
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ix := &t.idx[ci]
-	if ix.imprints != nil && ix.imprintsRows == tv.NRows {
+	if ix.imprints != nil {
 		return ix.imprints
 	}
 	data, err := t.cols[ci].Load()
@@ -246,16 +283,21 @@ func (t *Table) ImprintsFor(tv *TableVersion, ci int) *index.Imprints {
 }
 
 // HashFor returns (building on demand) the hash index of column ci for
-// snapshot tv; nil when stale.
+// snapshot tv; nil when the index covers rows the snapshot cannot see. An
+// index covering fewer rows than the snapshot is served — the executor
+// raw-scans the uncovered delta tail — and deleted rows are excluded by
+// candidate-list intersection.
 func (t *Table) HashFor(tv *TableVersion, ci int) *index.HashIndex {
-	if tv != t.Version() || tv.Dels.Count() > 0 {
-		return nil
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ix := &t.idx[ci]
-	if ix.hash != nil && ix.hash.Rows() == tv.NRows {
-		return ix.hash
+	if ix.hash != nil {
+		if ix.hash.Rows() <= tv.NRows {
+			return ix.hash
+		}
+		// Cached index covers rows this older snapshot cannot see; don't
+		// clobber it with a smaller rebuild.
+		return nil
 	}
 	data, err := t.cols[ci].Load()
 	if err != nil {
@@ -266,7 +308,9 @@ func (t *Table) HashFor(tv *TableVersion, ci int) *index.HashIndex {
 }
 
 // OrderFor returns the order index of column ci if one was created with
-// CREATE ORDER INDEX and is still valid for tv.
+// CREATE ORDER INDEX and is still valid for tv. Order indexes are a sorted
+// permutation of all rows, so unlike imprints/hash they require exact
+// coverage: current version, no deletes.
 func (t *Table) OrderFor(tv *TableVersion, ci int) *index.OrderIndex {
 	if tv != t.Version() || tv.Dels.Count() > 0 {
 		return nil

@@ -54,7 +54,7 @@ func TestPlanShapeGoldens(t *testing.T) {
 // reordered plan must win by more than 2x wall-clock, and both must return
 // identical results.
 func TestJoinReorderBeatsWrittenOrder(t *testing.T) {
-	db, _, err := NewDatabase(0.02, 42)
+	db, _, err := NewDatabase(0.05, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

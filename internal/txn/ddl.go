@@ -83,12 +83,22 @@ func (m *Manager) CreateOrderIndex(table, col string) error {
 // Checkpoint folds the log into a storage snapshot and truncates the WAL,
 // bounding replay length. In-memory stores persist nothing, so their WAL (if
 // any — the crash fuzzer wires one) must be kept whole.
+//
+// It holds mergeMu alongside commitMu: the background merger must not
+// install index state while saveCatalogLocked walks it. Pending deltas are
+// force-folded first (reader pins don't block — the fold is snapshot-safe,
+// and a leaked pin must not wedge durability) so the checkpoint persists a
+// fully merged image: on-disk state always has BaseRows == NRows, and delta
+// durability between checkpoints comes from WAL replay.
 func (m *Manager) Checkpoint() error {
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
 	if m.store.InMemory() {
 		return nil
 	}
+	m.mergeAllLocked(true)
 	if err := m.store.Checkpoint(); err != nil {
 		return err
 	}

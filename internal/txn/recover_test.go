@@ -127,6 +127,151 @@ func TestReplayTruncatesColumnsAheadOfCatalog(t *testing.T) {
 	}
 }
 
+// A crash right after a delta merge — before any checkpoint — must lose
+// nothing: the merge is an in-memory reorganization (baseRows advances,
+// indexes extend) and writes no WAL records, so recovery replays the same
+// committed appends whether or not the merge ran. The recovered table comes
+// back as pure delta (BaseRows = cataloged rows) and re-merging it is safe.
+func TestRecoverAfterCrashMidMerge(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2, 3))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.MergeAll(true); n != 1 { // fold in memory; nothing hits disk
+		t.Fatalf("merged %d tables", n)
+	}
+	tx2 := m.Begin()
+	tx2.Append("t", batch(4, 5))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash now: merge ran, second commit is WAL-only, no checkpoint.
+	log.Close()
+	st.Close()
+
+	st2, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatalf("replay after mid-merge crash: %v", err)
+	}
+	tbl, _ := st2.Get("t")
+	tv := tbl.Version()
+	if tv.NRows != 5 {
+		t.Fatalf("rows after replay = %d, want 5", tv.NRows)
+	}
+	if tv.BaseRows != 0 {
+		t.Fatalf("recovered BaseRows = %d: replay must rebuild from the catalog, not trust the lost in-memory merge", tv.BaseRows)
+	}
+	col, _ := tv.Col(0)
+	for i, want := range []int32{1, 2, 3, 4, 5} {
+		if col.I32[i] != want {
+			t.Fatalf("replayed data: %v", col.I32[:5])
+		}
+	}
+	// Merging the recovered delta works and changes nothing visible.
+	m2 := NewManager(st2, nil)
+	if n := m2.MergeAll(true); n != 1 {
+		t.Fatalf("post-recovery merge folded %d tables", n)
+	}
+	tv2 := tbl.Version()
+	if tv2.NRows != 5 || tv2.BaseRows != 5 {
+		t.Fatalf("post-recovery merge: rows=%d base=%d", tv2.NRows, tv2.BaseRows)
+	}
+}
+
+// A crash mid-checkpoint while a delta is pending: the checkpoint folds the
+// delta and rewrites column files (now containing the merged base), but the
+// crash lands before the catalog rename, so the catalog still describes the
+// pre-checkpoint row count and the WAL still holds the delta's commits.
+// Recovery must land on exactly the post-merge state — never a torn mix —
+// by truncating columns to the cataloged length and replaying the WAL.
+func TestRecoverCheckpointTornAroundDeltaMerge(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	catPath := filepath.Join(dir, "catalog.json")
+	st, _ := storage.Open(dir)
+	log, _, _ := wal.Open(walPath)
+	m := NewManager(st, log)
+	if err := m.CreateTable(meta()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Append("t", batch(1, 2, 3))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil { // clean base: 3 rows on disk
+		t.Fatal(err)
+	}
+	// Pending delta: two more commits, WAL-only.
+	tx2 := m.Begin()
+	tx2.Append("t", batch(4))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := m.Begin()
+	tx3.Append("t", batch(5))
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tv := func() *storage.TableVersion { tbl, _ := st.Get("t"); return tbl.Version() }(); tv.NRows-tv.BaseRows == 0 {
+		t.Fatal("precondition: delta must be pending before the torn checkpoint")
+	}
+	oldCat, err := os.ReadFile(catPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint's first two phases run — the delta merge and the column
+	// file rewrite — then the "crash" lands before the catalog rename and the
+	// WAL reset: restore the old catalog; the WAL keeps the delta's commits.
+	if n := m.MergeAll(true); n != 1 {
+		t.Fatalf("checkpoint merge folded %d tables", n)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(catPath, oldCat, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	st.Close()
+
+	st2, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := ReplayWAL(st2, walPath); err != nil {
+		t.Fatalf("replay over torn delta checkpoint: %v", err)
+	}
+	tbl, _ := st2.Get("t")
+	tv := tbl.Version()
+	if tv.NRows != 5 {
+		t.Fatalf("rows after replay = %d, want 5 (3 base + 2 delta replayed once)", tv.NRows)
+	}
+	if tv.BaseRows > tv.NRows {
+		t.Fatalf("torn state: BaseRows %d > NRows %d", tv.BaseRows, tv.NRows)
+	}
+	col, _ := tv.Col(0)
+	for i, want := range []int32{1, 2, 3, 4, 5} {
+		if col.I32[i] != want {
+			t.Fatalf("torn or doubled data: %v", col.I32[:5])
+		}
+	}
+}
+
 // Concurrent committers on disjoint tables: all commits must succeed, be
 // visible, and be durable across a reopen. Run under -race in CI to exercise
 // the group-commit leader/follower handoff.

@@ -1,11 +1,17 @@
 // Package txn implements monetlite's transaction layer: optimistic
 // concurrency control over snapshot views (paper §3.1 "Concurrency Control").
 //
-// A transaction captures an immutable snapshot of every table at Begin.
-// Writes are buffered locally and become visible to the transaction's own
-// reads through overlay Views. At Commit, validation checks that no other
-// transaction has committed writes to the same tables since the snapshot was
-// taken; on conflict the transaction aborts with ErrWriteConflict.
+// A transaction captures an immutable snapshot of every table at Begin and
+// pins its store version as an epoch (the background delta merger defers
+// folds past any pinned epoch). Writes are buffered locally and become
+// visible to the transaction's own reads through overlay Views. At Commit,
+// validation is region-level: appends land in the table's append-delta and
+// never conflict with other appends, deletes conflict only when another
+// transaction deleted the *same base row* since the snapshot (UPDATE is
+// delete+append, so lost updates still abort). On conflict the transaction
+// aborts with ErrWriteConflict. The in-memory apply is O(delta): column
+// arrays grow by the batch, indexes and encodings are folded forward later
+// by the background merger (see merge.go), never copied at commit.
 //
 // Durability uses group commit: validation, WAL buffering and the in-memory
 // apply run under a global commit lock, but the fsync happens after the lock
@@ -22,13 +28,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"monetlite/internal/delta"
 	"monetlite/internal/storage"
 	"monetlite/internal/vec"
 	"monetlite/internal/wal"
 )
 
 // ErrWriteConflict is returned by Commit when another transaction committed
-// to a table this transaction wrote (the paper's abort-on-write-conflict).
+// a conflicting write — deleted the same base row, or dropped/recreated a
+// written table — since this transaction's snapshot.
 var ErrWriteConflict = errors.New("txn: write conflict, transaction aborted")
 
 // ErrDone is returned when using a committed or rolled-back transaction.
@@ -42,11 +50,31 @@ type Manager struct {
 
 	ckptBytes     atomic.Int64 // WAL size that triggers auto-checkpoint (0 = off)
 	checkpointing atomic.Bool
+
+	// Delta-store coordination (see merge.go): reader epoch registry, fold
+	// policy, and the background merger's wiring. mergeMu serializes fold
+	// passes with checkpoints — saveCatalogLocked walks table index state, so
+	// the merger must not install indexes mid-checkpoint.
+	epochs    *delta.Epochs
+	policy    delta.Policy
+	mergeMu   sync.Mutex
+	mergeWake chan struct{}
+	mergeStop chan struct{}
+	mergeDone chan struct{}
+
+	logMu    sync.Mutex
+	mergeLog []string
 }
 
 // NewManager wires a manager to a store and optional WAL.
 func NewManager(store *storage.Store, log *wal.Log) *Manager {
-	return &Manager{store: store, log: log}
+	return &Manager{
+		store:     store,
+		log:       log,
+		epochs:    delta.NewEpochs(),
+		policy:    delta.DefaultPolicy(),
+		mergeWake: make(chan struct{}, 1),
+	}
 }
 
 // SetAutoCheckpoint makes commits fold the WAL into a storage snapshot
@@ -74,9 +102,12 @@ func (m *Manager) maybeCheckpoint() {
 // Store exposes the underlying store.
 func (m *Manager) Store() *storage.Store { return m.store }
 
-// Begin starts a transaction with a fresh snapshot.
+// Begin starts a transaction with a fresh snapshot, pinning the snapshot's
+// store version as an epoch until Commit or Rollback.
 func (m *Manager) Begin() *Txn {
-	return &Txn{mgr: m, snap: m.store.Snapshot(), pend: map[string]*pendingTable{}}
+	epoch := m.store.Version()
+	m.epochs.PinAt(epoch)
+	return &Txn{mgr: m, snap: m.store.Snapshot(), pend: map[string]*pendingTable{}, epoch: epoch, pinned: true}
 }
 
 // pendingTable buffers one table's uncommitted writes.
@@ -88,11 +119,22 @@ type pendingTable struct {
 
 // Txn is a transaction: a snapshot plus buffered writes.
 type Txn struct {
-	mgr  *Manager
-	mu   sync.Mutex
-	snap map[string]*storage.TableVersion
-	pend map[string]*pendingTable
-	done bool
+	mgr    *Manager
+	mu     sync.Mutex
+	snap   map[string]*storage.TableVersion
+	pend   map[string]*pendingTable
+	done   bool
+	epoch  uint64
+	pinned bool
+}
+
+// unpinLocked releases the transaction's epoch pin exactly once. Caller
+// holds t.mu.
+func (t *Txn) unpinLocked() {
+	if t.pinned {
+		t.pinned = false
+		t.mgr.epochs.Unpin(t.epoch)
+	}
 }
 
 // View is a transaction-consistent read view of one table: the snapshot
@@ -161,6 +203,11 @@ func (t *Txn) View(name string) (*View, bool) {
 		}
 		base = tbl.Version()
 		t.snap[name] = base
+	}
+	if base.DeltaRows() > 0 {
+		// Overlap gauge: this snapshot read observes rows still in the
+		// append-delta (the mixed-workload harness asserts on it).
+		base.Table().DeltaState().ReadsWithDelta.Add(1)
 	}
 	v := &View{Base: base}
 	if p, ok := t.pend[name]; ok {
@@ -266,6 +313,7 @@ func (t *Txn) Rollback() error {
 		return ErrDone
 	}
 	t.done = true
+	t.unpinLocked()
 	t.pend = nil
 	return nil
 }
@@ -280,6 +328,7 @@ func (t *Txn) Commit() error {
 		return ErrDone
 	}
 	t.done = true
+	t.unpinLocked()
 	if len(t.pend) == 0 {
 		return nil
 	}
@@ -308,14 +357,30 @@ func (t *Txn) commitApply() (uint64, error) {
 	m.commitMu.Lock()
 	defer m.commitMu.Unlock()
 
-	// Validation: every written table must be unchanged since our snapshot.
-	for name := range t.pend {
+	// Region-level validation. Appends land in the table's append-delta, so
+	// concurrent appends to the same table never conflict. Deletes conflict
+	// only when another transaction committed a delete of the same base row
+	// since our snapshot: Txn.Delete skipped rows already deleted in the
+	// snapshot, so any pending base delete that is set in the current bitmap
+	// was set by a concurrent committer. (UPDATE is delete+append, so two
+	// updates of one row still abort the second.) A written table must also
+	// still be the same table object — drop or drop+recreate conflicts.
+	for name, p := range t.pend {
 		tbl, ok := m.store.Get(name)
 		if !ok {
 			return 0, fmt.Errorf("txn: table %q dropped concurrently: %w", name, ErrWriteConflict)
 		}
-		if tbl.Version() != t.snap[name] {
+		snap := t.snap[name]
+		if snap == nil || snap.Table() != tbl {
 			return 0, ErrWriteConflict
+		}
+		if len(p.dels) > 0 {
+			cur := tbl.Version()
+			for r := range p.dels {
+				if int(r) < snap.NRows && cur.Dels.Get(r) {
+					return 0, ErrWriteConflict
+				}
+			}
 		}
 	}
 
@@ -389,6 +454,15 @@ func (t *Txn) commitApply() (uint64, error) {
 			if _, _, err := mut.tbl.Delete(mut.baseDel, version); err != nil {
 				return 0, err
 			}
+		}
+	}
+	// Nudge the background merger when any written table crossed the fold
+	// threshold (non-blocking; the merger coalesces wakeups).
+	for _, mut := range muts {
+		tv := mut.tbl.Version()
+		if m.policy.ShouldMerge(tv.BaseRows, tv.NRows-tv.BaseRows) {
+			m.wakeMerger()
+			break
 		}
 	}
 	return seq, nil

@@ -101,6 +101,9 @@ func TestReadYourOwnWrites(t *testing.T) {
 	}
 }
 
+// Region-level validation: concurrent appends to the same table are
+// different row regions and both commit; concurrent deletes of the same base
+// row conflict and abort the second committer.
 func TestWriteConflictAborts(t *testing.T) {
 	m := memManager(t)
 	m.CreateTable(meta())
@@ -111,13 +114,47 @@ func TestWriteConflictAborts(t *testing.T) {
 	if err := t1.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if err := t2.Commit(); !errors.Is(err, ErrWriteConflict) {
-		t.Fatalf("want write conflict, got %v", err)
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("append-append must not conflict, got %v", err)
 	}
-	// t2's writes are gone.
 	v, _ := m.Begin().View("t")
-	if v.NumRows() != 1 {
-		t.Fatalf("rows = %d", v.NumRows())
+	if v.NumRows() != 2 {
+		t.Fatalf("rows = %d, want both appends committed", v.NumRows())
+	}
+
+	// Same-row delete-delete still aborts (UPDATE is delete+append, so this
+	// is the lost-update guard).
+	d1 := m.Begin()
+	d2 := m.Begin()
+	if _, err := d1.Delete("t", []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Delete("t", []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("want write conflict on same-row delete, got %v", err)
+	}
+
+	// Disjoint-row deletes commit on both sides.
+	e1 := m.Begin()
+	e2 := m.Begin()
+	ve, _ := e1.View("t")
+	if ve.NumRows() != 2 {
+		t.Fatalf("rows = %d", ve.NumRows())
+	}
+	if _, err := e1.Delete("t", []int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	e2.Append("t", batch(9))
+	if err := e1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Commit(); err != nil {
+		t.Fatalf("delete+append on disjoint regions must not conflict, got %v", err)
 	}
 }
 

@@ -1,7 +1,8 @@
 // Crash-point fuzzer: the kill-replay-verify harness for WAL durability.
 //
-// Each trial runs a randomized create/append/delete/index/drop workload
-// against a transaction manager whose WAL lives on a simulated filesystem
+// Each trial runs a randomized create/append/delete/index/drop workload —
+// with delta merges randomly interleaved between commits — against a
+// transaction manager whose WAL lives on a simulated filesystem
 // (faultfs.SimFS) armed to crash at a random byte offset or operation count.
 // When the crash fires, the trial reopens the post-crash file image, runs
 // recovery, and differentially verifies the surviving state against an
@@ -229,6 +230,13 @@ func fuzzRun(rng *rand.Rand, mgr *txn.Manager, steps int) (snaps []*model, acked
 		}
 		acked++
 		cur = next
+		// Interleave background-style delta merges with the workload. A merge
+		// folds pending appends into the indexed base purely in memory — it
+		// writes nothing to the WAL, so it must be invisible to recovery: the
+		// differential below fails if a merge ever changed durable state.
+		if rng.Intn(8) == 0 {
+			mgr.MergeAll(true)
+		}
 	}
 	return snaps, acked
 }
